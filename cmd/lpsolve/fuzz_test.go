@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRunParser throws arbitrary text at the instance parser: it must
+// either solve cleanly or return an error — never panic.
+func FuzzRunParser(f *testing.F) {
+	f.Add(lpInput)
+	f.Add(svmInput)
+	f.Add(mebInput)
+	f.Add("lp 1\n1\n")
+	f.Add("meb 2\n\n#only comments\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<14 {
+			return
+		}
+		var out bytes.Buffer
+		_ = run(strings.NewReader(input), &out, "ram", 2, 2, 0.5, 1)
+	})
+}

@@ -1,0 +1,285 @@
+// Command lpsolve reads a low-dimensional problem instance from a file
+// (or stdin) and solves it in a chosen computation model, printing the
+// solution and the model's resource usage.
+//
+// Usage:
+//
+//	lpsolve [-model ram|stream|coordinator|mpc] [-r N] [-k N]
+//	        [-delta F] [-seed N] [file]
+//
+// # Input format
+//
+// Plain text, '#' comments allowed. The first non-comment line selects
+// the problem kind:
+//
+//	lp <d>            d-dimensional linear program; next line: the d
+//	                  objective coefficients; then one constraint per
+//	                  line: a_1 … a_d b   (meaning a·x ≤ b)
+//	svm <d>           hard-margin SVM; one example per line:
+//	                  x_1 … x_d y        (y ∈ {−1, +1})
+//	meb <d>           minimum enclosing ball; one point per line:
+//	                  x_1 … x_d
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"lowdimlp"
+)
+
+func main() {
+	var (
+		model = flag.String("model", "ram", "computation model: ram|stream|coordinator|mpc")
+		r     = flag.Int("r", 2, "pass/round trade-off parameter r")
+		k     = flag.Int("k", 4, "coordinator sites")
+		delta = flag.Float64("delta", 0.5, "MPC load exponent δ")
+		seed  = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, os.Stdout, *model, *r, *k, *delta, *seed); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lpsolve:", err)
+	os.Exit(1)
+}
+
+func run(in io.Reader, out io.Writer, model string, r, k int, delta float64, seed uint64) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	kind, dim, err := readHeader(sc)
+	if err != nil {
+		return err
+	}
+	opt := lowdimlp.Options{R: r, Delta: delta, Seed: seed}
+	switch kind {
+	case "lp":
+		return runLP(sc, out, dim, model, k, opt)
+	case "svm":
+		return runSVM(sc, out, dim, model, k, opt)
+	case "meb":
+		return runMEB(sc, out, dim, model, k, opt)
+	default:
+		return fmt.Errorf("unknown problem kind %q (want lp, svm or meb)", kind)
+	}
+}
+
+func readHeader(sc *bufio.Scanner) (kind string, dim int, err error) {
+	for sc.Scan() {
+		f := fields(sc.Text())
+		if len(f) == 0 {
+			continue
+		}
+		if len(f) != 2 {
+			return "", 0, fmt.Errorf("bad header %q (want: kind dim)", sc.Text())
+		}
+		d, err := strconv.Atoi(f[1])
+		if err != nil || d < 1 {
+			return "", 0, fmt.Errorf("bad dimension %q", f[1])
+		}
+		return strings.ToLower(f[0]), d, nil
+	}
+	return "", 0, fmt.Errorf("empty input")
+}
+
+func fields(line string) []string {
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = line[:i]
+	}
+	return strings.Fields(line)
+}
+
+func readRow(f []string) ([]float64, error) {
+	row := make([]float64, len(f))
+	for i, s := range f {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", s)
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+func runLP(sc *bufio.Scanner, out io.Writer, dim int, model string, k int, opt lowdimlp.Options) error {
+	var obj []float64
+	var cons []lowdimlp.Halfspace
+	for sc.Scan() {
+		f := fields(sc.Text())
+		if len(f) == 0 {
+			continue
+		}
+		row, err := readRow(f)
+		if err != nil {
+			return err
+		}
+		if obj == nil {
+			if len(row) != dim {
+				return fmt.Errorf("objective needs %d coefficients, got %d", dim, len(row))
+			}
+			obj = row
+			continue
+		}
+		if len(row) != dim+1 {
+			return fmt.Errorf("constraint needs %d numbers, got %d", dim+1, len(row))
+		}
+		cons = append(cons, lowdimlp.Halfspace{A: row[:dim], B: row[dim]})
+	}
+	if obj == nil {
+		return fmt.Errorf("missing objective line")
+	}
+	p := lowdimlp.NewLP(obj)
+	switch model {
+	case "ram":
+		sol, err := lowdimlp.SolveLP(p, cons, opt.Seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "x* = %v\nobjective = %v\n", sol.X, sol.Value)
+	case "stream":
+		sol, stats, err := lowdimlp.SolveLPStreaming(p, lowdimlp.NewSliceStream(cons), len(cons), opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "x* = %v\nobjective = %v\n%v\n", sol.X, sol.Value, stats)
+	case "coordinator":
+		sol, stats, err := lowdimlp.SolveLPCoordinator(p, lowdimlp.Partition(cons, k), opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "x* = %v\nobjective = %v\n%v\n", sol.X, sol.Value, stats)
+	case "mpc":
+		sol, stats, err := lowdimlp.SolveLPMPC(p, cons, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "x* = %v\nobjective = %v\n%v\n", sol.X, sol.Value, stats)
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+	return nil
+}
+
+func runSVM(sc *bufio.Scanner, out io.Writer, dim int, model string, k int, opt lowdimlp.Options) error {
+	var exs []lowdimlp.SVMExample
+	for sc.Scan() {
+		f := fields(sc.Text())
+		if len(f) == 0 {
+			continue
+		}
+		row, err := readRow(f)
+		if err != nil {
+			return err
+		}
+		if len(row) != dim+1 {
+			return fmt.Errorf("example needs %d numbers, got %d", dim+1, len(row))
+		}
+		exs = append(exs, lowdimlp.SVMExample{X: row[:dim], Y: row[dim]})
+	}
+	var (
+		sol   lowdimlp.SVMSolution
+		extra string
+		err   error
+	)
+	switch model {
+	case "ram":
+		sol, err = lowdimlp.SolveSVM(dim, exs)
+	case "stream":
+		var st lowdimlp.StreamStats
+		sol, st, err = lowdimlp.SolveSVMStreaming(dim, lowdimlp.NewSliceStream(exs), len(exs), opt)
+		extra = st.String()
+	case "coordinator":
+		var st lowdimlp.CoordinatorStats
+		sol, st, err = lowdimlp.SolveSVMCoordinator(dim, lowdimlp.Partition(exs, k), opt)
+		extra = st.String()
+	case "mpc":
+		var st lowdimlp.MPCStats
+		sol, st, err = lowdimlp.SolveSVMMPC(dim, exs, opt)
+		extra = st.String()
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "u = %v\n‖u‖² = %v (margin %v)\n", sol.U, sol.Norm2, 1/sqrt(sol.Norm2))
+	if extra != "" {
+		fmt.Fprintln(out, extra)
+	}
+	return nil
+}
+
+func runMEB(sc *bufio.Scanner, out io.Writer, dim int, model string, k int, opt lowdimlp.Options) error {
+	var pts []lowdimlp.MEBPoint
+	for sc.Scan() {
+		f := fields(sc.Text())
+		if len(f) == 0 {
+			continue
+		}
+		row, err := readRow(f)
+		if err != nil {
+			return err
+		}
+		if len(row) != dim {
+			return fmt.Errorf("point needs %d numbers, got %d", dim, len(row))
+		}
+		pts = append(pts, lowdimlp.MEBPoint(row))
+	}
+	var (
+		ball  lowdimlp.MEBBall
+		extra string
+		err   error
+	)
+	switch model {
+	case "ram":
+		ball, err = lowdimlp.SolveMEB(pts)
+	case "stream":
+		var st lowdimlp.StreamStats
+		ball, st, err = lowdimlp.SolveMEBStreaming(dim, lowdimlp.NewSliceStream(pts), len(pts), opt)
+		extra = st.String()
+	case "coordinator":
+		var st lowdimlp.CoordinatorStats
+		ball, st, err = lowdimlp.SolveMEBCoordinator(dim, lowdimlp.Partition(pts, k), opt)
+		extra = st.String()
+	case "mpc":
+		var st lowdimlp.MPCStats
+		ball, st, err = lowdimlp.SolveMEBMPC(dim, pts, opt)
+		extra = st.String()
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "center = %v\nradius = %v\n", ball.Center, ball.Radius())
+	if extra != "" {
+		fmt.Fprintln(out, extra)
+	}
+	return nil
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

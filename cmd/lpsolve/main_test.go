@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const lpInput = `# minimize x+y over x ≥ 1, y ≥ 2
+lp 2
+1 1        # objective
+-1 0 -1    # -x ≤ -1
+0 -1 -2    # -y ≤ -2
+1 0 100
+0 1 100
+`
+
+const svmInput = `svm 1
+3 1
+-1 -1
+`
+
+const mebInput = `meb 2
+0 0
+2 0
+1 1
+`
+
+func solve(t *testing.T, input, model string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(strings.NewReader(input), &out, model, 2, 2, 0.5, 1); err != nil {
+		t.Fatalf("model %s: %v", model, err)
+	}
+	return out.String()
+}
+
+func TestRunLPAllModels(t *testing.T) {
+	for _, model := range []string{"ram", "stream", "coordinator", "mpc"} {
+		got := solve(t, lpInput, model)
+		if !strings.Contains(got, "objective = 3") {
+			t.Errorf("model %s: output %q lacks objective 3", model, got)
+		}
+	}
+}
+
+func TestRunSVM(t *testing.T) {
+	got := solve(t, svmInput, "ram")
+	// Constraints: 3u ≥ 1, u ≥ 1 ⇒ u = 1, ‖u‖² = 1.
+	if !strings.Contains(got, "‖u‖² = 1") {
+		t.Errorf("svm output %q", got)
+	}
+}
+
+func TestRunMEB(t *testing.T) {
+	got := solve(t, mebInput, "ram")
+	if !strings.Contains(got, "radius = 1") {
+		t.Errorf("meb output %q", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct{ name, input, model string }{
+		{"empty", "", "ram"},
+		{"bad header", "quadratic 3\n", "ram"},
+		{"bad dim", "lp x\n", "ram"},
+		{"bad model", lpInput, "quantum"},
+		{"bad number", "lp 1\n1\nfoo 1\n", "ram"},
+		{"short constraint", "lp 2\n1 1\n1 2\n", "ram"},
+		{"missing objective", "lp 2\n", "ram"},
+		{"bad example", "svm 2\n1 2\n", "ram"},
+		{"bad point", "meb 2\n1\n", "ram"},
+	}
+	for _, c := range cases {
+		var out bytes.Buffer
+		if err := run(strings.NewReader(c.input), &out, c.model, 2, 2, 0.5, 1); err == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+	// Unknown models must error on every kind.
+	for _, input := range []string{svmInput, mebInput} {
+		var out bytes.Buffer
+		if err := run(strings.NewReader(input), &out, "quantum", 2, 2, 0.5, 1); err == nil {
+			t.Error("expected unknown-model error")
+		}
+	}
+}
+
+func TestFieldsStripsComments(t *testing.T) {
+	if got := fields("1 2 # three four"); len(got) != 2 || got[1] != "2" {
+		t.Errorf("fields = %v", got)
+	}
+	if got := fields("# all comment"); len(got) != 0 {
+		t.Errorf("fields = %v", got)
+	}
+}
+
+func TestSqrtHelper(t *testing.T) {
+	if sqrt(-4) != 0 || sqrt(0) != 0 || sqrt(9) != 3 {
+		t.Error("sqrt helper misbehaves")
+	}
+}

@@ -1,0 +1,84 @@
+package lowdimlp_test
+
+import (
+	"fmt"
+
+	"lowdimlp"
+)
+
+// Solve a tiny LP in RAM: minimize x+y subject to x ≥ 1, y ≥ 2.
+func ExampleSolveLP() {
+	p := lowdimlp.NewLP([]float64{1, 1})
+	cons := []lowdimlp.Halfspace{
+		{A: []float64{-1, 0}, B: -1}, // -x ≤ -1  ⇔  x ≥ 1
+		{A: []float64{0, -1}, B: -2}, // -y ≤ -2  ⇔  y ≥ 2
+	}
+	sol, err := lowdimlp.SolveLP(p, cons, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("x* = (%.0f, %.0f), objective %.0f\n", sol.X[0], sol.X[1], sol.Value)
+	// Output: x* = (1, 2), objective 3
+}
+
+// The same LP over a multi-pass stream: identical answer, sublinear
+// working memory.
+func ExampleSolveLPStreaming() {
+	p := lowdimlp.NewLP([]float64{1, 1})
+	cons := []lowdimlp.Halfspace{
+		{A: []float64{-1, 0}, B: -1},
+		{A: []float64{0, -1}, B: -2},
+		{A: []float64{1, 0}, B: 10},
+		{A: []float64{0, 1}, B: 10},
+	}
+	sol, _, err := lowdimlp.SolveLPStreaming(
+		p, lowdimlp.NewSliceStream(cons), len(cons), lowdimlp.Options{R: 2, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("objective %.0f\n", sol.Value)
+	// Output: objective 3
+}
+
+// Train a maximum-margin classifier on two points.
+func ExampleSolveSVM() {
+	examples := []lowdimlp.SVMExample{
+		{X: []float64{2, 0}, Y: +1},
+		{X: []float64{-2, 0}, Y: -1},
+	}
+	sol, err := lowdimlp.SolveSVM(2, examples)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("u = (%.1f, %.1f), margin %.0f\n", sol.U[0], sol.U[1], 1/normOf(sol.U))
+	// Output: u = (0.5, 0.0), margin 2
+}
+
+// Minimum enclosing ball of a square's corners.
+func ExampleSolveMEB() {
+	pts := []lowdimlp.MEBPoint{
+		{0, 0}, {0, 2}, {2, 0}, {2, 2},
+	}
+	ball, err := lowdimlp.SolveMEB(pts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("center (%.0f, %.0f), radius² %.0f\n", ball.Center[0], ball.Center[1], ball.R2)
+	// Output: center (1, 1), radius² 2
+}
+
+func normOf(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	// sqrt via Newton (avoid importing math in the example file).
+	if s == 0 {
+		return 0
+	}
+	z := s
+	for i := 0; i < 64; i++ {
+		z = 0.5 * (z + s/z)
+	}
+	return z
+}

@@ -1,0 +1,58 @@
+// Lower-bound demonstration (§5 of the paper): build a hard two-curve
+// intersection instance from the recursive distribution, convert it to
+// the 2-D LP of Figure 1b with Alice's constraints on one site and
+// Bob's on another, and measure what our general coordinator algorithm
+// and the purpose-built r-round protocol actually spend — next to the
+// Ω(n^{1/2r}/r²) bound they cannot beat.
+//
+//	go run ./examples/lowerbound
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"lowdimlp"
+	"lowdimlp/internal/numeric"
+	"lowdimlp/internal/tci"
+)
+
+func main() {
+	fmt.Println("r  N=n^{1/r}      n   protocol-bits   coord-LP-bits  coord-rounds  lower-bound N/r²")
+	for _, c := range []struct{ N, R int }{{16, 1}, {32, 1}, {64, 1}, {16, 2}, {32, 2}, {16, 3}} {
+		rng := numeric.NewRand(uint64(c.N*100+c.R), 0x1b)
+		ins, want, err := tci.Hard(tci.HardOptions{N: c.N, R: c.R, Rng: rng})
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := ins.N()
+
+		// The purpose-built r-round protocol.
+		pres, err := tci.RunProtocol(ins, c.R)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if pres.Answer != want {
+			log.Fatalf("protocol answer %d, want %d", pres.Answer, want)
+		}
+
+		// Our general coordinator LP algorithm with k=2 (Alice/Bob split).
+		prob, cons := ins.ToHalfspaces()
+		half := len(cons) / 2
+		sol, stats, err := lowdimlp.SolveLPCoordinator(prob,
+			[][]lowdimlp.Halfspace{cons[:half], cons[half:]},
+			lowdimlp.Options{R: c.R, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got := int(math.Floor(sol.X[0])); got != want {
+			log.Fatalf("coordinator LP answer %d, want %d", got, want)
+		}
+
+		fmt.Printf("%d  %9d  %7d  %13d  %14d  %12d  %16.1f\n",
+			c.R, c.N, n, pres.Bits, stats.TotalBits, stats.Rounds, float64(c.N)/float64(c.R*c.R))
+	}
+	fmt.Println("\nboth protocols' bits grow polynomially with N at fixed r (the Ω(n^{1/2r}) shape),")
+	fmt.Println("and extra rounds buy polynomially less communication — the paper's trade-off, live.")
+}

@@ -1,0 +1,49 @@
+// Core-vector-machine-style minimum enclosing ball in the MPC model:
+// a large point cloud is spread over ≈ √n machines of O~(√n) memory
+// each, and the exact MEB is computed in a constant number of rounds
+// with sublinear per-machine load (Theorem 6 of the paper).
+//
+//	go run ./examples/meb
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lowdimlp"
+	"lowdimlp/internal/workload"
+)
+
+func main() {
+	const (
+		d = 3
+		n = 250_000
+	)
+	pts := workload.MEBCloud(workload.MEBUniformBall, d, n, 13)
+	fmt.Printf("point cloud: %d points uniform in the unit ball of R^%d\n\n", n, d)
+
+	ball, stats, err := lowdimlp.SolveMEBMPC(d, pts, lowdimlp.Options{Seed: 3, Delta: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Exactness check against the RAM solver.
+	ref, err := lowdimlp.SolveMEB(pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("center: %v\n", ball.Center)
+	fmt.Printf("radius: %.6f (RAM reference %.6f; true value → 1 as n grows)\n\n", ball.Radius(), ref.Radius())
+	fmt.Printf("resources: %d machines, fan-out %d tree, %d rounds\n", stats.Machines, stats.FanOut, stats.Rounds)
+	fmt.Printf("max per-machine load: %.1f kb per round (input: %.1f Mb)\n",
+		float64(stats.MaxLoadBits)/1e3, float64(n*d*64)/1e6)
+
+	// Contrast with a streaming run of the same instance.
+	sball, sstats, err := lowdimlp.SolveMEBStreaming(d, lowdimlp.NewSliceStream(pts), n, lowdimlp.Options{R: 3, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstreaming (r=3): radius %.6f in %d passes at %.1f kb peak space\n",
+		sball.Radius(), sstats.Passes, float64(sstats.PeakSpaceBits)/1e3)
+}

@@ -1,0 +1,77 @@
+// Robust (L∞ / Chebyshev) polynomial regression over a data stream —
+// the over-constrained regression workload the paper's introduction
+// motivates. Fitting a degree-p polynomial to n samples minimizing the
+// maximum absolute error is a (p+2)-variable LP with 2n constraints;
+// here n is a million and the stream is generated on the fly, so the
+// full constraint set never exists in memory.
+//
+//	go run ./examples/regression
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lowdimlp"
+	"lowdimlp/internal/numeric"
+)
+
+func main() {
+	const (
+		samples = 1_000_000
+		deg     = 2    // fit a parabola
+		noise   = 0.05 // uniform noise amplitude — the optimal L∞ error
+		seed    = 42
+	)
+	planted := []float64{1.5, -0.8, 0.3} // y = 1.5 − 0.8x + 0.3x²
+
+	// Each sample (x_i, y_i) contributes two constraints
+	// ±(p(x_i) − y_i) ≤ t over variables (c_0..c_deg, t); the stream
+	// generates constraint j on demand from sample j/2.
+	d := deg + 2
+	gen := func(j int) lowdimlp.Halfspace {
+		i := j / 2
+		rng := numeric.NewRand(seed, uint64(i)+1)
+		x := rng.Float64()*2 - 1
+		y := 0.0
+		pw := 1.0
+		for _, c := range planted {
+			y += c * pw
+			pw *= x
+		}
+		y += (rng.Float64()*2 - 1) * noise
+		row := make([]float64, d)
+		pw = 1.0
+		sign := 1.0
+		if j%2 == 1 {
+			sign = -1
+		}
+		for k := 0; k <= deg; k++ {
+			row[k] = sign * pw
+			pw *= x
+		}
+		row[d-1] = -1 // −t
+		return lowdimlp.Halfspace{A: row, B: sign * y}
+	}
+
+	obj := make([]float64, d)
+	obj[d-1] = 1 // minimize t
+	prob := lowdimlp.NewLP(obj)
+
+	st := lowdimlp.NewFuncStream(2*samples, gen)
+	sol, stats, err := lowdimlp.SolveLPStreaming(prob, st, 2*samples, lowdimlp.Options{R: 3, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("samples: %d (constraints: %d), planted poly %v, noise ±%.2f\n\n",
+		samples, 2*samples, planted, noise)
+	fmt.Printf("fitted coefficients: ")
+	for k := 0; k <= deg; k++ {
+		fmt.Printf("%.4f ", sol.X[k])
+	}
+	fmt.Printf("\nmax abs error t*:    %.5f  (noise bound %.2f)\n", sol.X[d-1], noise)
+	fmt.Printf("\nresources: %d passes over the stream, net of %d constraints, peak space %.1f kb\n",
+		stats.Passes, stats.NetSize, float64(stats.PeakSpaceBits)/1e3)
+	fmt.Printf("(the full input would be %.1f Mb)\n", float64(2*samples*(d+1)*64)/1e6)
+}

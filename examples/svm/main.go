@@ -1,0 +1,52 @@
+// Distributed hard-margin SVM training in the coordinator model: the
+// training data lives on k sites (think: regional data centers) and
+// the exact maximum-margin separator is computed with communication
+// polynomially smaller than the dataset.
+//
+//	go run ./examples/svm
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"lowdimlp"
+	"lowdimlp/internal/numeric"
+	"lowdimlp/internal/workload"
+)
+
+func main() {
+	const (
+		d      = 4
+		n      = 400_000
+		sites  = 16
+		margin = 0.25
+	)
+	examples, planted := workload.SeparableSVM(d, n, margin, 77)
+	parts := lowdimlp.Partition(examples, sites)
+	fmt.Printf("training set: %d examples in R^%d on %d sites, planted margin %.2f\n\n", n, d, sites, margin)
+
+	sol, stats, err := lowdimlp.SolveSVMCoordinator(d, parts, lowdimlp.Options{R: 3, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify: every example classified with the unit functional margin.
+	worst := math.Inf(1)
+	for _, e := range examples {
+		if m := e.Y * numeric.Dot(sol.U, e.X); m < worst {
+			worst = m
+		}
+	}
+	cos := numeric.Dot(sol.U, planted) / numeric.Norm2(sol.U)
+
+	fmt.Printf("separator u:        %v\n", sol.U)
+	fmt.Printf("geometric margin:   %.5f (planted ≥ %.2f)\n", 1/math.Sqrt(sol.Norm2), margin)
+	fmt.Printf("worst y·⟨u,x⟩:      %.6f (must be ≥ 1)\n", worst)
+	fmt.Printf("cos(u, planted):    %.4f\n\n", cos)
+	fmt.Printf("resources: %d rounds, %.1f kb total communication\n", stats.Rounds, float64(stats.TotalBits)/1e3)
+	fmt.Printf("ship-all would cost %.1f Mb — a %.0fx saving\n",
+		float64(n*(d+1)*64)/1e6,
+		float64(int64(n*(d+1)*64))/float64(stats.TotalBits))
+}

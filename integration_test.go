@@ -1,0 +1,124 @@
+package lowdimlp
+
+import (
+	"math"
+	"testing"
+
+	"lowdimlp/internal/numeric"
+	"lowdimlp/internal/tci"
+	"lowdimlp/internal/workload"
+)
+
+// Integration tests: end-to-end agreement of all execution models on
+// the application workloads the paper motivates, through the public
+// API only.
+
+func TestIntegrationChebyshevRegressionAcrossModels(t *testing.T) {
+	prob, cons, _ := workload.ChebyshevRegression(2, 10_000, 0.1, 55)
+	ref, err := SolveLP(prob, cons, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.X[len(ref.X)-1] > 0.1+1e-9 {
+		t.Fatalf("reference fit error %v above the noise bound", ref.X[len(ref.X)-1])
+	}
+	opt := Options{R: 3, Seed: 21}
+	s, _, err := SolveLPStreaming(prob, NewSliceStream(cons), len(cons), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := SolveLPCoordinator(prob, Partition(cons, 4), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := SolveLPMPC(prob, cons, Options{Seed: 21, Delta: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]LPSolution{"stream": s, "coordinator": c, "mpc": m} {
+		if !numeric.ApproxEqualTol(got.Value, ref.Value, 1e-6) {
+			t.Errorf("%s objective %v vs reference %v", name, got.Value, ref.Value)
+		}
+	}
+}
+
+func TestIntegrationBoxLPRedundancy(t *testing.T) {
+	// Mostly-redundant constraint sets: the optimum is a rotated box
+	// corner, and the models must find it while sampling almost only
+	// redundant constraints.
+	prob, cons := workload.BoxLP(3, 50_000, 57)
+	ref, err := SolveLP(prob, cons, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := SolveLPStreaming(prob, NewSliceStream(cons), len(cons), Options{R: 2, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !numeric.ApproxEqualTol(got.Value, ref.Value, 1e-6) {
+		t.Fatalf("stream %v vs ref %v (%v)", got.Value, ref.Value, stats)
+	}
+}
+
+func TestIntegrationMonteCarloThroughPublicAPI(t *testing.T) {
+	p, cons := workload.SphereLP(2, 20_000, 59)
+	ref, err := SolveLP(p, cons, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := SolveLPStreaming(p, NewSliceStream(cons), len(cons), Options{R: 2, Seed: 25, MonteCarlo: true})
+	if err != nil {
+		t.Skipf("monte-carlo round failed (allowed w.p. ≤ 1/(nν)): %v", err)
+	}
+	if !numeric.ApproxEqualTol(got.Value, ref.Value, 1e-6) {
+		t.Fatalf("mc %v vs ref %v", got.Value, ref.Value)
+	}
+}
+
+func TestIntegrationTCIAdversarialLP(t *testing.T) {
+	// The §5 lower-bound family as input to the general algorithms: the
+	// derived 2-D LP must be solved exactly and recover the planted
+	// crossing index through every model.
+	prob, cons, _, ans, err := workload.TCILP(8, 2, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{R: 2, Seed: 27}
+	s, _, err := SolveLPStreaming(prob, NewSliceStream(cons), len(cons), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := SolveLPCoordinator(prob, Partition(cons, 2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]LPSolution{"stream": s, "coordinator": c} {
+		if idx := int(math.Floor(got.X[0])); idx != ans {
+			t.Errorf("%s recovered index %d, want %d", name, idx, ans)
+		}
+	}
+}
+
+func TestIntegrationHardInstanceEndToEnd(t *testing.T) {
+	// tcigen-equivalent pipeline: generate, validate, solve three ways.
+	rng := numeric.NewRand(63, 63)
+	ins, ans, err := tci.Hard(tci.HardOptions{N: 6, R: 3, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := ins.Answer()
+	viaLP, err := ins.SolveViaLP(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := tci.RunProtocol(ins, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != ans || viaLP != ans || proto.Answer != ans {
+		t.Fatalf("answers diverge: direct %d, lp %d, protocol %d, want %d", direct, viaLP, proto.Answer, ans)
+	}
+}

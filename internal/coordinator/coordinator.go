@@ -1,0 +1,312 @@
+// Package coordinator implements the coordinator (message-passing)
+// model and the distributed version of Algorithm 1 (Theorem 2 of
+// Assadi–Karpov–Zhang, PODS 2019), including the two-round weighted
+// ε-net sampling protocol of Lemma 3.7.
+//
+// # Model
+//
+// k sites each hold a partition S_i of the constraints; a central
+// coordinator exchanges messages with the sites in synchronous rounds
+// and must output f(S₁ ∪ … ∪ S_k). Resources: rounds and total
+// communication in bits. Every logical message in this simulation is
+// serialized and metered (internal/comm), so the measured totals are
+// the exact quantities Theorem 2 bounds.
+//
+// # Protocol (two rounds per iteration of Algorithm 1)
+//
+// Like the streaming implementation, sites never store weights: each
+// site keeps the bases of successful iterations and recomputes local
+// weights on the fly (§3.2). One iteration of Algorithm 1 costs two
+// rounds:
+//
+//	round A  coord → site: the pending basis B_{t-1}
+//	         site  → coord: local total weight w_i(S), local violator
+//	                        weight w_i(V) of B_{t-1}, violator count
+//	round B  coord → site: success flag for B_{t-1} (the coordinator
+//	                        evaluates w(V) ≤ ε·w(S) from the replies)
+//	                        plus the multinomial sample allocation y_i
+//	                        computed from the updated local totals
+//	                        (Lemma 3.7's allocation step)
+//	         site  → coord: y_i constraints sampled from S_i with
+//	                        probability proportional to local weight
+//
+// after which the coordinator solves the net for the next basis. The
+// run terminates when a round-A reply reports zero violators.
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"lowdimlp/internal/comm"
+	"lowdimlp/internal/core"
+	"lowdimlp/internal/lptype"
+	"lowdimlp/internal/numeric"
+	"lowdimlp/internal/sampling"
+)
+
+// Options configure the coordinator solver.
+type Options struct {
+	Core core.Options
+	// Parallel runs site-local computation on goroutines (one per
+	// site). The protocol and its randomness are identical either way.
+	Parallel bool
+}
+
+// Stats reports the resources of a coordinator-model run — the
+// quantities Theorem 2 bounds.
+type Stats struct {
+	N, K, R     int
+	Rounds      int
+	TotalBits   int64
+	Messages    int64
+	NetSize     int
+	Iterations  int
+	Successes   int
+	Failures    int
+	DirectSolve bool // ship-all path for tiny inputs (m ≥ n)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d k=%d r=%d rounds=%d bits=%d iters=%d",
+		s.N, s.K, s.R, s.Rounds, s.TotalBits, s.Iterations)
+}
+
+// ErrNoSites is returned when the partition is empty.
+var ErrNoSites = errors.New("coordinator: no sites")
+
+// site is one of the k participants. Sites own their partition, their
+// copy of the successful-basis list, and private randomness.
+type site[C, B any] struct {
+	items []C
+	bases []B
+	rng   *rand.Rand
+}
+
+// Solve runs the distributed version of Algorithm 1 (Theorem 2) on the
+// partition parts (one slice per site). Codecs meter the communication.
+func Solve[C, B any](
+	dom lptype.Domain[C, B], parts [][]C,
+	ccodec comm.Codec[C], bcodec comm.Codec[B],
+	opt Options,
+) (B, Stats, error) {
+	var zero B
+	k := len(parts)
+	if k == 0 {
+		return zero, Stats{}, ErrNoSites
+	}
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	stats := Stats{N: n, K: k}
+	meter := comm.NewMeter()
+	if n == 0 {
+		b, err := dom.Solve(nil)
+		return b, stats, err
+	}
+
+	nu := dom.CombinatorialDim()
+	lambda := dom.VCDim()
+	r := opt.Core.EffectiveR(n)
+	stats.R = r
+	mult := math.Pow(float64(n), 1/float64(r))
+	eps := 1 / (10 * float64(nu) * mult)
+	m := core.NetSize(eps, lambda, n, nu, opt.Core)
+	stats.NetSize = m
+
+	sites := make([]*site[C, B], k)
+	for i, p := range parts {
+		sites[i] = &site[C, B]{items: p, rng: numeric.NewRand(opt.Core.Seed^0x5173, uint64(i)+1)}
+	}
+
+	if m >= n {
+		// Tiny input: sites ship everything in one round (the protocol
+		// degenerates to the naive algorithm, as it should).
+		meter.StartRound()
+		var all []C
+		for _, s := range sites {
+			for _, c := range s.items {
+				meter.Charge(ccodec.Bits(c))
+				all = append(all, c)
+			}
+		}
+		stats.Rounds = meter.Rounds()
+		stats.TotalBits = meter.TotalBits()
+		stats.Messages = meter.Messages()
+		stats.DirectSolve = true
+		stats.NetSize = n
+		b, err := dom.Solve(all)
+		return b, stats, err
+	}
+
+	coordRng := numeric.NewRand(opt.Core.Seed^0xc002d, 0)
+	maxIters := opt.Core.MaxIters
+	if maxIters <= 0 {
+		maxIters = 60*nu*r + 60
+	}
+
+	// Bootstrap: no pending basis; the first round-A degenerates to
+	// weight reports only.
+	var pending *B
+	for iter := 0; iter < maxIters; iter++ {
+		// ---- Round A: pending basis out, weight reports back. ----
+		meter.StartRound()
+		repTotal := make([]float64, k)
+		repViol := make([]float64, k)
+		repCount := make([]int, k)
+		runSites(opt, k, func(i int) {
+			s := sites[i]
+			// coord → site i: the pending basis (or none).
+			req := comm.NewBuffer()
+			req.PutBool(pending != nil)
+			if pending != nil {
+				comm.PutValue(req, bcodec, *pending)
+			}
+			meter.Charge(req.Bits())
+			// Site-local scan.
+			var wTot, wViol numeric.Kahan
+			count := 0
+			for _, c := range s.items {
+				w := math.Pow(mult, float64(weightExp(dom, s.bases, c)))
+				wTot.Add(w)
+				if pending != nil && dom.Violates(*pending, c) {
+					wViol.Add(w)
+					count++
+				}
+			}
+			repTotal[i], repViol[i], repCount[i] = wTot.Sum(), wViol.Sum(), count
+			// site i → coord: two weights and a count.
+			rep := comm.NewBuffer()
+			rep.PutFloat(repTotal[i])
+			rep.PutFloat(repViol[i])
+			rep.PutInt(repCount[i])
+			meter.Charge(rep.Bits())
+		})
+		stats.Iterations++
+
+		var wS, wV float64
+		violators := 0
+		for i := 0; i < k; i++ {
+			wS += repTotal[i]
+			wV += repViol[i]
+			violators += repCount[i]
+		}
+		success := false
+		if pending != nil {
+			if violators == 0 {
+				stats.Rounds = meter.Rounds()
+				stats.TotalBits = meter.TotalBits()
+				stats.Messages = meter.Messages()
+				return *pending, stats, nil
+			}
+			success = wV <= eps*wS
+			if success {
+				stats.Successes++
+			} else {
+				stats.Failures++
+				if opt.Core.MonteCarlo {
+					stats.Rounds = meter.Rounds()
+					stats.TotalBits = meter.TotalBits()
+					stats.Messages = meter.Messages()
+					return zero, stats, core.ErrRoundFailed
+				}
+			}
+		}
+
+		// Updated local totals (after the success bump) — computable at
+		// the coordinator from the round-A reports.
+		updTotals := make([]float64, k)
+		for i := 0; i < k; i++ {
+			updTotals[i] = repTotal[i]
+			if success {
+				updTotals[i] += (mult - 1) * repViol[i]
+			}
+		}
+		alloc := sampling.Multinomial(m, updTotals, coordRng)
+
+		// ---- Round B: flag + allocation out, sampled items back. ----
+		meter.StartRound()
+		netParts := make([][]C, k)
+		runSites(opt, k, func(i int) {
+			s := sites[i]
+			req := comm.NewBuffer()
+			req.PutBool(success)
+			req.PutInt(alloc[i])
+			meter.Charge(req.Bits())
+			if success {
+				s.bases = append(s.bases, *pending)
+			}
+			if alloc[i] > 0 {
+				// Sample alloc[i] items by local (updated) weight.
+				w := make([]float64, len(s.items))
+				for j, c := range s.items {
+					w[j] = math.Pow(mult, float64(weightExp(dom, s.bases, c)))
+				}
+				al := sampling.NewAlias(w)
+				picked := make([]C, alloc[i])
+				rep := comm.NewBuffer()
+				for t := range picked {
+					picked[t] = s.items[al.Draw(s.rng)]
+					comm.PutValue(rep, ccodec, picked[t])
+				}
+				netParts[i] = picked
+				meter.Charge(rep.Bits())
+			}
+		})
+
+		var net []C
+		for _, p := range netParts {
+			net = append(net, p...)
+		}
+		basis, err := dom.Solve(net)
+		if err != nil {
+			stats.Rounds = meter.Rounds()
+			stats.TotalBits = meter.TotalBits()
+			stats.Messages = meter.Messages()
+			return zero, stats, err
+		}
+		pending = &basis
+	}
+	stats.Rounds = meter.Rounds()
+	stats.TotalBits = meter.TotalBits()
+	stats.Messages = meter.Messages()
+	return zero, stats, core.ErrIterationBudget
+}
+
+// weightExp is the on-the-fly weight exponent a(c) = #{stored bases
+// violated by c} (§3.2).
+func weightExp[C, B any](dom lptype.Domain[C, B], bases []B, c C) int {
+	a := 0
+	for i := range bases {
+		if dom.Violates(bases[i], c) {
+			a++
+		}
+	}
+	return a
+}
+
+// runSites executes fn for every site index, in parallel when
+// requested. The per-site work uses only site-local state plus
+// write-disjoint result slots, so both modes are race-free and
+// produce identical results.
+func runSites(opt Options, k int, fn func(i int)) {
+	if !opt.Parallel {
+		for i := 0; i < k; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}

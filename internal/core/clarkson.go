@@ -1,0 +1,262 @@
+// Package core implements Algorithm 1 of Assadi–Karpov–Zhang
+// (PODS 2019): the Clarkson-style meta-algorithm for LP-type problems
+// that drives all three big-data model implementations in this
+// repository (internal/stream, internal/coordinator, internal/mpc).
+//
+// # Algorithm 1 (recap)
+//
+// Maintain a weight w(S) on every constraint, initially 1. Repeat:
+//
+//  1. sample an ε-net N of m = m(ε, λ, δ) constraints i.i.d. with
+//     probability proportional to weight (Lemma 2.2);
+//  2. compute a basis B of N;
+//  3. collect the violators V = {S : f(B ∪ {S}) > f(B)};
+//  4. if w(V) ≤ ε·w(S) — a "successful" iteration — multiply the
+//     weight of every violator by n^{1/r};
+//
+// until V = ∅, and return f(B). With ε = 1/(10·ν·n^{1/r}) the paper
+// proves (Lemma 3.3) O(ν·r) iterations with high probability: the
+// weight of any fixed basis grows as n^{t/νr} while the total weight
+// grows only as e^{t/10ν}·n, so t ≤ (10/9)·ν·r successful iterations
+// suffice, and each iteration succeeds with probability ≥ 2/3
+// (Claim 3.2).
+//
+// This package is the in-memory reference implementation with explicit
+// weights. The model implementations replace step 1 with
+// model-appropriate sampling (weighted reservoirs over a stream, the
+// two-round distributed protocol of Lemma 3.7, or the MPC weight tree)
+// and recompute weights from the stored basis history instead of
+// storing them (§3.2) — but they all follow this skeleton and are
+// differential-tested against it.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"lowdimlp/internal/epsnet"
+	"lowdimlp/internal/lptype"
+	"lowdimlp/internal/numeric"
+	"lowdimlp/internal/sampling"
+)
+
+// ErrIterationBudget reports that the meta-algorithm did not terminate
+// within its iteration cap. The cap defaults to many multiples of the
+// high-probability bound of Lemma 3.3, so hitting it indicates a
+// mis-specified domain (violation tests inconsistent with Solve).
+var ErrIterationBudget = errors.New("core: iteration budget exhausted")
+
+// ErrRoundFailed is returned by the Monte-Carlo variant (Remark 3.6)
+// when an iteration's violator weight exceeds ε·w(S); the Las-Vegas
+// variant simply retries instead.
+var ErrRoundFailed = errors.New("core: monte-carlo round failed (w(V) > ε·w(S))")
+
+// Options configure the meta-algorithm.
+type Options struct {
+	// R is the paper's pass/round trade-off parameter r ≥ 1: the weight
+	// multiplier is n^{1/r} and the expected iteration count is O(ν·r).
+	// Values above ln n are clamped to ⌈ln n⌉ (the paper assumes
+	// r ≤ ln n). Zero means 1.
+	R int
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed uint64
+	// MonteCarlo selects the Remark 3.6 variant: the net is sized for
+	// failure probability 1/(n·ν) and any failed iteration aborts with
+	// ErrRoundFailed instead of retrying.
+	MonteCarlo bool
+	// TheoryNet uses the exact Lemma 2.2 sample size (Eq. 1). The
+	// default is the practical Θ(λ/ε) size with constant NetConst —
+	// correctness is unaffected (the algorithm is Las Vegas); only the
+	// success probability per iteration changes.
+	TheoryNet bool
+	// NetConst is the practical net-size constant c in m = c·λ/ε
+	// (default 8 when zero).
+	NetConst float64
+	// MaxIters caps the number of iterations (default 60·ν·r + 60).
+	MaxIters int
+	// CollectLog records per-iteration statistics in Stats.Log.
+	CollectLog bool
+}
+
+// EffectiveR returns the clamped trade-off parameter for n constraints.
+func (o Options) EffectiveR(n int) int {
+	r := o.R
+	if r < 1 {
+		r = 1
+	}
+	if n >= 3 {
+		if lim := int(math.Ceil(math.Log(float64(n)))); r > lim {
+			r = lim
+		}
+	} else {
+		r = 1
+	}
+	return r
+}
+
+// IterRecord is one iteration's statistics.
+type IterRecord struct {
+	Success     bool
+	Violators   int
+	ViolFrac    float64 // w(V)/w(S)
+	TotalWeight float64
+}
+
+// Stats reports how a run of the meta-algorithm went. The experiment
+// harness uses it to reproduce the iteration-count and success-rate
+// claims (Claims 3.2–3.5, Lemma 3.3).
+type Stats struct {
+	N           int     // number of constraints
+	R           int     // effective r
+	Eps         float64 // ε = 1/(10·ν·n^{1/r})
+	NetSize     int     // m
+	Iterations  int
+	Successes   int
+	Failures    int
+	DirectSolve bool // m ≥ n: solved in one shot without sampling
+	MaxExponent int  // largest weight exponent reached
+	Log         []IterRecord
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d r=%d ε=%.3g m=%d iters=%d (succ=%d fail=%d direct=%v)",
+		s.N, s.R, s.Eps, s.NetSize, s.Iterations, s.Successes, s.Failures, s.DirectSolve)
+}
+
+// Solve runs Algorithm 1 on the constraint set s over the given domain.
+func Solve[C, B any](dom lptype.Domain[C, B], s []C, opt Options) (B, Stats, error) {
+	var zero B
+	n := len(s)
+	stats := Stats{N: n}
+	if n == 0 {
+		b, err := dom.Solve(nil)
+		return b, stats, err
+	}
+	nu := dom.CombinatorialDim()
+	lambda := dom.VCDim()
+	r := opt.EffectiveR(n)
+	stats.R = r
+
+	mult := math.Pow(float64(n), 1/float64(r)) // the weight multiplier n^{1/r}
+	eps := 1 / (10 * float64(nu) * mult)
+	stats.Eps = eps
+
+	m := netSize(eps, lambda, n, nu, opt)
+	stats.NetSize = m
+	if m >= n {
+		// The sample would contain (essentially) everything: solve
+		// directly. This happens for small n or r close to 1 with the
+		// theory-exact net size.
+		stats.DirectSolve = true
+		stats.NetSize = n
+		b, err := dom.Solve(s)
+		return b, stats, err
+	}
+
+	rng := numeric.NewRand(opt.Seed, 0xc1a2c50)
+	exps := make([]int, n) // weight exponents a_i
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	logMult := math.Log(mult)
+
+	maxIters := opt.MaxIters
+	if maxIters <= 0 {
+		maxIters = 60*nu*r + 60
+	}
+	net := make([]C, m)
+	for iter := 0; iter < maxIters; iter++ {
+		stats.Iterations++
+		// Step 1: weighted sample with replacement.
+		alias := sampling.NewAlias(weights)
+		for j := range net {
+			net[j] = s[alias.Draw(rng)]
+		}
+		// Step 2: basis of the net.
+		basis, err := dom.Solve(net)
+		if err != nil {
+			return zero, stats, err
+		}
+		// Step 3: violators and their weight.
+		var wTotal, wViol numeric.Kahan
+		violCount := 0
+		for i, c := range s {
+			wTotal.Add(weights[i])
+			if dom.Violates(basis, c) {
+				wViol.Add(weights[i])
+				violCount++
+			}
+		}
+		if violCount == 0 {
+			if opt.CollectLog {
+				stats.Log = append(stats.Log, IterRecord{Success: true, TotalWeight: wTotal.Sum()})
+			}
+			return basis, stats, nil
+		}
+		success := wViol.Sum() <= eps*wTotal.Sum()
+		if opt.CollectLog {
+			stats.Log = append(stats.Log, IterRecord{
+				Success:     success,
+				Violators:   violCount,
+				ViolFrac:    wViol.Sum() / wTotal.Sum(),
+				TotalWeight: wTotal.Sum(),
+			})
+		}
+		if !success {
+			stats.Failures++
+			if opt.MonteCarlo {
+				return zero, stats, ErrRoundFailed
+			}
+			continue
+		}
+		// Step 4: bump violator weights by n^{1/r}.
+		stats.Successes++
+		for i, c := range s {
+			if dom.Violates(basis, c) {
+				exps[i]++
+				if exps[i] > stats.MaxExponent {
+					stats.MaxExponent = exps[i]
+				}
+				// Guard the float64 range; Claim 3.5 bounds the total
+				// weight by e^{t/10ν}·n, so this cannot fire on a
+				// correct domain.
+				if float64(exps[i])*logMult > 600 {
+					return zero, stats, fmt.Errorf("core: weight exponent overflow (a=%d, mult=%g)", exps[i], mult)
+				}
+				weights[i] *= mult
+			}
+		}
+	}
+	return zero, stats, ErrIterationBudget
+}
+
+// NetSize picks the ε-net sample size for the given ε, VC dimension λ,
+// input size n and combinatorial dimension ν per the options. Exported
+// for the model implementations (stream/coordinator/mpc), which size
+// their nets identically to the reference algorithm.
+func NetSize(eps float64, lambda, n, nu int, opt Options) int {
+	return netSize(eps, lambda, n, nu, opt)
+}
+
+// netSize picks the ε-net sample size per the options.
+func netSize(eps float64, lambda, n, nu int, opt Options) int {
+	if opt.TheoryNet {
+		delta := 1. / 3
+		if opt.MonteCarlo {
+			delta = 1 / (float64(n) * float64(nu))
+		}
+		return epsnet.SampleSize(eps, lambda, delta)
+	}
+	c := opt.NetConst
+	if c <= 0 {
+		c = 8
+	}
+	if opt.MonteCarlo {
+		// Scale the net up by the log factor the Monte-Carlo variant
+		// needs for its 1/(nν) failure probability.
+		c *= math.Log(float64(n)*float64(nu)) / math.Log(6)
+	}
+	return epsnet.PracticalSampleSize(eps, lambda, c)
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("E1"); !ok {
+		t.Fatal("E1 must exist")
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Fatal("E99 must not exist")
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %s incompletely defined", e.ID)
+		}
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "F1", "F2"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+}
+
+// TestQuickSuite runs every experiment in quick mode end-to-end: the
+// integration test of the entire repository.
+func TestQuickSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(&buf, Config{Quick: true, Seed: 12345}); err != nil {
+		t.Fatalf("suite failed: %v\noutput so far:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, e := range All() {
+		if !strings.Contains(out, "=== "+e.ID+" —") {
+			t.Errorf("output missing section %s", e.ID)
+		}
+	}
+	// Correctness assertions render as yes/FAIL (see the pass helper).
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("an experiment reported a correctness failure:\n%s", out)
+	}
+}
+
+func TestTableHelper(t *testing.T) {
+	var buf bytes.Buffer
+	tb := newTable(&buf, "a", "b")
+	tb.row(1, 2)
+	tb.flush()
+	if !strings.Contains(buf.String(), "a") || !strings.Contains(buf.String(), "1") {
+		t.Error("table did not render")
+	}
+	if kb(1500) != "1.5" {
+		t.Errorf("kb(1500) = %s", kb(1500))
+	}
+}

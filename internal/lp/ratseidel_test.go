@@ -1,0 +1,149 @@
+package lp
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"lowdimlp/internal/lptype"
+	"lowdimlp/internal/numeric"
+)
+
+func ratVec(vs ...int64) []*big.Rat {
+	out := make([]*big.Rat, len(vs))
+	for i, v := range vs {
+		out[i] = big.NewRat(v, 1)
+	}
+	return out
+}
+
+func ratHS(b int64, as ...int64) RatHalfspace {
+	return RatHalfspace{A: ratVec(as...), B: big.NewRat(b, 1)}
+}
+
+func TestRatSeidelKnown(t *testing.T) {
+	// minimize x+y subject to x ≥ 1, y ≥ 2.
+	obj := ratVec(1, 1)
+	cons := []RatHalfspace{ratHS(-1, -1, 0), ratHS(-2, 0, -1)}
+	x, err := RatSeidel(obj, cons, big.NewRat(1000, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0].Cmp(big.NewRat(1, 1)) != 0 || x[1].Cmp(big.NewRat(2, 1)) != 0 {
+		t.Fatalf("x = %v, want (1, 2)", x)
+	}
+}
+
+func TestRatSeidelInfeasible(t *testing.T) {
+	obj := ratVec(1)
+	cons := []RatHalfspace{ratHS(-5, -1), ratHS(3, 1)} // x ≥ 5, x ≤ 3
+	if _, err := RatSeidel(obj, cons, big.NewRat(100, 1), nil); !errors.Is(err, lptype.ErrInfeasible) {
+		t.Fatalf("expected ErrInfeasible, got %v", err)
+	}
+	// Contradictory zero-normal constraint.
+	if _, err := RatSeidel(obj, []RatHalfspace{ratHS(-1, 0)}, big.NewRat(10, 1), nil); !errors.Is(err, lptype.ErrInfeasible) {
+		t.Fatalf("expected ErrInfeasible for 0 ≤ -1, got %v", err)
+	}
+}
+
+func TestRatSeidelLexTieBreak(t *testing.T) {
+	// minimize y over [1,2]×[1,2]: exact lexicographic minimum (1,1).
+	obj := ratVec(0, 1)
+	cons := []RatHalfspace{
+		ratHS(-1, -1, 0), ratHS(2, 1, 0),
+		ratHS(-1, 0, -1), ratHS(2, 0, 1),
+	}
+	rng := numeric.NewRand(7, 7)
+	for trial := 0; trial < 20; trial++ {
+		x, err := RatSeidel(obj, cons, big.NewRat(100, 1), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x[0].Cmp(big.NewRat(1, 1)) != 0 || x[1].Cmp(big.NewRat(1, 1)) != 0 {
+			t.Fatalf("trial %d: x = %v, want (1, 1)", trial, x)
+		}
+	}
+}
+
+func TestRatSeidelMatchesFloatOnRandomLPs(t *testing.T) {
+	for d := 1; d <= 3; d++ {
+		for trial := 0; trial < 10; trial++ {
+			p, cons := randomFeasibleLP(d, 20+10*trial, uint64(700*d+trial))
+			fsol, err := Seidel(p, cons, numeric.NewRand(uint64(trial), 3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fsol.AtBox(p.box()) {
+				continue // unbounded within the box: skip comparison
+			}
+			obj := make([]*big.Rat, d)
+			for i, c := range p.Objective {
+				obj[i] = new(big.Rat).SetFloat64(c)
+			}
+			rcons := make([]RatHalfspace, len(cons))
+			for i, h := range cons {
+				rcons[i] = NewRatHalfspace(h)
+			}
+			box := new(big.Rat).SetFloat64(p.box())
+			x, err := RatSeidel(obj, rcons, box, numeric.NewRand(uint64(trial), 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range x {
+				exact, _ := x[i].Float64()
+				if !numeric.ApproxEqualTol(exact, fsol.X[i], 1e-6) {
+					t.Fatalf("d=%d trial=%d: exact %v vs float %v", d, trial, x, fsol.X)
+				}
+			}
+			// The exact solution satisfies every constraint exactly.
+			for _, h := range rcons {
+				if !h.Satisfied(x) {
+					t.Fatal("exact optimum violates a constraint")
+				}
+			}
+		}
+	}
+}
+
+func TestRatSeidelShuffleInvariant(t *testing.T) {
+	p, cons := randomFeasibleLP(2, 40, 901)
+	obj := make([]*big.Rat, 2)
+	for i, c := range p.Objective {
+		obj[i] = new(big.Rat).SetFloat64(c)
+	}
+	rcons := make([]RatHalfspace, len(cons))
+	for i, h := range cons {
+		rcons[i] = NewRatHalfspace(h)
+	}
+	box := big.NewRat(1_000_000, 1)
+	ref, err := RatSeidel(obj, rcons, box, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := numeric.NewRand(11, 11)
+	for trial := 0; trial < 10; trial++ {
+		x, err := RatSeidel(obj, rcons, box, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if x[i].Cmp(ref[i]) != 0 {
+				// Exact arithmetic: the lexicographic optimum must be
+				// bit-identical across processing orders.
+				t.Fatalf("trial %d: x = %v, ref %v", trial, x, ref)
+			}
+		}
+	}
+}
+
+func TestRatSeidelEmpty(t *testing.T) {
+	// f(∅): the objective-optimal box corner, exactly.
+	obj := ratVec(1, -1)
+	x, err := RatSeidel(obj, nil, big.NewRat(10, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0].Cmp(big.NewRat(-10, 1)) != 0 || x[1].Cmp(big.NewRat(10, 1)) != 0 {
+		t.Fatalf("corner = %v, want (-10, 10)", x)
+	}
+}

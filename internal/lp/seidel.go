@@ -1,0 +1,228 @@
+package lp
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"lowdimlp/internal/lptype"
+)
+
+// zeroTol is the absolute tolerance for classifying a right-hand side
+// against zero when a constraint's normal vector has vanished.
+func zeroTol(b float64) float64 { return 1e-9 * (math.Abs(b) + 1) }
+
+// Seidel solves the boxed LP min_{x ∈ box, A·x ≤ b} lex(Objective, x)
+// by Seidel's randomized incremental algorithm, generalized to a
+// vector-valued (lexicographic) objective so that the optimum point is
+// always unique — the property the paper's LP-type formulation of
+// linear programming requires (§4.1).
+//
+// The constraints are processed in random order (driven by rng; pass
+// nil for an unshuffled deterministic run). When the current optimum
+// violates a constraint h, the optimum of the extended set lies on
+// h's boundary, so the algorithm eliminates one variable by
+// substitution and recurses on the processed prefix. Expected running
+// time is O(d! · m) for m constraints — linear in m for constant d.
+//
+// Returns lptype.ErrInfeasible when the constraint set (intersected
+// with the box) is empty.
+func Seidel(p Problem, cons []Halfspace, rng *rand.Rand) (Solution, error) {
+	box := p.box()
+	work := make([]subCon, len(cons))
+	for i, h := range cons {
+		work[i] = subCon{a: append([]float64(nil), h.A...), b: h.B}
+	}
+	if rng != nil {
+		rng.Shuffle(len(work), func(i, j int) { work[i], work[j] = work[j], work[i] })
+	}
+	x, err := seidelRec(p.objRows(), work, box)
+	if err != nil {
+		return Solution{}, err
+	}
+	// Defense in depth: the incremental invariant guarantees
+	// feasibility, but floating point can erode it on adversarial
+	// input; verify and fail loudly rather than return garbage.
+	for _, h := range cons {
+		if h.Eval(x) > 1e3*violationSlack(h, x) {
+			return Solution{}, lptype.ErrCycling
+		}
+	}
+	return Solution{X: x, Value: dotOrZero(p.Objective, x)}, nil
+}
+
+func dotOrZero(c, x []float64) float64 {
+	var s float64
+	for i := range c {
+		s += c[i] * x[i]
+	}
+	return s
+}
+
+// subCon is a constraint in the (possibly variable-eliminated)
+// subproblem coordinates: a·x ≤ b.
+type subCon struct {
+	a []float64
+	b float64
+}
+
+func (c subCon) slack(x []float64) float64 {
+	scale := math.Abs(c.b) + 1
+	v := -c.b
+	for i, ai := range c.a {
+		v += ai * x[i]
+		scale += math.Abs(ai * x[i])
+	}
+	// Return the (scaled) violation amount; ≤ 0 means satisfied.
+	return v / scale
+}
+
+// seidelRec solves the subproblem with lexicographic objective rows
+// over the conceptual box [-box, box]^d'. It consumes (and may clobber)
+// the rows and cons slices.
+func seidelRec(rows [][]float64, cons []subCon, box float64) ([]float64, error) {
+	d := 0
+	if len(rows) > 0 {
+		d = len(rows[0])
+	}
+	if d == 0 {
+		// Zero variables left: constraints are "0 ≤ b".
+		for _, c := range cons {
+			if c.b < -zeroTol(c.b) {
+				return nil, lptype.ErrInfeasible
+			}
+		}
+		return []float64{}, nil
+	}
+	x := cornerByObj(rows, d, box)
+	for i := range cons {
+		h := cons[i]
+		if h.slack(x) <= seidelTol {
+			continue
+		}
+		// Current optimum violates h; the new optimum lies on ∂h.
+		k := pivotCoord(h.a)
+		if k < 0 {
+			// Numerically zero normal: constraint is 0 ≤ b.
+			if h.b < -zeroTol(h.b) {
+				return nil, lptype.ErrInfeasible
+			}
+			continue
+		}
+		// Substitution x_k = (b - Σ_{j≠k} a_j x_j) / a_k.
+		sub := make([]float64, d)
+		for j := 0; j < d; j++ {
+			if j != k {
+				sub[j] = -h.a[j] / h.a[k]
+			}
+		}
+		sb := h.b / h.a[k]
+
+		// Transform the processed prefix and the objective rows into
+		// the (d-1)-dimensional subspace (drop coordinate k).
+		subCons := make([]subCon, 0, i)
+		for _, g := range cons[:i] {
+			na := make([]float64, 0, d-1)
+			fk := g.a[k]
+			for j := 0; j < d; j++ {
+				if j == k {
+					continue
+				}
+				na = append(na, g.a[j]+fk*sub[j])
+			}
+			subCons = append(subCons, subCon{a: na, b: g.b - fk*sb})
+		}
+		subRows := make([][]float64, len(rows))
+		for r, row := range rows {
+			nr := make([]float64, 0, d-1)
+			fk := row[k]
+			for j := 0; j < d; j++ {
+				if j == k {
+					continue
+				}
+				nr = append(nr, row[j]+fk*sub[j])
+			}
+			subRows[r] = nr
+		}
+		y, err := seidelRec(subRows, subCons, box)
+		if err != nil {
+			return nil, err
+		}
+		// Lift y back to d coordinates.
+		x = make([]float64, d)
+		xi := 0
+		for j := 0; j < d; j++ {
+			if j == k {
+				continue
+			}
+			x[j] = y[xi]
+			xi++
+		}
+		xk := sb
+		for j := 0; j < d; j++ {
+			if j != k {
+				xk += sub[j] * x[j]
+			}
+		}
+		x[k] = xk
+	}
+	return x, nil
+}
+
+// seidelTol is the scaled-violation threshold inside the recursion.
+const seidelTol = 1e-10
+
+// pivotCoord returns the index of the largest-magnitude coefficient,
+// or -1 if the vector is numerically zero.
+func pivotCoord(a []float64) int {
+	best, bestV := -1, 0.0
+	mx := 0.0
+	for _, v := range a {
+		if av := math.Abs(v); av > mx {
+			mx = av
+		}
+	}
+	if mx == 0 {
+		return -1
+	}
+	for i, v := range a {
+		if av := math.Abs(v); av > bestV {
+			best, bestV = i, av
+		}
+	}
+	if bestV < 1e-12*mx || bestV == 0 {
+		return -1
+	}
+	return best
+}
+
+// cornerByObj returns the lexicographically optimal corner of
+// [-box, box]^d for the stacked linear objective rows: each coordinate
+// is decided by the first row with a non-negligible coefficient on it
+// (minimizing that row), defaulting to -box.
+func cornerByObj(rows [][]float64, d int, box float64) []float64 {
+	x := make([]float64, d)
+	for i := 0; i < d; i++ {
+		x[i] = -box
+		for _, row := range rows {
+			c := row[i]
+			if math.Abs(c) <= 1e-12*rowScale(row) {
+				continue
+			}
+			if c < 0 {
+				x[i] = box
+			}
+			break
+		}
+	}
+	return x
+}
+
+func rowScale(row []float64) float64 {
+	s := 1.0
+	for _, v := range row {
+		if av := math.Abs(v); av > s {
+			s = av
+		}
+	}
+	return s
+}

@@ -1,0 +1,149 @@
+package lp
+
+import (
+	"math"
+
+	"lowdimlp/internal/lptype"
+)
+
+// SimplexValue solves min Objective·x subject to cons (x free, no box)
+// with a dense two-phase tableau simplex using Bland's anti-cycling
+// rule, and returns the optimal objective value. It is the
+// differential-testing oracle for Seidel: slower and without
+// lexicographic tie-breaking, but an entirely independent code path.
+//
+// Free variables are split as x = u - v with u, v ≥ 0. Returns
+// lptype.ErrInfeasible or lptype.ErrUnbounded as appropriate.
+func SimplexValue(p Problem, cons []Halfspace) (float64, error) {
+	d := p.Dim
+	m := len(cons)
+	// Columns: u_1..u_d, v_1..v_d, slacks s_1..s_m, artificials a_1..a_m, rhs.
+	nu := 2 * d
+	ns := nu + m
+	na := ns + m
+	cols := na + 1
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	nArt := 0
+	for i, h := range cons {
+		row := make([]float64, cols)
+		sign := 1.0
+		if h.B < 0 {
+			sign = -1 // normalize rhs ≥ 0
+		}
+		for j := 0; j < d; j++ {
+			row[j] = sign * h.A[j]
+			row[d+j] = -sign * h.A[j]
+		}
+		row[nu+i] = sign // slack
+		row[cols-1] = sign * h.B
+		if sign > 0 {
+			basis[i] = nu + i // slack is basic
+		} else {
+			// Slack coefficient is -1 after normalization; need an
+			// artificial variable to form the identity.
+			row[ns+i] = 1
+			basis[i] = ns + i
+			nArt++
+		}
+		t[i] = row
+	}
+
+	pivot := func(r, c int) {
+		pr := t[r]
+		pv := pr[c]
+		for j := range pr {
+			pr[j] /= pv
+		}
+		for i := range t {
+			if i == r {
+				continue
+			}
+			f := t[i][c]
+			if f == 0 {
+				continue
+			}
+			ri := t[i]
+			for j := range ri {
+				ri[j] -= f * pr[j]
+			}
+		}
+		basis[r] = c
+	}
+
+	// run performs simplex iterations for the reduced-cost vector
+	// derived from obj over allowed columns [0, lim).
+	run := func(obj []float64, lim int) (float64, error) {
+		// Reduced costs: z_j - c_j computed from scratch each
+		// iteration (m and d are tiny; clarity over speed).
+		for iter := 0; iter < 10000*(m+1); iter++ {
+			// cost row: c_j - Σ_i obj[basis[i]] * t[i][j]
+			enter := -1
+			for j := 0; j < lim; j++ {
+				rc := obj[j]
+				for i := 0; i < m; i++ {
+					rc -= obj[basis[i]] * t[i][j]
+				}
+				if rc < -1e-9 {
+					enter = j // Bland: first improving column
+					break
+				}
+			}
+			if enter < 0 {
+				val := 0.0
+				for i := 0; i < m; i++ {
+					val += obj[basis[i]] * t[i][cols-1]
+				}
+				return val, nil
+			}
+			// Ratio test with Bland tie-breaking on basis index.
+			leave := -1
+			bestRatio := math.Inf(1)
+			for i := 0; i < m; i++ {
+				if t[i][enter] > 1e-11 {
+					r := t[i][cols-1] / t[i][enter]
+					if r < bestRatio-1e-12 || (math.Abs(r-bestRatio) <= 1e-12 && (leave < 0 || basis[i] < basis[leave])) {
+						bestRatio = r
+						leave = i
+					}
+				}
+			}
+			if leave < 0 {
+				return 0, lptype.ErrUnbounded
+			}
+			pivot(leave, enter)
+		}
+		return 0, lptype.ErrCycling
+	}
+
+	if nArt > 0 {
+		phase1 := make([]float64, cols)
+		for j := ns; j < na; j++ {
+			phase1[j] = 1
+		}
+		v, err := run(phase1, na)
+		if err != nil {
+			return 0, err
+		}
+		if v > 1e-7 {
+			return 0, lptype.ErrInfeasible
+		}
+		// Drive any artificial variables out of the basis.
+		for i := 0; i < m; i++ {
+			if basis[i] >= ns {
+				for j := 0; j < ns; j++ {
+					if math.Abs(t[i][j]) > 1e-9 {
+						pivot(i, j)
+						break
+					}
+				}
+			}
+		}
+	}
+	phase2 := make([]float64, cols)
+	for j := 0; j < d; j++ {
+		phase2[j] = p.Objective[j]
+		phase2[d+j] = -p.Objective[j]
+	}
+	return run(phase2, ns)
+}

@@ -1,0 +1,205 @@
+// Package lptype defines the LP-type (generalized linear programming)
+// abstraction from §2.1 of Assadi–Karpov–Zhang (PODS 2019), and generic
+// solvers over it.
+//
+// An LP-type problem is a pair (S, f) where S is a finite constraint
+// set and f maps subsets of S to a totally ordered range, satisfying
+// monotonicity and locality. A basis B ⊆ S is an inclusion-minimal
+// subset with f(B) = f(S). The paper's meta-algorithm (Algorithm 1,
+// implemented in internal/core) needs only two geometric primitives,
+// which this package captures in the Domain interface:
+//
+//   - Solve: compute a basis (and its solution) for a subset of
+//     constraints — the paper's Tb primitive;
+//   - Violates: decide whether a constraint violates a basis, i.e.
+//     f(B ∪ {c}) > f(B) — the paper's Tv primitive.
+//
+// Concrete problems (internal/lp, internal/svm, internal/meb) implement
+// Domain for their own constraint and basis types; the meta-algorithm
+// and the three big-data model implementations are generic over it.
+package lptype
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+)
+
+// ErrInfeasible reports that the constraint subset given to Solve has
+// an empty feasible region. By monotonicity of f this certifies that
+// the full problem is infeasible as well.
+var ErrInfeasible = errors.New("lptype: infeasible constraint set")
+
+// ErrUnbounded reports that the objective is unbounded below on the
+// feasible region of the subset. Domains that install an implicit
+// bounding box (internal/lp does) never return it.
+var ErrUnbounded = errors.New("lptype: unbounded objective")
+
+// ErrCycling reports that an iterative solver exceeded its pivot budget
+// without converging, which indicates numerical cycling on degenerate
+// input.
+var ErrCycling = errors.New("lptype: solver failed to converge (degenerate input?)")
+
+// Domain provides the geometric primitives of a concrete LP-type
+// problem with constraint type C and basis type B.
+//
+// Implementations must guarantee, up to their numeric tolerance:
+//
+//   - Solve(T) returns a basis B of T: Violates(B, c) is false for all
+//     c ∈ T, and the constraints returned by Basis(B) are a subset of T
+//     of size at most CombinatorialDim() with f(Basis(B)) = f(T).
+//   - Solve(nil) succeeds and returns the basis of the empty set
+//     (f(∅), e.g. the bounding-box optimum for LP).
+//   - Violates(B, c) is exactly "f(B ∪ {c}) > f(B)" (property (P2) of
+//     the paper: the solution point of B fails to satisfy c).
+type Domain[C, B any] interface {
+	// Solve computes a basis of the given constraints.
+	Solve(constraints []C) (B, error)
+	// Basis returns the constraints forming b, |result| ≤ CombinatorialDim().
+	Basis(b B) []C
+	// Violates reports whether c violates b: f(B ∪ {c}) > f(B).
+	Violates(b B, c C) bool
+	// CombinatorialDim returns ν, the maximum basis cardinality.
+	CombinatorialDim() int
+	// VCDim returns λ, the VC dimension of the induced set system (§2.2).
+	VCDim() int
+}
+
+// Verify checks that b is consistent with being a basis of S: no
+// constraint of S violates b. (Together with locality this certifies
+// f(b) = f(S); see Lemma 3.1 of the paper.) It returns the index of the
+// first violating constraint, or -1.
+func Verify[C, B any](dom Domain[C, B], s []C, b B) int {
+	for i, c := range s {
+		if dom.Violates(b, c) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Violators returns the indices of all constraints in s that violate b
+// — the set V of Algorithm 1.
+func Violators[C, B any](dom Domain[C, B], s []C, b B) []int {
+	var out []int
+	for i, c := range s {
+		if dom.Violates(b, c) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// BruteForce solves (S, f) by enumerating constraint subsets of size at
+// most ν in increasing cardinality and returning the basis of the first
+// subset that no constraint of S violates. By monotonicity+locality
+// such a subset determines f(S). Exponential; for cross-checking the
+// real solvers on tiny instances only.
+func BruteForce[C, B any](dom Domain[C, B], s []C) (B, error) {
+	var zero B
+	nu := dom.CombinatorialDim()
+	n := len(s)
+	subset := make([]C, 0, nu)
+	var rec func(start, need int) (B, bool, error)
+	rec = func(start, need int) (B, bool, error) {
+		if need == 0 {
+			b, err := dom.Solve(subset)
+			if err != nil {
+				// An infeasible subset certifies global infeasibility;
+				// other errors (unbounded on a small subset) just mean
+				// this subset is not a basis.
+				if errors.Is(err, ErrInfeasible) {
+					return zero, false, err
+				}
+				return zero, false, nil
+			}
+			if Verify(dom, s, b) < 0 {
+				return b, true, nil
+			}
+			return zero, false, nil
+		}
+		for i := start; i <= n-need; i++ {
+			subset = append(subset, s[i])
+			b, ok, err := rec(i+1, need-1)
+			subset = subset[:len(subset)-1]
+			if err != nil || ok {
+				return b, ok, err
+			}
+		}
+		return zero, false, nil
+	}
+	for size := 0; size <= min(nu, n); size++ {
+		b, ok, err := rec(0, size)
+		if err != nil {
+			return zero, err
+		}
+		if ok {
+			return b, nil
+		}
+	}
+	return zero, fmt.Errorf("lptype: brute force found no basis of size ≤ %d (ν too small or inconsistent domain?)", nu)
+}
+
+// SolvePivot solves (S, f) by iterative basis improvement ("dual
+// simplex for LP-type problems"): start from the basis of a small
+// prefix, repeatedly find a violating constraint and re-solve on
+// basis ∪ {violator}. Each pivot strictly increases f, so the loop
+// terminates in exact arithmetic; a pivot budget guards against
+// numerical cycling. rng (optional) randomizes the violator scan order,
+// which empirically shortens pivot sequences.
+//
+// This is the generic fallback solver; dedicated solvers (Seidel for
+// LP, Welzl for MEB, active-set for SVM) are preferred and SolvePivot
+// serves as an ablation baseline and differential-testing oracle.
+func SolvePivot[C, B any](dom Domain[C, B], s []C, rng *rand.Rand) (B, error) {
+	var zero B
+	nu := dom.CombinatorialDim()
+	init := min(len(s), nu+1)
+	b, err := dom.Solve(s[:init])
+	if err != nil {
+		return zero, err
+	}
+	if len(s) <= init {
+		return b, nil
+	}
+	offset := 0
+	if rng != nil {
+		offset = rng.IntN(len(s))
+	}
+	// Pivot budget: generous polynomial headroom; real pivot counts are
+	// tiny (see the package tests).
+	budget := 64 * (nu + 1) * (nu + 1) * (bitsLen(len(s)) + 1)
+	for pivots := 0; ; pivots++ {
+		if pivots > budget {
+			return zero, ErrCycling
+		}
+		viol := -1
+		for k := 0; k < len(s); k++ {
+			i := (k + offset) % len(s)
+			if dom.Violates(b, s[i]) {
+				viol = i
+				break
+			}
+		}
+		if viol < 0 {
+			return b, nil
+		}
+		// Scan next time from where we found this violator: cheap
+		// move-to-front flavour.
+		offset = viol
+		cand := append(append([]C{}, dom.Basis(b)...), s[viol])
+		b, err = dom.Solve(cand)
+		if err != nil {
+			return zero, err
+		}
+	}
+}
+
+func bitsLen(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}

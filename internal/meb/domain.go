@@ -1,0 +1,120 @@
+package meb
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Basis is the LP-type basis for MEB: the minimum enclosing ball of the
+// solved subset plus its support points (the determining set, ≤ d+1
+// points on the boundary).
+type Basis struct {
+	B       Ball
+	Support []Point
+}
+
+// Domain adapts minimum enclosing ball to the lptype.Domain interface
+// (Proposition 4.3). Points are constraints; f(A) is the radius of the
+// smallest ball enclosing A (unique, so no tie-breaking is needed —
+// the paper makes the same observation for SVM and MEB).
+type Domain struct {
+	Dim int
+}
+
+// NewDomain returns a MEB domain for points in R^dim.
+func NewDomain(dim int) *Domain { return &Domain{Dim: dim} }
+
+// Solve computes the basis of the point subset (Tb). Solve(∅) is the
+// null ball, which every point violates.
+func (d *Domain) Solve(pts []Point) (Basis, error) {
+	b, err := Solve(pts)
+	if err != nil {
+		return Basis{}, err
+	}
+	return Basis{B: b, Support: supportOf(pts, b)}, nil
+}
+
+// Basis returns the support points of b.
+func (d *Domain) Basis(b Basis) []Point { return b.Support }
+
+// Violates reports whether p violates b: adding p would grow the ball,
+// which happens exactly when p is outside it (Tv).
+func (d *Domain) Violates(b Basis, p Point) bool { return !b.B.Contains(p) }
+
+// CombinatorialDim returns ν = d+1 (§4.3).
+func (d *Domain) CombinatorialDim() int { return d.Dim + 1 }
+
+// VCDim returns λ = d+1 (complements of balls in R^d, Wenocur–Dudley,
+// quoted in §4.3).
+func (d *Domain) VCDim() int { return d.Dim + 1 }
+
+// ErrShortBuffer reports a truncated encoding.
+var ErrShortBuffer = errors.New("meb: short buffer")
+
+// PointCodec serializes points of a fixed dimension (64·d bits each)
+// for communication accounting in the coordinator and MPC substrates.
+type PointCodec struct{ Dim int }
+
+// Append serializes p onto dst.
+func (c PointCodec) Append(dst []byte, p Point) []byte {
+	for _, v := range p {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// Decode parses one point from src.
+func (c PointCodec) Decode(src []byte) (Point, int, error) {
+	need := 8 * c.Dim
+	if len(src) < need {
+		return nil, 0, ErrShortBuffer
+	}
+	p := make(Point, c.Dim)
+	for i := range p {
+		p[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	return p, need, nil
+}
+
+// Bits returns the encoded size of a point in bits.
+func (c PointCodec) Bits(Point) int { return 64 * c.Dim }
+
+// BasisCodec serializes a basis as center + squared radius, the only
+// state a remote party needs for violation tests.
+type BasisCodec struct{ Dim int }
+
+// Append serializes b onto dst.
+func (c BasisCodec) Append(dst []byte, b Basis) []byte {
+	if b.B.IsEmpty() {
+		// Null ball: encode NaN center.
+		for i := 0; i <= c.Dim; i++ {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(math.NaN()))
+		}
+		return dst
+	}
+	for _, v := range b.B.Center {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.B.R2))
+}
+
+// Decode parses one basis from src (support points are not transmitted).
+func (c BasisCodec) Decode(src []byte) (Basis, int, error) {
+	need := 8 * (c.Dim + 1)
+	if len(src) < need {
+		return Basis{}, 0, ErrShortBuffer
+	}
+	ctr := make([]float64, c.Dim)
+	for i := range ctr {
+		ctr[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	r2 := math.Float64frombits(binary.LittleEndian.Uint64(src[8*c.Dim:]))
+	if math.IsNaN(r2) {
+		return Basis{B: EmptyBall}, need, nil
+	}
+	return Basis{B: Ball{Center: ctr, R2: r2}}, need, nil
+}
+
+// Bits returns the encoded size of a basis in bits.
+func (c BasisCodec) Bits(Basis) int { return 64 * (c.Dim + 1) }

@@ -1,0 +1,457 @@
+// Package mpc implements the massively-parallel-computation (MPC)
+// model and the MPC version of Algorithm 1 (Theorem 3 of
+// Assadi–Karpov–Zhang, PODS 2019).
+//
+// # Model
+//
+// k machines each hold O(n^δ) constraints (so k ≈ n^{1-δ}); computation
+// proceeds in synchronous rounds in which any machine may message any
+// other. Resources: rounds, and the load — the maximum number of bits
+// any machine sends or receives in any round. A designated machine
+// (machine 0) plays the coordinator, but — as §3.4 explains — it cannot
+// talk to all n^{1-δ} machines directly without blowing up its load, so
+// control traffic flows through an n^δ-ary tree over the machines (the
+// Goodrich–Sitchinava–Zhang simulation), taking O(1/δ) rounds per
+// broadcast or aggregation.
+//
+// # Protocol (one iteration of Algorithm 1)
+//
+//  1. broadcast the pending basis down the tree           — O(1/δ) rounds
+//  2. aggregate (w_i(S), w_i(V), violator count) up the
+//     tree, each node retaining its children's subtotals  — O(1/δ) rounds
+//  3. root decides success/termination; the multinomial
+//     sample allocation flows down the tree, split at each
+//     node by the retained subtree weights                — O(1/δ) rounds
+//  4. machines with a positive allocation sample locally
+//     (weights on the fly from the stored bases, §3.2)
+//     and send the items directly to the root             — 1 round
+//
+// With r = Θ(1/δ) iterations of O(1/δ) rounds each, the total is the
+// O(ν/δ²) rounds of Theorem 3, at load O~(λ·ν²·n^δ)·bit(S).
+package mpc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"lowdimlp/internal/comm"
+	"lowdimlp/internal/core"
+	"lowdimlp/internal/lptype"
+	"lowdimlp/internal/numeric"
+	"lowdimlp/internal/sampling"
+)
+
+// Options configure the MPC solver.
+type Options struct {
+	Core core.Options
+	// Delta is the load exponent δ ∈ (0, 1): machines hold Θ(n^δ)
+	// items. Zero means 0.5.
+	Delta float64
+	// Machines overrides the machine count (0 = derive from Delta).
+	Machines int
+}
+
+// Stats reports the resources of an MPC run — the quantities Theorem 3
+// bounds.
+type Stats struct {
+	N           int
+	Machines    int
+	Delta       float64
+	R           int
+	FanOut      int
+	Rounds      int
+	MaxLoadBits int64 // max bits sent or received by any machine in any round
+	TotalBits   int64
+	NetSize     int
+	Iterations  int
+	Successes   int
+	Failures    int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d machines=%d δ=%.2f rounds=%d load=%dbits iters=%d",
+		s.N, s.Machines, s.Delta, s.Rounds, s.MaxLoadBits, s.Iterations)
+}
+
+// ErrNoInput is returned for an empty input when the domain cannot
+// solve the empty set.
+var ErrNoInput = errors.New("mpc: empty input")
+
+// net simulates the synchronous all-to-all network with per-round
+// per-machine load accounting.
+type net struct {
+	k          int
+	sent, recv []int64
+	maxLoad    int64
+	totalBits  int64
+	rounds     int
+}
+
+func newNet(k int) *net {
+	return &net{k: k, sent: make([]int64, k), recv: make([]int64, k)}
+}
+
+// send charges one message of the given bits from machine a to b in
+// the current round.
+func (nw *net) send(from, to, bits int) {
+	nw.sent[from] += int64(bits)
+	nw.recv[to] += int64(bits)
+	nw.totalBits += int64(bits)
+}
+
+// nextRound closes the current round, folding its loads into maxLoad.
+func (nw *net) nextRound() {
+	nw.rounds++
+	for i := 0; i < nw.k; i++ {
+		if nw.sent[i] > nw.maxLoad {
+			nw.maxLoad = nw.sent[i]
+		}
+		if nw.recv[i] > nw.maxLoad {
+			nw.maxLoad = nw.recv[i]
+		}
+		nw.sent[i], nw.recv[i] = 0, 0
+	}
+}
+
+// machine is one MPC participant.
+type machine[C, B any] struct {
+	id    int
+	items []C
+	bases []B
+	rng   *rand.Rand
+	// childTot/childViol retain the per-child subtree weight reports of
+	// the latest aggregation (used to split the sample allocation).
+	childTot  []float64
+	childViol []float64
+	selfTot   float64
+	selfViol  float64
+	cnt       int // violator count, accumulated over the subtree
+}
+
+// subTot returns the subtree total weight (valid once all children of
+// the node have reported, i.e. after the deeper levels aggregated).
+func (m *machine[C, B]) subTot() float64 {
+	s := m.selfTot
+	for _, v := range m.childTot {
+		s += v
+	}
+	return s
+}
+
+// subViol returns the subtree violator weight.
+func (m *machine[C, B]) subViol() float64 {
+	s := m.selfViol
+	for _, v := range m.childViol {
+		s += v
+	}
+	return s
+}
+
+// subCnt returns the subtree violator count.
+func (m *machine[C, B]) subCnt() int { return m.cnt }
+
+// Solve runs the MPC version of Algorithm 1 (Theorem 3) on items.
+// The input is distributed round-robin across the machines.
+func Solve[C, B any](
+	dom lptype.Domain[C, B], items []C,
+	ccodec comm.Codec[C], bcodec comm.Codec[B],
+	opt Options,
+) (B, Stats, error) {
+	var zero B
+	n := len(items)
+	delta := opt.Delta
+	if delta <= 0 || delta >= 1 {
+		delta = 0.5
+	}
+	stats := Stats{N: n, Delta: delta}
+	if n == 0 {
+		b, err := dom.Solve(nil)
+		return b, stats, err
+	}
+
+	loadCap := int(math.Ceil(math.Pow(float64(n), delta)))
+	k := opt.Machines
+	if k <= 0 {
+		k = (n + loadCap - 1) / loadCap
+	}
+	if k < 1 {
+		k = 1
+	}
+	fan := loadCap
+	if fan < 2 {
+		fan = 2
+	}
+	stats.Machines = k
+	stats.FanOut = fan
+
+	nu := dom.CombinatorialDim()
+	lambda := dom.VCDim()
+	// The paper sets r = Θ(1/δ); allow Core.R to override.
+	r := opt.Core.R
+	if r <= 0 {
+		r = int(math.Ceil(1 / delta))
+	}
+	r = core.Options{R: r}.EffectiveR(n)
+	stats.R = r
+	mult := math.Pow(float64(n), 1/float64(r))
+	eps := 1 / (10 * float64(nu) * mult)
+	m := core.NetSize(eps, lambda, n, nu, opt.Core)
+	stats.NetSize = m
+
+	machines := make([]*machine[C, B], k)
+	for i := range machines {
+		machines[i] = &machine[C, B]{id: i, rng: numeric.NewRand(opt.Core.Seed^0x3bc, uint64(i)+1)}
+	}
+	for i, c := range items {
+		mm := machines[i%k]
+		mm.items = append(mm.items, c)
+	}
+	nw := newNet(k)
+
+	if m >= n {
+		// Tiny input: everyone ships to the root directly (the load cap
+		// is ≥ n^δ ≥ m ≥ n/k·k... fine for tiny n).
+		var all []C
+		for _, mm := range machines {
+			bits := 0
+			for _, c := range mm.items {
+				bits += ccodec.Bits(c)
+				all = append(all, c)
+			}
+			if mm.id != 0 && bits > 0 {
+				nw.send(mm.id, 0, bits)
+			}
+		}
+		nw.nextRound()
+		stats.fill(nw)
+		stats.NetSize = n
+		b, err := dom.Solve(all)
+		return b, stats, err
+	}
+
+	depth := treeDepth(k, fan)
+	maxIters := opt.Core.MaxIters
+	if maxIters <= 0 {
+		maxIters = 60*nu*r + 60
+	}
+
+	var pending *B
+	for iter := 0; iter < maxIters; iter++ {
+		stats.Iterations++
+		// ---- (1) broadcast pending basis down the tree. ----
+		if pending != nil {
+			bits := bcodec.Bits(*pending)
+			for lvl := 0; lvl < depth; lvl++ {
+				forEachAtLevel(k, fan, lvl, func(parent int) {
+					for _, ch := range children(parent, k, fan) {
+						nw.send(parent, ch, bits)
+					}
+				})
+				nw.nextRound()
+			}
+		}
+		// ---- (2) local scans + aggregation up the tree. ----
+		for _, mm := range machines {
+			var wTot, wViol numeric.Kahan
+			cnt := 0
+			for _, c := range mm.items {
+				w := math.Pow(mult, float64(weightExp(dom, mm.bases, c)))
+				wTot.Add(w)
+				if pending != nil && dom.Violates(*pending, c) {
+					wViol.Add(w)
+					cnt++
+				}
+			}
+			mm.selfTot, mm.selfViol = wTot.Sum(), wViol.Sum()
+			mm.childTot = mm.childTot[:0]
+			mm.childViol = mm.childViol[:0]
+			// Violator counts ride along with the weights; fold the
+			// count into selfViol's message (3 numbers total).
+			mm.cnt = cnt
+		}
+		// subtree accumulation, deepest level first.
+		for lvl := depth; lvl >= 1; lvl-- {
+			forEachAtLevel(k, fan, lvl, func(node int) {
+				mm := machines[node]
+				p := parent(node, fan)
+				pm := machines[p]
+				pm.childTot = append(pm.childTot, mm.subTot())
+				pm.childViol = append(pm.childViol, mm.subViol())
+				pm.cnt += mm.subCnt()
+				nw.send(node, p, 3*64)
+			})
+			nw.nextRound()
+		}
+		root := machines[0]
+		wS, wV, violators := root.subTot(), root.subViol(), root.subCnt()
+
+		success := false
+		if pending != nil {
+			if violators == 0 {
+				stats.fill(nw)
+				return *pending, stats, nil
+			}
+			success = wV <= eps*wS
+			if success {
+				stats.Successes++
+			} else {
+				stats.Failures++
+				if opt.Core.MonteCarlo {
+					stats.fill(nw)
+					return zero, stats, core.ErrRoundFailed
+				}
+			}
+		}
+
+		// ---- (3) allocation down the tree. ----
+		// Each node receives (flag, count); it splits the count among
+		// itself and its child subtrees by updated subtree weights.
+		alloc := make([]int, k)    // local sample counts
+		subAlloc := make([]int, k) // subtree sample counts
+		subAlloc[0] = m
+		for lvl := 0; lvl <= depth; lvl++ {
+			forEachAtLevel(k, fan, lvl, func(node int) {
+				mm := machines[node]
+				if success {
+					mm.bases = append(mm.bases, *pending)
+				}
+				cnt := subAlloc[node]
+				ch := children(node, k, fan)
+				// Split cnt over {self} ∪ children by updated weights.
+				ws := make([]float64, 1+len(ch))
+				ws[0] = upd(mm.selfTot, mm.selfViol, success, mult)
+				for j := range ch {
+					ws[1+j] = upd(mm.childTot[j], mm.childViol[j], success, mult)
+				}
+				if cnt > 0 && sumPos(ws) {
+					split := sampling.Multinomial(cnt, ws, mm.rng)
+					alloc[node] = split[0]
+					for j, c := range ch {
+						subAlloc[c] = split[1+j]
+					}
+				}
+				for _, c := range ch {
+					nw.send(node, c, 64+1) // count + flag
+				}
+			})
+			nw.nextRound()
+		}
+
+		// ---- (4) local sampling, items direct to root. ----
+		var netItems []C
+		for _, mm := range machines {
+			if alloc[mm.id] == 0 {
+				continue
+			}
+			w := make([]float64, len(mm.items))
+			for j, c := range mm.items {
+				w[j] = math.Pow(mult, float64(weightExp(dom, mm.bases, c)))
+			}
+			al := sampling.NewAlias(w)
+			bits := 0
+			for t := 0; t < alloc[mm.id]; t++ {
+				c := mm.items[al.Draw(mm.rng)]
+				netItems = append(netItems, c)
+				bits += ccodec.Bits(c)
+			}
+			if mm.id != 0 {
+				nw.send(mm.id, 0, bits)
+			}
+		}
+		nw.nextRound()
+
+		basis, err := dom.Solve(netItems)
+		if err != nil {
+			stats.fill(nw)
+			return zero, stats, err
+		}
+		pending = &basis
+	}
+	stats.fill(nw)
+	return zero, stats, core.ErrIterationBudget
+}
+
+func (s *Stats) fill(nw *net) {
+	s.Rounds = nw.rounds
+	s.MaxLoadBits = nw.maxLoad
+	s.TotalBits = nw.totalBits
+}
+
+// upd is the post-success-bump subtree weight.
+func upd(tot, viol float64, success bool, mult float64) float64 {
+	if success {
+		return tot + (mult-1)*viol
+	}
+	return tot
+}
+
+func sumPos(ws []float64) bool {
+	var s float64
+	for _, w := range ws {
+		s += w
+	}
+	return s > 0
+}
+
+// weightExp is the on-the-fly weight exponent (§3.2).
+func weightExp[C, B any](dom lptype.Domain[C, B], bases []B, c C) int {
+	a := 0
+	for i := range bases {
+		if dom.Violates(bases[i], c) {
+			a++
+		}
+	}
+	return a
+}
+
+// --- f-ary tree topology over machine ids 0..k-1 ---------------------
+
+func parent(i, fan int) int { return (i - 1) / fan }
+
+func children(i, k, fan int) []int {
+	lo := fan*i + 1
+	if lo >= k {
+		return nil
+	}
+	hi := min(lo+fan, k)
+	out := make([]int, 0, hi-lo)
+	for c := lo; c < hi; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// level returns the depth of node i in the f-ary heap layout.
+func level(i, fan int) int {
+	l := 0
+	for i > 0 {
+		i = parent(i, fan)
+		l++
+	}
+	return l
+}
+
+// treeDepth returns the maximum level over 0..k-1.
+func treeDepth(k, fan int) int {
+	return level(k-1, fan)
+}
+
+// forEachAtLevel applies fn to every node at the given level.
+func forEachAtLevel(k, fan, lvl int, fn func(node int)) {
+	// Level boundaries in heap layout: level l spans
+	// [(f^l - 1)/(f-1), (f^{l+1} - 1)/(f-1)).
+	lo, width := 0, 1
+	for l := 0; l < lvl; l++ {
+		lo += width
+		width *= fan
+	}
+	hi := lo + width
+	if hi > k {
+		hi = k
+	}
+	for i := lo; i < hi; i++ {
+		fn(i)
+	}
+}

@@ -1,0 +1,201 @@
+// Package sampling provides the weighted-sampling substrates used by
+// the model implementations of Algorithm 1:
+//
+//   - Reservoir: single-pass weighted sampling with replacement
+//     (Chao-style independent reservoirs), used by the streaming
+//     implementation where weights are recomputed on the fly;
+//   - Alias: Walker/Vose alias tables for O(1) repeated draws from a
+//     fixed weighted distribution, used when a site samples its local
+//     constraints;
+//   - Multinomial: splitting m draws across k buckets proportionally to
+//     bucket weights, used by the coordinator protocol of Lemma 3.7 and
+//     the MPC weight-tree sampling.
+package sampling
+
+import (
+	"math"
+	"math/rand/v2"
+)
+
+// Reservoir maintains m independent weighted-reservoir slots over a
+// stream of (item, weight) offers: after the stream ends, each slot
+// holds an independent sample with probability proportional to weight —
+// exactly the "sample m sets i.i.d. by weight" step of Algorithm 1,
+// realized in one pass (the paper points to Chao's unequal-probability
+// sampling; per-slot replacement is the with-replacement variant the
+// ε-net lemma wants).
+//
+// Each slot i independently replaces its occupant by the incoming item
+// with probability w/W_i where W_i is the total weight offered so far.
+type Reservoir[T any] struct {
+	slots []T
+	total float64
+	rng   *rand.Rand
+}
+
+// NewReservoir returns a reservoir with m slots driven by rng.
+func NewReservoir[T any](m int, rng *rand.Rand) *Reservoir[T] {
+	return &Reservoir[T]{slots: make([]T, m), rng: rng}
+}
+
+// Offer presents one item with the given weight (must be ≥ 0).
+//
+// Each slot independently takes the item with probability w/W (W =
+// total weight so far). Rather than flipping m coins per offer —
+// O(n·m) per pass — Offer walks the slots with geometric skips, which
+// costs O(1 + m·w/W) per offer and Θ(m·log n) per pass in total.
+func (r *Reservoir[T]) Offer(item T, w float64) {
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic("sampling: weight must be finite and nonnegative")
+	}
+	if w == 0 {
+		return
+	}
+	r.total += w
+	p := w / r.total
+	if p >= 1 {
+		for i := range r.slots {
+			r.slots[i] = item
+		}
+		return
+	}
+	// Geometric skipping: the index of the next replaced slot advances
+	// by 1 + Geom(p) each step.
+	log1p := math.Log1p(-p)
+	i := 0
+	for {
+		u := r.rng.Float64()
+		if u == 0 {
+			u = 0.5
+		}
+		i += int(math.Log(u) / log1p)
+		if i >= len(r.slots) {
+			return
+		}
+		r.slots[i] = item
+		i++
+	}
+}
+
+// Total returns the total weight offered so far.
+func (r *Reservoir[T]) Total() float64 { return r.total }
+
+// Sample returns the m sampled items. It must be called only after at
+// least one positive-weight offer; ok is false otherwise.
+func (r *Reservoir[T]) Sample() (items []T, ok bool) {
+	if r.total <= 0 {
+		return nil, false
+	}
+	return r.slots, true
+}
+
+// Reset clears the reservoir for a new pass, keeping the slot count.
+func (r *Reservoir[T]) Reset() {
+	r.total = 0
+	var zero T
+	for i := range r.slots {
+		r.slots[i] = zero
+	}
+}
+
+// Alias is a Walker/Vose alias table: O(n) construction, O(1) per draw
+// from a fixed discrete distribution.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table for the (unnormalized, nonnegative)
+// weights. At least one weight must be positive.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	var total float64
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic("sampling: weight must be finite and nonnegative")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("sampling: all weights are zero")
+	}
+	a := &Alias{prob: make([]float64, n), alias: make([]int, n)}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w / total * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+	}
+	return a
+}
+
+// Draw returns an index sampled proportionally to the weights.
+func (a *Alias) Draw(rng *rand.Rand) int {
+	i := rng.IntN(len(a.prob))
+	if rng.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// Multinomial splits m i.i.d. weighted draws across k buckets: the
+// result counts[i] is the number of draws that landed in bucket i,
+// sampled from the multinomial distribution with probabilities
+// weights/Σweights. This is the coordinator's round-2 allocation in
+// Lemma 3.7 (the coordinator draws x_1..x_m ~ sites and sends y_i =
+// #{j : x_j = i} to site i).
+func Multinomial(m int, weights []float64, rng *rand.Rand) []int {
+	counts := make([]int, len(weights))
+	if m == 0 {
+		return counts
+	}
+	a := NewAlias(weights)
+	for j := 0; j < m; j++ {
+		counts[a.Draw(rng)]++
+	}
+	return counts
+}
+
+// WeightedIndex draws one index proportionally to weights, without
+// building an alias table (O(n) per draw). Suitable for one-off draws.
+func WeightedIndex(weights []float64, rng *rand.Rand) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic("sampling: all weights are zero")
+	}
+	t := rng.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if t < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,189 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"lowdimlp/internal/numeric"
+)
+
+func TestReservoirUniform(t *testing.T) {
+	// With equal weights each slot must be ≈ uniform over the items.
+	const n, m, trials = 10, 1, 20000
+	counts := make([]int, n)
+	rng := numeric.NewRand(1, 1)
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir[int](m, rng)
+		for i := 0; i < n; i++ {
+			r.Offer(i, 1)
+		}
+		s, ok := r.Sample()
+		if !ok {
+			t.Fatal("sample must exist")
+		}
+		counts[s[0]]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("item %d drawn %d times, want ≈ %.0f", i, c, want)
+		}
+	}
+}
+
+func TestReservoirWeighted(t *testing.T) {
+	// Item 1 has weight 3; it must be drawn ≈ 3/4 of the time.
+	const trials = 20000
+	rng := numeric.NewRand(2, 2)
+	hits := 0
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir[int](1, rng)
+		r.Offer(0, 1)
+		r.Offer(1, 3)
+		s, _ := r.Sample()
+		if s[0] == 1 {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.75) > 0.02 {
+		t.Errorf("P(item 1) = %v, want ≈ 0.75", p)
+	}
+}
+
+func TestReservoirSlotsIndependent(t *testing.T) {
+	// Two slots must not always agree (they are independent samples).
+	rng := numeric.NewRand(3, 3)
+	agree := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir[int](2, rng)
+		for i := 0; i < 4; i++ {
+			r.Offer(i, 1)
+		}
+		s, _ := r.Sample()
+		if s[0] == s[1] {
+			agree++
+		}
+	}
+	// Independent uniform over 4: agreement probability 1/4.
+	p := float64(agree) / trials
+	if math.Abs(p-0.25) > 0.05 {
+		t.Errorf("P(agree) = %v, want ≈ 0.25", p)
+	}
+}
+
+func TestReservoirZeroAndReset(t *testing.T) {
+	rng := numeric.NewRand(4, 4)
+	r := NewReservoir[string](2, rng)
+	if _, ok := r.Sample(); ok {
+		t.Error("empty reservoir must not produce a sample")
+	}
+	r.Offer("skip", 0) // zero weight: ignored
+	if _, ok := r.Sample(); ok {
+		t.Error("zero-weight offers must not count")
+	}
+	r.Offer("a", 1)
+	if s, ok := r.Sample(); !ok || s[0] != "a" {
+		t.Error("single offer must fill every slot")
+	}
+	if r.Total() != 1 {
+		t.Errorf("Total = %v", r.Total())
+	}
+	r.Reset()
+	if _, ok := r.Sample(); ok || r.Total() != 0 {
+		t.Error("Reset must clear state")
+	}
+}
+
+func TestReservoirPanicsOnBadWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative weight")
+		}
+	}()
+	r := NewReservoir[int](1, numeric.NewRand(5, 5))
+	r.Offer(1, -1)
+}
+
+func TestAliasDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := NewAlias(weights)
+	rng := numeric.NewRand(6, 6)
+	const trials = 100000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[a.Draw(rng)]++
+	}
+	for i, w := range weights {
+		want := w / 10 * trials
+		if math.Abs(float64(counts[i])-want) > 5*math.Sqrt(want) {
+			t.Errorf("index %d drawn %d times, want ≈ %.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasSingleAndDegenerate(t *testing.T) {
+	a := NewAlias([]float64{5})
+	rng := numeric.NewRand(7, 7)
+	for i := 0; i < 10; i++ {
+		if a.Draw(rng) != 0 {
+			t.Fatal("single-weight alias must always draw 0")
+		}
+	}
+	// Zero weights mixed in: index 1 never drawn.
+	a = NewAlias([]float64{1, 0, 1})
+	for i := 0; i < 1000; i++ {
+		if a.Draw(rng) == 1 {
+			t.Fatal("zero-weight index drawn")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on all-zero weights")
+		}
+	}()
+	NewAlias([]float64{0, 0})
+}
+
+func TestMultinomial(t *testing.T) {
+	rng := numeric.NewRand(8, 8)
+	weights := []float64{1, 1, 2}
+	const m = 40000
+	counts := Multinomial(m, weights, rng)
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != m {
+		t.Fatalf("counts sum to %d, want %d", sum, m)
+	}
+	wants := []float64{m / 4.0, m / 4.0, m / 2.0}
+	for i := range wants {
+		if math.Abs(float64(counts[i])-wants[i]) > 5*math.Sqrt(wants[i]) {
+			t.Errorf("bucket %d: %d draws, want ≈ %.0f", i, counts[i], wants[i])
+		}
+	}
+	empty := Multinomial(0, weights, rng)
+	for _, c := range empty {
+		if c != 0 {
+			t.Error("m=0 must produce all-zero counts")
+		}
+	}
+}
+
+func TestWeightedIndex(t *testing.T) {
+	rng := numeric.NewRand(9, 9)
+	weights := []float64{0, 3, 1}
+	counts := make([]int, 3)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		counts[WeightedIndex(weights, rng)]++
+	}
+	if counts[0] != 0 {
+		t.Error("zero-weight index drawn")
+	}
+	if math.Abs(float64(counts[1])-0.75*trials) > 5*math.Sqrt(0.75*trials) {
+		t.Errorf("index 1 drawn %d times", counts[1])
+	}
+}

@@ -1,0 +1,376 @@
+// Package stream implements the multi-pass streaming model and the
+// streaming version of Algorithm 1 (Theorem 1 of Assadi–Karpov–Zhang,
+// PODS 2019).
+//
+// # Model
+//
+// A single machine makes linear scans over the constraint sequence.
+// Resources: the number of passes and the peak working memory. The
+// substrate counts both (memory in bits, via caller-supplied per-item
+// encodings) so experiments can reproduce the paper's
+// O(d·r) passes / O~(d³·n^{1/r}) space claims.
+//
+// # Weights on the fly (§3.2)
+//
+// The streaming algorithm cannot store per-constraint weights. As in
+// the paper, it stores the bases of all successful iterations; the
+// weight of constraint c is then (n^{1/r})^{a(c)} with a(c) = number of
+// stored bases that c violates, recomputed on the fly during each scan.
+// Sampling by weight in one pass uses per-slot weighted reservoirs
+// (internal/sampling).
+//
+// # One pass per iteration
+//
+// A naive implementation spends two passes per iteration (one to
+// sample the net, one to test violators of the new basis). Following
+// the paper's "one pass per iteration" accounting, the default mode
+// fuses them: during a single pass the algorithm simultaneously (a)
+// tests violators of the pending basis B_t under the current weights
+// and (b) maintains two reservoirs — one assuming the iteration will
+// succeed (violators' weights pre-multiplied by n^{1/r}) and one
+// assuming it will fail. At the end of the pass the success predicate
+// picks which reservoir becomes the next net. Both modes are provided
+// (Options.Unfused) and benchmarked as an ablation.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"lowdimlp/internal/core"
+	"lowdimlp/internal/lptype"
+	"lowdimlp/internal/numeric"
+	"lowdimlp/internal/sampling"
+)
+
+// Stream is a re-scannable sequence of constraints — the streaming
+// model's input. Implementations need not materialize the items.
+type Stream[C any] interface {
+	// Reset rewinds to the beginning (starts a new pass).
+	Reset()
+	// Next returns the next item, or ok=false at the end of the pass.
+	Next() (item C, ok bool)
+}
+
+// SliceStream adapts an in-memory slice.
+type SliceStream[C any] struct {
+	Items []C
+	pos   int
+}
+
+// NewSliceStream returns a stream over items.
+func NewSliceStream[C any](items []C) *SliceStream[C] { return &SliceStream[C]{Items: items} }
+
+// Reset rewinds the stream.
+func (s *SliceStream[C]) Reset() { s.pos = 0 }
+
+// Next returns the next item.
+func (s *SliceStream[C]) Next() (C, bool) {
+	var zero C
+	if s.pos >= len(s.Items) {
+		return zero, false
+	}
+	it := s.Items[s.pos]
+	s.pos++
+	return it, true
+}
+
+// FuncStream generates items on demand from an index function: the
+// stream never materializes its n items, so experiments can exercise
+// inputs far larger than memory — the regime the streaming model is
+// about.
+type FuncStream[C any] struct {
+	N   int
+	Gen func(i int) C
+	pos int
+}
+
+// NewFuncStream returns a stream of n generated items.
+func NewFuncStream[C any](n int, gen func(i int) C) *FuncStream[C] {
+	return &FuncStream[C]{N: n, Gen: gen}
+}
+
+// Reset rewinds the stream.
+func (s *FuncStream[C]) Reset() { s.pos = 0 }
+
+// Next returns the next item.
+func (s *FuncStream[C]) Next() (C, bool) {
+	var zero C
+	if s.pos >= s.N {
+		return zero, false
+	}
+	it := s.Gen(s.pos)
+	s.pos++
+	return it, true
+}
+
+// Options configure the streaming solver.
+type Options struct {
+	Core core.Options // R, Seed, NetConst, TheoryNet, MonteCarlo
+	// Unfused uses two passes per iteration (sample pass + violation
+	// pass) instead of the fused single pass. Ablation knob.
+	Unfused bool
+	// BitsPerItem and BitsPerBasis drive the space accounting (e.g.
+	// from the lp codecs). Zero disables bit accounting.
+	BitsPerItem  int
+	BitsPerBasis int
+}
+
+// Stats reports the resources used by a streaming run: the quantities
+// Theorem 1 bounds.
+type Stats struct {
+	N             int
+	R             int
+	Passes        int
+	ItemsScanned  int64
+	NetSize       int
+	StoredBases   int
+	PeakSpaceBits int64 // 0 unless bit accounting enabled
+	Iterations    int
+	Successes     int
+	Failures      int
+	DirectSolve   bool
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("n=%d r=%d passes=%d m=%d bases=%d space=%dbits iters=%d",
+		s.N, s.R, s.Passes, s.NetSize, s.StoredBases, s.PeakSpaceBits, s.Iterations)
+}
+
+// ErrEmptyStream is returned when the stream has no items and the
+// domain cannot solve the empty set.
+var ErrEmptyStream = errors.New("stream: empty stream")
+
+// Solve runs the streaming version of Algorithm 1 (Theorem 1) over the
+// stream. n is the number of items; pass n ≤ 0 to have Solve count
+// them with one extra pass.
+func Solve[C, B any](dom lptype.Domain[C, B], st Stream[C], n int, opt Options) (B, Stats, error) {
+	var zero B
+	stats := Stats{}
+	if n <= 0 {
+		n = 0
+		st.Reset()
+		for {
+			if _, ok := st.Next(); !ok {
+				break
+			}
+			n++
+		}
+		stats.Passes++
+		stats.ItemsScanned += int64(n)
+	}
+	stats.N = n
+	if n == 0 {
+		b, err := dom.Solve(nil)
+		return b, stats, err
+	}
+
+	nu := dom.CombinatorialDim()
+	lambda := dom.VCDim()
+	r := opt.Core.EffectiveR(n)
+	stats.R = r
+	mult := math.Pow(float64(n), 1/float64(r))
+	eps := 1 / (10 * float64(nu) * mult)
+	m := core.NetSize(eps, lambda, n, nu, opt.Core)
+	stats.NetSize = m
+
+	if m >= n {
+		// Net would contain everything: one pass, solve directly.
+		buf := make([]C, 0, n)
+		st.Reset()
+		for {
+			c, ok := st.Next()
+			if !ok {
+				break
+			}
+			buf = append(buf, c)
+		}
+		stats.Passes++
+		stats.ItemsScanned += int64(len(buf))
+		stats.DirectSolve = true
+		stats.NetSize = n
+		stats.trackSpace(opt, n, 0)
+		b, err := dom.Solve(buf)
+		return b, stats, err
+	}
+
+	rng := numeric.NewRand(opt.Core.Seed, 0x57124)
+	var bases []B // bases of successful iterations — the weight oracle
+
+	// weightExp computes a(c): the number of stored bases c violates.
+	weightExp := func(c C) int {
+		a := 0
+		for i := range bases {
+			if dom.Violates(bases[i], c) {
+				a++
+			}
+		}
+		return a
+	}
+
+	maxIters := opt.Core.MaxIters
+	if maxIters <= 0 {
+		maxIters = 60*nu*r + 60
+	}
+
+	if opt.Unfused {
+		b, err := solveUnfused(dom, st, n, m, eps, mult, maxIters, rng, &bases, weightExp, &stats, opt)
+		return b, stats, err
+	}
+
+	// Fused mode. Pass 0: uniform-weight sample (no bases stored yet).
+	res := sampling.NewReservoir[C](m, rng)
+	st.Reset()
+	for {
+		c, ok := st.Next()
+		if !ok {
+			break
+		}
+		stats.ItemsScanned++
+		res.Offer(c, 1)
+	}
+	stats.Passes++
+	netItems, ok := res.Sample()
+	if !ok {
+		return zero, stats, ErrEmptyStream
+	}
+	pending, err := dom.Solve(netItems)
+	if err != nil {
+		return zero, stats, err
+	}
+	stats.Iterations++
+
+	for iter := 1; iter <= maxIters; iter++ {
+		// One pass: violation test for `pending` + dual reservoirs for
+		// the next net.
+		resFail := sampling.NewReservoir[C](m, rng)
+		resSucc := sampling.NewReservoir[C](m, rng)
+		var wTotal, wViol numeric.Kahan
+		violCount := 0
+		st.Reset()
+		for {
+			c, ok := st.Next()
+			if !ok {
+				break
+			}
+			stats.ItemsScanned++
+			w := math.Pow(mult, float64(weightExp(c)))
+			wTotal.Add(w)
+			if dom.Violates(pending, c) {
+				wViol.Add(w)
+				violCount++
+				resFail.Offer(c, w)
+				resSucc.Offer(c, w*mult)
+			} else {
+				resFail.Offer(c, w)
+				resSucc.Offer(c, w)
+			}
+		}
+		stats.Passes++
+		stats.trackSpace(opt, 2*m, len(bases))
+		if violCount == 0 {
+			return pending, stats, nil
+		}
+		success := wViol.Sum() <= eps*wTotal.Sum()
+		var nextNet []C
+		if success {
+			stats.Successes++
+			bases = append(bases, pending)
+			stats.StoredBases = len(bases)
+			nextNet, _ = resSucc.Sample()
+		} else {
+			stats.Failures++
+			if opt.Core.MonteCarlo {
+				return zero, stats, core.ErrRoundFailed
+			}
+			nextNet, _ = resFail.Sample()
+		}
+		pending, err = dom.Solve(nextNet)
+		if err != nil {
+			return zero, stats, err
+		}
+		stats.Iterations++
+	}
+	return zero, stats, core.ErrIterationBudget
+}
+
+// solveUnfused is the two-passes-per-iteration variant: a sampling pass
+// under the current weights, then a violation pass for the new basis.
+func solveUnfused[C, B any](
+	dom lptype.Domain[C, B], st Stream[C], n, m int, eps, mult float64,
+	maxIters int, rng *numericRand, bases *[]B, weightExp func(C) int,
+	stats *Stats, opt Options,
+) (B, error) {
+	var zero B
+	for iter := 0; iter < maxIters; iter++ {
+		// Pass A: weighted sample.
+		res := sampling.NewReservoir[C](m, rng)
+		st.Reset()
+		for {
+			c, ok := st.Next()
+			if !ok {
+				break
+			}
+			stats.ItemsScanned++
+			res.Offer(c, math.Pow(mult, float64(weightExp(c))))
+		}
+		stats.Passes++
+		netItems, ok := res.Sample()
+		if !ok {
+			return zero, ErrEmptyStream
+		}
+		basis, err := dom.Solve(netItems)
+		if err != nil {
+			return zero, err
+		}
+		stats.Iterations++
+		// Pass B: violation test.
+		var wTotal, wViol numeric.Kahan
+		violCount := 0
+		st.Reset()
+		for {
+			c, ok := st.Next()
+			if !ok {
+				break
+			}
+			stats.ItemsScanned++
+			w := math.Pow(mult, float64(weightExp(c)))
+			wTotal.Add(w)
+			if dom.Violates(basis, c) {
+				wViol.Add(w)
+				violCount++
+			}
+		}
+		stats.Passes++
+		stats.trackSpace(opt, m, len(*bases))
+		if violCount == 0 {
+			return basis, nil
+		}
+		if wViol.Sum() <= eps*wTotal.Sum() {
+			stats.Successes++
+			*bases = append(*bases, basis)
+			stats.StoredBases = len(*bases)
+		} else {
+			stats.Failures++
+			if opt.Core.MonteCarlo {
+				return zero, core.ErrRoundFailed
+			}
+		}
+	}
+	return zero, core.ErrIterationBudget
+}
+
+// numericRand aliases the PRNG type so the helper signature stays tidy.
+type numericRand = rand.Rand
+
+func (s *Stats) trackSpace(opt Options, liveItems, storedBases int) {
+	if opt.BitsPerItem == 0 && opt.BitsPerBasis == 0 {
+		return
+	}
+	bits := int64(liveItems)*int64(opt.BitsPerItem) + int64(storedBases)*int64(opt.BitsPerBasis)
+	if bits > s.PeakSpaceBits {
+		s.PeakSpaceBits = bits
+	}
+}

@@ -1,0 +1,121 @@
+package svm
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Basis is the LP-type basis for hard-margin SVM: the optimal normal
+// vector of the solved subset plus the support vectors (tight
+// constraints — the determining set).
+type Basis struct {
+	Sol     Solution
+	Support []Example
+}
+
+// Domain adapts the hard-margin SVM to the lptype.Domain interface
+// (Proposition 4.2). Examples are constraints; f(A) = ‖u*(A)‖².
+type Domain struct {
+	Dim int
+}
+
+// NewDomain returns an SVM domain for examples in R^dim.
+func NewDomain(dim int) *Domain { return &Domain{Dim: dim} }
+
+// Solve computes the basis of the example subset (Tb).
+func (d *Domain) Solve(examples []Example) (Basis, error) {
+	sol, err := Solve(d.Dim, examples)
+	if err != nil {
+		return Basis{}, err
+	}
+	return Basis{Sol: sol, Support: supportOf(examples, sol.U)}, nil
+}
+
+// Basis returns the support vectors of b.
+func (d *Domain) Basis(b Basis) []Example { return b.Support }
+
+// Violates reports whether e violates b: adding e would grow ‖u‖²,
+// which happens exactly when b's hyperplane misses the unit functional
+// margin on e (Tv).
+func (d *Domain) Violates(b Basis, e Example) bool { return !e.Satisfied(b.Sol.U) }
+
+// CombinatorialDim returns ν = d+1 (§4.2).
+func (d *Domain) CombinatorialDim() int { return d.Dim + 1 }
+
+// VCDim returns λ = d+1 (halfspaces, quoted in §4.2).
+func (d *Domain) VCDim() int { return d.Dim + 1 }
+
+// supportOf returns the examples tight at u (margin ≈ 1), capped at
+// d+1 entries.
+func supportOf(examples []Example, u []float64) []Example {
+	var out []Example
+	for _, e := range examples {
+		if math.Abs(e.Margin(u)) <= 256*marginTol(e, u) {
+			out = append(out, e)
+		}
+	}
+	if len(out) > len(u)+1 {
+		out = out[:len(u)+1]
+	}
+	return out
+}
+
+// ErrShortBuffer reports a truncated encoding.
+var ErrShortBuffer = errors.New("svm: short buffer")
+
+// ExampleCodec serializes labeled examples (64·(d+1) bits each).
+type ExampleCodec struct{ Dim int }
+
+// Append serializes e onto dst.
+func (c ExampleCodec) Append(dst []byte, e Example) []byte {
+	for _, v := range e.X {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Y))
+}
+
+// Decode parses one example from src.
+func (c ExampleCodec) Decode(src []byte) (Example, int, error) {
+	need := 8 * (c.Dim + 1)
+	if len(src) < need {
+		return Example{}, 0, ErrShortBuffer
+	}
+	x := make([]float64, c.Dim)
+	for i := range x {
+		x[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	y := math.Float64frombits(binary.LittleEndian.Uint64(src[8*c.Dim:]))
+	return Example{X: x, Y: y}, need, nil
+}
+
+// Bits returns the encoded size of an example in bits.
+func (c ExampleCodec) Bits(Example) int { return 64 * (c.Dim + 1) }
+
+// BasisCodec serializes a basis as the normal vector u plus ‖u‖².
+type BasisCodec struct{ Dim int }
+
+// Append serializes b onto dst.
+func (c BasisCodec) Append(dst []byte, b Basis) []byte {
+	for _, v := range b.Sol.U {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(b.Sol.Norm2))
+}
+
+// Decode parses one basis from src (support vectors not transmitted).
+func (c BasisCodec) Decode(src []byte) (Basis, int, error) {
+	need := 8 * (c.Dim + 1)
+	if len(src) < need {
+		return Basis{}, 0, ErrShortBuffer
+	}
+	u := make([]float64, c.Dim)
+	for i := range u {
+		u[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[8*i:]))
+	}
+	n2 := math.Float64frombits(binary.LittleEndian.Uint64(src[8*c.Dim:]))
+	return Basis{Sol: Solution{U: u, Norm2: n2}}, need, nil
+}
+
+// Bits returns the encoded size of a basis in bits.
+func (c BasisCodec) Bits(Basis) int { return 64 * (c.Dim + 1) }

@@ -1,0 +1,46 @@
+package tci
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzValidateAnswer feeds arbitrary integer curve data through
+// Validate/Answer/AnswerBinarySearch: on inputs that validate, the two
+// answer paths must agree; on anything else the functions must return
+// errors rather than panic or disagree.
+func FuzzValidateAnswer(f *testing.F) {
+	f.Add([]byte{0, 1, 3, 6, 10}, []byte{9, 7, 6, 5, 4})
+	f.Add([]byte{0, 0}, []byte{0, 0})
+	f.Add([]byte{1}, []byte{2})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		n := min(len(rawA), len(rawB))
+		if n > 64 {
+			n = 64
+		}
+		ins := &Instance{A: make([]*big.Rat, n), B: make([]*big.Rat, n)}
+		for i := 0; i < n; i++ {
+			ins.A[i] = big.NewRat(int64(rawA[i]), 1)
+			ins.B[i] = big.NewRat(int64(rawB[i]), 1)
+		}
+		if err := ins.Validate(); err != nil {
+			return
+		}
+		ans, err := ins.Answer()
+		if err != nil {
+			t.Fatalf("valid instance but Answer failed: %v", err)
+		}
+		bin, err := ins.AnswerBinarySearch()
+		if err != nil || bin != ans {
+			t.Fatalf("binary search %d (%v) vs scan %d", bin, err, ans)
+		}
+		if ans < 1 || ans >= n {
+			t.Fatalf("answer %d out of range [1, %d)", ans, n)
+		}
+		// The reduction must agree too (valid inputs only).
+		got, err := ins.SolveViaLP(nil)
+		if err != nil || got != ans {
+			t.Fatalf("LP reduction %d (%v) vs %d", got, err, ans)
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package tci
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand/v2"
+)
+
+// BaseInstance builds the one-round hard instance of Lemma 5.6 from an
+// Augmented-Indexing input: Alice's curve encodes the bit string x as a
+// step curve, Bob's curve is a shallow line anchored just above
+// Alice's curve at index istar (1-based, 1 ≤ istar ≤ len(bits)). The
+// construction realizes the lemma's key property
+//
+//	Answer() == istar       ⟺  bits[istar-1] == 1
+//	Answer() == istar + 1   ⟺  bits[istar-1] == 0
+//
+// so a TCI solver decides the indexed bit. Alice's curve depends only
+// on x; Bob's curve depends only on (istar, x_1..x_{istar-1}) — exactly
+// the knowledge split of Aug-Index. The instance has n = len(bits)+2
+// points.
+//
+// (The paper's Lemma 5.6 uses StepCurve/LineSegment with slightly
+// different anchor constants; we keep its structure and knowledge
+// split but fix the anchor so the bit↔answer equivalence holds exactly
+// under our indexing. See the package tests, which verify the
+// equivalence exhaustively.)
+func BaseInstance(bits []byte, istar int) (*Instance, error) {
+	l := len(bits)
+	if l < 1 || istar < 1 || istar > l {
+		return nil, fmt.Errorf("tci: BaseInstance needs 1 ≤ istar ≤ len(bits), got %d, %d", istar, l)
+	}
+	n := l + 2
+	// Alice: a_1 = 0; a_{j} = a_{j-1} + (j-1) + x_{j-1} for 2 ≤ j ≤ l+1;
+	// a_n = a_{n-1} + n (a final oversized step keeps convexity and
+	// guarantees the crossing strictly before the last point).
+	a := make([]*big.Rat, n)
+	a[0] = new(big.Rat)
+	for j := 1; j <= l; j++ {
+		step := big.NewRat(int64(j)+int64(bits[j-1]), 1)
+		a[j] = new(big.Rat).Add(a[j-1], step)
+	}
+	a[n-1] = new(big.Rat).Add(a[n-2], big.NewRat(int64(n), 1))
+
+	// Bob: the line of slope −1/2 through (istar, a_{istar} + istar + 1).
+	// Then d_{istar} = −(istar+1) < 0 and
+	// d_{istar+1} = x_{istar} − 1/2, which is positive iff the bit is 1.
+	anchor := new(big.Rat).Add(a[istar-1], big.NewRat(int64(istar)+1, 1))
+	b := make([]*big.Rat, n)
+	for j := 1; j <= n; j++ {
+		// b_j = anchor + (istar − j)/2.
+		v := big.NewRat(int64(istar)-int64(j), 2)
+		b[j-1] = v.Add(v, anchor)
+	}
+	return &Instance{A: a, B: b}, nil
+}
+
+// HardOptions configure the recursive hard-instance generator.
+type HardOptions struct {
+	// N is the branching factor (= n^{1/r}); the instance has N^R
+	// points. N ≥ 3.
+	N int
+	// R is the recursion depth (the round parameter of D_r). R ≥ 1.
+	R int
+	// Rng drives the random bits, the base index, and the special
+	// block choice z* at each level.
+	Rng *rand.Rand
+}
+
+// Hard samples an instance from our realization of the hard
+// distribution D_r (§5.3.3): a nested-needle instance with N^R points
+// whose answer lives in a uniformly random block at every recursion
+// level.
+//
+// Deviation from the paper, documented per the substitution rule: the
+// paper populates the non-special blocks of one player with real
+// sub-instances ("fooling inputs") whose sole role is information-
+// theoretic — they make the first speaker's message uninformative in
+// the round-elimination argument. As *benchmark data* for running
+// algorithms, only the actual input curves matter, and for those the
+// paper itself extends the special block's curve "along straight
+// lines" on the other player's side. We therefore extend both curves
+// linearly outside the special block (with the block's boundary slopes,
+// preserving convexity, monotonicity and the answer exactly — the
+// analogues of Propositions 5.7–5.10 hold by construction and are
+// verified by the package tests).
+func Hard(opt HardOptions) (*Instance, int, error) {
+	if opt.N < 3 {
+		return nil, 0, fmt.Errorf("tci: Hard needs N ≥ 3, got %d", opt.N)
+	}
+	if opt.R < 1 {
+		return nil, 0, fmt.Errorf("tci: Hard needs R ≥ 1, got %d", opt.R)
+	}
+	if opt.Rng == nil {
+		return nil, 0, fmt.Errorf("tci: Hard needs an explicit Rng")
+	}
+	return hardRec(opt.N, opt.R, opt.Rng)
+}
+
+func hardRec(n, r int, rng *rand.Rand) (*Instance, int, error) {
+	if r == 1 {
+		bits := make([]byte, n-2)
+		for i := range bits {
+			bits[i] = byte(rng.IntN(2))
+		}
+		istar := 1 + rng.IntN(n-2)
+		ins, err := BaseInstance(bits, istar)
+		if err != nil {
+			return nil, 0, err
+		}
+		ans, err := ins.Answer()
+		if err != nil {
+			return nil, 0, err
+		}
+		return ins, ans, nil
+	}
+	sub, subAns, err := hardRec(n, r-1, rng)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := len(sub.A)      // block size N^{r-1}
+	zstar := rng.IntN(n) // block index 0..n-1
+	off := zstar * m
+	total := n * m
+
+	out := &Instance{A: make([]*big.Rat, total), B: make([]*big.Rat, total)}
+	embed(out.A, sub.A, off, total)
+	embed(out.B, sub.B, off, total)
+	ans := off + subAns
+
+	if err := out.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("tci: hard instance failed validation: %w", err)
+	}
+	got, err := out.Answer()
+	if err != nil || got != ans {
+		return nil, 0, fmt.Errorf("tci: hard instance answer drifted (got %d, want %d, err %v)", got, ans, err)
+	}
+	return out, ans, nil
+}
+
+// embed places sub at offset off inside dst (length total), extending
+// linearly on both sides with the block's boundary slopes.
+func embed(dst, sub []*big.Rat, off, total int) {
+	m := len(sub)
+	for i, v := range sub {
+		dst[off+i] = new(big.Rat).Set(v)
+	}
+	firstSlope := new(big.Rat).Sub(sub[1], sub[0])
+	lastSlope := new(big.Rat).Sub(sub[m-1], sub[m-2])
+	for i := off - 1; i >= 0; i-- {
+		dst[i] = new(big.Rat).Sub(dst[i+1], firstSlope)
+	}
+	for i := off + m; i < total; i++ {
+		dst[i] = new(big.Rat).Add(dst[i-1], lastSlope)
+	}
+}
+
+// SlopeShift applies the §5.3.3 slope-shift operator: a shear
+// y → y + α·(x − x0) applied to both curves. The difference sequence
+// a_i − b_i — and hence the TCI answer — is invariant; Alice's
+// convexity is preserved for any α, monotonicity for α ≥ 0 (Bob's
+// monotonicity can break for large α, exactly as in the paper, where
+// the operator is only applied during construction with compensating
+// shifts).
+func SlopeShift(ins *Instance, alpha *big.Rat, x0 int) *Instance {
+	out := ins.Clone()
+	for i := range out.A {
+		shift := new(big.Rat).SetInt64(int64(i+1) - int64(x0))
+		shift.Mul(shift, alpha)
+		out.A[i].Add(out.A[i], shift)
+		out.B[i].Add(out.B[i], shift)
+	}
+	return out
+}
+
+// OriginShift applies the §5.3.3 origin-shift operator restricted to
+// vertical translation: y → y + dy on both curves. (Horizontal shifts
+// are re-indexings and are performed by the embedding in Hard.) The
+// answer is invariant.
+func OriginShift(ins *Instance, dy *big.Rat) *Instance {
+	out := ins.Clone()
+	for i := range out.A {
+		out.A[i].Add(out.A[i], dy)
+		out.B[i].Add(out.B[i], dy)
+	}
+	return out
+}

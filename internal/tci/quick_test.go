@@ -1,0 +1,135 @@
+package tci
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"lowdimlp/internal/numeric"
+)
+
+// randomConvexInstance builds a valid TCI instance from raw random
+// bytes: A's increments grow from a random positive base, B's
+// (negative) increments rise toward zero, and B is lifted so the
+// curves cross strictly inside. This is the generator for the
+// property-based tests.
+func randomConvexInstance(seed uint64, size int) *Instance {
+	rng := numeric.NewRand(seed, 0x9c1c4)
+	n := 4 + size%60
+	a := make([]*big.Rat, n)
+	b := make([]*big.Rat, n)
+	a[0] = new(big.Rat)
+	stepA := big.NewRat(int64(1+rng.IntN(3)), 2)
+	for i := 1; i < n; i++ {
+		// Non-decreasing increments: convex.
+		stepA = new(big.Rat).Add(stepA, big.NewRat(int64(rng.IntN(7)), 2))
+		a[i] = new(big.Rat).Add(a[i-1], stepA)
+	}
+	// B decreasing convex: increments negative, rising toward zero.
+	drops := make([]int64, n-1)
+	d := int64(2 + rng.IntN(5))
+	for i := n - 2; i >= 0; i-- {
+		d += int64(rng.IntN(3))
+		drops[i] = d
+	}
+	// Anchor B so it starts above A and ends below: b_n < a_n forces a
+	// crossing; b_1 ≥ a_1 = 0 holds by adding the total drop.
+	var total int64
+	for _, v := range drops {
+		total += v
+	}
+	b[n-1] = new(big.Rat).Sub(a[n-1], big.NewRat(1+int64(rng.IntN(5)), 2))
+	for i := n - 2; i >= 0; i-- {
+		b[i] = new(big.Rat).Add(b[i+1], big.NewRat(drops[i], 1))
+	}
+	// Ensure b_1 ≥ a_1 (lift everything if the random drop total was
+	// too small — keeps validity).
+	if b[0].Cmp(a[0]) < 0 {
+		lift := new(big.Rat).Sub(a[0], b[0])
+		lift.Add(lift, big.NewRat(1, 1))
+		for i := range b {
+			b[i].Add(b[i], lift)
+		}
+		// Re-anchor the right end below A by extending A's last step.
+		if b[n-1].Cmp(a[n-1]) >= 0 {
+			bump := new(big.Rat).Sub(b[n-1], a[n-1])
+			bump.Add(bump, big.NewRat(1, 1))
+			// Add an extra convex step to A's tail.
+			a[n-1] = new(big.Rat).Add(a[n-1], bump)
+		}
+	}
+	return &Instance{A: a, B: b}
+}
+
+// Property: random convex instances validate, and the LP reduction and
+// both direct solvers agree on the answer.
+func TestQuickReductionAgreement(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		ins := randomConvexInstance(seed, int(size))
+		if err := ins.Validate(); err != nil {
+			t.Logf("seed %d: generator produced invalid instance: %v", seed, err)
+			return false
+		}
+		want, err := ins.Answer()
+		if err != nil {
+			return false
+		}
+		bin, err := ins.AnswerBinarySearch()
+		if err != nil || bin != want {
+			t.Logf("seed %d: binary search %d vs scan %d", seed, bin, want)
+			return false
+		}
+		rng := numeric.NewRand(seed, 0x9c1c5)
+		got, err := ins.SolveViaLP(rng)
+		if err != nil || got != want {
+			t.Logf("seed %d: LP %d (%v) vs scan %d", seed, got, err, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shears and vertical translations never change the answer.
+func TestQuickOperatorInvariance(t *testing.T) {
+	f := func(seed uint64, size uint8, num int16, den uint8) bool {
+		ins := randomConvexInstance(seed, int(size))
+		want, err := ins.Answer()
+		if err != nil {
+			return false
+		}
+		alpha := big.NewRat(int64(num%50), int64(den%20)+1)
+		if alpha.Sign() < 0 {
+			alpha.Neg(alpha) // keep Alice monotone
+		}
+		sheared := SlopeShift(ins, alpha, int(size)%7)
+		if got, err := sheared.Answer(); err != nil || got != want {
+			return false
+		}
+		lifted := OriginShift(ins, big.NewRat(int64(num), 3))
+		got, err := lifted.Answer()
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the r-round protocol always returns the exact answer on
+// valid instances, for every r.
+func TestQuickProtocolAlwaysCorrect(t *testing.T) {
+	f := func(seed uint64, size uint8, r uint8) bool {
+		ins := randomConvexInstance(seed, int(size))
+		want, err := ins.Answer()
+		if err != nil {
+			return false
+		}
+		res, err := RunProtocol(ins, int(r%6)+1)
+		return err == nil && res.Answer == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,57 @@
+package tci
+
+import (
+	"math/big"
+	"testing"
+
+	"lowdimlp/internal/lp"
+	"lowdimlp/internal/numeric"
+)
+
+// toRatHalfspaces converts the instance's lines to exact 2-variable
+// constraints S·x − y ≤ −T for the general rational LP solver.
+func toRatHalfspaces(ins *Instance) []lp.RatHalfspace {
+	lines := ins.ToLines()
+	out := make([]lp.RatHalfspace, len(lines))
+	for i, l := range lines {
+		out[i] = lp.RatHalfspace{
+			A: []*big.Rat{new(big.Rat).Set(l.S), big.NewRat(-1, 1)},
+			B: new(big.Rat).Neg(l.T),
+		}
+	}
+	return out
+}
+
+// TestExactSolversAgree cross-validates the specialized 2-D exact LP
+// solver (SolveLPExact) against the general d-dimensional rational
+// Seidel (lp.RatSeidel) on hard instances — two independent exact code
+// paths must produce the identical optimum.
+func TestExactSolversAgree(t *testing.T) {
+	for _, c := range []struct{ N, R int }{{5, 1}, {5, 2}, {4, 3}} {
+		rng := numeric.NewRand(uint64(c.N*7+c.R), 0xce)
+		ins, _, err := Hard(HardOptions{N: c.N, R: c.R, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int64(ins.N())
+		spec, err := SolveLPExact(ins.ToLines(), 1, n, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj := []*big.Rat{new(big.Rat), big.NewRat(1, 1)} // minimize y
+		box := new(big.Rat).Mul(big.NewRat(n, 1), ins.A[len(ins.A)-1])
+		box.Abs(box)
+		box.Add(box, new(big.Rat).Abs(ins.B[0]))
+		box.Add(box, big.NewRat(10, 1))
+		gen, err := lp.RatSeidel(obj, toRatHalfspaces(ins), box, numeric.NewRand(uint64(c.R), 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen[1].Cmp(spec.Y) != 0 {
+			t.Fatalf("N=%d R=%d: y* differs: general %v vs specialized %v", c.N, c.R, gen[1], spec.Y)
+		}
+		if gen[0].Cmp(spec.X) != 0 {
+			t.Fatalf("N=%d R=%d: x* differs: general %v vs specialized %v", c.N, c.R, gen[0], spec.X)
+		}
+	}
+}

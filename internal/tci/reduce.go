@@ -1,0 +1,177 @@
+package tci
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand/v2"
+
+	"lowdimlp/internal/lp"
+)
+
+// Line is an exact line y = S·x + T; as an LP constraint it reads
+// y ≥ S·x + T (the feasible region is above the line).
+type Line struct {
+	S, T *big.Rat
+}
+
+// Eval returns S·x + T.
+func (l Line) Eval(x *big.Rat) *big.Rat {
+	v := new(big.Rat).Mul(l.S, x)
+	return v.Add(v, l.T)
+}
+
+// ToLines converts the instance to the 2-D LP of Figure 1b: each
+// consecutive pair of curve points spawns the line through them, with
+// the region above it feasible. Minimizing y over the intersection of
+// all upper halfplanes yields the curves' crossing point (both curves
+// are convex, so each curve is the maximum of its segment lines and
+// the feasible region is exactly the set of points above both curves).
+// The first n-1 lines come from A, the rest from B.
+func (ins *Instance) ToLines() []Line {
+	n := len(ins.A)
+	lines := make([]Line, 0, 2*(n-1))
+	for _, curve := range [][]*big.Rat{ins.A, ins.B} {
+		for i := 0; i+1 < n; i++ {
+			s := new(big.Rat).Sub(curve[i+1], curve[i]) // Δx = 1
+			t := new(big.Rat).SetInt64(int64(i + 1))
+			t.Mul(t, s)
+			t.Sub(curve[i], t) // T = y_i − S·x_i, x_i = i+1
+			lines = append(lines, Line{S: s, T: t})
+		}
+	}
+	return lines
+}
+
+// ToHalfspaces converts the instance to float64 constraints for the
+// general LP solvers: y ≥ S·x + T becomes S·x − y ≤ −T in variables
+// (x, y). Objective: minimize y. Intended for measuring the behaviour
+// of the model algorithms on lower-bound-shaped inputs; exact index
+// recovery should use SolveLPExact.
+func (ins *Instance) ToHalfspaces() (lp.Problem, []lp.Halfspace) {
+	lines := ins.ToLines()
+	cons := make([]lp.Halfspace, len(lines))
+	for i, l := range lines {
+		s, _ := l.S.Float64()
+		t, _ := l.T.Float64()
+		cons[i] = lp.Halfspace{A: []float64{s, -1}, B: -t}
+	}
+	p := lp.NewProblem([]float64{0, 1})
+	p.Box = 1e15
+	return p, cons
+}
+
+// ErrLPInfeasible reports an empty feasible region in the exact 2-D LP
+// (cannot happen for lines produced by a valid instance).
+var ErrLPInfeasible = errors.New("tci: exact LP infeasible")
+
+// SolveLPExact minimizes y over the intersection of the upper
+// halfplanes of the given lines, exactly, by randomized incremental
+// (Seidel-style) 2-D linear programming over rationals. It returns the
+// optimal point. x is confined to [xlo, xhi] (the minimum of the upper
+// envelope of a valid instance's lines lies within [1, n], so callers
+// pass a box that contains it; the box also keeps intermediate 1-D
+// subproblems bounded).
+func SolveLPExact(lines []Line, xlo, xhi int64, rng *rand.Rand) (Point, error) {
+	if len(lines) == 0 {
+		return Point{}, errors.New("tci: no lines")
+	}
+	order := make([]int, len(lines))
+	for i := range order {
+		order[i] = i
+	}
+	if rng != nil {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+	lo := big.NewRat(xlo, 1)
+	hi := big.NewRat(xhi, 1)
+
+	// Current optimum: start on the first line, at the x minimizing
+	// S·x + T over [lo, hi].
+	first := lines[order[0]]
+	x := bestX(first.S, lo, hi)
+	y := first.Eval(x)
+
+	for idx := 1; idx < len(order); idx++ {
+		l := lines[order[idx]]
+		if y.Cmp(l.Eval(x)) >= 0 {
+			continue // already feasible for l
+		}
+		// New optimum lies on l: minimize l.S·x + l.T over the
+		// interval of x where l dominates all previous lines:
+		// l(x) ≥ l'(x) ⇔ (l.S − l'.S)·x ≥ l'.T − l.T.
+		clo := new(big.Rat).Set(lo)
+		chi := new(big.Rat).Set(hi)
+		for j := 0; j < idx; j++ {
+			p := lines[order[j]]
+			ds := new(big.Rat).Sub(l.S, p.S)
+			dt := new(big.Rat).Sub(p.T, l.T)
+			switch ds.Sign() {
+			case 0:
+				if dt.Sign() > 0 {
+					return Point{}, ErrLPInfeasible // parallel, p above l everywhere
+				}
+			case 1:
+				bound := dt.Quo(dt, ds) // x ≥ bound
+				if bound.Cmp(clo) > 0 {
+					clo = bound
+				}
+			case -1:
+				bound := dt.Quo(dt, ds) // x ≤ bound
+				if bound.Cmp(chi) < 0 {
+					chi = bound
+				}
+			}
+			if clo.Cmp(chi) > 0 {
+				return Point{}, ErrLPInfeasible
+			}
+		}
+		x = bestXRat(l.S, clo, chi)
+		y = l.Eval(x)
+	}
+	return Point{X: x, Y: y}, nil
+}
+
+func bestX(s *big.Rat, lo, hi *big.Rat) *big.Rat {
+	return bestXRat(s, new(big.Rat).Set(lo), new(big.Rat).Set(hi))
+}
+
+// bestXRat returns the x in [lo, hi] minimizing s·x (ties → smaller x).
+func bestXRat(s *big.Rat, lo, hi *big.Rat) *big.Rat {
+	if s.Sign() < 0 {
+		return hi
+	}
+	return lo
+}
+
+// RecoverIndex maps the LP optimum back to the TCI answer: the index
+// i* = ⌊x*⌋ (Figure 1b), clamped to [1, n−1].
+func RecoverIndex(p Point, n int) int {
+	num := new(big.Int).Set(p.X.Num())
+	den := p.X.Denom()
+	q := new(big.Int).Div(num, den) // floor for positive x
+	i := int(q.Int64())
+	if i < 1 {
+		i = 1
+	}
+	if i > n-1 {
+		i = n - 1
+	}
+	return i
+}
+
+// SolveViaLP solves the instance end-to-end through the Figure-1b
+// reduction: build the lines, solve the exact 2-D LP, recover the
+// index. The package tests verify it agrees with the direct Answer()
+// on every generated family — this is experiment F1.
+func (ins *Instance) SolveViaLP(rng *rand.Rand) (int, error) {
+	n := len(ins.A)
+	if n < 2 {
+		return 0, ErrInvalid
+	}
+	opt, err := SolveLPExact(ins.ToLines(), 1, int64(n), rng)
+	if err != nil {
+		return 0, fmt.Errorf("tci: reduction failed: %w", err)
+	}
+	return RecoverIndex(opt, n), nil
+}

@@ -1,0 +1,204 @@
+// Package tci implements the two-curve intersection problem (§5 of
+// Assadi–Karpov–Zhang, PODS 2019) — the vehicle for the paper's
+// Ω(n^{1/2r}) streaming/communication lower bounds for 2-dimensional
+// linear programming — together with:
+//
+//   - exact instance representation and validity checking (big.Rat);
+//   - the LineSegment and StepCurve primitives (§5.2, Fact 5.5);
+//   - the one-round hard instances via the Augmented Indexing
+//     reduction (Lemma 5.6);
+//   - a recursive nested-needle hard-instance family modeled on the
+//     D_r distribution (§5.3.3) — see hard.go for the documented
+//     deviations from the paper's fooling-input construction;
+//   - the reduction from TCI to 2-dimensional linear programming
+//     (Figure 1b) with an exact rational LP solver;
+//   - a matching r-round two-party protocol with O~(r²·n^{1/r})
+//     communication, showing the lower bound is near-tight (§1.1).
+//
+// # Convexity convention
+//
+// §5.2 of the paper states the promise as: A monotonically increasing
+// with non-decreasing differences (convex), and B monotonically
+// decreasing with b_i − b_{i−1} ≥ b_{i+1} − b_i. For the Figure-1b
+// reduction to linear programming the feasible region must be the
+// intersection of the upper halfplanes of the segments' lines — which
+// requires the region above each curve to be its epigraph, i.e. BOTH
+// curves convex. We therefore take B to be convex as well
+// (b_{i+1} − b_i ≥ b_i − b_{i−1}, slopes rising toward zero); the base
+// hard instances of Lemma 5.6 use an affine B and satisfy both
+// readings. The difference d_i = a_i − b_i is strictly increasing
+// under either convention, so the TCI answer is unique.
+package tci
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Instance is a TCI instance: Alice's curve A (increasing, convex) and
+// Bob's curve B (decreasing, convex), both over x-coordinates 1..n.
+type Instance struct {
+	A []*big.Rat
+	B []*big.Rat
+}
+
+// N returns the number of points per curve.
+func (ins *Instance) N() int { return len(ins.A) }
+
+// ErrInvalid reports a violated TCI promise.
+var ErrInvalid = errors.New("tci: invalid instance")
+
+// Validate checks the TCI promise: lengths match, A strictly
+// increasing and convex, B strictly decreasing and convex, and the
+// curves cross (a_1 ≤ b_1, a_n > b_n).
+func (ins *Instance) Validate() error {
+	n := len(ins.A)
+	if n != len(ins.B) {
+		return fmt.Errorf("%w: |A|=%d |B|=%d", ErrInvalid, n, len(ins.B))
+	}
+	if n < 2 {
+		return fmt.Errorf("%w: need at least 2 points", ErrInvalid)
+	}
+	var prevDA, prevDB *big.Rat
+	for i := 1; i < n; i++ {
+		da := new(big.Rat).Sub(ins.A[i], ins.A[i-1])
+		if da.Sign() <= 0 {
+			return fmt.Errorf("%w: A not strictly increasing at %d", ErrInvalid, i+1)
+		}
+		if prevDA != nil && da.Cmp(prevDA) < 0 {
+			return fmt.Errorf("%w: A not convex at %d", ErrInvalid, i+1)
+		}
+		prevDA = da
+		db := new(big.Rat).Sub(ins.B[i], ins.B[i-1])
+		if db.Sign() >= 0 {
+			return fmt.Errorf("%w: B not strictly decreasing at %d", ErrInvalid, i+1)
+		}
+		if prevDB != nil && db.Cmp(prevDB) < 0 {
+			return fmt.Errorf("%w: B not convex at %d", ErrInvalid, i+1)
+		}
+		prevDB = db
+	}
+	if ins.A[0].Cmp(ins.B[0]) > 0 {
+		return fmt.Errorf("%w: a_1 > b_1 (no crossing)", ErrInvalid)
+	}
+	if ins.A[n-1].Cmp(ins.B[n-1]) <= 0 {
+		return fmt.Errorf("%w: a_n ≤ b_n (no crossing)", ErrInvalid)
+	}
+	return nil
+}
+
+// Answer returns the TCI answer by linear scan: the smallest index
+// i ∈ [1, n-1] (1-based) with a_i ≤ b_i and a_{i+1} > b_{i+1}. The
+// promise guarantees it exists.
+func (ins *Instance) Answer() (int, error) {
+	n := len(ins.A)
+	for i := 0; i+1 < n; i++ {
+		if ins.A[i].Cmp(ins.B[i]) <= 0 && ins.A[i+1].Cmp(ins.B[i+1]) > 0 {
+			return i + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: no crossing found", ErrInvalid)
+}
+
+// AnswerBinarySearch returns the TCI answer in O(log n) comparisons,
+// using that d_i = a_i − b_i is strictly increasing under the promise.
+// This is the trivial RAM-model algorithm; the lower bound is about
+// the model where A and B live on different parties.
+func (ins *Instance) AnswerBinarySearch() (int, error) {
+	n := len(ins.A)
+	if n < 2 {
+		return 0, ErrInvalid
+	}
+	// Find the largest i with a_i ≤ b_i; then i is the answer if
+	// a_{i+1} > b_{i+1} (guaranteed by monotone d).
+	lo, hi := 0, n-1 // invariant: d[lo] ≤ 0 (after check), d[hi] > 0
+	if ins.A[0].Cmp(ins.B[0]) > 0 || ins.A[n-1].Cmp(ins.B[n-1]) <= 0 {
+		return 0, fmt.Errorf("%w: promise violated at endpoints", ErrInvalid)
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if ins.A[mid].Cmp(ins.B[mid]) <= 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1, nil
+}
+
+// Clone returns a deep copy of the instance.
+func (ins *Instance) Clone() *Instance {
+	out := &Instance{A: make([]*big.Rat, len(ins.A)), B: make([]*big.Rat, len(ins.B))}
+	for i, v := range ins.A {
+		out.A[i] = new(big.Rat).Set(v)
+	}
+	for i, v := range ins.B {
+		out.B[i] = new(big.Rat).Set(v)
+	}
+	return out
+}
+
+// BitLen returns the total bit-length of all numerators and
+// denominators — the instance's bit-complexity, which the paper bounds
+// by O(log n) per number (end of §5.3.5).
+func (ins *Instance) BitLen() int {
+	total := 0
+	for _, s := range [][]*big.Rat{ins.A, ins.B} {
+		for _, v := range s {
+			total += ratBits(v)
+		}
+	}
+	return total
+}
+
+// ratBits returns the encoded size of a rational in bits (numerator +
+// denominator + a sign/length byte each).
+func ratBits(v *big.Rat) int {
+	return v.Num().BitLen() + v.Denom().BitLen() + 16
+}
+
+// Point is an exact rational point in the plane.
+type Point struct {
+	X, Y *big.Rat
+}
+
+// NewPoint builds a point from int64 coordinates.
+func NewPoint(x, y int64) Point {
+	return Point{X: big.NewRat(x, 1), Y: big.NewRat(y, 1)}
+}
+
+// LineSegment returns the sequence ⟨z_a, …, z_b⟩ where (i, z_i) lies on
+// the unique line through p1 and p2 (§5.2). p1.X must differ from p2.X.
+func LineSegment(p1, p2 Point, a, b int) []*big.Rat {
+	if p1.X.Cmp(p2.X) == 0 {
+		panic("tci: LineSegment through points with equal x")
+	}
+	// slope = (p2.y − p1.y)/(p2.x − p1.x); z_i = slope·(i − p1.x) + p1.y.
+	slope := new(big.Rat).Sub(p2.Y, p1.Y)
+	dx := new(big.Rat).Sub(p2.X, p1.X)
+	slope.Quo(slope, dx)
+	out := make([]*big.Rat, 0, b-a+1)
+	for i := a; i <= b; i++ {
+		z := new(big.Rat).SetInt64(int64(i))
+		z.Sub(z, p1.X)
+		z.Mul(z, slope)
+		z.Add(z, p1.Y)
+		out = append(out, z)
+	}
+	return out
+}
+
+// StepCurve returns the m+1 values ⟨z_0, …, z_m⟩ with z_0 = 0 and
+// z_i = z_{i−1} + α + i + x_i for the bit string x (§5.2). The result
+// is strictly increasing and convex for α ≥ 0.
+func StepCurve(x []byte, alpha *big.Rat) []*big.Rat {
+	out := make([]*big.Rat, len(x)+1)
+	out[0] = new(big.Rat)
+	for i := 1; i <= len(x); i++ {
+		step := new(big.Rat).SetInt64(int64(i) + int64(x[i-1]))
+		step.Add(step, alpha)
+		out[i] = new(big.Rat).Add(out[i-1], step)
+	}
+	return out
+}

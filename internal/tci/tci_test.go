@@ -1,0 +1,360 @@
+package tci
+
+import (
+	"math/big"
+	"testing"
+
+	"lowdimlp/internal/lp"
+	"lowdimlp/internal/numeric"
+)
+
+func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+// handInstance is a small valid instance with a known answer:
+// A = 0,1,3,6,10 (convex increasing), B = 9,7,5.5,4.5,4 (convex
+// decreasing: diffs -2, -1.5, -1, -0.5). d = -9,-6,-2.5,1.5,6 → answer 3.
+func handInstance() *Instance {
+	return &Instance{
+		A: []*big.Rat{rat(0, 1), rat(1, 1), rat(3, 1), rat(6, 1), rat(10, 1)},
+		B: []*big.Rat{rat(9, 1), rat(7, 1), rat(11, 2), rat(9, 2), rat(4, 1)},
+	}
+}
+
+func TestValidateAndAnswer(t *testing.T) {
+	ins := handInstance()
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := ins.Answer()
+	if err != nil || ans != 3 {
+		t.Fatalf("answer = %d (%v), want 3", ans, err)
+	}
+	bs, err := ins.AnswerBinarySearch()
+	if err != nil || bs != ans {
+		t.Fatalf("binary search = %d (%v), want %d", bs, err, ans)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := handInstance()
+	bad.A[2], bad.A[3] = bad.A[3], bad.A[2] // breaks monotonicity/convexity
+	if err := bad.Validate(); err == nil {
+		t.Error("expected invalid A")
+	}
+	bad2 := handInstance()
+	bad2.B[0] = rat(-100, 1) // b_1 < a_1: no crossing at the left end...
+	if err := bad2.Validate(); err == nil {
+		t.Error("expected invalid B")
+	}
+	short := &Instance{A: []*big.Rat{rat(0, 1)}, B: []*big.Rat{rat(1, 1)}}
+	if err := short.Validate(); err == nil {
+		t.Error("expected too-short instance to fail")
+	}
+	mismatch := &Instance{A: handInstance().A, B: handInstance().B[:3]}
+	if err := mismatch.Validate(); err == nil {
+		t.Error("expected length mismatch to fail")
+	}
+}
+
+func TestLineSegment(t *testing.T) {
+	// Line through (1, 10) and (5, 2): slope -2; z_i = 12 - 2i.
+	z := LineSegment(NewPoint(1, 10), NewPoint(5, 2), 1, 5)
+	want := []int64{10, 8, 6, 4, 2}
+	for i, w := range want {
+		if z[i].Cmp(rat(w, 1)) != 0 {
+			t.Fatalf("z[%d] = %v, want %d", i, z[i], w)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on vertical line")
+		}
+	}()
+	LineSegment(NewPoint(1, 0), NewPoint(1, 5), 0, 3)
+}
+
+func TestStepCurve(t *testing.T) {
+	// x = (1, 0, 1), α = 0: z = 0, 2, 4, 8.
+	z := StepCurve([]byte{1, 0, 1}, new(big.Rat))
+	want := []int64{0, 2, 4, 8}
+	for i, w := range want {
+		if z[i].Cmp(rat(w, 1)) != 0 {
+			t.Fatalf("z[%d] = %v, want %d", i, z[i], w)
+		}
+	}
+	// α = 1/2 adds i·(1/2) cumulatively.
+	z = StepCurve([]byte{0, 0}, rat(1, 2))
+	if z[2].Cmp(rat(4, 1)) != 0 { // 0 + (1.5) + (2.5) = 4
+		t.Fatalf("z[2] = %v, want 4", z[2])
+	}
+}
+
+func TestBaseInstanceBitEquivalence(t *testing.T) {
+	// Exhaustive over small sizes: answer == istar ⟺ bit == 1
+	// (the Lemma 5.6 property).
+	for l := 1; l <= 6; l++ {
+		for mask := 0; mask < 1<<l; mask++ {
+			bits := make([]byte, l)
+			for i := range bits {
+				bits[i] = byte((mask >> i) & 1)
+			}
+			for istar := 1; istar <= l; istar++ {
+				ins, err := BaseInstance(bits, istar)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ins.Validate(); err != nil {
+					t.Fatalf("l=%d mask=%b istar=%d: %v", l, mask, istar, err)
+				}
+				ans, err := ins.Answer()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantAns := istar + 1
+				if bits[istar-1] == 1 {
+					wantAns = istar
+				}
+				if ans != wantAns {
+					t.Fatalf("l=%d mask=%b istar=%d: answer %d, want %d", l, mask, istar, ans, wantAns)
+				}
+				// The decoding direction.
+				bit, err := OneRoundLowerBoundWitness(bits, istar)
+				if err != nil || bit != bits[istar-1] {
+					t.Fatalf("witness decoded %d (%v), want %d", bit, err, bits[istar-1])
+				}
+			}
+		}
+	}
+}
+
+func TestBaseInstanceRejectsBadArgs(t *testing.T) {
+	if _, err := BaseInstance(nil, 1); err == nil {
+		t.Error("empty bits must fail")
+	}
+	if _, err := BaseInstance([]byte{1}, 2); err == nil {
+		t.Error("istar out of range must fail")
+	}
+}
+
+func TestHardInstanceValidity(t *testing.T) {
+	for _, r := range []int{1, 2, 3} {
+		for _, n := range []int{4, 8} {
+			rng := numeric.NewRand(uint64(r), uint64(n))
+			ins, ans, err := Hard(HardOptions{N: n, R: r, Rng: rng})
+			if err != nil {
+				t.Fatalf("r=%d n=%d: %v", r, n, err)
+			}
+			if got := ins.N(); got != pow(n, r) {
+				t.Fatalf("r=%d n=%d: %d points, want %d", r, n, got, pow(n, r))
+			}
+			if err := ins.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			direct, err := ins.Answer()
+			if err != nil || direct != ans {
+				t.Fatalf("r=%d n=%d: answer %d vs generator %d (%v)", r, n, direct, ans, err)
+			}
+		}
+	}
+}
+
+func TestHardRejectsBadOptions(t *testing.T) {
+	rng := numeric.NewRand(1, 1)
+	if _, _, err := Hard(HardOptions{N: 2, R: 1, Rng: rng}); err == nil {
+		t.Error("N < 3 must fail")
+	}
+	if _, _, err := Hard(HardOptions{N: 4, R: 0, Rng: rng}); err == nil {
+		t.Error("R < 1 must fail")
+	}
+	if _, _, err := Hard(HardOptions{N: 4, R: 1}); err == nil {
+		t.Error("nil rng must fail")
+	}
+}
+
+func TestSlopeShiftPreservesAnswer(t *testing.T) {
+	ins := handInstance()
+	ans, _ := ins.Answer()
+	shifted := SlopeShift(ins, rat(7, 3), 2)
+	got, err := shifted.Answer()
+	if err != nil || got != ans {
+		t.Fatalf("slope-shift changed the answer: %d vs %d (%v)", got, ans, err)
+	}
+	// Alice's curve stays increasing and convex under α ≥ 0.
+	for i := 1; i < len(shifted.A); i++ {
+		if shifted.A[i].Cmp(shifted.A[i-1]) <= 0 {
+			t.Fatal("slope-shift broke Alice's monotonicity")
+		}
+	}
+}
+
+func TestOriginShiftPreservesAnswer(t *testing.T) {
+	ins := handInstance()
+	ans, _ := ins.Answer()
+	shifted := OriginShift(ins, rat(-41, 5))
+	if err := shifted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := shifted.Answer()
+	if got != ans {
+		t.Fatalf("origin-shift changed the answer: %d vs %d", got, ans)
+	}
+}
+
+// --- Reduction (Figure 1 / experiment F1) ------------------------------
+
+func TestReductionHandInstance(t *testing.T) {
+	ins := handInstance()
+	rng := numeric.NewRand(3, 3)
+	got, err := ins.SolveViaLP(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("LP reduction answer %d, want 3", got)
+	}
+}
+
+func TestReductionOnBaseInstances(t *testing.T) {
+	rng := numeric.NewRand(5, 5)
+	for trial := 0; trial < 40; trial++ {
+		l := 3 + rng.IntN(20)
+		bits := make([]byte, l)
+		for i := range bits {
+			bits[i] = byte(rng.IntN(2))
+		}
+		istar := 1 + rng.IntN(l)
+		ins, err := BaseInstance(bits, istar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := ins.Answer()
+		got, err := ins.SolveViaLP(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: LP answer %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestReductionOnHardInstances(t *testing.T) {
+	for _, r := range []int{1, 2, 3} {
+		rng := numeric.NewRand(uint64(7*r), 9)
+		ins, want, err := Hard(HardOptions{N: 5, R: r, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ins.SolveViaLP(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("r=%d: LP answer %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestReductionFloatSolverAgrees(t *testing.T) {
+	// The float64 Seidel solver on the same constraints should land in
+	// the same cell for well-conditioned (small) instances.
+	ins := handInstance()
+	prob, cons := ins.ToHalfspaces()
+	sol, err := lp.Seidel(prob, cons, numeric.NewRand(11, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx := int(sol.X[0]); idx != 3 {
+		t.Fatalf("float LP x = %v (cell %d), want cell 3", sol.X[0], idx)
+	}
+}
+
+func TestSolveLPExactDegenerate(t *testing.T) {
+	// Two parallel lines: the higher one dominates; optimum is at the
+	// left edge of the box on the higher line.
+	lines := []Line{
+		{S: rat(1, 1), T: rat(0, 1)},
+		{S: rat(1, 1), T: rat(5, 1)},
+	}
+	p, err := SolveLPExact(lines, 0, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.X.Cmp(rat(0, 1)) != 0 || p.Y.Cmp(rat(5, 1)) != 0 {
+		t.Fatalf("optimum (%v, %v), want (0, 5)", p.X, p.Y)
+	}
+	// A single flat line: optimum at box left, ties broken low-x.
+	flat := []Line{{S: rat(0, 1), T: rat(2, 1)}}
+	p, err = SolveLPExact(flat, -3, 3, nil)
+	if err != nil || p.X.Cmp(rat(-3, 1)) != 0 || p.Y.Cmp(rat(2, 1)) != 0 {
+		t.Fatalf("flat optimum (%v, %v) err %v", p.X, p.Y, err)
+	}
+	if _, err := SolveLPExact(nil, 0, 1, nil); err == nil {
+		t.Error("no lines must fail")
+	}
+}
+
+// --- Protocol (experiment E8) ------------------------------------------
+
+func TestProtocolCorrectness(t *testing.T) {
+	for _, r := range []int{1, 2, 3, 5} {
+		for trial := 0; trial < 10; trial++ {
+			rng := numeric.NewRand(uint64(r*100+trial), 13)
+			ins, want, err := Hard(HardOptions{N: 6, R: 2, Rng: rng})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunProtocol(ins, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Answer != want {
+				t.Fatalf("r=%d trial=%d: protocol answer %d, want %d", r, trial, res.Answer, want)
+			}
+		}
+	}
+}
+
+func TestProtocolCommunicationShape(t *testing.T) {
+	// More rounds ⇒ fewer bits (the r vs n^{1/r} trade-off).
+	rng := numeric.NewRand(17, 17)
+	ins, _, err := Hard(HardOptions{N: 8, R: 3, Rng: rng}) // 512 points
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := RunProtocol(ins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := RunProtocol(ins, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Bits >= r1.Bits {
+		t.Errorf("bits: r=3 %d should be below r=1 %d", r3.Bits, r1.Bits)
+	}
+	if r3.Rounds <= r1.Rounds {
+		t.Errorf("rounds: r=3 %d should exceed r=1 %d", r3.Rounds, r1.Rounds)
+	}
+}
+
+func TestBitLenGrowth(t *testing.T) {
+	// O(log n)-bit numbers (the §5.3.5 remark): the per-number bit size
+	// grows slowly with the instance size.
+	rng := numeric.NewRand(19, 19)
+	small, _, _ := Hard(HardOptions{N: 4, R: 2, Rng: rng})
+	large, _, _ := Hard(HardOptions{N: 4, R: 3, Rng: rng})
+	perNumSmall := float64(small.BitLen()) / float64(2*small.N())
+	perNumLarge := float64(large.BitLen()) / float64(2*large.N())
+	if perNumLarge > 4*perNumSmall {
+		t.Errorf("per-number bits grew too fast: %.1f → %.1f", perNumSmall, perNumLarge)
+	}
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}

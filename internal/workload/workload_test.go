@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"lowdimlp/internal/lp"
+	"lowdimlp/internal/meb"
+	"lowdimlp/internal/numeric"
+	"lowdimlp/internal/svm"
+)
+
+func TestSphereLPFeasibleAndRegeneratable(t *testing.T) {
+	p, cons := SphereLP(3, 500, 42)
+	if p.Dim != 3 || len(cons) != 500 {
+		t.Fatal("shape")
+	}
+	origin := []float64{0, 0, 0}
+	for i, h := range cons {
+		if !h.Satisfied(origin) {
+			t.Fatalf("constraint %d excludes the origin", i)
+		}
+		if !numeric.ApproxEqual(numeric.Norm2(h.A), 1) {
+			t.Fatalf("constraint %d not unit-normal", i)
+		}
+		// The streaming regenerator must agree exactly.
+		h2 := SphereLPAt(3, 42, i)
+		for j := range h.A {
+			if h.A[j] != h2.A[j] {
+				t.Fatalf("SphereLPAt(%d) disagrees", i)
+			}
+		}
+	}
+}
+
+func TestBoxLPOptimumAtCorner(t *testing.T) {
+	p, cons := BoxLP(3, 100, 7)
+	dom := lp.NewDomain(p, 1)
+	b, err := dom.Solve(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The box has half-width 2 in a rotated frame: ‖x*‖ = 2√3.
+	if got, want := numeric.Norm2(b.Sol.X), 2*math.Sqrt(3); !numeric.ApproxEqualTol(got, want, 1e-6) {
+		t.Fatalf("corner norm %v, want %v", got, want)
+	}
+	// Redundant constraints must not cut the box.
+	for i := 6; i < len(cons); i++ {
+		if !cons[i].Satisfied(b.Sol.X) {
+			t.Fatalf("'redundant' constraint %d binds", i)
+		}
+	}
+}
+
+func TestChebyshevRegressionRecovery(t *testing.T) {
+	// Zero noise: the LP recovers the planted polynomial with t* ≈ 0.
+	prob, cons, planted := ChebyshevRegression(2, 400, 0, 3)
+	dom := lp.NewDomain(prob, 1)
+	b, err := dom.Solve(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tval := b.Sol.X[len(b.Sol.X)-1]; tval > 1e-6 {
+		t.Fatalf("noise-free fit error %v, want ≈ 0", tval)
+	}
+	for i, c := range planted {
+		if !numeric.ApproxEqualTol(b.Sol.X[i], c, 1e-5) {
+			t.Fatalf("coefficient %d: %v vs planted %v", i, b.Sol.X[i], c)
+		}
+	}
+	// With noise η, the optimum satisfies t* ≤ η.
+	prob, cons, _ = ChebyshevRegression(1, 400, 0.25, 4)
+	dom = lp.NewDomain(prob, 2)
+	b, err = dom.Solve(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tval := b.Sol.X[len(b.Sol.X)-1]; tval > 0.25+1e-9 || tval <= 0 {
+		t.Fatalf("noisy fit error %v, want in (0, 0.25]", tval)
+	}
+}
+
+func TestTCILPAnswerRecovery(t *testing.T) {
+	prob, cons, ins, ans, err := TCILP(6, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cons) != 2*(ins.N()-1) {
+		t.Fatalf("constraint count %d", len(cons))
+	}
+	sol, err := lp.Seidel(prob, cons, numeric.NewRand(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(math.Floor(sol.X[0])); got != ans {
+		t.Fatalf("float LP recovers %d, want %d", got, ans)
+	}
+}
+
+func TestSeparableSVM(t *testing.T) {
+	exs, w := SeparableSVM(3, 300, 0.5, 11)
+	for i, e := range exs {
+		if m := e.Y*numeric.Dot(w, e.X) - 0.5; m < -1e-9 {
+			t.Fatalf("example %d under planted margin: %v", i, m)
+		}
+		e2 := SeparableSVMAt(3, w, 0.5, 11, i)
+		if e2.Y != e.Y || e2.X[0] != e.X[0] {
+			t.Fatalf("SeparableSVMAt(%d) disagrees", i)
+		}
+	}
+	sol, err := svm.Solve(3, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Sqrt(sol.Norm2) > 1/0.5+1e-6 {
+		t.Fatal("solved margin below planted margin")
+	}
+}
+
+func TestMEBClouds(t *testing.T) {
+	for _, kind := range []MEBKind{MEBGaussian, MEBUniformBall, MEBShell, MEBLowRank} {
+		pts := MEBCloud(kind, 3, 400, 13)
+		if len(pts) != 400 || len(pts[0]) != 3 {
+			t.Fatal("shape")
+		}
+		b, err := meb.Solve(pts)
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		for i, p := range pts {
+			if !b.Contains(p) {
+				t.Fatalf("kind %d: point %d outside", kind, i)
+			}
+			p2 := MEBCloudAt(kind, 3, 13, i)
+			if p2[0] != p[0] || p2[2] != p[2] {
+				t.Fatalf("MEBCloudAt(%d) disagrees", i)
+			}
+		}
+		switch kind {
+		case MEBUniformBall:
+			if b.Radius() > 1+1e-6 {
+				t.Errorf("uniform-ball radius %v > 1", b.Radius())
+			}
+		case MEBShell:
+			if math.Abs(b.Radius()-5) > 0.01 {
+				t.Errorf("shell radius %v, want ≈ 5", b.Radius())
+			}
+		}
+	}
+}

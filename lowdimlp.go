@@ -1,0 +1,265 @@
+// Package lowdimlp is a Go implementation of "Distributed and
+// Streaming Linear Programming in Low Dimensions" (Assadi, Karpov,
+// Zhang — PODS 2019): exact solvers for low-dimensional LP-type
+// problems (linear programming, hard-margin SVM, minimum enclosing
+// ball) in the multi-pass streaming, coordinator, and MPC models, with
+// the paper's O(d·r)-pass/round, n^{1/r}-resource trade-off.
+//
+// # Quick start
+//
+//	p := lowdimlp.NewLP([]float64{1, 1})        // minimize x+y
+//	cons := []lowdimlp.Halfspace{
+//		{A: []float64{-1, 0}, B: -1},            // x ≥ 1
+//		{A: []float64{0, -1}, B: -2},            // y ≥ 2
+//	}
+//	sol, stats, err := lowdimlp.SolveLPStreaming(p, lowdimlp.NewSliceStream(cons), len(cons), lowdimlp.Options{R: 2})
+//
+// Larger r means more passes/rounds but less space/communication
+// (resources scale as n^{1/r}); see the package examples under
+// examples/ and the experiment harness in cmd/lpbench.
+//
+// The same three entry points exist for hard-margin SVM
+// (SolveSVMStreaming, ...) and minimum enclosing ball
+// (SolveMEBStreaming, ...), and the generic layer (Domain, plus the
+// model solvers re-exported below) accepts any LP-type problem that
+// implements the two primitives of the paper: basis computation and
+// violation testing.
+package lowdimlp
+
+import (
+	"lowdimlp/internal/coordinator"
+	"lowdimlp/internal/core"
+	"lowdimlp/internal/lp"
+	"lowdimlp/internal/lptype"
+	"lowdimlp/internal/meb"
+	"lowdimlp/internal/mpc"
+	"lowdimlp/internal/stream"
+	"lowdimlp/internal/svm"
+)
+
+// Core problem and solution types (aliases into the implementation
+// packages so the whole repository shares one set of types).
+type (
+	// Halfspace is one linear constraint A·x ≤ B.
+	Halfspace = lp.Halfspace
+	// LPProblem is a linear program: minimize Objective·x subject to
+	// halfspaces (plus an implicit bounding box at scale Box).
+	LPProblem = lp.Problem
+	// LPSolution is the lexicographically smallest optimal point.
+	LPSolution = lp.Solution
+	// LPBasis is an LP basis: the solution plus the tight constraints.
+	LPBasis = lp.Basis
+
+	// SVMExample is a labeled training point (Y ∈ {−1, +1}).
+	SVMExample = svm.Example
+	// SVMSolution is the maximum-margin normal vector.
+	SVMSolution = svm.Solution
+	// SVMBasis is an SVM basis (solution + support vectors).
+	SVMBasis = svm.Basis
+
+	// MEBPoint is a point of a minimum-enclosing-ball instance.
+	MEBPoint = meb.Point
+	// MEBBall is a ball (center + squared radius).
+	MEBBall = meb.Ball
+	// MEBBasis is a MEB basis (ball + support points).
+	MEBBasis = meb.Basis
+)
+
+// Domain is the LP-type abstraction (§2.1 of the paper): implement it
+// to run the model solvers on your own LP-type problem.
+type Domain[C, B any] = lptype.Domain[C, B]
+
+// Stream is the multi-pass streaming input abstraction.
+type Stream[C any] = stream.Stream[C]
+
+// NewSliceStream adapts a slice to a Stream.
+func NewSliceStream[C any](items []C) Stream[C] { return stream.NewSliceStream(items) }
+
+// NewFuncStream generates a Stream of n items from an index function
+// without materializing them.
+func NewFuncStream[C any](n int, gen func(i int) C) Stream[C] {
+	return stream.NewFuncStream(n, gen)
+}
+
+// Stats aliases for the three models.
+type (
+	// StreamStats reports passes, net size and peak space.
+	StreamStats = stream.Stats
+	// CoordinatorStats reports rounds and total communication bits.
+	CoordinatorStats = coordinator.Stats
+	// MPCStats reports rounds and maximum per-machine load bits.
+	MPCStats = mpc.Stats
+)
+
+// Options configure the model solvers.
+type Options struct {
+	// R is the paper's trade-off parameter r ≥ 1: O(d·r) passes/rounds
+	// at n^{1/r} space/communication. Zero means 2.
+	R int
+	// Delta is the MPC load exponent δ ∈ (0, 1); zero means 0.5.
+	Delta float64
+	// Seed drives all randomness (equal seeds reproduce runs exactly).
+	Seed uint64
+	// MonteCarlo selects the Remark 3.6 variant (fails fast instead of
+	// retrying failed iterations).
+	MonteCarlo bool
+	// NetConst scales the ε-net sample size (0 = the library default;
+	// see core.Options.NetConst).
+	NetConst float64
+}
+
+func (o Options) core() core.Options {
+	r := o.R
+	if r == 0 {
+		r = 2
+	}
+	nc := o.NetConst
+	if nc == 0 {
+		nc = 0.5
+	}
+	return core.Options{R: r, Seed: o.Seed, MonteCarlo: o.MonteCarlo, NetConst: nc}
+}
+
+// NewLP returns a linear program minimizing objective·x.
+func NewLP(objective []float64) LPProblem { return lp.NewProblem(objective) }
+
+// SolveLP solves the LP in RAM (Seidel's algorithm with lexicographic
+// tie-breaking) — the reference the model solvers are tested against.
+func SolveLP(p LPProblem, cons []Halfspace, seed uint64) (LPSolution, error) {
+	b, err := lp.NewDomain(p, seed).Solve(cons)
+	if err != nil {
+		return LPSolution{}, err
+	}
+	return b.Sol, nil
+}
+
+// SolveLPStreaming solves the LP over a multi-pass stream of n
+// constraints (Theorem 1; pass n ≤ 0 to count with one extra pass).
+func SolveLPStreaming(p LPProblem, st Stream[Halfspace], n int, opt Options) (LPSolution, StreamStats, error) {
+	dom := lp.NewDomain(p, opt.Seed^0x10ca1)
+	hc := lp.HalfspaceCodec{Dim: p.Dim}
+	bc := lp.BasisCodec{Dim: p.Dim}
+	b, stats, err := stream.Solve[Halfspace, LPBasis](dom, st, n, stream.Options{
+		Core:         opt.core(),
+		BitsPerItem:  hc.Bits(Halfspace{}),
+		BitsPerBasis: bc.Bits(LPBasis{}),
+	})
+	return b.Sol, stats, err
+}
+
+// SolveLPCoordinator solves the LP over a k-site partition
+// (Theorem 2).
+func SolveLPCoordinator(p LPProblem, parts [][]Halfspace, opt Options) (LPSolution, CoordinatorStats, error) {
+	dom := lp.NewDomain(p, opt.Seed^0x10ca1)
+	b, stats, err := coordinator.Solve(dom, parts,
+		lp.HalfspaceCodec{Dim: p.Dim}, lp.BasisCodec{Dim: p.Dim},
+		coordinator.Options{Core: opt.core()})
+	return b.Sol, stats, err
+}
+
+// SolveLPMPC solves the LP in the MPC model with per-machine load
+// O~(n^Delta) (Theorem 3).
+func SolveLPMPC(p LPProblem, cons []Halfspace, opt Options) (LPSolution, MPCStats, error) {
+	dom := lp.NewDomain(p, opt.Seed^0x10ca1)
+	co := opt.core()
+	if opt.R == 0 {
+		co.R = 0 // let the MPC solver derive r = ⌈1/δ⌉
+	}
+	b, stats, err := mpc.Solve(dom, cons,
+		lp.HalfspaceCodec{Dim: p.Dim}, lp.BasisCodec{Dim: p.Dim},
+		mpc.Options{Core: co, Delta: opt.Delta})
+	return b.Sol, stats, err
+}
+
+// SolveSVM trains a hard-margin SVM in RAM. Returns
+// svm.ErrNotSeparable (exposed as ErrNotSeparable) on non-separable
+// data.
+func SolveSVM(dim int, examples []SVMExample) (SVMSolution, error) {
+	return svm.Solve(dim, examples)
+}
+
+// ErrNotSeparable reports non-separable SVM training data.
+var ErrNotSeparable = svm.ErrNotSeparable
+
+// SolveSVMStreaming trains the SVM over a stream (Theorem 5).
+func SolveSVMStreaming(dim int, st Stream[SVMExample], n int, opt Options) (SVMSolution, StreamStats, error) {
+	dom := svm.NewDomain(dim)
+	ec := svm.ExampleCodec{Dim: dim}
+	bc := svm.BasisCodec{Dim: dim}
+	b, stats, err := stream.Solve[SVMExample, SVMBasis](dom, st, n, stream.Options{
+		Core:         opt.core(),
+		BitsPerItem:  ec.Bits(SVMExample{}),
+		BitsPerBasis: bc.Bits(SVMBasis{}),
+	})
+	return b.Sol, stats, err
+}
+
+// SolveSVMCoordinator trains the SVM over a k-site partition.
+func SolveSVMCoordinator(dim int, parts [][]SVMExample, opt Options) (SVMSolution, CoordinatorStats, error) {
+	dom := svm.NewDomain(dim)
+	b, stats, err := coordinator.Solve(dom, parts,
+		svm.ExampleCodec{Dim: dim}, svm.BasisCodec{Dim: dim},
+		coordinator.Options{Core: opt.core()})
+	return b.Sol, stats, err
+}
+
+// SolveSVMMPC trains the SVM in the MPC model.
+func SolveSVMMPC(dim int, examples []SVMExample, opt Options) (SVMSolution, MPCStats, error) {
+	dom := svm.NewDomain(dim)
+	co := opt.core()
+	if opt.R == 0 {
+		co.R = 0
+	}
+	b, stats, err := mpc.Solve(dom, examples,
+		svm.ExampleCodec{Dim: dim}, svm.BasisCodec{Dim: dim},
+		mpc.Options{Core: co, Delta: opt.Delta})
+	return b.Sol, stats, err
+}
+
+// SolveMEB computes the minimum enclosing ball in RAM.
+func SolveMEB(pts []MEBPoint) (MEBBall, error) { return meb.Solve(pts) }
+
+// SolveMEBStreaming computes the MEB over a stream (Theorem 6).
+func SolveMEBStreaming(dim int, st Stream[MEBPoint], n int, opt Options) (MEBBall, StreamStats, error) {
+	dom := meb.NewDomain(dim)
+	pc := meb.PointCodec{Dim: dim}
+	bc := meb.BasisCodec{Dim: dim}
+	b, stats, err := stream.Solve[MEBPoint, MEBBasis](dom, st, n, stream.Options{
+		Core:         opt.core(),
+		BitsPerItem:  pc.Bits(MEBPoint{}),
+		BitsPerBasis: bc.Bits(MEBBasis{}),
+	})
+	return b.B, stats, err
+}
+
+// SolveMEBCoordinator computes the MEB over a k-site partition.
+func SolveMEBCoordinator(dim int, parts [][]MEBPoint, opt Options) (MEBBall, CoordinatorStats, error) {
+	dom := meb.NewDomain(dim)
+	b, stats, err := coordinator.Solve(dom, parts,
+		meb.PointCodec{Dim: dim}, meb.BasisCodec{Dim: dim},
+		coordinator.Options{Core: opt.core()})
+	return b.B, stats, err
+}
+
+// SolveMEBMPC computes the MEB in the MPC model.
+func SolveMEBMPC(dim int, pts []MEBPoint, opt Options) (MEBBall, MPCStats, error) {
+	dom := meb.NewDomain(dim)
+	co := opt.core()
+	if opt.R == 0 {
+		co.R = 0
+	}
+	b, stats, err := mpc.Solve(dom, pts,
+		meb.PointCodec{Dim: dim}, meb.BasisCodec{Dim: dim},
+		mpc.Options{Core: co, Delta: opt.Delta})
+	return b.B, stats, err
+}
+
+// Partition splits items across k sites round-robin — a convenience
+// for the coordinator entry points.
+func Partition[C any](items []C, k int) [][]C {
+	parts := make([][]C, k)
+	for i, c := range items {
+		parts[i%k] = append(parts[i%k], c)
+	}
+	return parts
+}
