@@ -1,0 +1,102 @@
+// Command lpserved serves the lowdimlp solvers over HTTP/JSON: solve
+// jobs (LP, hard-margin SVM, minimum enclosing ball, in the ram,
+// stream, coordinator or mpc model) run on a bounded worker pool with
+// a job queue, an LRU result cache, and health/metrics endpoints.
+//
+// Usage:
+//
+//	lpserved [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	         [-max-body BYTES]
+//
+// Endpoints (see internal/server for the wire format):
+//
+//	POST /v1/solve                synchronous solve
+//	POST /v1/jobs                 enqueue; poll GET /v1/jobs/{id}
+//	POST /v1/instances            chunk-upload large instances
+//	POST /v1/instances/{id}/rows  append a batch
+//	GET  /healthz                 liveness
+//	GET  /metrics                 Prometheus-style metrics
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/solve -d '{
+//	  "kind": "lp", "model": "stream", "dim": 2,
+//	  "objective": [1, 1],
+//	  "rows": [[-1, 0, -1], [0, -1, -2]],
+//	  "options": {"r": 2, "seed": 7}
+//	}'
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// queued jobs drain, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lowdimlp/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "job queue depth (0 = 4×workers)")
+		cache   = flag.Int("cache", 256, "result-cache capacity (-1 disables)")
+		maxBody = flag.Int64("max-body", 64<<20, "max request body bytes")
+		grace   = flag.Duration("grace", 30*time.Second, "shutdown drain timeout")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cache,
+		MaxBodyBytes: *maxBody,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("lpserved: listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("lpserved: %v, shutting down (grace %v)", sig, *grace)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "lpserved:", err)
+		os.Exit(1)
+	}
+
+	// Each shutdown phase gets its own grace window: a slow HTTP
+	// drain (e.g. an idle keep-alive client) must not eat the pool's
+	// budget and turn a clean drain into a spurious exit 1.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), *grace)
+	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("lpserved: http shutdown: %v", err)
+	}
+	cancelHTTP()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *grace)
+	defer cancelDrain()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("lpserved: pool drain: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("lpserved: bye")
+}

@@ -19,6 +19,6 @@ func FuzzRunParser(f *testing.F) {
 			return
 		}
 		var out bytes.Buffer
-		_ = run(strings.NewReader(input), &out, "ram", 2, 2, 0.5, 1)
+		_ = run(strings.NewReader(input), &out, "ram", 2, 2, 0.5, 1, false)
 	})
 }

@@ -36,11 +36,12 @@ import (
 
 func main() {
 	var (
-		model = flag.String("model", "ram", "computation model: ram|stream|coordinator|mpc")
-		r     = flag.Int("r", 2, "pass/round trade-off parameter r")
-		k     = flag.Int("k", 4, "coordinator sites")
-		delta = flag.Float64("delta", 0.5, "MPC load exponent δ")
-		seed  = flag.Uint64("seed", 1, "random seed")
+		model    = flag.String("model", "ram", "computation model: ram|stream|coordinator|mpc")
+		r        = flag.Int("r", 2, "pass/round trade-off parameter r")
+		k        = flag.Int("k", 4, "coordinator sites")
+		delta    = flag.Float64("delta", 0.5, "MPC load exponent δ")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		parallel = flag.Bool("parallel", false, "run coordinator sites on goroutines")
 	)
 	flag.Parse()
 
@@ -53,7 +54,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, os.Stdout, *model, *r, *k, *delta, *seed); err != nil {
+	if err := run(in, os.Stdout, *model, *r, *k, *delta, *seed, *parallel); err != nil {
 		fatal(err)
 	}
 }
@@ -63,14 +64,14 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(in io.Reader, out io.Writer, model string, r, k int, delta float64, seed uint64) error {
+func run(in io.Reader, out io.Writer, model string, r, k int, delta float64, seed uint64, parallel bool) error {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	kind, dim, err := readHeader(sc)
 	if err != nil {
 		return err
 	}
-	opt := lowdimlp.Options{R: r, Delta: delta, Seed: seed}
+	opt := lowdimlp.Options{R: r, Delta: delta, Seed: seed, Parallel: parallel}
 	switch kind {
 	case "lp":
 		return runLP(sc, out, dim, model, k, opt)

@@ -29,7 +29,7 @@ const mebInput = `meb 2
 func solve(t *testing.T, input, model string) string {
 	t.Helper()
 	var out bytes.Buffer
-	if err := run(strings.NewReader(input), &out, model, 2, 2, 0.5, 1); err != nil {
+	if err := run(strings.NewReader(input), &out, model, 2, 2, 0.5, 1, false); err != nil {
 		t.Fatalf("model %s: %v", model, err)
 	}
 	return out.String()
@@ -73,14 +73,14 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		var out bytes.Buffer
-		if err := run(strings.NewReader(c.input), &out, c.model, 2, 2, 0.5, 1); err == nil {
+		if err := run(strings.NewReader(c.input), &out, c.model, 2, 2, 0.5, 1, false); err == nil {
 			t.Errorf("%s: expected an error", c.name)
 		}
 	}
 	// Unknown models must error on every kind.
 	for _, input := range []string{svmInput, mebInput} {
 		var out bytes.Buffer
-		if err := run(strings.NewReader(input), &out, "quantum", 2, 2, 0.5, 1); err == nil {
+		if err := run(strings.NewReader(input), &out, "quantum", 2, 2, 0.5, 1, false); err == nil {
 			t.Error("expected unknown-model error")
 		}
 	}

@@ -1,0 +1,3 @@
+module lowdimlp
+
+go 1.23

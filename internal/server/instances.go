@@ -1,0 +1,139 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrUnknownInstance marks lookups of IDs the store does not hold —
+// handlers use it to distinguish a gone/never-existed instance (404)
+// from a malformed payload (400).
+var ErrUnknownInstance = errors.New("unknown instance")
+
+// instance is a chunk-uploaded row set awaiting a solve request.
+type instance struct {
+	mu     sync.Mutex
+	kind   string
+	dim    int
+	rows   [][]float64
+	sealed bool // claimed by a job; further appends are rejected
+}
+
+// InstanceStore holds chunk-uploaded instances between the upload
+// calls and the job that references them. Instances are single-use:
+// submitting a job consumes the rows (zero-copy) and drops the entry.
+type InstanceStore struct {
+	mu     sync.Mutex
+	nextID uint64
+	byID   map[string]*instance
+	max    int
+}
+
+// NewInstanceStore returns a store admitting up to max in-flight
+// uploads (≤ 0 means 64).
+func NewInstanceStore(max int) *InstanceStore {
+	if max <= 0 {
+		max = 64
+	}
+	return &InstanceStore{byID: make(map[string]*instance), max: max}
+}
+
+// Create opens a new upload for the given kind/dim and returns its ID.
+func (s *InstanceStore) Create(kind string, dim int) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.byID) >= s.max {
+		return "", fmt.Errorf("too many in-flight instances (limit %d)", s.max)
+	}
+	s.nextID++
+	id := fmt.Sprintf("inst-%06d", s.nextID)
+	s.byID[id] = &instance{kind: kind, dim: dim}
+	return id, nil
+}
+
+// Append adds a batch of rows to an open upload. Row widths are
+// validated against the instance's kind and dimension.
+func (s *InstanceStore) Append(id string, rows [][]float64) (total int, err error) {
+	s.mu.Lock()
+	ins, ok := s.byID[id]
+	s.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w %q", ErrUnknownInstance, id)
+	}
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	if ins.sealed {
+		return 0, fmt.Errorf("instance %q already submitted", id)
+	}
+	if err := validateRows(ins.kind, ins.dim, rows); err != nil {
+		return 0, err
+	}
+	if len(ins.rows)+len(rows) > MaxInstanceRows {
+		return 0, fmt.Errorf("instance %q would exceed %d rows", id, MaxInstanceRows)
+	}
+	ins.rows = append(ins.rows, rows...)
+	return len(ins.rows), nil
+}
+
+// Take seals and removes the instance, returning its rows for the
+// job that referenced it. The kind and dimension must match the
+// claiming request; on mismatch the upload stays in the store so a
+// corrected resubmission can still find it.
+func (s *InstanceStore) Take(id, kind string, dim int) ([][]float64, error) {
+	s.mu.Lock()
+	ins, ok := s.byID[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w %q", ErrUnknownInstance, id)
+	}
+	// kind and dim are immutable after Create, so the mismatch check
+	// needs no per-instance lock and the store lock is released before
+	// waiting on ins.mu — a slow in-flight Append must not stall the
+	// whole instance API.
+	if ins.kind != kind || ins.dim != dim {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("instance %q was uploaded as %s/dim=%d, requested as %s/dim=%d",
+			id, ins.kind, ins.dim, kind, dim)
+	}
+	delete(s.byID, id)
+	s.mu.Unlock()
+
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	ins.sealed = true
+	return ins.rows, nil
+}
+
+// Restore re-registers rows under their original ID after a Take
+// whose job submission failed, so a retryable 503 does not destroy a
+// chunk-uploaded instance. It bypasses the in-flight limit (the rows
+// were already admitted once).
+func (s *InstanceStore) Restore(id, kind string, dim int, rows [][]float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byID[id] = &instance{kind: kind, dim: dim, rows: rows}
+}
+
+// Drop discards an upload. Sealing closes the window where an
+// in-flight Append to the just-deleted instance would report success
+// for rows that are already gone.
+func (s *InstanceStore) Drop(id string) bool {
+	s.mu.Lock()
+	ins, ok := s.byID[id]
+	delete(s.byID, id)
+	s.mu.Unlock()
+	if ok {
+		ins.mu.Lock()
+		ins.sealed = true
+		ins.mu.Unlock()
+	}
+	return ok
+}
+
+// Len returns the number of open uploads.
+func (s *InstanceStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byID)
+}

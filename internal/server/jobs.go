@@ -1,0 +1,279 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrQueueFull is returned when the job queue is at capacity.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrShuttingDown is returned for submissions after Shutdown starts.
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// Job is one solve request moving through the manager. All mutable
+// fields are guarded by mu; Done is closed exactly once when the job
+// reaches a terminal state, after which Req is released (the rows of
+// a large instance should not outlive the solve).
+type Job struct {
+	ID    string
+	Kind  string
+	Model string
+	N     int
+
+	// Done is closed when the job reaches done/failed.
+	Done chan struct{}
+
+	mu      sync.Mutex
+	req     *SolveRequest // nil once terminal
+	state   string
+	cached  bool
+	elapsed time.Duration
+	result  *SolveResult
+	stats   *StatsPayload
+	err     error
+}
+
+// Status snapshots the job for the wire.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:     j.ID,
+		State:  j.state,
+		Kind:   j.Kind,
+		Model:  j.Model,
+		N:      j.N,
+		Cached: j.cached,
+		Result: j.result,
+		Stats:  j.stats,
+	}
+	if j.state == StateDone || j.state == StateFailed {
+		st.ElapsedMS = float64(j.elapsed) / float64(time.Millisecond)
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Manager owns the job table, the queue and the worker pool.
+type Manager struct {
+	cache   *Cache
+	metrics *Metrics
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	finished []string // terminal job IDs, oldest first
+	closed   bool
+}
+
+// newJobID returns an unguessable job handle — the service is
+// unauthenticated, so sequential IDs would let any client enumerate
+// everyone else's results.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "job-" + hex.EncodeToString(b[:])
+}
+
+// maxFinished bounds how many terminal jobs stay pollable before the
+// oldest are evicted — without it a long-running service accumulates
+// every job ever run.
+const maxFinished = 4096
+
+// NewManager starts a manager with the given worker count and queue
+// depth (values < 1 are raised to 1). Callers must Shutdown it.
+func NewManager(workers, queueDepth int, cache *Cache, metrics *Metrics) *Manager {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	m := &Manager{
+		cache:   cache,
+		metrics: metrics,
+		queue:   make(chan *Job, queueDepth),
+		jobs:    make(map[string]*Job),
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates nothing (the handler already did), assigns an ID
+// and enqueues the job. It fails fast when the queue is full rather
+// than blocking the HTTP handler. The enqueue happens under mu —
+// Shutdown closes the queue under the same lock, so Submit can never
+// send on a closed channel.
+func (m *Manager) Submit(req *SolveRequest) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShuttingDown
+	}
+	n := len(req.Rows)
+	if req.Generate != nil {
+		n = req.Generate.N
+	}
+	j := &Job{
+		ID:    newJobID(),
+		Kind:  req.Kind,
+		Model: req.Model,
+		N:     n,
+		req:   req,
+		Done:  make(chan struct{}),
+		state: StateQueued,
+	}
+	// The queued gauge rises before the send: an idle worker can
+	// dequeue (and decrement) the instant the job hits the channel.
+	m.metrics.JobsQueued.Add(1)
+	select {
+	case m.queue <- j:
+	default:
+		m.metrics.JobsQueued.Add(-1)
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.ID] = j
+	m.metrics.JobsSubmitted.Add(1)
+	return j, nil
+}
+
+// Get returns the job with the given ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Shutdown stops accepting jobs, lets queued work drain, and waits
+// for the workers up to the context deadline.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// A completed drain wins over a simultaneously-expired
+		// context — an orchestrator watching the exit code must not
+		// see a clean shutdown reported as a failure.
+		select {
+		case <-done:
+			return nil
+		default:
+			return ctx.Err()
+		}
+	}
+}
+
+// worker drains the queue until it is closed.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.metrics.JobsQueued.Add(-1)
+		m.metrics.JobsRunning.Add(1)
+		m.run(j)
+		m.metrics.JobsRunning.Add(-1)
+	}
+}
+
+// run executes one job: cache lookup, solve, cache fill, bookkeeping.
+func (m *Manager) run(j *Job) {
+	j.mu.Lock()
+	j.state = StateRunning
+	req := j.req
+	j.mu.Unlock()
+
+	start := time.Now()
+	var (
+		result *SolveResult
+		stats  *StatsPayload
+		hit    bool
+	)
+	// Generated instances are synthesized here, on the worker, so the
+	// pool bounds the memory and CPU of the ?generate= path. Digesting
+	// the materialized rows keeps one cache key per instance whether
+	// it arrived inline or generated.
+	err := materialize(req)
+	switch {
+	case err != nil:
+	case !m.cache.Enabled():
+		// Caching off: skip the digest — hashing a multi-million-row
+		// instance for a cache that can never hit is pure waste.
+		m.metrics.CacheMisses.Add(1)
+		result, stats, err = runSolve(req)
+	default:
+		key := req.Digest()
+		result, stats, hit = m.cache.Get(key)
+		if hit {
+			m.metrics.CacheHits.Add(1)
+		} else {
+			m.metrics.CacheMisses.Add(1)
+			result, stats, err = runSolve(req)
+			if err == nil {
+				m.cache.Put(key, result, stats)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	m.metrics.ObserveSolve(j.Kind, j.Model, elapsed)
+
+	j.mu.Lock()
+	j.cached = hit
+	j.elapsed = elapsed
+	j.result, j.stats, j.err = result, stats, err
+	if err == nil {
+		// Report the true instance size: generators may round the
+		// requested n (chebyshev emits constraint pairs).
+		j.N = len(req.Rows)
+	}
+	j.req = nil // release the instance rows
+	if err != nil {
+		j.state = StateFailed
+		m.metrics.JobsFailed.Add(1)
+	} else {
+		j.state = StateDone
+		m.metrics.JobsDone.Add(1)
+	}
+	j.mu.Unlock()
+	close(j.Done)
+	m.retire(j.ID)
+}
+
+// retire records a terminal job and evicts the oldest finished jobs
+// beyond maxFinished so the job table stays bounded.
+func (m *Manager) retire(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.finished = append(m.finished, id)
+	for len(m.finished) > maxFinished {
+		delete(m.jobs, m.finished[0])
+		m.finished = m.finished[1:]
+	}
+}

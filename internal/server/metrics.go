@@ -1,0 +1,91 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics aggregates service counters for the /metrics endpoint.
+// Counters are atomics; the latency summary is mutex-guarded.
+type Metrics struct {
+	JobsSubmitted atomic.Int64
+	JobsQueued    atomic.Int64 // gauge: currently waiting
+	JobsRunning   atomic.Int64 // gauge: currently executing
+	JobsDone      atomic.Int64
+	JobsFailed    atomic.Int64
+	CacheHits     atomic.Int64
+	CacheMisses   atomic.Int64
+
+	mu           sync.Mutex
+	solveCount   map[string]int64   // kind/model → solves
+	solveSeconds map[string]float64 // kind/model → total latency
+	solveMax     map[string]float64 // kind/model → max latency
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		solveCount:   make(map[string]int64),
+		solveSeconds: make(map[string]float64),
+		solveMax:     make(map[string]float64),
+	}
+}
+
+// ObserveSolve records one completed solve's latency under the
+// kind/model label.
+func (m *Metrics) ObserveSolve(kind, model string, d time.Duration) {
+	key := kind + "/" + model
+	s := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.solveCount[key]++
+	m.solveSeconds[key] += s
+	if s > m.solveMax[key] {
+		m.solveMax[key] = s
+	}
+}
+
+// Render writes the metrics in Prometheus text exposition format.
+func (m *Metrics) Render(w io.Writer) {
+	g := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	c("lpserved_jobs_submitted_total", "Jobs accepted by the service.", m.JobsSubmitted.Load())
+	g("lpserved_jobs_queued", "Jobs waiting in the queue.", m.JobsQueued.Load())
+	g("lpserved_jobs_running", "Jobs currently executing.", m.JobsRunning.Load())
+	c("lpserved_jobs_done_total", "Jobs completed successfully.", m.JobsDone.Load())
+	c("lpserved_jobs_failed_total", "Jobs that ended in an error.", m.JobsFailed.Load())
+	c("lpserved_cache_hits_total", "Result-cache hits.", m.CacheHits.Load())
+	c("lpserved_cache_misses_total", "Result-cache misses.", m.CacheMisses.Load())
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.solveCount))
+	for k := range m.solveCount {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// _max lives in its own gauge family: a summary may only carry
+	// quantile/_sum/_count samples, and strict OpenMetrics parsers
+	// reject anything else under its TYPE line.
+	fmt.Fprintf(w, "# HELP lpserved_solve_seconds Solve wall-clock latency by kind/model.\n# TYPE lpserved_solve_seconds summary\n")
+	for _, k := range keys {
+		kind, model, _ := strings.Cut(k, "/")
+		lbl := fmt.Sprintf("{kind=%q,model=%q}", kind, model)
+		fmt.Fprintf(w, "lpserved_solve_seconds_count%s %d\n", lbl, m.solveCount[k])
+		fmt.Fprintf(w, "lpserved_solve_seconds_sum%s %g\n", lbl, m.solveSeconds[k])
+	}
+	fmt.Fprintf(w, "# HELP lpserved_solve_seconds_max Max solve latency by kind/model.\n# TYPE lpserved_solve_seconds_max gauge\n")
+	for _, k := range keys {
+		kind, model, _ := strings.Cut(k, "/")
+		fmt.Fprintf(w, "lpserved_solve_seconds_max{kind=%q,model=%q} %g\n", kind, model, m.solveMax[k])
+	}
+}

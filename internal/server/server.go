@@ -1,0 +1,352 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Workers is the solver pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs
+	// (0 = 4×workers).
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity (0 = 256; < 0
+	// disables caching).
+	CacheSize int
+	// MaxBodyBytes bounds request bodies (0 = 64 MiB).
+	MaxBodyBytes int64
+	// MaxInstances bounds concurrent chunk uploads (0 = 64).
+	MaxInstances int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the lpserved HTTP service: handlers over a job manager,
+// an instance store, a result cache and a metrics set.
+type Server struct {
+	cfg       Config
+	manager   *Manager
+	instances *InstanceStore
+	metrics   *Metrics
+	mux       *http.ServeMux
+}
+
+// New assembles a Server (and starts its worker pool).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	metrics := NewMetrics()
+	s := &Server{
+		cfg:       cfg,
+		metrics:   metrics,
+		manager:   NewManager(cfg.Workers, cfg.QueueDepth, NewCache(cfg.CacheSize), metrics),
+		instances: NewInstanceStore(cfg.MaxInstances),
+		mux:       http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("POST /v1/instances", s.handleInstanceCreate)
+	s.mux.HandleFunc("POST /v1/instances/{id}/rows", s.handleInstanceAppend)
+	s.mux.HandleFunc("DELETE /v1/instances/{id}", s.handleInstanceDrop)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the worker pool.
+func (s *Server) Shutdown(ctx context.Context) error { return s.manager.Shutdown(ctx) }
+
+// --- request plumbing --------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// decodeErrorStatus picks the HTTP status for a request-decoding
+// failure: gone instances are 404 and oversized bodies 413 (so
+// clients know to switch to chunk upload); everything else is a 400.
+func decodeErrorStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.Is(err, ErrUnknownInstance):
+		return http.StatusNotFound
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// decodeRequest parses the JSON body (optional when ?generate= is
+// given), overlays the debug/load-testing query parameters, validates,
+// resolves chunk-uploaded instances and materializes generators, so
+// the caller gets a ready-to-solve request. The second return names
+// the chunk-uploaded instance that was consumed, if any, so a failed
+// submission can restore it.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*SolveRequest, string, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		return nil, "", fmt.Errorf("reading body: %w", err)
+	}
+	req := &SolveRequest{}
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, req); err != nil {
+			return nil, "", fmt.Errorf("bad JSON: %w", err)
+		}
+	}
+	if err := overlayQuery(req, r); err != nil {
+		return nil, "", err
+	}
+	if err := req.Validate(); err != nil {
+		return nil, "", err
+	}
+	taken := ""
+	if req.InstanceID != "" {
+		rows, err := s.instances.Take(req.InstanceID, req.Kind, req.Dim)
+		if err != nil {
+			return nil, "", err
+		}
+		taken = req.InstanceID
+		req.Rows = rows
+		req.InstanceID = ""
+	}
+	if len(req.Rows) == 0 && req.Generate == nil && req.Kind != KindLP {
+		// Empty LP instances are fine (box optimum); svm/meb need
+		// data. Hand a consumed upload back before failing — the
+		// client may still be appending rows to it.
+		if taken != "" {
+			s.instances.Restore(taken, req.Kind, req.Dim, req.Rows)
+		}
+		return nil, "", fmt.Errorf("empty instance")
+	}
+	// Generate specs are validated here but materialized by the worker
+	// pool (Manager.run), so synthesis cost is bounded by Workers
+	// rather than by however many handler goroutines are in flight.
+	return req, taken, nil
+}
+
+// decodeAndSubmit runs the decode→submit pipeline shared by the sync
+// and async endpoints, writing the error response itself on failure.
+// A consumed chunk-uploaded instance is restored when the queue
+// rejects the job, so the client's retry still finds it.
+func (s *Server) decodeAndSubmit(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	req, taken, err := s.decodeRequest(w, r)
+	if err != nil {
+		writeError(w, decodeErrorStatus(err), err)
+		return nil, false
+	}
+	job, err := s.manager.Submit(req)
+	if err != nil {
+		if taken != "" {
+			s.instances.Restore(taken, req.Kind, req.Dim, req.Rows)
+		}
+		writeError(w, http.StatusServiceUnavailable, err)
+		return nil, false
+	}
+	return job, true
+}
+
+// overlayQuery maps the ?generate=sphere&n=…&d=…&kind=…&model=…&seed=…
+// load-testing parameters onto the request.
+func overlayQuery(req *SolveRequest, r *http.Request) error {
+	q := r.URL.Query()
+	if v := q.Get("kind"); v != "" {
+		req.Kind = v
+	}
+	if v := q.Get("model"); v != "" {
+		req.Model = v
+	}
+	if v := q.Get("generate"); v != "" {
+		if req.Generate == nil {
+			req.Generate = &GenerateSpec{}
+		}
+		req.Generate.Family = v
+	}
+	// Option overrides apply with or without a generate spec — a
+	// ?seed= on an inline request must not be silently dropped.
+	for name, dst := range map[string]*int{"r": &req.Options.R, "k": &req.Options.K} {
+		if v := q.Get(name); v != "" {
+			i, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad query parameter %s=%q", name, v)
+			}
+			*dst = i
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		u, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad query parameter seed=%q", v)
+		}
+		req.Options.Seed = u
+		if req.Generate != nil {
+			req.Generate.Seed = u
+		}
+	}
+	if req.Generate == nil {
+		return nil
+	}
+	for name, dst := range map[string]*int{"n": &req.Generate.N, "d": &req.Generate.D} {
+		if v := q.Get(name); v != "" {
+			i, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad query parameter %s=%q", name, v)
+			}
+			*dst = i
+		}
+	}
+	if req.Kind == "" {
+		req.Kind = KindLP
+	}
+	return nil
+}
+
+// --- handlers ----------------------------------------------------------
+
+// handleSolve is the synchronous path: the job still flows through
+// the pool (so concurrency stays bounded and the cache/metrics see
+// it), but the handler waits for completion.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.decodeAndSubmit(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-job.Done:
+	case <-r.Context().Done():
+		// Client (or a proxy ahead of it) gave up; the job finishes in
+		// the background, so answer with its status — which carries the
+		// ID — letting the caller collect the result from /v1/jobs/{id}
+		// instead of re-paying the solve.
+		writeJSON(w, http.StatusAccepted, job.Status())
+		return
+	}
+	st := job.Status()
+	code := http.StatusOK
+	if st.State == StateFailed {
+		code = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.decodeAndSubmit(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.manager.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// instanceCreateBody opens a chunk upload.
+type instanceCreateBody struct {
+	Kind string `json:"kind"`
+	Dim  int    `json:"dim"`
+}
+
+// instanceRef names an instance on the wire.
+type instanceRef struct {
+	ID   string `json:"id"`
+	Rows int    `json:"rows"`
+}
+
+func (s *Server) handleInstanceCreate(w http.ResponseWriter, r *http.Request) {
+	var body instanceCreateBody
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	probe := SolveRequest{Kind: strings.ToLower(strings.TrimSpace(body.Kind)), Dim: body.Dim}
+	if probe.Kind == KindLP {
+		probe.Objective = make([]float64, body.Dim)
+	}
+	if err := probe.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.instances.Create(probe.Kind, body.Dim)
+	if err != nil {
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, instanceRef{ID: id})
+}
+
+// instanceAppendBody is one chunk of rows.
+type instanceAppendBody struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+func (s *Server) handleInstanceAppend(w http.ResponseWriter, r *http.Request) {
+	var body instanceAppendBody
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&body); err != nil {
+		err = fmt.Errorf("bad JSON: %w", err)
+		writeError(w, decodeErrorStatus(err), err)
+		return
+	}
+	id := r.PathValue("id")
+	total, err := s.instances.Append(id, body.Rows)
+	if err != nil {
+		writeError(w, decodeErrorStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, instanceRef{ID: id, Rows: total})
+}
+
+func (s *Server) handleInstanceDrop(w http.ResponseWriter, r *http.Request) {
+	if !s.instances.Drop(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown instance %q", r.PathValue("id")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.Render(w)
+}

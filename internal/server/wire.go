@@ -1,0 +1,343 @@
+// Package server is the lpserved subsystem: an HTTP/JSON solve
+// service over the lowdimlp library. It accepts LP, SVM and MEB
+// instances (inline, chunk-uploaded, or generated on the fly by
+// internal/workload), runs them in a chosen computation model on a
+// bounded worker pool with a job queue, caches results by instance
+// digest, and exposes health and metrics endpoints.
+//
+// # Endpoints
+//
+//	POST /v1/solve              solve synchronously (small instances)
+//	POST /v1/jobs               enqueue a job; returns its id
+//	GET  /v1/jobs/{id}          poll job status / result
+//	POST /v1/instances          create a chunk-upload instance
+//	POST /v1/instances/{id}/rows  append a batch of rows
+//	DELETE /v1/instances/{id}   drop an uploaded instance
+//	GET  /healthz               liveness
+//	GET  /metrics               Prometheus-style text metrics
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+
+	"lowdimlp"
+)
+
+// Problem kinds and computation models accepted on the wire.
+const (
+	KindLP  = "lp"
+	KindSVM = "svm"
+	KindMEB = "meb"
+
+	ModelRAM         = "ram"
+	ModelStream      = "stream"
+	ModelCoordinator = "coordinator"
+	ModelMPC         = "mpc"
+)
+
+// SolveOptions is the wire form of lowdimlp.Options plus the
+// model-shape knobs the library takes as separate arguments.
+type SolveOptions struct {
+	// R is the paper's pass/round trade-off parameter (0 = default 2).
+	R int `json:"r,omitempty"`
+	// Delta is the MPC load exponent (0 = default 0.5).
+	Delta float64 `json:"delta,omitempty"`
+	// Seed drives all randomness.
+	Seed uint64 `json:"seed,omitempty"`
+	// MonteCarlo selects the fail-fast Remark 3.6 variant.
+	MonteCarlo bool `json:"monte_carlo,omitempty"`
+	// NetConst scales the ε-net sample size (0 = library default).
+	NetConst float64 `json:"net_const,omitempty"`
+	// K is the number of coordinator sites (0 = default 4).
+	K int `json:"k,omitempty"`
+	// Parallel runs coordinator sites on goroutines.
+	Parallel bool `json:"parallel,omitempty"`
+}
+
+func (o SolveOptions) lib() lowdimlp.Options {
+	return lowdimlp.Options{
+		R: o.R, Delta: o.Delta, Seed: o.Seed,
+		MonteCarlo: o.MonteCarlo, NetConst: o.NetConst,
+		Parallel: o.Parallel,
+	}
+}
+
+func (o SolveOptions) sites() int {
+	if o.K <= 0 {
+		return 4
+	}
+	return o.K
+}
+
+// GenerateSpec asks the server to synthesize an instance with
+// internal/workload instead of shipping rows — the load-testing path.
+type GenerateSpec struct {
+	// Family selects the generator: lp → sphere|box|chebyshev,
+	// svm → separable, meb → gaussian|ball|shell|lowrank.
+	Family string `json:"family"`
+	// N is the instance size (constraints / examples / points).
+	N int `json:"n"`
+	// D is the ambient dimension (default 3; for chebyshev D is the
+	// polynomial degree + 2 and the degree is D−2).
+	D int `json:"d,omitempty"`
+	// Seed drives the generator.
+	Seed uint64 `json:"seed,omitempty"`
+	// Margin is the planted SVM margin (default 0.5).
+	Margin float64 `json:"margin,omitempty"`
+	// Noise is the chebyshev sample noise (default 0.1).
+	Noise float64 `json:"noise,omitempty"`
+}
+
+// SolveRequest is the body of POST /v1/solve and POST /v1/jobs.
+// Exactly one of Rows, InstanceID or Generate supplies the instance.
+type SolveRequest struct {
+	// Kind is the problem kind: lp, svm or meb.
+	Kind string `json:"kind"`
+	// Model is the computation model: ram, stream, coordinator or mpc.
+	Model string `json:"model"`
+	// Dim is the ambient dimension d.
+	Dim int `json:"dim"`
+	// Objective is the LP objective (lp only; len = Dim).
+	Objective []float64 `json:"objective,omitempty"`
+	// Rows carries the instance inline, one row per constraint /
+	// example / point, in the lpsolve text-format layout: lp rows are
+	// a_1…a_d b, svm rows are x_1…x_d y, meb rows are x_1…x_d.
+	Rows [][]float64 `json:"rows,omitempty"`
+	// InstanceID references rows previously chunk-uploaded through
+	// POST /v1/instances.
+	InstanceID string `json:"instance_id,omitempty"`
+	// Generate synthesizes the instance server-side.
+	Generate *GenerateSpec `json:"generate,omitempty"`
+	// Options tune the solver.
+	Options SolveOptions `json:"options,omitempty"`
+}
+
+// SolveResult is the kind-specific solution, flattened into one wire
+// struct (only the fields of the request's kind are populated).
+type SolveResult struct {
+	// LP: the optimal point and objective value.
+	X     []float64 `json:"x,omitempty"`
+	Value *float64  `json:"value,omitempty"`
+	// SVM: the max-margin normal, its squared norm and the margin.
+	U      []float64 `json:"u,omitempty"`
+	Norm2  *float64  `json:"norm2,omitempty"`
+	Margin *float64  `json:"margin,omitempty"`
+	// MEB: center and radius.
+	Center []float64 `json:"center,omitempty"`
+	Radius *float64  `json:"radius,omitempty"`
+}
+
+// StatsPayload carries the resource stats of whichever model ran.
+type StatsPayload struct {
+	Stream      *lowdimlp.StreamStats      `json:"stream,omitempty"`
+	Coordinator *lowdimlp.CoordinatorStats `json:"coordinator,omitempty"`
+	MPC         *lowdimlp.MPCStats         `json:"mpc,omitempty"`
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// JobStatus is the response of POST /v1/jobs and GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Kind   string `json:"kind"`
+	Model  string `json:"model"`
+	N      int    `json:"n"`
+	Cached bool   `json:"cached,omitempty"`
+	// ElapsedMS is wall-clock solve time (done/failed jobs only).
+	ElapsedMS float64       `json:"elapsed_ms,omitempty"`
+	Result    *SolveResult  `json:"result,omitempty"`
+	Stats     *StatsPayload `json:"stats,omitempty"`
+	Error     string        `json:"error,omitempty"`
+}
+
+// errorBody is the uniform error response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// MaxDim bounds accepted dimensions: the solvers are exact but
+// exponential in d, so the service refuses instances it could never
+// finish.
+const MaxDim = 16
+
+// MaxGenerateN bounds server-side instance generation.
+const MaxGenerateN = 5_000_000
+
+// MaxInstanceRows bounds a chunk-uploaded instance's total size (the
+// per-request body limit alone would let repeated appends grow one
+// instance without bound).
+const MaxInstanceRows = 5_000_000
+
+// Validate checks a request for structural errors and normalizes the
+// kind/model spelling. Instance material (rows/generate) is checked
+// too, but InstanceID resolution happens later, at submit time.
+func (r *SolveRequest) Validate() error {
+	r.Kind = strings.ToLower(strings.TrimSpace(r.Kind))
+	r.Model = strings.ToLower(strings.TrimSpace(r.Model))
+	if r.Model == "" {
+		r.Model = ModelRAM
+	}
+	switch r.Kind {
+	case KindLP, KindSVM, KindMEB:
+	case "":
+		return fmt.Errorf("missing kind (want lp, svm or meb)")
+	default:
+		return fmt.Errorf("unknown kind %q (want lp, svm or meb)", r.Kind)
+	}
+	switch r.Model {
+	case ModelRAM, ModelStream, ModelCoordinator, ModelMPC:
+	default:
+		return fmt.Errorf("unknown model %q (want ram, stream, coordinator or mpc)", r.Model)
+	}
+	sources := 0
+	if len(r.Rows) > 0 {
+		sources++
+	}
+	if r.InstanceID != "" {
+		sources++
+	}
+	if r.Generate != nil {
+		sources++
+	}
+	if sources > 1 {
+		return fmt.Errorf("rows, instance_id and generate are mutually exclusive")
+	}
+	if r.Generate != nil {
+		return r.validateGenerate()
+	}
+	if r.Dim < 1 {
+		return fmt.Errorf("dim must be ≥ 1, got %d", r.Dim)
+	}
+	if r.Dim > MaxDim {
+		return fmt.Errorf("dim %d exceeds the service limit %d", r.Dim, MaxDim)
+	}
+	if r.Kind == KindLP {
+		if len(r.Objective) != r.Dim {
+			return fmt.Errorf("lp objective needs %d coefficients, got %d", r.Dim, len(r.Objective))
+		}
+		for _, v := range r.Objective {
+			if !finite(v) {
+				return fmt.Errorf("lp objective has a non-finite coefficient")
+			}
+		}
+	}
+	return validateRows(r.Kind, r.Dim, r.Rows)
+}
+
+// validateRows checks instance rows for the given kind/dim — shared
+// by inline requests (Validate) and chunk uploads (InstanceStore), so
+// the two ingestion paths can never drift.
+func validateRows(kind string, dim int, rows [][]float64) error {
+	want := dim
+	if kind == KindLP || kind == KindSVM {
+		want++ // trailing b (lp) or label (svm)
+	}
+	for i, row := range rows {
+		if len(row) != want {
+			return fmt.Errorf("row %d needs %d numbers, got %d", i, want, len(row))
+		}
+		for _, v := range row {
+			if !finite(v) {
+				return fmt.Errorf("row %d has a non-finite number", i)
+			}
+		}
+		if kind == KindSVM {
+			if y := row[dim]; y != 1 && y != -1 {
+				return fmt.Errorf("row %d: svm label must be ±1, got %v", i, y)
+			}
+		}
+	}
+	return nil
+}
+
+func (r *SolveRequest) validateGenerate() error {
+	g := r.Generate
+	g.Family = strings.ToLower(strings.TrimSpace(g.Family))
+	if g.N < 1 {
+		return fmt.Errorf("generate.n must be ≥ 1, got %d", g.N)
+	}
+	if g.N > MaxGenerateN {
+		return fmt.Errorf("generate.n %d exceeds the service limit %d", g.N, MaxGenerateN)
+	}
+	if g.D == 0 {
+		g.D = 3
+	}
+	if g.D < 1 || g.D > MaxDim {
+		return fmt.Errorf("generate.d must be in [1, %d], got %d", MaxDim, g.D)
+	}
+	valid := map[string][]string{
+		KindLP:  {"sphere", "box", "chebyshev"},
+		KindSVM: {"separable"},
+		KindMEB: {"gaussian", "ball", "shell", "lowrank"},
+	}[r.Kind]
+	if g.Family == "" {
+		g.Family = valid[0]
+	}
+	ok := false
+	for _, f := range valid {
+		ok = ok || f == g.Family
+	}
+	if !ok {
+		return fmt.Errorf("generate.family %q invalid for kind %q (want one of %v)",
+			g.Family, r.Kind, valid)
+	}
+	if g.Family == "chebyshev" && g.D < 2 {
+		return fmt.Errorf("generate.family chebyshev needs d ≥ 2 (d = degree+2)")
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Digest is the cache key: a SHA-256 over a canonical binary encoding
+// of everything that determines the answer — kind, model, options,
+// dimension, objective and rows. Requests that would recompute the
+// same solution share a digest.
+func (r *SolveRequest) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	putU := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	putF := func(v float64) { putU(math.Float64bits(v)) }
+	h.Write([]byte(r.Kind))
+	h.Write([]byte{0})
+	h.Write([]byte(r.Model))
+	h.Write([]byte{0})
+	o := r.Options
+	putU(uint64(o.R))
+	putF(o.Delta)
+	putU(o.Seed)
+	if o.MonteCarlo {
+		putU(1)
+	} else {
+		putU(0)
+	}
+	putF(o.NetConst)
+	putU(uint64(o.sites()))
+	putU(uint64(r.Dim))
+	putU(uint64(len(r.Objective)))
+	for _, v := range r.Objective {
+		putF(v)
+	}
+	putU(uint64(len(r.Rows)))
+	for _, row := range r.Rows {
+		for _, v := range row {
+			putF(v)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -106,6 +106,11 @@ type Options struct {
 	// NetConst scales the ε-net sample size (0 = the library default;
 	// see core.Options.NetConst).
 	NetConst float64
+	// Parallel runs coordinator site-local computation on one goroutine
+	// per site. The protocol, its randomness and the metered
+	// communication are identical either way; only wall-clock time
+	// changes. Ignored by the other models.
+	Parallel bool
 }
 
 func (o Options) core() core.Options {
@@ -153,7 +158,7 @@ func SolveLPCoordinator(p LPProblem, parts [][]Halfspace, opt Options) (LPSoluti
 	dom := lp.NewDomain(p, opt.Seed^0x10ca1)
 	b, stats, err := coordinator.Solve(dom, parts,
 		lp.HalfspaceCodec{Dim: p.Dim}, lp.BasisCodec{Dim: p.Dim},
-		coordinator.Options{Core: opt.core()})
+		coordinator.Options{Core: opt.core(), Parallel: opt.Parallel})
 	return b.Sol, stats, err
 }
 
@@ -199,7 +204,7 @@ func SolveSVMCoordinator(dim int, parts [][]SVMExample, opt Options) (SVMSolutio
 	dom := svm.NewDomain(dim)
 	b, stats, err := coordinator.Solve(dom, parts,
 		svm.ExampleCodec{Dim: dim}, svm.BasisCodec{Dim: dim},
-		coordinator.Options{Core: opt.core()})
+		coordinator.Options{Core: opt.core(), Parallel: opt.Parallel})
 	return b.Sol, stats, err
 }
 
@@ -237,7 +242,7 @@ func SolveMEBCoordinator(dim int, parts [][]MEBPoint, opt Options) (MEBBall, Coo
 	dom := meb.NewDomain(dim)
 	b, stats, err := coordinator.Solve(dom, parts,
 		meb.PointCodec{Dim: dim}, meb.BasisCodec{Dim: dim},
-		coordinator.Options{Core: opt.core()})
+		coordinator.Options{Core: opt.core(), Parallel: opt.Parallel})
 	return b.B, stats, err
 }
 
