@@ -1,21 +1,29 @@
 // Command lpserved serves the lowdimlp solvers over HTTP/JSON: solve
-// jobs (LP, hard-margin SVM, minimum enclosing ball, in the ram,
-// stream, coordinator or mpc model) run on a bounded worker pool with
-// a job queue, an LRU result cache, and health/metrics endpoints.
+// jobs for every problem kind in the model registry (LP, hard-margin
+// SVM, minimum enclosing ball, smallest enclosing annulus, in the
+// ram, stream, coordinator or mpc model) run on a bounded worker pool
+// with a job queue, an LRU result cache, and health/metrics
+// endpoints.
 //
 // Usage:
 //
 //	lpserved [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	         [-max-body BYTES]
+//	         [-max-body BYTES] [-instance-ttl D]
 //
 // Endpoints (see internal/server for the wire format):
 //
 //	POST /v1/solve                synchronous solve
 //	POST /v1/jobs                 enqueue; poll GET /v1/jobs/{id}
+//	GET  /v1/models               registered kinds + backends
 //	POST /v1/instances            chunk-upload large instances
 //	POST /v1/instances/{id}/rows  append a batch
+//	GET  /v1/instances            list open uploads (operator view)
+//	DELETE /v1/instances/{id}     drop an upload
 //	GET  /healthz                 liveness
 //	GET  /metrics                 Prometheus-style metrics
+//
+// Chunk uploads idle longer than -instance-ttl are reclaimed
+// automatically, so abandoned uploads cannot wedge the slot limit.
 //
 // Example:
 //
@@ -52,6 +60,7 @@ func main() {
 		queue   = flag.Int("queue", 0, "job queue depth (0 = 4×workers)")
 		cache   = flag.Int("cache", 256, "result-cache capacity (-1 disables)")
 		maxBody = flag.Int64("max-body", 64<<20, "max request body bytes")
+		instTTL = flag.Duration("instance-ttl", server.DefaultInstanceTTL, "idle chunk-upload eviction horizon (negative disables)")
 		grace   = flag.Duration("grace", 30*time.Second, "shutdown drain timeout")
 	)
 	flag.Parse()
@@ -61,6 +70,7 @@ func main() {
 		QueueDepth:   *queue,
 		CacheSize:    *cache,
 		MaxBodyBytes: *maxBody,
+		InstanceTTL:  *instTTL,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

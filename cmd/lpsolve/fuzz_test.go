@@ -12,6 +12,7 @@ func FuzzRunParser(f *testing.F) {
 	f.Add(lpInput)
 	f.Add(svmInput)
 	f.Add(mebInput)
+	f.Add(seaInput)
 	f.Add("lp 1\n1\n")
 	f.Add("meb 2\n\n#only comments\n")
 	f.Fuzz(func(t *testing.T, input string) {
@@ -19,6 +20,6 @@ func FuzzRunParser(f *testing.F) {
 			return
 		}
 		var out bytes.Buffer
-		_ = run(strings.NewReader(input), &out, "ram", 2, 2, 0.5, 1, false)
+		_ = run(strings.NewReader(input), &out, testConfig("ram"))
 	})
 }

@@ -1,11 +1,15 @@
 // Command lpsolve reads a low-dimensional problem instance from a file
 // (or stdin) and solves it in a chosen computation model, printing the
-// solution and the model's resource usage.
+// solution and the model's resource usage. It is driven entirely by
+// the lowdimlp model registry: every registered problem kind (run
+// `lpsolve -kinds` for the catalog) is accepted with no per-kind code
+// here.
 //
 // Usage:
 //
 //	lpsolve [-model ram|stream|coordinator|mpc] [-r N] [-k N]
-//	        [-delta F] [-seed N] [file]
+//	        [-delta F] [-seed N] [-parallel] [file]
+//	lpsolve -kinds
 //
 // # Input format
 //
@@ -19,6 +23,8 @@
 //	                  x_1 … x_d y        (y ∈ {−1, +1})
 //	meb <d>           minimum enclosing ball; one point per line:
 //	                  x_1 … x_d
+//	sea <d>           smallest enclosing annulus; one point per line:
+//	                  x_1 … x_d
 package main
 
 import (
@@ -26,7 +32,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -34,17 +39,42 @@ import (
 	"lowdimlp"
 )
 
+// config carries the solver settings from the flags to run.
+type config struct {
+	// Model is the computation model: ram, stream, coordinator or mpc.
+	Model string
+	// R is the pass/round trade-off parameter.
+	R int
+	// K is the number of coordinator sites.
+	K int
+	// Delta is the MPC load exponent δ.
+	Delta float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Parallel runs coordinator sites on goroutines.
+	Parallel bool
+}
+
+// options converts the CLI settings to library options.
+func (c config) options() lowdimlp.Options {
+	return lowdimlp.Options{R: c.R, K: c.K, Delta: c.Delta, Seed: c.Seed, Parallel: c.Parallel}
+}
+
 func main() {
-	var (
-		model    = flag.String("model", "ram", "computation model: ram|stream|coordinator|mpc")
-		r        = flag.Int("r", 2, "pass/round trade-off parameter r")
-		k        = flag.Int("k", 4, "coordinator sites")
-		delta    = flag.Float64("delta", 0.5, "MPC load exponent δ")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		parallel = flag.Bool("parallel", false, "run coordinator sites on goroutines")
-	)
+	var cfg config
+	flag.StringVar(&cfg.Model, "model", "ram", "computation model: ram|stream|coordinator|mpc")
+	flag.IntVar(&cfg.R, "r", 2, "pass/round trade-off parameter r")
+	flag.IntVar(&cfg.K, "k", 4, "coordinator sites")
+	flag.Float64Var(&cfg.Delta, "delta", 0.5, "MPC load exponent δ")
+	flag.Uint64Var(&cfg.Seed, "seed", 1, "random seed")
+	flag.BoolVar(&cfg.Parallel, "parallel", false, "run coordinator sites on goroutines")
+	kinds := flag.Bool("kinds", false, "list the registered problem kinds and exit")
 	flag.Parse()
 
+	if *kinds {
+		printKinds(os.Stdout)
+		return
+	}
 	in := os.Stdin
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
@@ -54,7 +84,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, os.Stdout, *model, *r, *k, *delta, *seed, *parallel); err != nil {
+	if err := run(in, os.Stdout, cfg); err != nil {
 		fatal(err)
 	}
 }
@@ -64,24 +94,78 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func run(in io.Reader, out io.Writer, model string, r, k int, delta float64, seed uint64, parallel bool) error {
+// printKinds renders the registry catalog.
+func printKinds(out io.Writer) {
+	for _, m := range lowdimlp.Models() {
+		fmt.Fprintf(out, "%-5s %s\n      one %s per line; generators: %s\n",
+			m.Kind(), m.Describe(), m.RowLabel(), strings.Join(m.Families(), ", "))
+	}
+}
+
+// run parses one instance and solves it with the configured model.
+func run(in io.Reader, out io.Writer, cfg config) error {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	kind, dim, err := readHeader(sc)
 	if err != nil {
 		return err
 	}
-	opt := lowdimlp.Options{R: r, Delta: delta, Seed: seed, Parallel: parallel}
-	switch kind {
-	case "lp":
-		return runLP(sc, out, dim, model, k, opt)
-	case "svm":
-		return runSVM(sc, out, dim, model, k, opt)
-	case "meb":
-		return runMEB(sc, out, dim, model, k, opt)
-	default:
-		return fmt.Errorf("unknown problem kind %q (want lp, svm or meb)", kind)
+	m, ok := lowdimlp.LookupKind(kind)
+	if !ok {
+		return fmt.Errorf("unknown problem kind %q (want %s)", kind, strings.Join(lowdimlp.Kinds(), ", "))
 	}
+	inst, err := readInstance(sc, m, dim)
+	if err != nil {
+		return err
+	}
+	sol, stats, err := lowdimlp.SolveInstance(kind, cfg.Model, inst, cfg.options())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, sol.Text())
+	if s := stats.String(); s != "" {
+		fmt.Fprintln(out, s)
+	}
+	return nil
+}
+
+// readInstance parses the objective line (for kinds that have one)
+// and the instance rows, validating widths against the registry
+// entry.
+func readInstance(sc *bufio.Scanner, m lowdimlp.ProblemModel, dim int) (lowdimlp.Instance, error) {
+	inst := lowdimlp.Instance{Dim: dim}
+	width := m.RowWidth(dim)
+	for sc.Scan() {
+		f := fields(sc.Text())
+		if len(f) == 0 {
+			continue
+		}
+		row, err := readRow(f)
+		if err != nil {
+			return inst, err
+		}
+		if m.HasObjective() && inst.Objective == nil {
+			if len(row) != dim {
+				return inst, fmt.Errorf("objective needs %d coefficients, got %d", dim, len(row))
+			}
+			inst.Objective = row
+			continue
+		}
+		if len(row) != width {
+			return inst, fmt.Errorf("%s needs %d numbers, got %d", m.RowLabel(), width, len(row))
+		}
+		if err := m.CheckRow(dim, row); err != nil {
+			return inst, err
+		}
+		inst.Rows = append(inst.Rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return inst, err
+	}
+	if m.HasObjective() && inst.Objective == nil {
+		return inst, fmt.Errorf("missing objective line")
+	}
+	return inst, nil
 }
 
 func readHeader(sc *bufio.Scanner) (kind string, dim int, err error) {
@@ -98,6 +182,9 @@ func readHeader(sc *bufio.Scanner) (kind string, dim int, err error) {
 			return "", 0, fmt.Errorf("bad dimension %q", f[1])
 		}
 		return strings.ToLower(f[0]), d, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", 0, err
 	}
 	return "", 0, fmt.Errorf("empty input")
 }
@@ -119,168 +206,4 @@ func readRow(f []string) ([]float64, error) {
 		row[i] = v
 	}
 	return row, nil
-}
-
-func runLP(sc *bufio.Scanner, out io.Writer, dim int, model string, k int, opt lowdimlp.Options) error {
-	var obj []float64
-	var cons []lowdimlp.Halfspace
-	for sc.Scan() {
-		f := fields(sc.Text())
-		if len(f) == 0 {
-			continue
-		}
-		row, err := readRow(f)
-		if err != nil {
-			return err
-		}
-		if obj == nil {
-			if len(row) != dim {
-				return fmt.Errorf("objective needs %d coefficients, got %d", dim, len(row))
-			}
-			obj = row
-			continue
-		}
-		if len(row) != dim+1 {
-			return fmt.Errorf("constraint needs %d numbers, got %d", dim+1, len(row))
-		}
-		cons = append(cons, lowdimlp.Halfspace{A: row[:dim], B: row[dim]})
-	}
-	if obj == nil {
-		return fmt.Errorf("missing objective line")
-	}
-	p := lowdimlp.NewLP(obj)
-	switch model {
-	case "ram":
-		sol, err := lowdimlp.SolveLP(p, cons, opt.Seed)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "x* = %v\nobjective = %v\n", sol.X, sol.Value)
-	case "stream":
-		sol, stats, err := lowdimlp.SolveLPStreaming(p, lowdimlp.NewSliceStream(cons), len(cons), opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "x* = %v\nobjective = %v\n%v\n", sol.X, sol.Value, stats)
-	case "coordinator":
-		sol, stats, err := lowdimlp.SolveLPCoordinator(p, lowdimlp.Partition(cons, k), opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "x* = %v\nobjective = %v\n%v\n", sol.X, sol.Value, stats)
-	case "mpc":
-		sol, stats, err := lowdimlp.SolveLPMPC(p, cons, opt)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "x* = %v\nobjective = %v\n%v\n", sol.X, sol.Value, stats)
-	default:
-		return fmt.Errorf("unknown model %q", model)
-	}
-	return nil
-}
-
-func runSVM(sc *bufio.Scanner, out io.Writer, dim int, model string, k int, opt lowdimlp.Options) error {
-	var exs []lowdimlp.SVMExample
-	for sc.Scan() {
-		f := fields(sc.Text())
-		if len(f) == 0 {
-			continue
-		}
-		row, err := readRow(f)
-		if err != nil {
-			return err
-		}
-		if len(row) != dim+1 {
-			return fmt.Errorf("example needs %d numbers, got %d", dim+1, len(row))
-		}
-		exs = append(exs, lowdimlp.SVMExample{X: row[:dim], Y: row[dim]})
-	}
-	var (
-		sol   lowdimlp.SVMSolution
-		extra string
-		err   error
-	)
-	switch model {
-	case "ram":
-		sol, err = lowdimlp.SolveSVM(dim, exs)
-	case "stream":
-		var st lowdimlp.StreamStats
-		sol, st, err = lowdimlp.SolveSVMStreaming(dim, lowdimlp.NewSliceStream(exs), len(exs), opt)
-		extra = st.String()
-	case "coordinator":
-		var st lowdimlp.CoordinatorStats
-		sol, st, err = lowdimlp.SolveSVMCoordinator(dim, lowdimlp.Partition(exs, k), opt)
-		extra = st.String()
-	case "mpc":
-		var st lowdimlp.MPCStats
-		sol, st, err = lowdimlp.SolveSVMMPC(dim, exs, opt)
-		extra = st.String()
-	default:
-		return fmt.Errorf("unknown model %q", model)
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "u = %v\n‖u‖² = %v (margin %v)\n", sol.U, sol.Norm2, 1/sqrt(sol.Norm2))
-	if extra != "" {
-		fmt.Fprintln(out, extra)
-	}
-	return nil
-}
-
-func runMEB(sc *bufio.Scanner, out io.Writer, dim int, model string, k int, opt lowdimlp.Options) error {
-	var pts []lowdimlp.MEBPoint
-	for sc.Scan() {
-		f := fields(sc.Text())
-		if len(f) == 0 {
-			continue
-		}
-		row, err := readRow(f)
-		if err != nil {
-			return err
-		}
-		if len(row) != dim {
-			return fmt.Errorf("point needs %d numbers, got %d", dim, len(row))
-		}
-		pts = append(pts, lowdimlp.MEBPoint(row))
-	}
-	var (
-		ball  lowdimlp.MEBBall
-		extra string
-		err   error
-	)
-	switch model {
-	case "ram":
-		ball, err = lowdimlp.SolveMEB(pts)
-	case "stream":
-		var st lowdimlp.StreamStats
-		ball, st, err = lowdimlp.SolveMEBStreaming(dim, lowdimlp.NewSliceStream(pts), len(pts), opt)
-		extra = st.String()
-	case "coordinator":
-		var st lowdimlp.CoordinatorStats
-		ball, st, err = lowdimlp.SolveMEBCoordinator(dim, lowdimlp.Partition(pts, k), opt)
-		extra = st.String()
-	case "mpc":
-		var st lowdimlp.MPCStats
-		ball, st, err = lowdimlp.SolveMEBMPC(dim, pts, opt)
-		extra = st.String()
-	default:
-		return fmt.Errorf("unknown model %q", model)
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "center = %v\nradius = %v\n", ball.Center, ball.Radius())
-	if extra != "" {
-		fmt.Fprintln(out, extra)
-	}
-	return nil
-}
-
-func sqrt(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	return math.Sqrt(x)
 }

@@ -26,10 +26,22 @@ const mebInput = `meb 2
 1 1
 `
 
+const seaInput = `sea 2
+1 0
+-1 0
+0 1
+0 -1
+`
+
+// testConfig mirrors the historical flag defaults.
+func testConfig(model string) config {
+	return config{Model: model, R: 2, K: 2, Delta: 0.5, Seed: 1}
+}
+
 func solve(t *testing.T, input, model string) string {
 	t.Helper()
 	var out bytes.Buffer
-	if err := run(strings.NewReader(input), &out, model, 2, 2, 0.5, 1, false); err != nil {
+	if err := run(strings.NewReader(input), &out, testConfig(model)); err != nil {
 		t.Fatalf("model %s: %v", model, err)
 	}
 	return out.String()
@@ -59,6 +71,17 @@ func TestRunMEB(t *testing.T) {
 	}
 }
 
+func TestRunSEAAllModels(t *testing.T) {
+	// Four unit-circle points: the annulus degenerates to the circle
+	// itself — width 0, both radii 1.
+	for _, model := range []string{"ram", "stream", "coordinator", "mpc"} {
+		got := solve(t, seaInput, model)
+		if !strings.Contains(got, "width = 0") || !strings.Contains(got, "R = 1") {
+			t.Errorf("model %s: sea output %q", model, got)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := []struct{ name, input, model string }{
 		{"empty", "", "ram"},
@@ -69,18 +92,20 @@ func TestRunErrors(t *testing.T) {
 		{"short constraint", "lp 2\n1 1\n1 2\n", "ram"},
 		{"missing objective", "lp 2\n", "ram"},
 		{"bad example", "svm 2\n1 2\n", "ram"},
+		{"bad label", "svm 1\n1 5\n", "ram"},
 		{"bad point", "meb 2\n1\n", "ram"},
+		{"short sea point", "sea 2\n1\n", "ram"},
 	}
 	for _, c := range cases {
 		var out bytes.Buffer
-		if err := run(strings.NewReader(c.input), &out, c.model, 2, 2, 0.5, 1, false); err == nil {
+		if err := run(strings.NewReader(c.input), &out, testConfig(c.model)); err == nil {
 			t.Errorf("%s: expected an error", c.name)
 		}
 	}
 	// Unknown models must error on every kind.
-	for _, input := range []string{svmInput, mebInput} {
+	for _, input := range []string{svmInput, mebInput, seaInput} {
 		var out bytes.Buffer
-		if err := run(strings.NewReader(input), &out, "quantum", 2, 2, 0.5, 1, false); err == nil {
+		if err := run(strings.NewReader(input), &out, testConfig("quantum")); err == nil {
 			t.Error("expected unknown-model error")
 		}
 	}
@@ -95,8 +120,13 @@ func TestFieldsStripsComments(t *testing.T) {
 	}
 }
 
-func TestSqrtHelper(t *testing.T) {
-	if sqrt(-4) != 0 || sqrt(0) != 0 || sqrt(9) != 3 {
-		t.Error("sqrt helper misbehaves")
+func TestPrintKinds(t *testing.T) {
+	var out bytes.Buffer
+	printKinds(&out)
+	got := out.String()
+	for _, kind := range []string{"lp", "svm", "meb", "sea"} {
+		if !strings.Contains(got, kind+" ") && !strings.Contains(got, kind+"\n") {
+			t.Errorf("kind %s missing from catalog:\n%s", kind, got)
+		}
 	}
 }

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"lowdimlp/internal/coordinator"
+	"lowdimlp/internal/mpc"
+	"lowdimlp/internal/stream"
+)
+
+// Per-backend stats, re-exported so spec authors and consumers need
+// not import the substrate packages.
+type (
+	StreamingStats   = stream.Stats
+	CoordinatorStats = coordinator.Stats
+	MPCStats         = mpc.Stats
+)
+
+// Stream re-exports the multi-pass input abstraction.
+type Stream[C any] = stream.Stream[C]
+
+// NewSliceStream adapts a slice to a Stream.
+func NewSliceStream[C any](items []C) Stream[C] { return stream.NewSliceStream(items) }
+
+// Partition splits items across k sites round-robin.
+func Partition[C any](items []C, k int) [][]C {
+	parts := make([][]C, k)
+	for i, c := range items {
+		parts[i%k] = append(parts[i%k], c)
+	}
+	return parts
+}
+
+// SolveRAM solves with the in-memory reference solver (the oracle the
+// distributed backends are tested against). The raw seed goes to the
+// domain, matching the historical per-kind entry points bit for bit.
+func SolveRAM[P, C, B any](s *Spec[P, C, B], p P, items []C, opt Options) (B, error) {
+	return s.NewDomain(p, opt.Seed).Solve(items)
+}
+
+// SolveStreaming solves over a multi-pass stream of n items
+// (Theorems 1/5/6; pass n ≤ 0 to count with one extra pass).
+func SolveStreaming[P, C, B any](s *Spec[P, C, B], p P, st Stream[C], n int, opt Options) (B, StreamingStats, error) {
+	dom := s.NewDomain(p, opt.Seed^s.SeedMix)
+	dim := s.Dim(p)
+	var zc C
+	var zb B
+	return stream.Solve[C, B](dom, st, n, stream.Options{
+		Core:         opt.Core(),
+		BitsPerItem:  s.ItemCodec(dim).Bits(zc),
+		BitsPerBasis: s.BasisCodec(dim).Bits(zb),
+	})
+}
+
+// SolveCoordinator solves over a k-site partition (Theorem 2).
+func SolveCoordinator[P, C, B any](s *Spec[P, C, B], p P, parts [][]C, opt Options) (B, CoordinatorStats, error) {
+	dom := s.NewDomain(p, opt.Seed^s.SeedMix)
+	dim := s.Dim(p)
+	return coordinator.Solve(dom, parts, s.ItemCodec(dim), s.BasisCodec(dim),
+		coordinator.Options{Core: opt.Core(), Parallel: opt.Parallel})
+}
+
+// SolveMPC solves in the MPC model with per-machine load O~(n^Delta)
+// (Theorem 3).
+func SolveMPC[P, C, B any](s *Spec[P, C, B], p P, items []C, opt Options) (B, MPCStats, error) {
+	dom := s.NewDomain(p, opt.Seed^s.SeedMix)
+	dim := s.Dim(p)
+	co := opt.Core()
+	if opt.R == 0 {
+		co.R = 0 // let the MPC solver derive r = ⌈1/δ⌉
+	}
+	return mpc.Solve(dom, items, s.ItemCodec(dim), s.BasisCodec(dim),
+		mpc.Options{Core: co, Delta: opt.Delta})
+}

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// The process-wide kind registry. Registration happens from package
+// init (internal/models); lookups happen on every request, so the
+// lock is read-mostly.
+var (
+	regMu     sync.RWMutex
+	regByKind = make(map[string]Model)
+	regOrder  []string
+)
+
+// Register adds a problem kind to the process-wide registry, making
+// it solvable through every backend and consumer. It panics on a
+// duplicate or empty kind — registration is an init-time programming
+// act, not a runtime input.
+func Register(m Model) {
+	kind := strings.ToLower(strings.TrimSpace(m.Kind()))
+	if kind == "" {
+		panic("engine: Register with empty kind")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regByKind[kind]; dup {
+		panic(fmt.Sprintf("engine: kind %q registered twice", kind))
+	}
+	regByKind[kind] = m
+	regOrder = append(regOrder, kind)
+}
+
+// Lookup returns the model registered under kind (case-insensitive).
+func Lookup(kind string) (Model, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	m, ok := regByKind[strings.ToLower(strings.TrimSpace(kind))]
+	return m, ok
+}
+
+// Kinds returns the registered kind names in registration order.
+func Kinds() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}
+
+// Models returns the registered models in registration order.
+func Models() []Model {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Model, 0, len(regOrder))
+	for _, k := range regOrder {
+		out = append(out, regByKind[k])
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"lowdimlp/internal/coordinator"
+	"lowdimlp/internal/mpc"
+	"lowdimlp/internal/stream"
+)
+
+// Field is one named component of a rendered solution: either a
+// vector (Vec) or a scalar (Num). Key is the wire name (JSON object
+// key); Label is the human form used by text renderers (falls back to
+// Key when empty, e.g. after a JSON round-trip).
+type Field struct {
+	Key   string
+	Label string
+	Vec   []float64
+	Num   float64
+	IsVec bool
+}
+
+// VecField returns a vector solution field.
+func VecField(key, label string, v []float64) Field {
+	return Field{Key: key, Label: label, Vec: v, IsVec: true}
+}
+
+// NumField returns a scalar solution field.
+func NumField(key, label string, v float64) Field {
+	return Field{Key: key, Label: label, Num: v}
+}
+
+// Solution is a rendered solve result: an ordered list of named
+// fields, independent of the problem kind that produced it. It
+// marshals as a flat JSON object ({"x": [1, 2], "value": 3}), which
+// is the lpserved wire form.
+type Solution struct {
+	Fields []Field
+}
+
+// Scalar returns the scalar field with the given key.
+func (s Solution) Scalar(key string) (float64, bool) {
+	for _, f := range s.Fields {
+		if f.Key == key && !f.IsVec {
+			return f.Num, true
+		}
+	}
+	return 0, false
+}
+
+// Vector returns the vector field with the given key.
+func (s Solution) Vector(key string) ([]float64, bool) {
+	for _, f := range s.Fields {
+		if f.Key == key && f.IsVec {
+			return f.Vec, true
+		}
+	}
+	return nil, false
+}
+
+// Text renders the solution for terminals: one "label = value" line
+// per field, in field order.
+func (s Solution) Text() string {
+	var b strings.Builder
+	for _, f := range s.Fields {
+		label := f.Label
+		if label == "" {
+			label = f.Key
+		}
+		if f.IsVec {
+			fmt.Fprintf(&b, "%s = %v\n", label, f.Vec)
+		} else {
+			fmt.Fprintf(&b, "%s = %v\n", label, f.Num)
+		}
+	}
+	return b.String()
+}
+
+// MarshalJSON renders the fields as one flat object in field order.
+func (s Solution) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, f := range s.Fields {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		k, err := json.Marshal(f.Key)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(k)
+		buf.WriteByte(':')
+		var v []byte
+		if f.IsVec {
+			v, err = json.Marshal(f.Vec)
+		} else {
+			v, err = json.Marshal(f.Num)
+		}
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(v)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}
+
+// UnmarshalJSON parses a flat object, preserving key order. Array
+// values become vector fields, numbers scalar fields; labels are not
+// on the wire and stay empty.
+func (s *Solution) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return fmt.Errorf("engine: solution must be a JSON object")
+	}
+	s.Fields = s.Fields[:0]
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		key, ok := keyTok.(string)
+		if !ok {
+			return fmt.Errorf("engine: bad solution key %v", keyTok)
+		}
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return err
+		}
+		trimmed := bytes.TrimSpace(raw)
+		if len(trimmed) > 0 && trimmed[0] == '[' {
+			var v []float64
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return fmt.Errorf("engine: solution field %q: %w", key, err)
+			}
+			s.Fields = append(s.Fields, Field{Key: key, Vec: v, IsVec: true})
+		} else {
+			var v float64
+			if err := json.Unmarshal(raw, &v); err != nil {
+				return fmt.Errorf("engine: solution field %q: %w", key, err)
+			}
+			s.Fields = append(s.Fields, Field{Key: key, Num: v})
+		}
+	}
+	_, err = dec.Token() // consume '}'
+	return err
+}
+
+// Stats carries the resource report of whichever backend ran; at most
+// one member is set (none for ram). The JSON tags are the lpserved
+// wire form.
+type Stats struct {
+	Stream      *stream.Stats      `json:"stream,omitempty"`
+	Coordinator *coordinator.Stats `json:"coordinator,omitempty"`
+	MPC         *mpc.Stats         `json:"mpc,omitempty"`
+}
+
+// String renders the populated member's summary line ("" for ram).
+func (s Stats) String() string {
+	switch {
+	case s.Stream != nil:
+		return s.Stream.String()
+	case s.Coordinator != nil:
+		return s.Coordinator.String()
+	case s.MPC != nil:
+		return s.MPC.String()
+	}
+	return ""
+}

@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"lowdimlp/internal/comm"
+	"lowdimlp/internal/lptype"
+)
+
+// Instance is the flat, kind-independent wire form of a problem
+// instance: one []float64 row per constraint/example/point (the
+// lpsolve text-format layout), plus the objective row for kinds that
+// have one (LP).
+type Instance struct {
+	Dim       int
+	Objective []float64
+	Rows      [][]float64
+}
+
+// GenParams parameterize an instance generator.
+type GenParams struct {
+	// N is the instance size (constraints / examples / points).
+	N int
+	// D is the ambient dimension.
+	D int
+	// Seed drives the generator.
+	Seed uint64
+	// Margin is the planted SVM margin (0 = family default).
+	Margin float64
+	// Noise is the sample noise / shell thickness (0 = family default).
+	Noise float64
+}
+
+// Generator is one synthetic instance family of a kind.
+type Generator struct {
+	// Family is the wire name (?generate=<family>). The first
+	// generator of a Spec is the kind's default family.
+	Family string
+	// Doc is a one-line description.
+	Doc string
+	// Check validates family-specific parameter constraints (optional).
+	Check func(p GenParams) error
+	// Make synthesizes the instance. Defaults for Margin/Noise are
+	// applied here, so equal parameters always mean equal instances.
+	Make func(p GenParams) Instance
+}
+
+// Spec describes one LP-type problem kind to the engine: how to build
+// its domain (P is the kind's problem type — lp.Problem for LP, the
+// ambient dimension for the others), how to encode its constraints
+// (C) and bases (B) for wire transport and resource accounting, how
+// to translate flat rows to constraints and back, how to render a
+// basis for humans and HTTP clients, and which synthetic families it
+// can generate. Registering a Spec makes the kind available to every
+// backend and every consumer at once.
+type Spec[P, C, B any] struct {
+	// Name is the wire kind ("lp", "svm", "meb", "sea").
+	Name string
+	// Doc is a one-line description for listings.
+	Doc string
+	// RowName names one row ("constraint", "example", "point").
+	RowName string
+	// Objective marks kinds whose instances carry an objective row.
+	Objective bool
+	// Empty allows empty instances (LP: the box optimum).
+	Empty bool
+	// SeedMix is XORed into Options.Seed for the distributed backends
+	// (the ram reference uses the raw seed), preserving the historical
+	// per-kind seed streams.
+	SeedMix uint64
+
+	// Dim returns the ambient dimension of a problem value.
+	Dim func(p P) int
+	// Problem builds the typed problem from a flat instance.
+	Problem func(inst Instance) (P, error)
+	// NewDomain builds the LP-type domain (the paper's Tb/Tv pair).
+	NewDomain func(p P, seed uint64) lptype.Domain[C, B]
+	// ItemCodec and BasisCodec serialize constraints and bases for the
+	// communication-metered backends.
+	ItemCodec  func(dim int) comm.Codec[C]
+	BasisCodec func(dim int) comm.Codec[B]
+
+	// Width is the numbers-per-row of a flat instance at dimension d.
+	Width func(dim int) int
+	// Item decodes one flat row (of Width(dim) numbers) into a
+	// constraint; Row is its inverse.
+	Item func(dim int, row []float64) C
+	Row  func(dim int, item C) []float64
+	// Check validates kind-specific row invariants (optional).
+	Check func(dim int, row []float64) error
+
+	// Render converts a basis into the wire/terminal solution.
+	Render func(dim int, b B) Solution
+
+	// Generators lists the kind's synthetic families (first = default).
+	Generators []Generator
+}
+
+// Model is the registry's non-generic view of a Spec: everything a
+// kind-agnostic consumer (HTTP server, CLI, conformance suite) needs,
+// with instances in flat row form.
+type Model interface {
+	// Kind returns the wire name.
+	Kind() string
+	// Describe returns the one-line description.
+	Describe() string
+	// RowName names one instance row.
+	RowLabel() string
+	// HasObjective reports whether instances carry an objective row.
+	HasObjective() bool
+	// AllowsEmpty reports whether an instance may have zero rows.
+	AllowsEmpty() bool
+	// RowWidth returns the numbers-per-row at dimension d.
+	RowWidth(dim int) int
+	// CheckRow validates kind-specific row invariants.
+	CheckRow(dim int, row []float64) error
+	// Families lists the generator families (first = default).
+	Families() []string
+	// CheckGenerate validates a family name and its parameters.
+	CheckGenerate(family string, p GenParams) error
+	// Generate synthesizes an instance.
+	Generate(family string, p GenParams) (Instance, error)
+	// SolveInstance solves a flat instance on the named backend. The
+	// stats are populated (for non-ram backends) even when the solve
+	// fails, so callers can report partial resource usage.
+	SolveInstance(backend string, inst Instance, opt Options) (Solution, Stats, error)
+
+	// RowRoundTrip decodes and re-encodes one row (conformance).
+	RowRoundTrip(dim int, row []float64) []float64
+	// CodecRoundTrip runs one row through the item codec (conformance).
+	CodecRoundTrip(dim int, row []float64) ([]float64, error)
+	// BasisRoundTrip solves inst in ram, runs the basis through the
+	// basis codec, and returns both rendered solutions (conformance:
+	// the decoded basis must render identically).
+	BasisRoundTrip(inst Instance, opt Options) (Solution, Solution, error)
+}
+
+func (s *Spec[P, C, B]) Kind() string         { return s.Name }
+func (s *Spec[P, C, B]) Describe() string     { return s.Doc }
+func (s *Spec[P, C, B]) RowLabel() string     { return s.RowName }
+func (s *Spec[P, C, B]) HasObjective() bool   { return s.Objective }
+func (s *Spec[P, C, B]) AllowsEmpty() bool    { return s.Empty }
+func (s *Spec[P, C, B]) RowWidth(dim int) int { return s.Width(dim) }
+
+// CheckRow validates one flat row's kind-specific invariants (row
+// width is the caller's concern — see RowWidth).
+func (s *Spec[P, C, B]) CheckRow(dim int, row []float64) error {
+	if s.Check == nil {
+		return nil
+	}
+	return s.Check(dim, row)
+}
+
+// Families lists the generator families in declaration order.
+func (s *Spec[P, C, B]) Families() []string {
+	out := make([]string, len(s.Generators))
+	for i, g := range s.Generators {
+		out[i] = g.Family
+	}
+	return out
+}
+
+func (s *Spec[P, C, B]) generator(family string) (Generator, error) {
+	for _, g := range s.Generators {
+		if g.Family == family {
+			return g, nil
+		}
+	}
+	return Generator{}, fmt.Errorf("generate.family %q invalid for kind %q (want one of %v)",
+		family, s.Name, s.Families())
+}
+
+// CheckGenerate validates the family name and its parameters.
+func (s *Spec[P, C, B]) CheckGenerate(family string, p GenParams) error {
+	g, err := s.generator(family)
+	if err != nil {
+		return err
+	}
+	if g.Check != nil {
+		return g.Check(p)
+	}
+	return nil
+}
+
+// Generate synthesizes an instance of the given family.
+func (s *Spec[P, C, B]) Generate(family string, p GenParams) (Instance, error) {
+	g, err := s.generator(family)
+	if err != nil {
+		return Instance{}, err
+	}
+	if p.D == 0 {
+		p.D = 3
+	}
+	if p.N < 1 {
+		return Instance{}, fmt.Errorf("generate.n must be ≥ 1, got %d", p.N)
+	}
+	if g.Check != nil {
+		if err := g.Check(p); err != nil {
+			return Instance{}, err
+		}
+	}
+	return g.Make(p), nil
+}
+
+// problem validates the flat instance and builds the typed problem
+// plus the decoded constraint slice.
+func (s *Spec[P, C, B]) problem(inst Instance) (P, []C, error) {
+	var zero P
+	if inst.Dim < 1 {
+		return zero, nil, fmt.Errorf("%s: dim must be ≥ 1, got %d", s.Name, inst.Dim)
+	}
+	if len(inst.Rows) == 0 && !s.Empty {
+		return zero, nil, fmt.Errorf("%s: empty instance", s.Name)
+	}
+	want := s.Width(inst.Dim)
+	items := make([]C, len(inst.Rows))
+	for i, row := range inst.Rows {
+		if len(row) != want {
+			return zero, nil, fmt.Errorf("%s: row %d needs %d numbers, got %d", s.Name, i, want, len(row))
+		}
+		if err := s.CheckRow(inst.Dim, row); err != nil {
+			return zero, nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		items[i] = s.Item(inst.Dim, row)
+	}
+	p, err := s.Problem(inst)
+	if err != nil {
+		return zero, nil, err
+	}
+	return p, items, nil
+}
+
+// SolveInstance decodes the flat instance and dispatches it to the
+// named backend — the single backend switch in the codebase.
+func (s *Spec[P, C, B]) SolveInstance(backend string, inst Instance, opt Options) (Solution, Stats, error) {
+	var stats Stats
+	p, items, err := s.problem(inst)
+	if err != nil {
+		return Solution{}, stats, err
+	}
+	var b B
+	switch backend {
+	case BackendRAM:
+		b, err = SolveRAM(s, p, items, opt)
+	case BackendStream:
+		var st StreamingStats
+		b, st, err = SolveStreaming(s, p, NewSliceStream(items), len(items), opt)
+		stats.Stream = &st
+	case BackendCoordinator:
+		var st CoordinatorStats
+		b, st, err = SolveCoordinator(s, p, Partition(items, opt.Sites()), opt)
+		stats.Coordinator = &st
+	case BackendMPC:
+		var st MPCStats
+		b, st, err = SolveMPC(s, p, items, opt)
+		stats.MPC = &st
+	default:
+		return Solution{}, stats, fmt.Errorf("unknown model %q (want %s)", backend, strings.Join(Backends(), ", "))
+	}
+	if err != nil {
+		return Solution{}, stats, err
+	}
+	return s.Render(inst.Dim, b), stats, nil
+}
+
+// RowRoundTrip decodes row into a constraint and re-encodes it.
+func (s *Spec[P, C, B]) RowRoundTrip(dim int, row []float64) []float64 {
+	return s.Row(dim, s.Item(dim, row))
+}
+
+// CodecRoundTrip encodes the row's constraint through the item codec
+// and back, returning the re-flattened row.
+func (s *Spec[P, C, B]) CodecRoundTrip(dim int, row []float64) ([]float64, error) {
+	c := s.ItemCodec(dim)
+	enc := c.Append(nil, s.Item(dim, row))
+	item, n, err := c.Decode(enc)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(enc) {
+		return nil, fmt.Errorf("%s: item codec consumed %d of %d bytes", s.Name, n, len(enc))
+	}
+	return s.Row(dim, item), nil
+}
+
+// BasisRoundTrip solves inst with the ram reference, pushes the basis
+// through the basis codec, and renders both sides.
+func (s *Spec[P, C, B]) BasisRoundTrip(inst Instance, opt Options) (Solution, Solution, error) {
+	p, items, err := s.problem(inst)
+	if err != nil {
+		return Solution{}, Solution{}, err
+	}
+	b, err := SolveRAM(s, p, items, opt)
+	if err != nil {
+		return Solution{}, Solution{}, err
+	}
+	c := s.BasisCodec(inst.Dim)
+	enc := c.Append(nil, b)
+	dec, n, err := c.Decode(enc)
+	if err != nil {
+		return Solution{}, Solution{}, err
+	}
+	if n != len(enc) {
+		return Solution{}, Solution{}, fmt.Errorf("%s: basis codec consumed %d of %d bytes", s.Name, n, len(enc))
+	}
+	return s.Render(inst.Dim, b), s.Render(inst.Dim, dec), nil
+}

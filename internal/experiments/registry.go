@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"lowdimlp/internal/engine"
+	_ "lowdimlp/internal/models" // populate the kind registry
+)
+
+func init() {
+	register(Experiment{
+		ID:    "M1",
+		Title: "Model registry: every kind × every backend",
+		Claim: "engine registry: each registered kind solves identically on all four backends",
+		Run:   runM1,
+	})
+}
+
+// runM1 sweeps the full kind × backend cross-product off the engine
+// registry — the experiment is written once and automatically covers
+// kinds registered later. For each cell it reports wall-clock time
+// and the first scalar of the rendered solution (the kind's headline
+// number), checking every backend against the ram reference.
+func runM1(w io.Writer, cfg Config) error {
+	n := 200_000
+	if cfg.Quick {
+		n = 20_000
+	}
+	t := newTable(w, "kind", "family", "model", "n", "ms", "result", "agrees")
+	for _, m := range engine.Models() {
+		family := m.Families()[0]
+		inst, err := m.Generate(family, engine.GenParams{N: n, D: 3, Seed: cfg.Seed})
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", m.Kind(), family, err)
+		}
+		opt := engine.Options{R: 2, Seed: cfg.Seed, K: 8, Parallel: true}
+		var ref float64
+		for _, backend := range engine.Backends() {
+			start := time.Now()
+			sol, _, err := m.SolveInstance(backend, inst, opt)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", m.Kind(), backend, err)
+			}
+			val := firstScalar(sol)
+			verdict := "ref"
+			if backend != engine.BackendRAM {
+				verdict = pass(math.Abs(val-ref) <= 1e-6*(1+math.Abs(val)+math.Abs(ref)))
+			} else {
+				ref = val
+			}
+			t.row(m.Kind(), family, backend, len(inst.Rows),
+				fmt.Sprintf("%.1f", float64(time.Since(start))/float64(time.Millisecond)),
+				fmt.Sprintf("%.6g", val), verdict)
+		}
+	}
+	t.flush()
+	return nil
+}
+
+// firstScalar returns the first scalar field of a rendered solution
+// (lp: value, svm: norm2, meb: radius, sea: inner radius).
+func firstScalar(s engine.Solution) float64 {
+	for _, f := range s.Fields {
+		if !f.IsVec {
+			return f.Num
+		}
+	}
+	return 0
+}

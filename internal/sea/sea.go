@@ -1,0 +1,232 @@
+// Package sea implements the smallest enclosing annulus problem — the
+// fourth LP-type problem of this repository, registered through
+// internal/engine (see internal/models) to demonstrate that adding a
+// workload costs one Spec, not per-layer plumbing.
+//
+// # Problem
+//
+// Given points p_1 … p_n in R^d, find a center c and radii r ≤ R
+// minimizing R² − r² such that every point lies in the closed annulus
+// r ≤ |p_i − c| ≤ R. This is the classical "roundness" objective of
+// computational metrology (how far from a sphere is a machined part?)
+// and a textbook LP-type problem: with u := R² − |c|² and
+// v := r² − |c|², the constraint for point p reads
+//
+//	v ≤ |p|² − 2⟨p, c⟩ ≤ u,
+//
+// linear in (c, u, v), so the whole problem is a linear program in
+// R^{d+2} minimizing u − v — which is exactly R² − r². Each point
+// contributes the two halfspaces above; a basis touches at most d+3
+// of them, hence at most d+3 points (ν = d+3).
+//
+// # Exactness and degeneracy
+//
+// The solver is the repository's exact Seidel LP solver on the lifted
+// program, with the standard bounding box. Violation tests are done in
+// lifted coordinates (|p|² − 2⟨p, c⟩ vs u and v), which is free of the
+// catastrophic cancellation that recovering R² = u + |c|² would cost
+// when an under-determined subset (fewer than d+2 points in general
+// position) pushes the center to the box. Such centers only arise for
+// intermediate bases inside the meta-algorithm; a well-posed instance
+// renders a data-scale annulus.
+package sea
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"lowdimlp/internal/lp"
+	"lowdimlp/internal/lptype"
+	"lowdimlp/internal/numeric"
+)
+
+// Point is a point in R^d. As an LP-type constraint it reads "the
+// annulus covers me".
+type Point []float64
+
+// Annulus is a d-dimensional annulus: the set of points at distance
+// [r, R] from the center, stored as squared radii.
+type Annulus struct {
+	Center []float64
+	R2     float64 // outer squared radius
+	InR2   float64 // inner squared radius
+}
+
+// OuterRadius returns R (0 for a degenerate annulus).
+func (a Annulus) OuterRadius() float64 { return safeSqrt(a.R2) }
+
+// InnerRadius returns r.
+func (a Annulus) InnerRadius() float64 { return safeSqrt(a.InR2) }
+
+// Width returns R − r, the shell thickness.
+func (a Annulus) Width() float64 { return a.OuterRadius() - a.InnerRadius() }
+
+func safeSqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+func (a Annulus) String() string {
+	return fmt.Sprintf("annulus(center=%v, r=%v, R=%v)", a.Center, a.InnerRadius(), a.OuterRadius())
+}
+
+// Basis is the LP-type basis: the lifted optimum X = (c_1…c_d, u, v)
+// of the solved subset plus its support points (the points whose
+// inner or outer constraint is tight). The zero value (X = nil) is
+// f(∅): the "null annulus" every point violates.
+type Basis struct {
+	X       []float64
+	Support []Point
+}
+
+// IsEmpty reports whether b is the basis of the empty point set.
+func (b Basis) IsEmpty() bool { return b.X == nil }
+
+// Annulus recovers the geometric annulus from the lifted solution.
+// The inner squared radius is clamped at 0 (float round-off can leave
+// v + |c|² marginally negative on zero-width instances).
+func (b Basis) Annulus() Annulus {
+	if b.IsEmpty() {
+		return Annulus{}
+	}
+	d := len(b.X) - 2
+	c := b.X[:d]
+	c2 := numeric.Dot(c, c)
+	a := Annulus{Center: append([]float64(nil), c...), R2: b.X[d] + c2, InR2: b.X[d+1] + c2}
+	if a.R2 < 0 {
+		a.R2 = 0
+	}
+	if a.InR2 < 0 {
+		a.InR2 = 0
+	}
+	return a
+}
+
+// Domain adapts the smallest enclosing annulus to the lptype.Domain
+// interface via the lifted linear program. It is safe for concurrent
+// use: like lp.Domain, each Solve call derives a private shuffle
+// stream from the seed and an atomic call counter.
+type Domain struct {
+	Dim  int
+	Seed uint64
+
+	calls atomic.Uint64
+}
+
+// NewDomain returns a SEA domain for points in R^dim.
+func NewDomain(dim int, seed uint64) *Domain { return &Domain{Dim: dim, Seed: seed} }
+
+// liftedProblem returns the LP "minimize u − v" in R^{d+2} with
+// variables (c, u, v).
+func liftedProblem(d int) lp.Problem {
+	obj := make([]float64, d+2)
+	obj[d] = 1
+	obj[d+1] = -1
+	return lp.NewProblem(obj)
+}
+
+// liftedCons appends the two halfspaces of point p:
+//
+//	|p|² − 2⟨p, c⟩ − u ≤ 0   (outer: p inside radius R)
+//	v − |p|² + 2⟨p, c⟩ ≤ 0   (inner: p outside radius r)
+func liftedCons(d int, p Point, dst []lp.Halfspace) []lp.Halfspace {
+	q2 := numeric.Dot(p, p)
+	outer := make([]float64, d+2)
+	inner := make([]float64, d+2)
+	for j, x := range p {
+		outer[j] = -2 * x
+		inner[j] = 2 * x
+	}
+	outer[d] = -1
+	inner[d+1] = 1
+	return append(dst,
+		lp.Halfspace{A: outer, B: -q2},
+		lp.Halfspace{A: inner, B: q2},
+	)
+}
+
+// Solve computes the basis of the point subset (Tb) by solving the
+// lifted LP exactly with Seidel's algorithm.
+func (d *Domain) Solve(pts []Point) (Basis, error) {
+	if len(pts) == 0 {
+		return Basis{}, nil // the null annulus, violated by every point
+	}
+	cons := make([]lp.Halfspace, 0, 2*len(pts))
+	for _, p := range pts {
+		cons = liftedCons(d.Dim, p, cons)
+	}
+	rng := numeric.NewRand(d.Seed, d.calls.Add(1))
+	sol, err := lp.Seidel(liftedProblem(d.Dim), cons, rng)
+	if err != nil {
+		return Basis{}, err
+	}
+	b := Basis{X: sol.X}
+	b.Support = supportOf(pts, b, d.Dim+3)
+	return b, nil
+}
+
+// Basis returns the support points of b.
+func (d *Domain) Basis(b Basis) []Point { return b.Support }
+
+// Violates reports whether p violates b (Tv): p's lifted value
+// |p|² − 2⟨p, c⟩ falls outside [v, u], up to the same data-scaled
+// slack the LP solver itself uses for the two halfspaces of p.
+func (d *Domain) Violates(b Basis, p Point) bool {
+	if b.IsEmpty() {
+		return true
+	}
+	lift, u, v, slack := liftEval(b.X, p)
+	return lift-u > slack+numeric.Eps*math.Abs(u) || v-lift > slack+numeric.Eps*math.Abs(v)
+}
+
+// liftEval returns the lifted value of p at basis solution x, the
+// bounds u and v, and the shared |p|²+|2p·c| part of the slack scale
+// (mirroring lp.Halfspace.Satisfied's data-scaled tolerance).
+func liftEval(x []float64, p Point) (lift, u, v, slack float64) {
+	d := len(x) - 2
+	q2 := numeric.Dot(p, p)
+	dot := 0.0
+	scale := math.Abs(q2) + 1
+	for i, xi := range p {
+		t := 2 * xi * x[i]
+		dot += t
+		scale += math.Abs(t)
+	}
+	return q2 - dot, x[d], x[d+1], numeric.Eps * scale
+}
+
+// CombinatorialDim returns ν = d+3: a basis of the lifted LP in
+// R^{d+2} has at most d+3 tight halfspaces, each from a distinct
+// point in the worst case.
+func (d *Domain) CombinatorialDim() int { return d.Dim + 3 }
+
+// VCDim returns λ for the induced range space (complements of annuli
+// — each range an intersection of two lifted halfspaces). We use the
+// lifted-halfspace bound d+3; as everywhere in this repository the
+// solvers are Las Vegas, so λ only sizes the ε-nets (resources),
+// never correctness.
+func (d *Domain) VCDim() int { return d.Dim + 3 }
+
+// supportOf returns the points whose inner or outer constraint is
+// tight at b (capped at max points).
+func supportOf(pts []Point, b Basis, max int) []Point {
+	var out []Point
+	for _, p := range pts {
+		lift, u, v, slack := liftEval(b.X, p)
+		tight := math.Abs(lift-u) <= 64*(slack+numeric.Eps*math.Abs(u)) ||
+			math.Abs(lift-v) <= 64*(slack+numeric.Eps*math.Abs(v))
+		if tight {
+			out = append(out, p)
+			if len(out) == max {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// interface conformance
+var _ lptype.Domain[Point, Basis] = (*Domain)(nil)

@@ -1,0 +1,243 @@
+package sea
+
+import (
+	"math"
+	"testing"
+
+	"lowdimlp/internal/engine"
+	"lowdimlp/internal/lptype"
+	"lowdimlp/internal/numeric"
+)
+
+func TestUnitCircleAnnulus(t *testing.T) {
+	pts := []Point{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+	d := NewDomain(2, 1)
+	b, err := d.Solve(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := b.Annulus()
+	if math.Abs(a.OuterRadius()-1) > 1e-9 || math.Abs(a.InnerRadius()-1) > 1e-9 {
+		t.Fatalf("want the unit circle (width 0), got %v", a)
+	}
+	if math.Abs(a.Center[0]) > 1e-9 || math.Abs(a.Center[1]) > 1e-9 {
+		t.Fatalf("center %v, want the origin", a.Center)
+	}
+	for _, p := range pts {
+		if d.Violates(b, p) {
+			t.Fatalf("point %v violates its own basis", p)
+		}
+	}
+	if !d.Violates(b, Point{3, 3}) {
+		t.Fatal("far point should violate")
+	}
+	if !d.Violates(b, Point{0.1, 0}) {
+		t.Fatal("deep inner point should violate")
+	}
+}
+
+// TestAnnulusCoversInput checks the two defining properties on random
+// clouds: every input point lies in the annulus, and both boundaries
+// are touched (otherwise the shell could shrink).
+func TestAnnulusCoversInput(t *testing.T) {
+	for _, dim := range []int{2, 3, 4} {
+		dom := NewDomain(dim, 7)
+		pts := make([]Point, 200)
+		for i := range pts {
+			pts[i] = RingAt(dim, 42, 0.3, i)
+		}
+		b, err := dom.Solve(pts)
+		if err != nil {
+			t.Fatalf("dim %d: %v", dim, err)
+		}
+		a := b.Annulus()
+		touchIn, touchOut := false, false
+		for _, p := range pts {
+			d2 := dist2(a.Center, p)
+			if d2 > a.R2*(1+1e-9)+1e-9 || d2 < a.InR2*(1-1e-9)-1e-9 {
+				t.Fatalf("dim %d: point %v outside annulus %v (d²=%v)", dim, p, a, d2)
+			}
+			if math.Abs(d2-a.R2) <= 1e-6*(a.R2+1) {
+				touchOut = true
+			}
+			if math.Abs(d2-a.InR2) <= 1e-6*(a.InR2+1) {
+				touchIn = true
+			}
+		}
+		if !touchIn || !touchOut {
+			t.Fatalf("dim %d: annulus boundaries not both tight (in=%v out=%v)", dim, touchIn, touchOut)
+		}
+		if len(b.Support) == 0 || len(b.Support) > dom.CombinatorialDim() {
+			t.Fatalf("dim %d: support size %d vs ν=%d", dim, len(b.Support), dom.CombinatorialDim())
+		}
+	}
+}
+
+func dist2(c []float64, p Point) float64 {
+	s := 0.0
+	for i := range c {
+		d := p[i] - c[i]
+		s += d * d
+	}
+	return s
+}
+
+// TestAgainstBruteForce cross-checks the lifted-LP solver against the
+// generic subset-enumeration solver on tiny instances.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := numeric.NewRand(3, 0)
+	for trial := 0; trial < 20; trial++ {
+		dom := NewDomain(2, uint64(trial))
+		pts := make([]Point, 7)
+		for i := range pts {
+			pts[i] = Point{rng.NormFloat64() * 2, rng.NormFloat64() * 2}
+		}
+		got, err := dom.Solve(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := lptype.BruteForce[Point, Basis](dom, pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw, ww := got.Annulus(), want.Annulus()
+		if math.Abs((gw.R2-gw.InR2)-(ww.R2-ww.InR2)) > 1e-6*(1+ww.R2) {
+			t.Fatalf("trial %d: objective %v (lifted LP) vs %v (brute force)",
+				trial, gw.R2-gw.InR2, ww.R2-ww.InR2)
+		}
+	}
+}
+
+// TestAgainstPivot cross-checks against the generic basis-improvement
+// solver on a larger instance.
+func TestAgainstPivot(t *testing.T) {
+	dom := NewDomain(3, 5)
+	pts := make([]Point, 400)
+	for i := range pts {
+		pts[i] = RingAt(3, 99, 0.2, i)
+	}
+	got, err := dom.Solve(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := lptype.SolvePivot[Point, Basis](dom, pts, numeric.NewRand(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, w := got.Annulus(), want.Annulus()
+	if math.Abs((g.R2-g.InR2)-(w.R2-w.InR2)) > 1e-6*(1+w.R2) {
+		t.Fatalf("objective %v (direct) vs %v (pivot)", g.R2-g.InR2, w.R2-w.InR2)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	dom := NewDomain(2, 1)
+	b, err := dom.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsEmpty() {
+		t.Fatal("basis of ∅ should be the null annulus")
+	}
+	if !dom.Violates(b, Point{0, 0}) {
+		t.Fatal("every point must violate the null annulus")
+	}
+	one, err := dom.Solve([]Point{{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dom.Violates(one, Point{3, 4}) {
+		t.Fatal("a point must not violate its own singleton basis")
+	}
+}
+
+func TestPointCodecRoundTrip(t *testing.T) {
+	c := PointCodec{Dim: 3}
+	p := Point{1.5, -2.25, math.Pi}
+	enc := c.Append(nil, p)
+	if len(enc)*8 != c.Bits(p) {
+		t.Fatalf("encoded %d bits, Bits says %d", len(enc)*8, c.Bits(p))
+	}
+	dec, n, err := c.Decode(enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("decode: %v (n=%d)", err, n)
+	}
+	for i := range p {
+		if dec[i] != p[i] {
+			t.Fatalf("roundtrip %v → %v", p, dec)
+		}
+	}
+	if _, _, err := c.Decode(enc[:5]); err == nil {
+		t.Fatal("short buffer must error")
+	}
+}
+
+func TestBasisCodecRoundTrip(t *testing.T) {
+	c := BasisCodec{Dim: 2}
+	dom := NewDomain(2, 9)
+	pts := []Point{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {0.5, 0.9}}
+	b, err := dom.Solve(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := c.Append(nil, b)
+	dec, n, err := c.Decode(enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("decode: %v (n=%d)", err, n)
+	}
+	// The decoded basis must reproduce the violation behaviour.
+	for _, q := range append(append([]Point{}, pts...), Point{5, 5}, Point{0, 0.05}) {
+		if dom.Violates(b, q) != dom.Violates(dec, q) {
+			t.Fatalf("violation mismatch on %v after codec roundtrip", q)
+		}
+	}
+	// Null annulus survives the roundtrip.
+	empty, _, err := c.Decode(c.Append(nil, Basis{}))
+	if err != nil || !empty.IsEmpty() {
+		t.Fatalf("empty basis roundtrip: %v empty=%v", err, empty.IsEmpty())
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := RingAt(3, 11, 0.1, 42)
+	b := RingAt(3, 11, 0.1, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("RingAt not deterministic")
+		}
+	}
+	if g := GaussianAt(3, 11, 7); len(g) != 3 {
+		t.Fatalf("GaussianAt dim %d", len(g))
+	}
+	inst, err := Spec.Generate("ring", engine.GenParams{N: 200, D: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.Rows) != 200 || inst.Dim != 3 {
+		t.Fatalf("ring instance %d×%d", len(inst.Rows), inst.Dim)
+	}
+	if _, err := Spec.Generate("torus", engine.GenParams{N: 10, D: 2, Seed: 1}); err == nil {
+		t.Fatal("unknown family must error")
+	}
+}
+
+// TestRingPlantsAnnulus checks that the ring family's optimum matches
+// the planted shell: outer radius ≈ 5 around the all-ones center.
+func TestRingPlantsAnnulus(t *testing.T) {
+	dom := NewDomain(2, 3)
+	pts := make([]Point, 600)
+	for i := range pts {
+		pts[i] = RingAt(2, 17, 0.1, i)
+	}
+	b, err := dom.Solve(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := b.Annulus()
+	if math.Abs(a.OuterRadius()-5) > 0.05 || math.Abs(a.Center[0]-1) > 0.2 {
+		t.Fatalf("planted shell not recovered: %v", a)
+	}
+	if a.Width() > 5*0.11 {
+		t.Fatalf("width %v exceeds planted thickness", a.Width())
+	}
+}

@@ -3,7 +3,12 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ErrUnknownInstance marks lookups of IDs the store does not hold —
@@ -18,25 +23,70 @@ type instance struct {
 	dim    int
 	rows   [][]float64
 	sealed bool // claimed by a job; further appends are rejected
+
+	created time.Time
+	// touched is the unix-nano time of the last Create/Append/Restore,
+	// read lock-free by the idle sweeper and the list endpoint.
+	touched atomic.Int64
+	// nrows mirrors len(rows) for lock-free listing.
+	nrows atomic.Int64
 }
+
+func (ins *instance) touch(now time.Time) { ins.touched.Store(now.UnixNano()) }
+
+// InstanceInfo is one open upload as reported by List — the operator
+// view behind GET /v1/instances.
+type InstanceInfo struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	Dim  int    `json:"dim"`
+	Rows int    `json:"rows"`
+	// AgeMS and IdleMS are milliseconds since creation / last append.
+	AgeMS  float64 `json:"age_ms"`
+	IdleMS float64 `json:"idle_ms"`
+}
+
+// maxTombstones bounds the DELETE memory; beyond it the oldest
+// tombstones are evicted (weakening only the rare resurrect guard for
+// the evicted IDs).
+const maxTombstones = 4096
 
 // InstanceStore holds chunk-uploaded instances between the upload
 // calls and the job that references them. Instances are single-use:
 // submitting a job consumes the rows (zero-copy) and drops the entry.
+// Uploads idle past the TTL are reclaimed by Sweep (driven by the
+// Server), so abandoned uploads cannot wedge the slot limit; dropped
+// IDs leave a tombstone so a Restore after a queue-full 503 cannot
+// resurrect an instance the client deleted in between.
 type InstanceStore struct {
 	mu     sync.Mutex
 	nextID uint64
 	byID   map[string]*instance
 	max    int
+	ttl    time.Duration
+	tombs  map[string]time.Time // dropped IDs → drop time
 }
 
+// DefaultInstanceTTL is the idle eviction horizon when the Server
+// config leaves it zero.
+const DefaultInstanceTTL = 10 * time.Minute
+
 // NewInstanceStore returns a store admitting up to max in-flight
-// uploads (≤ 0 means 64).
-func NewInstanceStore(max int) *InstanceStore {
+// uploads (≤ 0 means 64) with the given idle TTL (0 means
+// DefaultInstanceTTL; < 0 disables sweeping).
+func NewInstanceStore(max int, ttl time.Duration) *InstanceStore {
 	if max <= 0 {
 		max = 64
 	}
-	return &InstanceStore{byID: make(map[string]*instance), max: max}
+	if ttl == 0 {
+		ttl = DefaultInstanceTTL
+	}
+	return &InstanceStore{
+		byID:  make(map[string]*instance),
+		max:   max,
+		ttl:   ttl,
+		tombs: make(map[string]time.Time),
+	}
 }
 
 // Create opens a new upload for the given kind/dim and returns its ID.
@@ -48,12 +98,16 @@ func (s *InstanceStore) Create(kind string, dim int) (string, error) {
 	}
 	s.nextID++
 	id := fmt.Sprintf("inst-%06d", s.nextID)
-	s.byID[id] = &instance{kind: kind, dim: dim}
+	now := time.Now()
+	ins := &instance{kind: kind, dim: dim, created: now}
+	ins.touch(now)
+	s.byID[id] = ins
 	return id, nil
 }
 
-// Append adds a batch of rows to an open upload. Row widths are
-// validated against the instance's kind and dimension.
+// Append adds a batch of rows to an open upload. Row widths and
+// kind-specific invariants are validated against the instance's
+// registered kind.
 func (s *InstanceStore) Append(id string, rows [][]float64) (total int, err error) {
 	s.mu.Lock()
 	ins, ok := s.byID[id]
@@ -66,13 +120,19 @@ func (s *InstanceStore) Append(id string, rows [][]float64) (total int, err erro
 	if ins.sealed {
 		return 0, fmt.Errorf("instance %q already submitted", id)
 	}
-	if err := validateRows(ins.kind, ins.dim, rows); err != nil {
+	m, err := lookupModel(ins.kind)
+	if err != nil {
+		return 0, err
+	}
+	if err := validateRows(m, ins.dim, rows); err != nil {
 		return 0, err
 	}
 	if len(ins.rows)+len(rows) > MaxInstanceRows {
 		return 0, fmt.Errorf("instance %q would exceed %d rows", id, MaxInstanceRows)
 	}
 	ins.rows = append(ins.rows, rows...)
+	ins.nrows.Store(int64(len(ins.rows)))
+	ins.touch(time.Now())
 	return len(ins.rows), nil
 }
 
@@ -108,20 +168,36 @@ func (s *InstanceStore) Take(id, kind string, dim int) ([][]float64, error) {
 // Restore re-registers rows under their original ID after a Take
 // whose job submission failed, so a retryable 503 does not destroy a
 // chunk-uploaded instance. It bypasses the in-flight limit (the rows
-// were already admitted once).
+// were already admitted once). A tombstoned ID — the client DELETEd
+// the instance during the Take window — is not resurrected.
 func (s *InstanceStore) Restore(id, kind string, dim int, rows [][]float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.byID[id] = &instance{kind: kind, dim: dim, rows: rows}
+	if _, dropped := s.tombs[id]; dropped {
+		return
+	}
+	now := time.Now()
+	ins := &instance{kind: kind, dim: dim, rows: rows, created: now}
+	ins.nrows.Store(int64(len(rows)))
+	ins.touch(now)
+	s.byID[id] = ins
 }
 
-// Drop discards an upload. Sealing closes the window where an
-// in-flight Append to the just-deleted instance would report success
-// for rows that are already gone.
+// Drop discards an upload and tombstones its ID — including IDs that
+// are momentarily absent because a Take is in flight, so a subsequent
+// Restore cannot resurrect what the client just deleted. Only IDs the
+// store could actually have issued are tombstoned: otherwise a flood
+// of DELETEs for made-up IDs would evict the genuine tombstones.
+// Sealing closes the window where an in-flight Append to the
+// just-deleted instance would report success for rows that are
+// already gone.
 func (s *InstanceStore) Drop(id string) bool {
 	s.mu.Lock()
 	ins, ok := s.byID[id]
 	delete(s.byID, id)
+	if s.issuedLocked(id) {
+		s.tombstoneLocked(id)
+	}
 	s.mu.Unlock()
 	if ok {
 		ins.mu.Lock()
@@ -131,9 +207,118 @@ func (s *InstanceStore) Drop(id string) bool {
 	return ok
 }
 
+// issuedLocked reports whether id is one this store could have handed
+// out (inst-<n> with n ≤ nextID). Caller holds s.mu.
+func (s *InstanceStore) issuedLocked(id string) bool {
+	num, ok := strings.CutPrefix(id, "inst-")
+	if !ok {
+		return false
+	}
+	n, err := strconv.ParseUint(num, 10, 64)
+	return err == nil && n >= 1 && n <= s.nextID
+}
+
+// tombstoneLocked records a dropped ID, evicting the oldest entries
+// beyond the cap. Caller holds s.mu.
+func (s *InstanceStore) tombstoneLocked(id string) {
+	if len(s.tombs) >= maxTombstones {
+		oldest, oldestAt := "", time.Time{}
+		for t, at := range s.tombs {
+			if oldest == "" || at.Before(oldestAt) {
+				oldest, oldestAt = t, at
+			}
+		}
+		delete(s.tombs, oldest)
+	}
+	s.tombs[id] = time.Now()
+}
+
 // Len returns the number of open uploads.
 func (s *InstanceStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.byID)
 }
+
+// List snapshots the open uploads, ordered by ID (creation order).
+func (s *InstanceStore) List() []InstanceInfo {
+	now := time.Now()
+	s.mu.Lock()
+	out := make([]InstanceInfo, 0, len(s.byID))
+	for id, ins := range s.byID {
+		// A concurrent Append can stamp touched after our now was
+		// taken; clamp so an actively-fed upload reads idle 0, not a
+		// negative number.
+		idle := now.UnixNano() - ins.touched.Load()
+		if idle < 0 {
+			idle = 0
+		}
+		out = append(out, InstanceInfo{
+			ID:     id,
+			Kind:   ins.kind,
+			Dim:    ins.dim,
+			Rows:   int(ins.nrows.Load()),
+			AgeMS:  float64(now.Sub(ins.created)) / float64(time.Millisecond),
+			IdleMS: float64(idle) / float64(time.Millisecond),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Sweep reclaims uploads idle past the TTL and expires old
+// tombstones, returning the number of evicted uploads. The Server
+// runs it periodically; it is a no-op for ttl < 0.
+//
+// Eviction seals before it deletes: each candidate is re-checked and
+// sealed under its own lock first, so an Append that raced in after
+// the candidate scan (refreshing touched) keeps its instance, and an
+// Append arriving after sealing fails loudly — a client is never told
+// rows were stored on an upload the sweeper is reclaiming.
+func (s *InstanceStore) Sweep() int {
+	if s.ttl < 0 {
+		return 0
+	}
+	now := time.Now()
+	cutoff := now.Add(-s.ttl).UnixNano()
+	type candidate struct {
+		id  string
+		ins *instance
+	}
+	var stale []candidate
+	s.mu.Lock()
+	for id, ins := range s.byID {
+		if ins.touched.Load() < cutoff {
+			stale = append(stale, candidate{id, ins})
+		}
+	}
+	for id, at := range s.tombs {
+		if now.Sub(at) > s.ttl {
+			delete(s.tombs, id)
+		}
+	}
+	s.mu.Unlock()
+	var victims []candidate
+	for _, c := range stale {
+		c.ins.mu.Lock()
+		if c.ins.touched.Load() < cutoff && !c.ins.sealed {
+			c.ins.sealed = true
+			victims = append(victims, c)
+		}
+		c.ins.mu.Unlock()
+	}
+	s.mu.Lock()
+	for _, c := range victims {
+		// Delete only the instance we sealed: a concurrent
+		// Take→Restore may have re-registered the id with fresh rows.
+		if s.byID[c.id] == c.ins {
+			delete(s.byID, c.id)
+		}
+	}
+	s.mu.Unlock()
+	return len(victims)
+}
+
+// TTL returns the store's idle eviction horizon.
+func (s *InstanceStore) TTL() time.Duration { return s.ttl }

@@ -22,6 +22,14 @@ type concurrentCase struct {
 	got  func(*SolveResult) float64
 }
 
+// scalarField reads a named scalar out of a rendered solution.
+func scalarField(key string) func(*SolveResult) float64 {
+	return func(r *SolveResult) float64 {
+		v, _ := r.Scalar(key)
+		return v
+	}
+}
+
 // buildConcurrentCases crosses the three problem kinds with the three
 // distributed models (plus ram) over two seed variants: 24 jobs,
 // every one checked against the in-RAM reference solver.
@@ -64,7 +72,7 @@ func buildKindCases(t *testing.T, model string, seed uint64) []concurrentCase {
 				Options: SolveOptions{R: 2, Seed: seed, K: 4, Parallel: model == ModelCoordinator},
 			},
 			want: ref.Value,
-			got:  func(r *SolveResult) float64 { return *r.Value },
+			got:  scalarField("value"),
 		})
 		// SVM: separable family.
 		exs, _ := workload.SeparableSVM(3, 1000, 0.5, seed)
@@ -83,7 +91,7 @@ func buildKindCases(t *testing.T, model string, seed uint64) []concurrentCase {
 				Options: SolveOptions{R: 2, Seed: seed, K: 4},
 			},
 			want: sref.Norm2,
-			got:  func(r *SolveResult) float64 { return *r.Norm2 },
+			got:  scalarField("norm2"),
 		})
 		// MEB: gaussian cloud.
 		pts := workload.MEBCloud(workload.MEBGaussian, 3, 1200, seed)
@@ -102,7 +110,7 @@ func buildKindCases(t *testing.T, model string, seed uint64) []concurrentCase {
 				Options: SolveOptions{R: 2, Seed: seed, K: 4},
 			},
 			want: mref.Radius(),
-			got:  func(r *SolveResult) float64 { return *r.Radius },
+			got:  scalarField("radius"),
 		})
 	}
 	return cases

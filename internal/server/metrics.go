@@ -20,6 +20,9 @@ type Metrics struct {
 	JobsFailed    atomic.Int64
 	CacheHits     atomic.Int64
 	CacheMisses   atomic.Int64
+	// InstancesExpired counts chunk uploads reclaimed by the idle
+	// sweeper.
+	InstancesExpired atomic.Int64
 
 	mu           sync.Mutex
 	solveCount   map[string]int64   // kind/model → solves
@@ -65,6 +68,7 @@ func (m *Metrics) Render(w io.Writer) {
 	c("lpserved_jobs_failed_total", "Jobs that ended in an error.", m.JobsFailed.Load())
 	c("lpserved_cache_hits_total", "Result-cache hits.", m.CacheHits.Load())
 	c("lpserved_cache_misses_total", "Result-cache misses.", m.CacheMisses.Load())
+	c("lpserved_instances_expired_total", "Chunk uploads reclaimed by the idle sweeper.", m.InstancesExpired.Load())
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

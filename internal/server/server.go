@@ -10,6 +10,13 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
+
+	"lowdimlp/internal/engine"
+	// The kind catalog: importing it registers every problem kind the
+	// service can solve. The handlers themselves are kind-agnostic.
+	_ "lowdimlp/internal/models"
 )
 
 // Config tunes a Server.
@@ -26,6 +33,9 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxInstances bounds concurrent chunk uploads (0 = 64).
 	MaxInstances int
+	// InstanceTTL evicts chunk uploads idle past this horizon
+	// (0 = DefaultInstanceTTL; < 0 disables eviction).
+	InstanceTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -52,9 +62,13 @@ type Server struct {
 	instances *InstanceStore
 	metrics   *Metrics
 	mux       *http.ServeMux
+	sweepOnce sync.Once
+	sweepStop chan struct{}
+	sweepDone chan struct{}
 }
 
-// New assembles a Server (and starts its worker pool).
+// New assembles a Server (and starts its worker pool and the instance
+// idle sweeper).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	metrics := NewMetrics()
@@ -62,25 +76,63 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		metrics:   metrics,
 		manager:   NewManager(cfg.Workers, cfg.QueueDepth, NewCache(cfg.CacheSize), metrics),
-		instances: NewInstanceStore(cfg.MaxInstances),
+		instances: NewInstanceStore(cfg.MaxInstances, cfg.InstanceTTL),
 		mux:       http.NewServeMux(),
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/instances", s.handleInstanceCreate)
+	s.mux.HandleFunc("GET /v1/instances", s.handleInstanceList)
 	s.mux.HandleFunc("POST /v1/instances/{id}/rows", s.handleInstanceAppend)
 	s.mux.HandleFunc("DELETE /v1/instances/{id}", s.handleInstanceDrop)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	go s.sweepLoop()
 	return s
+}
+
+// sweepLoop periodically reclaims idle chunk uploads until Shutdown.
+func (s *Server) sweepLoop() {
+	defer close(s.sweepDone)
+	ttl := s.instances.TTL()
+	if ttl < 0 {
+		return
+	}
+	interval := ttl / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	if interval > time.Minute {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if n := s.instances.Sweep(); n > 0 {
+				s.metrics.InstancesExpired.Add(int64(n))
+			}
+		case <-s.sweepStop:
+			return
+		}
+	}
 }
 
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown drains the worker pool.
-func (s *Server) Shutdown(ctx context.Context) error { return s.manager.Shutdown(ctx) }
+// Shutdown stops the instance sweeper and drains the worker pool. It
+// is safe to call repeatedly, including concurrently.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.sweepOnce.Do(func() { close(s.sweepStop) })
+	<-s.sweepDone
+	return s.manager.Shutdown(ctx)
+}
 
 // --- request plumbing --------------------------------------------------
 
@@ -143,14 +195,17 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*SolveRe
 		req.Rows = rows
 		req.InstanceID = ""
 	}
-	if len(req.Rows) == 0 && req.Generate == nil && req.Kind != KindLP {
-		// Empty LP instances are fine (box optimum); svm/meb need
-		// data. Hand a consumed upload back before failing — the
-		// client may still be appending rows to it.
-		if taken != "" {
-			s.instances.Restore(taken, req.Kind, req.Dim, req.Rows)
+	if len(req.Rows) == 0 && req.Generate == nil {
+		// Kinds with a defined empty optimum (LP: the box corner) may
+		// run empty; the rest need data. Hand a consumed upload back
+		// before failing — the client may still be appending rows.
+		m, merr := req.model()
+		if merr == nil && !m.AllowsEmpty() {
+			if taken != "" {
+				s.instances.Restore(taken, req.Kind, req.Dim, req.Rows)
+			}
+			return nil, "", fmt.Errorf("empty instance")
 		}
-		return nil, "", fmt.Errorf("empty instance")
 	}
 	// Generate specs are validated here but materialized by the worker
 	// pool (Manager.run), so synthesis cost is bounded by Workers
@@ -205,6 +260,13 @@ func overlayQuery(req *SolveRequest, r *http.Request) error {
 			}
 			*dst = i
 		}
+	}
+	if v := q.Get("delta"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("bad query parameter delta=%q", v)
+		}
+		req.Options.Delta = f
 	}
 	if v := q.Get("seed"); v != "" {
 		u, err := strconv.ParseUint(v, 10, 64)
@@ -279,6 +341,34 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
+// modelInfo is one registry entry on the wire.
+type modelInfo struct {
+	Kind      string   `json:"kind"`
+	Doc       string   `json:"doc"`
+	Row       string   `json:"row"`
+	Objective bool     `json:"objective,omitempty"`
+	Families  []string `json:"families"`
+}
+
+// handleModels lists the registered problem kinds and the backends —
+// the service's capability discovery endpoint.
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	kinds := make([]modelInfo, 0)
+	for _, m := range engine.Models() {
+		kinds = append(kinds, modelInfo{
+			Kind:      m.Kind(),
+			Doc:       m.Describe(),
+			Row:       m.RowLabel(),
+			Objective: m.HasObjective(),
+			Families:  m.Families(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kinds":  kinds,
+		"models": engine.Backends(),
+	})
+}
+
 // instanceCreateBody opens a chunk upload.
 type instanceCreateBody struct {
 	Kind string `json:"kind"`
@@ -298,7 +388,7 @@ func (s *Server) handleInstanceCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	probe := SolveRequest{Kind: strings.ToLower(strings.TrimSpace(body.Kind)), Dim: body.Dim}
-	if probe.Kind == KindLP {
+	if m, err := lookupModel(probe.Kind); err == nil && m.HasObjective() {
 		probe.Objective = make([]float64, body.Dim)
 	}
 	if err := probe.Validate(); err != nil {
@@ -311,6 +401,15 @@ func (s *Server) handleInstanceCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, instanceRef{ID: id})
+}
+
+// handleInstanceList is the operator view of the open chunk uploads.
+func (s *Server) handleInstanceList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"instances": s.instances.List(),
+		"limit":     s.instances.max,
+		"ttl_ms":    float64(s.instances.TTL()) / float64(time.Millisecond),
+	})
 }
 
 // instanceAppendBody is one chunk of rows.

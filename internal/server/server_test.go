@@ -103,8 +103,8 @@ func TestSolveSyncLP(t *testing.T) {
 		t.Fatalf("unexpected status: %+v", st)
 	}
 	// min x+y s.t. x ≥ 1, y ≥ 2 → (1, 2), value 3.
-	if math.Abs(*st.Result.Value-3) > 1e-9 {
-		t.Fatalf("value %v, want 3", *st.Result.Value)
+	if v, ok := st.Result.Scalar("value"); !ok || math.Abs(v-3) > 1e-9 {
+		t.Fatalf("value %v, want 3", v)
 	}
 	if st.Stats.Stream.Passes < 1 {
 		t.Fatalf("missing stream stats: %+v", st.Stats.Stream)
@@ -156,8 +156,8 @@ func TestSolveGenerateQuery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(*st.Result.Value-ref.Value) > 1e-6 {
-		t.Fatalf("generated solve %v vs reference %v", *st.Result.Value, ref.Value)
+	if v, ok := st.Result.Scalar("value"); !ok || math.Abs(v-ref.Value) > 1e-6 {
+		t.Fatalf("generated solve %v vs reference %v", v, ref.Value)
 	}
 }
 
@@ -184,7 +184,11 @@ func TestAsyncJobLifecycle(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 		getJSON(t, ts.URL+"/v1/jobs/"+st.ID, &st)
 	}
-	if st.State != StateDone || st.Result == nil || st.Result.Radius == nil || st.Stats.MPC == nil {
+	radius, haveRadius := 0.0, false
+	if st.Result != nil {
+		radius, haveRadius = st.Result.Scalar("radius")
+	}
+	if st.State != StateDone || !haveRadius || st.Stats.MPC == nil {
 		t.Fatalf("unexpected terminal status: %+v", st)
 	}
 	pts := workload.MEBCloud(workload.MEBGaussian, 3, 2000, 11)
@@ -192,8 +196,8 @@ func TestAsyncJobLifecycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(*st.Result.Radius-ref.Radius()) > 1e-6 {
-		t.Fatalf("radius %v vs reference %v", *st.Result.Radius, ref.Radius())
+	if math.Abs(radius-ref.Radius()) > 1e-6 {
+		t.Fatalf("radius %v vs reference %v", radius, ref.Radius())
 	}
 }
 
@@ -241,8 +245,8 @@ func TestChunkUploadFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(*st.Result.Norm2-want.Norm2) > 1e-6 {
-		t.Fatalf("norm2 %v vs reference %v", *st.Result.Norm2, want.Norm2)
+	if n2, ok := st.Result.Scalar("norm2"); !ok || math.Abs(n2-want.Norm2) > 1e-6 {
+		t.Fatalf("norm2 %v vs reference %v", n2, want.Norm2)
 	}
 	// The instance is single-use: reusing its consumed ID is a 404.
 	resp, _ = postJSON(t, ts.URL+"/v1/solve", SolveRequest{
@@ -297,8 +301,10 @@ func TestCacheHitAndMetrics(t *testing.T) {
 	if !second.Cached {
 		t.Fatalf("second solve not cached: %+v", second)
 	}
-	if math.Abs(*second.Result.Value-*first.Result.Value) > 0 {
-		t.Fatalf("cached value %v differs from first %v", *second.Result.Value, *first.Result.Value)
+	fv, _ := first.Result.Scalar("value")
+	sv, _ := second.Result.Scalar("value")
+	if math.Abs(sv-fv) > 0 {
+		t.Fatalf("cached value %v differs from first %v", sv, fv)
 	}
 
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -519,6 +525,7 @@ func TestGenerateFamilies(t *testing.T) {
 		{"lp", "sphere"}, {"lp", "box"}, {"lp", "chebyshev"},
 		{"svm", "separable"},
 		{"meb", "gaussian"}, {"meb", "ball"}, {"meb", "shell"}, {"meb", "lowrank"},
+		{"sea", "ring"}, {"sea", "gaussian"},
 	}
 	for _, c := range cases {
 		url := fmt.Sprintf("%s/v1/solve?generate=%s&kind=%s&model=ram&n=300&d=3&seed=9",

@@ -1,203 +1,47 @@
 package server
 
 import (
-	"fmt"
-	"math"
-
-	"lowdimlp"
-	"lowdimlp/internal/workload"
+	"lowdimlp/internal/engine"
 )
 
-// materialize resolves a Generate spec into inline Rows (and, for LP,
-// an Objective), so that downstream solving, caching and digesting see
-// one uniform request shape. No-op for inline requests. An unmatched
-// kind or family is an error — never a silently empty instance — so a
-// generator added to validateGenerate without a case here fails loud.
+// materialize resolves a Generate spec into inline Rows (and, for
+// kinds with one, an Objective), so that downstream solving, caching
+// and digesting see one uniform request shape. No-op for inline
+// requests. The generator families are the kind's registered ones; an
+// unmatched kind or family is an error — never a silently empty
+// instance.
 func materialize(r *SolveRequest) error {
 	if r.Generate == nil {
 		return nil
 	}
-	g := r.Generate
-	switch r.Kind {
-	case KindLP:
-		var (
-			prob lowdimlp.LPProblem
-			cons []lowdimlp.Halfspace
-		)
-		switch g.Family {
-		case "sphere":
-			prob, cons = workload.SphereLP(g.D, g.N, g.Seed)
-		case "box":
-			prob, cons = workload.BoxLP(g.D, g.N, g.Seed)
-		case "chebyshev":
-			noise := g.Noise
-			if noise == 0 {
-				noise = 0.1
-			}
-			// D is coefficients+error-bound; samples come in pairs, so
-			// N counts constraints and the generator gets ⌈N/2⌉ samples.
-			prob, cons, _ = workload.ChebyshevRegression(g.D-2, (g.N+1)/2, noise, g.Seed)
-		default:
-			return fmt.Errorf("no lp generator for family %q", g.Family)
-		}
-		r.Dim = g.D
-		r.Objective = prob.Objective
-		r.Rows = make([][]float64, len(cons))
-		for i, c := range cons {
-			r.Rows[i] = append(append(make([]float64, 0, len(c.A)+1), c.A...), c.B)
-		}
-	case KindSVM:
-		if g.Family != "separable" {
-			return fmt.Errorf("no svm generator for family %q", g.Family)
-		}
-		margin := g.Margin
-		if margin == 0 {
-			margin = 0.5
-		}
-		exs, _ := workload.SeparableSVM(g.D, g.N, margin, g.Seed)
-		r.Dim = g.D
-		r.Rows = make([][]float64, len(exs))
-		for i, e := range exs {
-			r.Rows[i] = append(append(make([]float64, 0, len(e.X)+1), e.X...), e.Y)
-		}
-	case KindMEB:
-		kind, ok := map[string]workload.MEBKind{
-			"gaussian": workload.MEBGaussian,
-			"ball":     workload.MEBUniformBall,
-			"shell":    workload.MEBShell,
-			"lowrank":  workload.MEBLowRank,
-		}[g.Family]
-		if !ok {
-			return fmt.Errorf("no meb generator for family %q", g.Family)
-		}
-		pts := workload.MEBCloud(kind, g.D, g.N, g.Seed)
-		r.Dim = g.D
-		r.Rows = make([][]float64, len(pts))
-		for i, p := range pts {
-			r.Rows[i] = p
-		}
-	default:
-		return fmt.Errorf("no generator for kind %q", r.Kind)
+	m, err := r.model()
+	if err != nil {
+		return err
 	}
+	inst, err := m.Generate(r.Generate.Family, r.Generate.params())
+	if err != nil {
+		return err
+	}
+	r.Dim = inst.Dim
+	r.Objective = inst.Objective
+	r.Rows = inst.Rows
 	r.Generate = nil
 	return nil
 }
 
-// runSolve executes a validated, materialized request and returns the
-// solution plus the resource stats of the model that ran.
+// runSolve executes a validated, materialized request through the
+// engine registry and returns the rendered solution plus the resource
+// stats of the model that ran. There is deliberately no per-kind code
+// here: the registry entry carries everything.
 func runSolve(r *SolveRequest) (*SolveResult, *StatsPayload, error) {
-	opt := r.Options.lib()
-	switch r.Kind {
-	case KindLP:
-		return solveLP(r, opt)
-	case KindSVM:
-		return solveSVM(r, opt)
-	case KindMEB:
-		return solveMEB(r, opt)
+	m, err := r.model()
+	if err != nil {
+		return nil, nil, err
 	}
-	return nil, nil, fmt.Errorf("unknown kind %q", r.Kind)
-}
-
-func solveLP(r *SolveRequest, opt lowdimlp.Options) (*SolveResult, *StatsPayload, error) {
-	p := lowdimlp.NewLP(r.Objective)
-	cons := make([]lowdimlp.Halfspace, len(r.Rows))
-	for i, row := range r.Rows {
-		cons[i] = lowdimlp.Halfspace{A: row[:r.Dim], B: row[r.Dim]}
-	}
-	var (
-		sol   lowdimlp.LPSolution
-		stats StatsPayload
-		err   error
-	)
-	switch r.Model {
-	case ModelRAM:
-		sol, err = lowdimlp.SolveLP(p, cons, opt.Seed)
-	case ModelStream:
-		var st lowdimlp.StreamStats
-		sol, st, err = lowdimlp.SolveLPStreaming(p, lowdimlp.NewSliceStream(cons), len(cons), opt)
-		stats.Stream = &st
-	case ModelCoordinator:
-		var st lowdimlp.CoordinatorStats
-		sol, st, err = lowdimlp.SolveLPCoordinator(p, lowdimlp.Partition(cons, r.Options.sites()), opt)
-		stats.Coordinator = &st
-	case ModelMPC:
-		var st lowdimlp.MPCStats
-		sol, st, err = lowdimlp.SolveLPMPC(p, cons, opt)
-		stats.MPC = &st
-	}
+	inst := engine.Instance{Dim: r.Dim, Objective: r.Objective, Rows: r.Rows}
+	sol, stats, err := m.SolveInstance(r.Model, inst, r.Options.lib())
 	if err != nil {
 		return nil, &stats, err
 	}
-	v := sol.Value
-	return &SolveResult{X: sol.X, Value: &v}, &stats, nil
-}
-
-func solveSVM(r *SolveRequest, opt lowdimlp.Options) (*SolveResult, *StatsPayload, error) {
-	exs := make([]lowdimlp.SVMExample, len(r.Rows))
-	for i, row := range r.Rows {
-		exs[i] = lowdimlp.SVMExample{X: row[:r.Dim], Y: row[r.Dim]}
-	}
-	var (
-		sol   lowdimlp.SVMSolution
-		stats StatsPayload
-		err   error
-	)
-	switch r.Model {
-	case ModelRAM:
-		sol, err = lowdimlp.SolveSVM(r.Dim, exs)
-	case ModelStream:
-		var st lowdimlp.StreamStats
-		sol, st, err = lowdimlp.SolveSVMStreaming(r.Dim, lowdimlp.NewSliceStream(exs), len(exs), opt)
-		stats.Stream = &st
-	case ModelCoordinator:
-		var st lowdimlp.CoordinatorStats
-		sol, st, err = lowdimlp.SolveSVMCoordinator(r.Dim, lowdimlp.Partition(exs, r.Options.sites()), opt)
-		stats.Coordinator = &st
-	case ModelMPC:
-		var st lowdimlp.MPCStats
-		sol, st, err = lowdimlp.SolveSVMMPC(r.Dim, exs, opt)
-		stats.MPC = &st
-	}
-	if err != nil {
-		return nil, &stats, err
-	}
-	n2 := sol.Norm2
-	margin := 0.0
-	if n2 > 0 {
-		margin = 1 / math.Sqrt(n2)
-	}
-	return &SolveResult{U: sol.U, Norm2: &n2, Margin: &margin}, &stats, nil
-}
-
-func solveMEB(r *SolveRequest, opt lowdimlp.Options) (*SolveResult, *StatsPayload, error) {
-	pts := make([]lowdimlp.MEBPoint, len(r.Rows))
-	for i, row := range r.Rows {
-		pts[i] = lowdimlp.MEBPoint(row)
-	}
-	var (
-		ball  lowdimlp.MEBBall
-		stats StatsPayload
-		err   error
-	)
-	switch r.Model {
-	case ModelRAM:
-		ball, err = lowdimlp.SolveMEB(pts)
-	case ModelStream:
-		var st lowdimlp.StreamStats
-		ball, st, err = lowdimlp.SolveMEBStreaming(r.Dim, lowdimlp.NewSliceStream(pts), len(pts), opt)
-		stats.Stream = &st
-	case ModelCoordinator:
-		var st lowdimlp.CoordinatorStats
-		ball, st, err = lowdimlp.SolveMEBCoordinator(r.Dim, lowdimlp.Partition(pts, r.Options.sites()), opt)
-		stats.Coordinator = &st
-	case ModelMPC:
-		var st lowdimlp.MPCStats
-		ball, st, err = lowdimlp.SolveMEBMPC(r.Dim, pts, opt)
-		stats.MPC = &st
-	}
-	if err != nil {
-		return nil, &stats, err
-	}
-	rad := ball.Radius()
-	return &SolveResult{Center: ball.Center, Radius: &rad}, &stats, nil
+	return &sol, &stats, nil
 }

@@ -1,17 +1,21 @@
 // Package server is the lpserved subsystem: an HTTP/JSON solve
-// service over the lowdimlp library. It accepts LP, SVM and MEB
-// instances (inline, chunk-uploaded, or generated on the fly by
-// internal/workload), runs them in a chosen computation model on a
-// bounded worker pool with a job queue, caches results by instance
-// digest, and exposes health and metrics endpoints.
+// service over the lowdimlp model registry. It accepts instances of
+// any registered problem kind (inline, chunk-uploaded, or generated
+// on the fly), runs them in a chosen computation model on a bounded
+// worker pool with a job queue, caches results by instance digest,
+// and exposes health and metrics endpoints. The handlers are fully
+// registry-driven: registering a kind with internal/engine makes it
+// servable here with no server changes.
 //
 // # Endpoints
 //
 //	POST /v1/solve              solve synchronously (small instances)
 //	POST /v1/jobs               enqueue a job; returns its id
 //	GET  /v1/jobs/{id}          poll job status / result
+//	GET  /v1/models             list registered kinds and backends
 //	POST /v1/instances          create a chunk-upload instance
 //	POST /v1/instances/{id}/rows  append a batch of rows
+//	GET  /v1/instances          list open uploads (operator view)
 //	DELETE /v1/instances/{id}   drop an uploaded instance
 //	GET  /healthz               liveness
 //	GET  /metrics               Prometheus-style text metrics
@@ -25,23 +29,25 @@ import (
 	"math"
 	"strings"
 
-	"lowdimlp"
+	"lowdimlp/internal/engine"
 )
 
-// Problem kinds and computation models accepted on the wire.
+// Problem kinds and computation models accepted on the wire. The kind
+// constants are conveniences for tests and clients; the authoritative
+// list is the engine registry.
 const (
 	KindLP  = "lp"
 	KindSVM = "svm"
 	KindMEB = "meb"
+	KindSEA = "sea"
 
-	ModelRAM         = "ram"
-	ModelStream      = "stream"
-	ModelCoordinator = "coordinator"
-	ModelMPC         = "mpc"
+	ModelRAM         = engine.BackendRAM
+	ModelStream      = engine.BackendStream
+	ModelCoordinator = engine.BackendCoordinator
+	ModelMPC         = engine.BackendMPC
 )
 
-// SolveOptions is the wire form of lowdimlp.Options plus the
-// model-shape knobs the library takes as separate arguments.
+// SolveOptions is the wire form of engine.Options.
 type SolveOptions struct {
 	// R is the paper's pass/round trade-off parameter (0 = default 2).
 	R int `json:"r,omitempty"`
@@ -59,26 +65,19 @@ type SolveOptions struct {
 	Parallel bool `json:"parallel,omitempty"`
 }
 
-func (o SolveOptions) lib() lowdimlp.Options {
-	return lowdimlp.Options{
+func (o SolveOptions) lib() engine.Options {
+	return engine.Options{
 		R: o.R, Delta: o.Delta, Seed: o.Seed,
 		MonteCarlo: o.MonteCarlo, NetConst: o.NetConst,
-		Parallel: o.Parallel,
+		K: o.K, Parallel: o.Parallel,
 	}
 }
 
-func (o SolveOptions) sites() int {
-	if o.K <= 0 {
-		return 4
-	}
-	return o.K
-}
-
-// GenerateSpec asks the server to synthesize an instance with
-// internal/workload instead of shipping rows — the load-testing path.
+// GenerateSpec asks the server to synthesize an instance with the
+// kind's registered generator families instead of shipping rows — the
+// load-testing path. See GET /v1/models for the family catalog.
 type GenerateSpec struct {
-	// Family selects the generator: lp → sphere|box|chebyshev,
-	// svm → separable, meb → gaussian|ball|shell|lowrank.
+	// Family selects the generator (empty = the kind's default).
 	Family string `json:"family"`
 	// N is the instance size (constraints / examples / points).
 	N int `json:"n"`
@@ -89,24 +88,29 @@ type GenerateSpec struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Margin is the planted SVM margin (default 0.5).
 	Margin float64 `json:"margin,omitempty"`
-	// Noise is the chebyshev sample noise (default 0.1).
+	// Noise is the sample noise / shell thickness (default 0.1).
 	Noise float64 `json:"noise,omitempty"`
+}
+
+func (g *GenerateSpec) params() engine.GenParams {
+	return engine.GenParams{N: g.N, D: g.D, Seed: g.Seed, Margin: g.Margin, Noise: g.Noise}
 }
 
 // SolveRequest is the body of POST /v1/solve and POST /v1/jobs.
 // Exactly one of Rows, InstanceID or Generate supplies the instance.
 type SolveRequest struct {
-	// Kind is the problem kind: lp, svm or meb.
+	// Kind is the problem kind (any registered kind; see /v1/models).
 	Kind string `json:"kind"`
 	// Model is the computation model: ram, stream, coordinator or mpc.
 	Model string `json:"model"`
 	// Dim is the ambient dimension d.
 	Dim int `json:"dim"`
-	// Objective is the LP objective (lp only; len = Dim).
+	// Objective is the objective row for kinds that have one (lp;
+	// len = Dim).
 	Objective []float64 `json:"objective,omitempty"`
 	// Rows carries the instance inline, one row per constraint /
 	// example / point, in the lpsolve text-format layout: lp rows are
-	// a_1…a_d b, svm rows are x_1…x_d y, meb rows are x_1…x_d.
+	// a_1…a_d b, svm rows are x_1…x_d y, meb/sea rows are x_1…x_d.
 	Rows [][]float64 `json:"rows,omitempty"`
 	// InstanceID references rows previously chunk-uploaded through
 	// POST /v1/instances.
@@ -117,27 +121,27 @@ type SolveRequest struct {
 	Options SolveOptions `json:"options,omitempty"`
 }
 
-// SolveResult is the kind-specific solution, flattened into one wire
-// struct (only the fields of the request's kind are populated).
-type SolveResult struct {
-	// LP: the optimal point and objective value.
-	X     []float64 `json:"x,omitempty"`
-	Value *float64  `json:"value,omitempty"`
-	// SVM: the max-margin normal, its squared norm and the margin.
-	U      []float64 `json:"u,omitempty"`
-	Norm2  *float64  `json:"norm2,omitempty"`
-	Margin *float64  `json:"margin,omitempty"`
-	// MEB: center and radius.
-	Center []float64 `json:"center,omitempty"`
-	Radius *float64  `json:"radius,omitempty"`
+// model returns the registry entry for the request's kind. It is only
+// valid after Validate normalized the kind.
+func (r *SolveRequest) model() (engine.Model, error) { return lookupModel(r.Kind) }
+
+// lookupModel resolves a normalized kind in the engine registry.
+func lookupModel(kind string) (engine.Model, error) {
+	m, ok := engine.Lookup(kind)
+	if !ok {
+		return nil, fmt.Errorf("unknown kind %q (want one of %s)", kind, strings.Join(engine.Kinds(), ", "))
+	}
+	return m, nil
 }
 
+// SolveResult is the rendered solution: a flat JSON object whose
+// fields are the kind's registered solution components (lp: x, value;
+// svm: u, norm2, margin; meb: center, radius; sea: center, inner,
+// outer, width). Use Scalar/Vector to read fields by name.
+type SolveResult = engine.Solution
+
 // StatsPayload carries the resource stats of whichever model ran.
-type StatsPayload struct {
-	Stream      *lowdimlp.StreamStats      `json:"stream,omitempty"`
-	Coordinator *lowdimlp.CoordinatorStats `json:"coordinator,omitempty"`
-	MPC         *lowdimlp.MPCStats         `json:"mpc,omitempty"`
-}
+type StatsPayload = engine.Stats
 
 // Job states.
 const (
@@ -189,17 +193,15 @@ func (r *SolveRequest) Validate() error {
 	if r.Model == "" {
 		r.Model = ModelRAM
 	}
-	switch r.Kind {
-	case KindLP, KindSVM, KindMEB:
-	case "":
-		return fmt.Errorf("missing kind (want lp, svm or meb)")
-	default:
-		return fmt.Errorf("unknown kind %q (want lp, svm or meb)", r.Kind)
+	if r.Kind == "" {
+		return fmt.Errorf("missing kind (want one of %s)", strings.Join(engine.Kinds(), ", "))
 	}
-	switch r.Model {
-	case ModelRAM, ModelStream, ModelCoordinator, ModelMPC:
-	default:
-		return fmt.Errorf("unknown model %q (want ram, stream, coordinator or mpc)", r.Model)
+	m, err := r.model()
+	if err != nil {
+		return err
+	}
+	if !engine.ValidBackend(r.Model) {
+		return fmt.Errorf("unknown model %q (want %s)", r.Model, strings.Join(engine.Backends(), ", "))
 	}
 	sources := 0
 	if len(r.Rows) > 0 {
@@ -215,7 +217,7 @@ func (r *SolveRequest) Validate() error {
 		return fmt.Errorf("rows, instance_id and generate are mutually exclusive")
 	}
 	if r.Generate != nil {
-		return r.validateGenerate()
+		return r.validateGenerate(m)
 	}
 	if r.Dim < 1 {
 		return fmt.Errorf("dim must be ≥ 1, got %d", r.Dim)
@@ -223,27 +225,24 @@ func (r *SolveRequest) Validate() error {
 	if r.Dim > MaxDim {
 		return fmt.Errorf("dim %d exceeds the service limit %d", r.Dim, MaxDim)
 	}
-	if r.Kind == KindLP {
+	if m.HasObjective() {
 		if len(r.Objective) != r.Dim {
-			return fmt.Errorf("lp objective needs %d coefficients, got %d", r.Dim, len(r.Objective))
+			return fmt.Errorf("%s objective needs %d coefficients, got %d", r.Kind, r.Dim, len(r.Objective))
 		}
 		for _, v := range r.Objective {
 			if !finite(v) {
-				return fmt.Errorf("lp objective has a non-finite coefficient")
+				return fmt.Errorf("%s objective has a non-finite coefficient", r.Kind)
 			}
 		}
 	}
-	return validateRows(r.Kind, r.Dim, r.Rows)
+	return validateRows(m, r.Dim, r.Rows)
 }
 
 // validateRows checks instance rows for the given kind/dim — shared
 // by inline requests (Validate) and chunk uploads (InstanceStore), so
 // the two ingestion paths can never drift.
-func validateRows(kind string, dim int, rows [][]float64) error {
-	want := dim
-	if kind == KindLP || kind == KindSVM {
-		want++ // trailing b (lp) or label (svm)
-	}
+func validateRows(m engine.Model, dim int, rows [][]float64) error {
+	want := m.RowWidth(dim)
 	for i, row := range rows {
 		if len(row) != want {
 			return fmt.Errorf("row %d needs %d numbers, got %d", i, want, len(row))
@@ -253,16 +252,14 @@ func validateRows(kind string, dim int, rows [][]float64) error {
 				return fmt.Errorf("row %d has a non-finite number", i)
 			}
 		}
-		if kind == KindSVM {
-			if y := row[dim]; y != 1 && y != -1 {
-				return fmt.Errorf("row %d: svm label must be ±1, got %v", i, y)
-			}
+		if err := m.CheckRow(dim, row); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
 		}
 	}
 	return nil
 }
 
-func (r *SolveRequest) validateGenerate() error {
+func (r *SolveRequest) validateGenerate(m engine.Model) error {
 	g := r.Generate
 	g.Family = strings.ToLower(strings.TrimSpace(g.Family))
 	if g.N < 1 {
@@ -277,34 +274,20 @@ func (r *SolveRequest) validateGenerate() error {
 	if g.D < 1 || g.D > MaxDim {
 		return fmt.Errorf("generate.d must be in [1, %d], got %d", MaxDim, g.D)
 	}
-	valid := map[string][]string{
-		KindLP:  {"sphere", "box", "chebyshev"},
-		KindSVM: {"separable"},
-		KindMEB: {"gaussian", "ball", "shell", "lowrank"},
-	}[r.Kind]
 	if g.Family == "" {
-		g.Family = valid[0]
+		g.Family = m.Families()[0]
 	}
-	ok := false
-	for _, f := range valid {
-		ok = ok || f == g.Family
-	}
-	if !ok {
-		return fmt.Errorf("generate.family %q invalid for kind %q (want one of %v)",
-			g.Family, r.Kind, valid)
-	}
-	if g.Family == "chebyshev" && g.D < 2 {
-		return fmt.Errorf("generate.family chebyshev needs d ≥ 2 (d = degree+2)")
-	}
-	return nil
+	return m.CheckGenerate(g.Family, g.params())
 }
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Digest is the cache key: a SHA-256 over a canonical binary encoding
-// of everything that determines the answer — kind, model, options,
-// dimension, objective and rows. Requests that would recompute the
-// same solution share a digest.
+// of everything that determines the answer — kind, model, the options
+// the model actually reads (engine.Canonical zeroes the rest, so e.g.
+// a ram solve hits the same entry whatever ?k= says), dimension,
+// objective and rows. Requests that would recompute the same solution
+// share a digest.
 func (r *SolveRequest) Digest() string {
 	h := sha256.New()
 	var buf [8]byte
@@ -317,7 +300,7 @@ func (r *SolveRequest) Digest() string {
 	h.Write([]byte{0})
 	h.Write([]byte(r.Model))
 	h.Write([]byte{0})
-	o := r.Options
+	o := engine.Canonical(r.Model, r.Options.lib())
 	putU(uint64(o.R))
 	putF(o.Delta)
 	putU(o.Seed)
@@ -327,7 +310,7 @@ func (r *SolveRequest) Digest() string {
 		putU(0)
 	}
 	putF(o.NetConst)
-	putU(uint64(o.sites()))
+	putU(uint64(o.K))
 	putU(uint64(r.Dim))
 	putU(uint64(len(r.Objective)))
 	for _, v := range r.Objective {

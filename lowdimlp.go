@@ -2,8 +2,9 @@
 // Streaming Linear Programming in Low Dimensions" (Assadi, Karpov,
 // Zhang — PODS 2019): exact solvers for low-dimensional LP-type
 // problems (linear programming, hard-margin SVM, minimum enclosing
-// ball) in the multi-pass streaming, coordinator, and MPC models, with
-// the paper's O(d·r)-pass/round, n^{1/r}-resource trade-off.
+// ball, smallest enclosing annulus) in the multi-pass streaming,
+// coordinator, and MPC models, with the paper's O(d·r)-pass/round,
+// n^{1/r}-resource trade-off.
 //
 // # Quick start
 //
@@ -24,14 +25,33 @@
 // model solvers re-exported below) accepts any LP-type problem that
 // implements the two primitives of the paper: basis computation and
 // violation testing.
+//
+// # The model registry
+//
+// Every problem kind in this repository is described once, as an
+// internal/engine Spec (domain constructor, codecs, row⇄item
+// encoding, generators, rendering), and registered process-wide
+// (internal/models). The registry powers the generic instance API
+// below — Kinds, LookupKind, SolveInstance — as well as the lpserved
+// HTTP service and the lpsolve CLI, so a kind registered once (see
+// internal/sea, the smallest-enclosing-annulus kind) is solvable
+// everywhere with no per-kind code in any consumer:
+//
+//	inst := lowdimlp.Instance{Dim: 2, Rows: [][]float64{{1, 0}, {0, 1}, {-1, 0}, {0, -1}}}
+//	sol, _, err := lowdimlp.SolveInstance("sea", "stream", inst, lowdimlp.Options{R: 2})
+//	width, _ := sol.Scalar("width")
 package lowdimlp
 
 import (
+	"fmt"
+
 	"lowdimlp/internal/coordinator"
 	"lowdimlp/internal/core"
+	"lowdimlp/internal/engine"
 	"lowdimlp/internal/lp"
 	"lowdimlp/internal/lptype"
 	"lowdimlp/internal/meb"
+	"lowdimlp/internal/models"
 	"lowdimlp/internal/mpc"
 	"lowdimlp/internal/stream"
 	"lowdimlp/internal/svm"
@@ -111,18 +131,20 @@ type Options struct {
 	// communication are identical either way; only wall-clock time
 	// changes. Ignored by the other models.
 	Parallel bool
+	// K is the number of coordinator sites used by the instance-level
+	// API (SolveInstance; 0 = 4). The typed SolveXCoordinator entry
+	// points take explicit partitions and ignore it.
+	K int
 }
 
-func (o Options) core() core.Options {
-	r := o.R
-	if r == 0 {
-		r = 2
+func (o Options) core() core.Options { return o.engine().Core() }
+
+func (o Options) engine() engine.Options {
+	return engine.Options{
+		R: o.R, Delta: o.Delta, Seed: o.Seed,
+		MonteCarlo: o.MonteCarlo, NetConst: o.NetConst,
+		K: o.K, Parallel: o.Parallel,
 	}
-	nc := o.NetConst
-	if nc == 0 {
-		nc = 0.5
-	}
-	return core.Options{R: r, Seed: o.Seed, MonteCarlo: o.MonteCarlo, NetConst: nc}
 }
 
 // NewLP returns a linear program minimizing objective·x.
@@ -131,7 +153,7 @@ func NewLP(objective []float64) LPProblem { return lp.NewProblem(objective) }
 // SolveLP solves the LP in RAM (Seidel's algorithm with lexicographic
 // tie-breaking) — the reference the model solvers are tested against.
 func SolveLP(p LPProblem, cons []Halfspace, seed uint64) (LPSolution, error) {
-	b, err := lp.NewDomain(p, seed).Solve(cons)
+	b, err := engine.SolveRAM(models.LP, p, cons, engine.Options{Seed: seed})
 	if err != nil {
 		return LPSolution{}, err
 	}
@@ -141,38 +163,21 @@ func SolveLP(p LPProblem, cons []Halfspace, seed uint64) (LPSolution, error) {
 // SolveLPStreaming solves the LP over a multi-pass stream of n
 // constraints (Theorem 1; pass n ≤ 0 to count with one extra pass).
 func SolveLPStreaming(p LPProblem, st Stream[Halfspace], n int, opt Options) (LPSolution, StreamStats, error) {
-	dom := lp.NewDomain(p, opt.Seed^0x10ca1)
-	hc := lp.HalfspaceCodec{Dim: p.Dim}
-	bc := lp.BasisCodec{Dim: p.Dim}
-	b, stats, err := stream.Solve[Halfspace, LPBasis](dom, st, n, stream.Options{
-		Core:         opt.core(),
-		BitsPerItem:  hc.Bits(Halfspace{}),
-		BitsPerBasis: bc.Bits(LPBasis{}),
-	})
+	b, stats, err := engine.SolveStreaming(models.LP, p, st, n, opt.engine())
 	return b.Sol, stats, err
 }
 
 // SolveLPCoordinator solves the LP over a k-site partition
 // (Theorem 2).
 func SolveLPCoordinator(p LPProblem, parts [][]Halfspace, opt Options) (LPSolution, CoordinatorStats, error) {
-	dom := lp.NewDomain(p, opt.Seed^0x10ca1)
-	b, stats, err := coordinator.Solve(dom, parts,
-		lp.HalfspaceCodec{Dim: p.Dim}, lp.BasisCodec{Dim: p.Dim},
-		coordinator.Options{Core: opt.core(), Parallel: opt.Parallel})
+	b, stats, err := engine.SolveCoordinator(models.LP, p, parts, opt.engine())
 	return b.Sol, stats, err
 }
 
 // SolveLPMPC solves the LP in the MPC model with per-machine load
 // O~(n^Delta) (Theorem 3).
 func SolveLPMPC(p LPProblem, cons []Halfspace, opt Options) (LPSolution, MPCStats, error) {
-	dom := lp.NewDomain(p, opt.Seed^0x10ca1)
-	co := opt.core()
-	if opt.R == 0 {
-		co.R = 0 // let the MPC solver derive r = ⌈1/δ⌉
-	}
-	b, stats, err := mpc.Solve(dom, cons,
-		lp.HalfspaceCodec{Dim: p.Dim}, lp.BasisCodec{Dim: p.Dim},
-		mpc.Options{Core: co, Delta: opt.Delta})
+	b, stats, err := engine.SolveMPC(models.LP, p, cons, opt.engine())
 	return b.Sol, stats, err
 }
 
@@ -180,7 +185,8 @@ func SolveLPMPC(p LPProblem, cons []Halfspace, opt Options) (LPSolution, MPCStat
 // svm.ErrNotSeparable (exposed as ErrNotSeparable) on non-separable
 // data.
 func SolveSVM(dim int, examples []SVMExample) (SVMSolution, error) {
-	return svm.Solve(dim, examples)
+	b, err := engine.SolveRAM(models.SVM, dim, examples, engine.Options{})
+	return b.Sol, err
 }
 
 // ErrNotSeparable reports non-separable SVM training data.
@@ -188,83 +194,96 @@ var ErrNotSeparable = svm.ErrNotSeparable
 
 // SolveSVMStreaming trains the SVM over a stream (Theorem 5).
 func SolveSVMStreaming(dim int, st Stream[SVMExample], n int, opt Options) (SVMSolution, StreamStats, error) {
-	dom := svm.NewDomain(dim)
-	ec := svm.ExampleCodec{Dim: dim}
-	bc := svm.BasisCodec{Dim: dim}
-	b, stats, err := stream.Solve[SVMExample, SVMBasis](dom, st, n, stream.Options{
-		Core:         opt.core(),
-		BitsPerItem:  ec.Bits(SVMExample{}),
-		BitsPerBasis: bc.Bits(SVMBasis{}),
-	})
+	b, stats, err := engine.SolveStreaming(models.SVM, dim, st, n, opt.engine())
 	return b.Sol, stats, err
 }
 
 // SolveSVMCoordinator trains the SVM over a k-site partition.
 func SolveSVMCoordinator(dim int, parts [][]SVMExample, opt Options) (SVMSolution, CoordinatorStats, error) {
-	dom := svm.NewDomain(dim)
-	b, stats, err := coordinator.Solve(dom, parts,
-		svm.ExampleCodec{Dim: dim}, svm.BasisCodec{Dim: dim},
-		coordinator.Options{Core: opt.core(), Parallel: opt.Parallel})
+	b, stats, err := engine.SolveCoordinator(models.SVM, dim, parts, opt.engine())
 	return b.Sol, stats, err
 }
 
 // SolveSVMMPC trains the SVM in the MPC model.
 func SolveSVMMPC(dim int, examples []SVMExample, opt Options) (SVMSolution, MPCStats, error) {
-	dom := svm.NewDomain(dim)
-	co := opt.core()
-	if opt.R == 0 {
-		co.R = 0
-	}
-	b, stats, err := mpc.Solve(dom, examples,
-		svm.ExampleCodec{Dim: dim}, svm.BasisCodec{Dim: dim},
-		mpc.Options{Core: co, Delta: opt.Delta})
+	b, stats, err := engine.SolveMPC(models.SVM, dim, examples, opt.engine())
 	return b.Sol, stats, err
 }
 
 // SolveMEB computes the minimum enclosing ball in RAM.
-func SolveMEB(pts []MEBPoint) (MEBBall, error) { return meb.Solve(pts) }
+func SolveMEB(pts []MEBPoint) (MEBBall, error) {
+	dim := 0
+	if len(pts) > 0 {
+		dim = len(pts[0])
+	}
+	b, err := engine.SolveRAM(models.MEB, dim, pts, engine.Options{})
+	return b.B, err
+}
 
 // SolveMEBStreaming computes the MEB over a stream (Theorem 6).
 func SolveMEBStreaming(dim int, st Stream[MEBPoint], n int, opt Options) (MEBBall, StreamStats, error) {
-	dom := meb.NewDomain(dim)
-	pc := meb.PointCodec{Dim: dim}
-	bc := meb.BasisCodec{Dim: dim}
-	b, stats, err := stream.Solve[MEBPoint, MEBBasis](dom, st, n, stream.Options{
-		Core:         opt.core(),
-		BitsPerItem:  pc.Bits(MEBPoint{}),
-		BitsPerBasis: bc.Bits(MEBBasis{}),
-	})
+	b, stats, err := engine.SolveStreaming(models.MEB, dim, st, n, opt.engine())
 	return b.B, stats, err
 }
 
 // SolveMEBCoordinator computes the MEB over a k-site partition.
 func SolveMEBCoordinator(dim int, parts [][]MEBPoint, opt Options) (MEBBall, CoordinatorStats, error) {
-	dom := meb.NewDomain(dim)
-	b, stats, err := coordinator.Solve(dom, parts,
-		meb.PointCodec{Dim: dim}, meb.BasisCodec{Dim: dim},
-		coordinator.Options{Core: opt.core(), Parallel: opt.Parallel})
+	b, stats, err := engine.SolveCoordinator(models.MEB, dim, parts, opt.engine())
 	return b.B, stats, err
 }
 
 // SolveMEBMPC computes the MEB in the MPC model.
 func SolveMEBMPC(dim int, pts []MEBPoint, opt Options) (MEBBall, MPCStats, error) {
-	dom := meb.NewDomain(dim)
-	co := opt.core()
-	if opt.R == 0 {
-		co.R = 0
-	}
-	b, stats, err := mpc.Solve(dom, pts,
-		meb.PointCodec{Dim: dim}, meb.BasisCodec{Dim: dim},
-		mpc.Options{Core: co, Delta: opt.Delta})
+	b, stats, err := engine.SolveMPC(models.MEB, dim, pts, opt.engine())
 	return b.B, stats, err
 }
 
 // Partition splits items across k sites round-robin — a convenience
 // for the coordinator entry points.
-func Partition[C any](items []C, k int) [][]C {
-	parts := make([][]C, k)
-	for i, c := range items {
-		parts[i%k] = append(parts[i%k], c)
+func Partition[C any](items []C, k int) [][]C { return engine.Partition(items, k) }
+
+// --- The registry-driven instance API ----------------------------------
+
+// Instance is the flat, kind-independent form of a problem instance:
+// one row of RowWidth numbers per constraint/example/point (the
+// lpsolve text-format layout), plus the objective row for kinds that
+// have one (LP).
+type Instance = engine.Instance
+
+// Solution is a rendered solve result: ordered named fields,
+// independent of the kind that produced it (see Solution.Scalar,
+// Solution.Vector and Solution.Text).
+type Solution = engine.Solution
+
+// SolveStats carries the resource report of whichever backend ran.
+type SolveStats = engine.Stats
+
+// ProblemModel is a registered problem kind's registry entry: row
+// layout, generator families and the backend-generic solver.
+type ProblemModel = engine.Model
+
+// Kinds returns the registered problem kinds ("lp", "svm", "meb",
+// "sea", ...).
+func Kinds() []string { return engine.Kinds() }
+
+// Models returns the registered problem kinds' registry entries.
+func Models() []ProblemModel { return engine.Models() }
+
+// Backends returns the computation backend names ("ram", "stream",
+// "coordinator", "mpc").
+func Backends() []string { return engine.Backends() }
+
+// LookupKind returns the registry entry for a problem kind.
+func LookupKind(kind string) (ProblemModel, bool) { return engine.Lookup(kind) }
+
+// SolveInstance solves a flat instance of any registered kind on any
+// backend: the generic entry point behind lpserved and lpsolve.
+// Options.K selects the coordinator site count; stats are populated
+// for the distributed backends.
+func SolveInstance(kind, backend string, inst Instance, opt Options) (Solution, SolveStats, error) {
+	m, ok := engine.Lookup(kind)
+	if !ok {
+		return Solution{}, SolveStats{}, fmt.Errorf("unknown kind %q (want one of %v)", kind, Kinds())
 	}
-	return parts
+	return m.SolveInstance(backend, inst, opt.engine())
 }
