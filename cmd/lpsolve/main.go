@@ -9,12 +9,19 @@
 //
 //	lpsolve [-model ram|stream|coordinator|mpc] [-r N] [-k N]
 //	        [-delta F] [-seed N] [-parallel] [file]
+//	lpsolve -convert out.lds [file]
 //	lpsolve -kinds
 //
-// # Input format
+// # Input formats
 //
-// Plain text, '#' comments allowed. The first non-comment line selects
-// the problem kind:
+// A file argument that starts with the binary dataset magic (see
+// internal/dataset; written by -convert or lowdimlp.WriteDatasetFile)
+// is solved directly from disk: the file names its own kind, dimension
+// and objective, and the streaming backend scans it in fixed-size
+// blocks, so instances larger than memory work (-model stream).
+//
+// Everything else is plain text, '#' comments allowed. The first
+// non-comment line selects the problem kind:
 //
 //	lp <d>            d-dimensional linear program; next line: the d
 //	                  objective coefficients; then one constraint per
@@ -69,10 +76,22 @@ func main() {
 	flag.Uint64Var(&cfg.Seed, "seed", 1, "random seed")
 	flag.BoolVar(&cfg.Parallel, "parallel", false, "run coordinator sites on goroutines")
 	kinds := flag.Bool("kinds", false, "list the registered problem kinds and exit")
+	convert := flag.String("convert", "", "write the parsed text instance as a binary dataset file and exit")
 	flag.Parse()
 
 	if *kinds {
 		printKinds(os.Stdout)
+		return
+	}
+	if flag.NArg() > 0 && lowdimlp.IsDatasetFile(flag.Arg(0)) {
+		// Binary dataset input: solve straight off the file (the
+		// streaming backend never materializes it).
+		if *convert != "" {
+			fatal(fmt.Errorf("%s is already a binary dataset file", flag.Arg(0)))
+		}
+		if err := runDataset(flag.Arg(0), os.Stdout, cfg); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	in := os.Stdin
@@ -84,9 +103,42 @@ func main() {
 		defer f.Close()
 		in = f
 	}
+	if *convert != "" {
+		if err := runConvert(in, *convert, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if err := run(in, os.Stdout, cfg); err != nil {
 		fatal(err)
 	}
+}
+
+// runDataset solves a binary dataset file on the configured backend.
+func runDataset(path string, out io.Writer, cfg config) error {
+	sol, stats, err := lowdimlp.SolveDatasetFile(path, cfg.Model, cfg.options())
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, sol.Text())
+	if s := stats.String(); s != "" {
+		fmt.Fprintln(out, s)
+	}
+	return nil
+}
+
+// runConvert parses a text instance and writes it as a binary dataset
+// file.
+func runConvert(in io.Reader, outPath string, out io.Writer) error {
+	kind, m, inst, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if err := lowdimlp.WriteDatasetFile(outPath, kind, inst); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s: kind=%s dim=%d %ss=%d\n", outPath, kind, inst.Dim, m.RowLabel(), len(inst.Rows))
+	return nil
 }
 
 func fatal(err error) {
@@ -102,19 +154,26 @@ func printKinds(out io.Writer) {
 	}
 }
 
-// run parses one instance and solves it with the configured model.
-func run(in io.Reader, out io.Writer, cfg config) error {
+// parse reads one text instance: header, then objective/rows.
+func parse(in io.Reader) (string, lowdimlp.ProblemModel, lowdimlp.Instance, error) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	kind, dim, err := readHeader(sc)
 	if err != nil {
-		return err
+		return "", nil, lowdimlp.Instance{}, err
 	}
 	m, ok := lowdimlp.LookupKind(kind)
 	if !ok {
-		return fmt.Errorf("unknown problem kind %q (want %s)", kind, strings.Join(lowdimlp.Kinds(), ", "))
+		return "", nil, lowdimlp.Instance{},
+			fmt.Errorf("unknown problem kind %q (want %s)", kind, strings.Join(lowdimlp.Kinds(), ", "))
 	}
 	inst, err := readInstance(sc, m, dim)
+	return kind, m, inst, err
+}
+
+// run parses one instance and solves it with the configured model.
+func run(in io.Reader, out io.Writer, cfg config) error {
+	kind, _, inst, err := parse(in)
 	if err != nil {
 		return err
 	}

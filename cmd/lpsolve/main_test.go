@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"lowdimlp"
 )
 
 const lpInput = `# minimize x+y over x ≥ 1, y ≥ 2
@@ -128,5 +132,38 @@ func TestPrintKinds(t *testing.T) {
 		if !strings.Contains(got, kind+" ") && !strings.Contains(got, kind+"\n") {
 			t.Errorf("kind %s missing from catalog:\n%s", kind, got)
 		}
+	}
+}
+
+// TestConvertAndSolveDataset: text → binary dataset file → solve, on
+// every backend, matching the text-path answer.
+func TestConvertAndSolveDataset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lp.lds")
+	var out bytes.Buffer
+	if err := runConvert(strings.NewReader(lpInput), path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "kind=lp") {
+		t.Fatalf("convert output %q", out.String())
+	}
+	if !lowdimlp.IsDatasetFile(path) {
+		t.Fatal("converted file not recognized as a dataset file")
+	}
+	for _, model := range []string{"ram", "stream", "coordinator", "mpc"} {
+		var got bytes.Buffer
+		if err := runDataset(path, &got, testConfig(model)); err != nil {
+			t.Fatalf("model %s: %v", model, err)
+		}
+		if !strings.Contains(got.String(), "objective = 3") {
+			t.Errorf("model %s: dataset output %q lacks objective 3", model, got.String())
+		}
+	}
+	// A text file must not sniff as a dataset.
+	txt := filepath.Join(t.TempDir(), "lp.txt")
+	if err := os.WriteFile(txt, []byte(lpInput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if lowdimlp.IsDatasetFile(txt) {
+		t.Fatal("text instance sniffed as dataset file")
 	}
 }

@@ -43,6 +43,7 @@ import (
 
 	"lowdimlp/internal/comm"
 	"lowdimlp/internal/core"
+	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/lptype"
 	"lowdimlp/internal/numeric"
 	"lowdimlp/internal/sampling"
@@ -78,29 +79,63 @@ func (s Stats) String() string {
 // ErrNoSites is returned when the partition is empty.
 var ErrNoSites = errors.New("coordinator: no sites")
 
-// site is one of the k participants. Sites own their partition, their
-// copy of the successful-basis list, and private randomness.
+// site is one of the k participants. Sites own their local constraint
+// storage (a typed slice or a zero-copy columnar shard), their copy of
+// the successful-basis list, and private randomness.
 type site[C, B any] struct {
-	items []C
+	data  lptype.Store[C, B]
 	bases []B
 	rng   *rand.Rand
 }
 
 // Solve runs the distributed version of Algorithm 1 (Theorem 2) on the
 // partition parts (one slice per site). Codecs meter the communication.
+// It is a thin adapter over the shared protocol implementation: each
+// partition becomes a SliceStore, so results are bit-identical to the
+// historical slice-only implementation.
 func Solve[C, B any](
 	dom lptype.Domain[C, B], parts [][]C,
 	ccodec comm.Codec[C], bcodec comm.Codec[B],
 	opt Options,
 ) (B, Stats, error) {
+	stores := make([]lptype.Store[C, B], len(parts))
+	for i, p := range parts {
+		stores[i] = lptype.SliceStore(dom, p)
+	}
+	return solve(dom, stores, ccodec, bcodec, opt)
+}
+
+// SolveDataset runs the same protocol with the instance sharded across
+// sites as zero-copy columnar views (round-robin, matching the
+// engine's historical Partition assignment) — nothing is copied to
+// "distribute" the input, and site-local scans run over the flat arena
+// with no per-constraint decode.
+func SolveDataset[C, B any](
+	ra lptype.RowAccess[C, B], shards []dataset.View,
+	ccodec comm.Codec[C], bcodec comm.Codec[B],
+	opt Options,
+) (B, Stats, error) {
+	stores := make([]lptype.Store[C, B], len(shards))
+	for i, v := range shards {
+		stores[i] = lptype.ViewStore(ra, v)
+	}
+	return solve(ra.Domain(), stores, ccodec, bcodec, opt)
+}
+
+// solve is the protocol body, generic over site storage.
+func solve[C, B any](
+	dom lptype.Domain[C, B], stores []lptype.Store[C, B],
+	ccodec comm.Codec[C], bcodec comm.Codec[B],
+	opt Options,
+) (B, Stats, error) {
 	var zero B
-	k := len(parts)
+	k := len(stores)
 	if k == 0 {
 		return zero, Stats{}, ErrNoSites
 	}
 	n := 0
-	for _, p := range parts {
-		n += len(p)
+	for _, s := range stores {
+		n += s.Size()
 	}
 	stats := Stats{N: n, K: k}
 	meter := comm.NewMeter()
@@ -119,8 +154,8 @@ func Solve[C, B any](
 	stats.NetSize = m
 
 	sites := make([]*site[C, B], k)
-	for i, p := range parts {
-		sites[i] = &site[C, B]{items: p, rng: numeric.NewRand(opt.Core.Seed^0x5173, uint64(i)+1)}
+	for i, s := range stores {
+		sites[i] = &site[C, B]{data: s, rng: numeric.NewRand(opt.Core.Seed^0x5173, uint64(i)+1)}
 	}
 
 	if m >= n {
@@ -129,7 +164,8 @@ func Solve[C, B any](
 		meter.StartRound()
 		var all []C
 		for _, s := range sites {
-			for _, c := range s.items {
+			for i, sz := 0, s.data.Size(); i < sz; i++ {
+				c := s.data.Item(i)
 				meter.Charge(ccodec.Bits(c))
 				all = append(all, c)
 			}
@@ -167,18 +203,8 @@ func Solve[C, B any](
 				comm.PutValue(req, bcodec, *pending)
 			}
 			meter.Charge(req.Bits())
-			// Site-local scan.
-			var wTot, wViol numeric.Kahan
-			count := 0
-			for _, c := range s.items {
-				w := math.Pow(mult, float64(weightExp(dom, s.bases, c)))
-				wTot.Add(w)
-				if pending != nil && dom.Violates(*pending, c) {
-					wViol.Add(w)
-					count++
-				}
-			}
-			repTotal[i], repViol[i], repCount[i] = wTot.Sum(), wViol.Sum(), count
+			// Site-local scan (typed or columnar — same arithmetic).
+			repTotal[i], repViol[i], repCount[i] = s.data.Scan(s.bases, pending, mult)
 			// site i → coord: two weights and a count.
 			rep := comm.NewBuffer()
 			rep.PutFloat(repTotal[i])
@@ -242,15 +268,13 @@ func Solve[C, B any](
 			}
 			if alloc[i] > 0 {
 				// Sample alloc[i] items by local (updated) weight.
-				w := make([]float64, len(s.items))
-				for j, c := range s.items {
-					w[j] = math.Pow(mult, float64(weightExp(dom, s.bases, c)))
-				}
+				w := make([]float64, s.data.Size())
+				s.data.Weights(s.bases, mult, w)
 				al := sampling.NewAlias(w)
 				picked := make([]C, alloc[i])
 				rep := comm.NewBuffer()
 				for t := range picked {
-					picked[t] = s.items[al.Draw(s.rng)]
+					picked[t] = s.data.Item(al.Draw(s.rng))
 					comm.PutValue(rep, ccodec, picked[t])
 				}
 				netParts[i] = picked
@@ -275,18 +299,6 @@ func Solve[C, B any](
 	stats.TotalBits = meter.TotalBits()
 	stats.Messages = meter.Messages()
 	return zero, stats, core.ErrIterationBudget
-}
-
-// weightExp is the on-the-fly weight exponent a(c) = #{stored bases
-// violated by c} (§3.2).
-func weightExp[C, B any](dom lptype.Domain[C, B], bases []B, c C) int {
-	a := 0
-	for i := range bases {
-		if dom.Violates(bases[i], c) {
-			a++
-		}
-	}
-	return a
 }
 
 // runSites executes fn for every site index, in parallel when

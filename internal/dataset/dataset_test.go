@@ -1,0 +1,289 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readAll(path string) ([]byte, error)  { return os.ReadFile(path) }
+func writeAll(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }
+
+// fill returns a store of n rows of the given width with distinct,
+// position-derived values.
+func fill(t *testing.T, n, w int) *Store {
+	t.Helper()
+	s := NewStore(w)
+	row := make([]float64, w)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = float64(i*w + j)
+		}
+		s.AppendRow(row)
+	}
+	if s.Rows() != n || s.Width() != w {
+		t.Fatalf("store %d×%d, want %d×%d", s.Rows(), s.Width(), n, w)
+	}
+	return s
+}
+
+func TestStoreRowsAndViews(t *testing.T) {
+	s := fill(t, 10, 3)
+	if got := s.Row(4); got[0] != 12 || got[2] != 14 {
+		t.Fatalf("row 4 = %v", got)
+	}
+	v := s.View().Slice(2, 7)
+	if v.Rows() != 5 || v.Row(0)[0] != 6 {
+		t.Fatalf("slice view wrong: rows=%d first=%v", v.Rows(), v.Row(0))
+	}
+	// Nested slice of a slice.
+	vv := v.Slice(1, 3)
+	if vv.Rows() != 2 || vv.Row(1)[0] != 12 {
+		t.Fatalf("nested slice wrong: %v", vv.Row(1))
+	}
+}
+
+// TestShardMatchesRoundRobin pins the shard semantics to the engine's
+// historical round-robin partition: shard j must hold exactly the rows
+// a `parts[i%k] = append(parts[i%k], item)` loop would give site j.
+func TestShardMatchesRoundRobin(t *testing.T) {
+	s := fill(t, 11, 2)
+	for _, k := range []int{1, 2, 3, 4, 11, 16} {
+		shards := s.View().Shard(k)
+		want := make([][]int, k)
+		for i := 0; i < s.Rows(); i++ {
+			want[i%k] = append(want[i%k], i)
+		}
+		total := 0
+		for j, sh := range shards {
+			if sh.Rows() != len(want[j]) {
+				t.Fatalf("k=%d shard %d has %d rows, want %d", k, j, sh.Rows(), len(want[j]))
+			}
+			for i := 0; i < sh.Rows(); i++ {
+				if sh.Row(i)[0] != s.Row(want[j][i])[0] {
+					t.Fatalf("k=%d shard %d row %d = %v, want row %d", k, j, i, sh.Row(i), want[j][i])
+				}
+			}
+			total += sh.Rows()
+		}
+		if total != s.Rows() {
+			t.Fatalf("k=%d shards cover %d rows, want %d", k, total, s.Rows())
+		}
+	}
+}
+
+// drain scans src through a cursor with the given batch size and
+// returns all values in row order.
+func drain(t *testing.T, src Source, batchRows int) []float64 {
+	t.Helper()
+	cur := src.NewCursor()
+	defer CloseCursor(cur)
+	var out []float64
+	batch := make([]Row, batchRows)
+	for pass := 0; pass < 2; pass++ { // second pass checks Reset
+		if err := cur.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		out = out[:0]
+		for {
+			n, err := cur.Next(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				break
+			}
+			for _, row := range batch[:n] {
+				out = append(out, row...)
+			}
+		}
+	}
+	return out
+}
+
+func TestCursorBatches(t *testing.T) {
+	s := fill(t, 23, 3)
+	for _, b := range []int{1, 4, 23, 64} {
+		got := drain(t, s, b)
+		if len(got) != 23*3 {
+			t.Fatalf("batch=%d: %d values", b, len(got))
+		}
+		for i, v := range got {
+			if v != float64(i) {
+				t.Fatalf("batch=%d: value %d = %v", b, i, v)
+			}
+		}
+	}
+	// Strided view cursor.
+	sh := s.View().Shard(3)[1]
+	cur := sh.NewCursor()
+	batch := make([]Row, 4)
+	n, _ := cur.Next(batch)
+	if n == 0 || batch[0][0] != 3 {
+		t.Fatalf("strided cursor first row %v", batch[0])
+	}
+}
+
+func TestFromRowsAndMaterialize(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	s, err := FromRows(2, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 3 || s.Row(2)[1] != 6 {
+		t.Fatalf("FromRows wrong: %v", s.Values())
+	}
+	if _, err := FromRows(2, [][]float64{{1}}); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	// Materialize of a memory source is zero-copy.
+	v, err := Materialize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &v.store.data[0] != &s.data[0] {
+		t.Fatal("Materialize copied a memory store")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	s := fill(t, 300, 4)
+	info := Info{Kind: "meb", Dim: 4, Width: 4, Objective: nil, Rows: s.Rows()}
+	path := filepath.Join(t.TempDir(), "inst.lds")
+	if err := WriteFile(path, info, s); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Info(); got.Kind != "meb" || got.Dim != 4 || got.Rows != 300 || got.Width != 4 {
+		t.Fatalf("info %+v", got)
+	}
+	// Block-streamed payload matches, across block sizes that force
+	// partial blocks and batch/block misalignment.
+	want := s.Values()
+	for _, bb := range []int{0, 64, 8 * 4 * 7, 1 << 20} {
+		f.BlockBytes = bb
+		got := drain(t, f, 5)
+		if len(got) != len(want) {
+			t.Fatalf("block=%d: %d values, want %d", bb, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("block=%d: value %d = %v, want %v", bb, i, got[i], want[i])
+			}
+		}
+	}
+	// Materialize streams the file into a store.
+	v, err := Materialize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Rows() != 300 || v.Row(299)[3] != want[len(want)-1] {
+		t.Fatalf("materialized file wrong: %d rows", v.Rows())
+	}
+}
+
+func TestFileObjectiveAndSpecials(t *testing.T) {
+	s := NewStore(3)
+	s.AppendRow([]float64{math.Inf(1), -0.0, math.Pi})
+	nan := math.NaN()
+	s.AppendRow([]float64{nan, 1e-320, math.MaxFloat64})
+	info := Info{Kind: "lp", Dim: 2, Width: 3, Objective: []float64{1.5, -2.5}, Rows: 2}
+	var buf bytes.Buffer
+	if err := EncodeTo(&buf, info, s); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := DecodeFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != "lp" || len(got.Objective) != 2 || got.Objective[1] != -2.5 {
+		t.Fatalf("decoded info %+v", got)
+	}
+	for i, v := range s.Values() {
+		w := st.Values()[i]
+		if math.Float64bits(v) != math.Float64bits(w) {
+			t.Fatalf("value %d: %x → %x", i, math.Float64bits(v), math.Float64bits(w))
+		}
+	}
+}
+
+func TestOpenFileRejectsCorruption(t *testing.T) {
+	s := fill(t, 5, 2)
+	path := filepath.Join(t.TempDir(), "x.lds")
+	if err := WriteFile(path, Info{Kind: "meb", Dim: 2, Width: 2, Rows: 5}, s); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated payload: header says 5 rows, file holds fewer.
+	raw, err := readAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.lds")
+	if err := writeAll(bad, raw[:len(raw)-8]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+	// Bad magic.
+	raw[0] ^= 0xff
+	if err := writeAll(bad, raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// FuzzDecodeFrom feeds arbitrary bytes to the file decoder: it must
+// never panic or over-allocate, and every successfully decoded file
+// must re-encode to an equivalent decode (round-trip stability).
+func FuzzDecodeFrom(f *testing.F) {
+	seed := func(info Info, st *Store) []byte {
+		var buf bytes.Buffer
+		if err := EncodeTo(&buf, info, st); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	small := NewStore(2)
+	small.AppendRow([]float64{1, 2})
+	small.AppendRow([]float64{3, 4})
+	f.Add(seed(Info{Kind: "meb", Dim: 2, Width: 2, Rows: 2}, small))
+	f.Add(seed(Info{Kind: "lp", Dim: 1, Width: 2, Objective: []float64{1}, Rows: 2}, small))
+	f.Add([]byte("LDSET1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, st, err := DecodeFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must round-trip bit for bit.
+		var buf bytes.Buffer
+		if err := EncodeTo(&buf, info, st); err != nil {
+			t.Fatalf("re-encode of decoded file failed: %v", err)
+		}
+		info2, st2, err := DecodeFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if info2.Kind != info.Kind || info2.Dim != info.Dim || info2.Width != info.Width ||
+			info2.Rows != info.Rows || len(info2.Objective) != len(info.Objective) {
+			t.Fatalf("info drift: %+v → %+v", info, info2)
+		}
+		a, b := st.Values(), st2.Values()
+		if len(a) != len(b) {
+			t.Fatalf("payload length drift: %d → %d", len(a), len(b))
+		}
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				t.Fatalf("payload drift at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"lowdimlp/internal/dataset"
+)
+
+// This file bridges the registry and the columnar dataset layer:
+// every registered kind gets in-memory columnar and file-backed
+// binary sources for free — the Spec's Width/Item/Check row codec is
+// reused as the dataset codec, so there is nothing per-kind to write.
+
+// Columnar converts a flat instance's rows into a columnar store,
+// validating widths and kind-specific row invariants on the way in
+// (SolveSource trusts its input, so ingestion is where rows are
+// checked).
+func Columnar(m Model, inst Instance) (*dataset.Store, error) {
+	width := m.RowWidth(inst.Dim)
+	st := dataset.NewStore(width)
+	st.Grow(len(inst.Rows))
+	for i, row := range inst.Rows {
+		if len(row) != width {
+			return nil, fmt.Errorf("%s: row %d needs %d numbers, got %d", m.Kind(), i, width, len(row))
+		}
+		if err := m.CheckRow(inst.Dim, row); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		st.AppendRow(row)
+	}
+	return st, nil
+}
+
+// WriteDatasetFile writes inst as a self-describing binary dataset
+// file (internal/dataset file format) for the given kind.
+func WriteDatasetFile(path, kind string, inst Instance) error {
+	m, err := lookup(kind)
+	if err != nil {
+		return err
+	}
+	st, err := Columnar(m, inst)
+	if err != nil {
+		return err
+	}
+	return dataset.WriteFile(path, dataset.Info{
+		Kind:      m.Kind(),
+		Dim:       inst.Dim,
+		Width:     st.Width(),
+		Objective: inst.Objective,
+		Rows:      st.Rows(),
+	}, st)
+}
+
+// OpenDatasetFile opens a binary dataset file, resolves its kind in
+// the registry, and validates the payload with one streaming pass
+// (finiteness plus the kind's row invariants) — files come from
+// arbitrary paths, so they get the same ingestion checks as JSON
+// uploads, without being materialized.
+func OpenDatasetFile(path string) (Model, *dataset.File, error) {
+	f, err := dataset.OpenFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := lookup(f.Info().Kind)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if want := m.RowWidth(f.Info().Dim); f.Width() != want {
+		return nil, nil, fmt.Errorf("%s: width %d, kind %q at dim %d wants %d",
+			path, f.Width(), m.Kind(), f.Info().Dim, want)
+	}
+	for _, v := range f.Info().Objective {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, nil, fmt.Errorf("%s: objective has a non-finite coefficient", path)
+		}
+	}
+	if err := validateSource(m, f.Info().Dim, f); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, f, nil
+}
+
+// validateSource scans src once, applying the finiteness and
+// kind-specific row checks every other ingestion path enforces.
+func validateSource(m Model, dim int, src dataset.Source) error {
+	cur := src.NewCursor()
+	defer dataset.CloseCursor(cur)
+	batch := make([]dataset.Row, dataset.DefaultBatchRows)
+	i := 0
+	for {
+		n, err := cur.Next(batch)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			return nil
+		}
+		for _, row := range batch[:n] {
+			for _, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("row %d has a non-finite number", i)
+				}
+			}
+			if err := m.CheckRow(dim, row); err != nil {
+				return fmt.Errorf("row %d: %w", i, err)
+			}
+			i++
+		}
+	}
+}
+
+// SolveDatasetFile opens a dataset file and solves it on the named
+// backend — the one-call out-of-core entry point (streaming never
+// materializes the file).
+func SolveDatasetFile(path, backend string, opt Options) (Solution, Stats, error) {
+	m, f, err := OpenDatasetFile(path)
+	if err != nil {
+		return Solution{}, Stats{}, err
+	}
+	return m.SolveSource(backend, f.Info().Dim, f.Info().Objective, f, opt)
+}
+
+// IsDatasetFile reports whether path starts with the binary dataset
+// magic — the sniff CLIs use to route a file argument to the dataset
+// reader instead of the text parser.
+func IsDatasetFile(path string) bool { return dataset.SniffFile(path) }
+
+// lookup resolves a kind or reports the catalog.
+func lookup(kind string) (Model, error) {
+	m, ok := Lookup(kind)
+	if !ok {
+		return nil, fmt.Errorf("unknown kind %q (registered: %v)", kind, Kinds())
+	}
+	return m, nil
+}

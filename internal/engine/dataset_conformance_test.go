@@ -1,0 +1,174 @@
+// Dataset conformance: for every registered kind and every backend,
+// the three instance sources — the slice adapter (SolveInstance), an
+// in-memory columnar store, and a file-backed binary dataset — must
+// produce bit-identical solutions. This is the proof that the
+// columnar refactor changed the storage layer and nothing else.
+package engine_test
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"lowdimlp/internal/dataset"
+	"lowdimlp/internal/engine"
+	_ "lowdimlp/internal/models" // populate the registry
+)
+
+// assertSolutionsIdentical compares two rendered solutions bit for bit.
+func assertSolutionsIdentical(t *testing.T, what string, a, b engine.Solution) {
+	t.Helper()
+	assertSolutionsClose(t, what, a, b, 0)
+}
+
+func TestAllSourcesBitIdentical(t *testing.T) {
+	for _, m := range engine.Models() {
+		m := m
+		t.Run(m.Kind(), func(t *testing.T) {
+			t.Parallel()
+			inst := conformanceInstance(t, m, 700, 41)
+			st, err := engine.Columnar(m, inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), m.Kind()+".lds")
+			if err := engine.WriteDatasetFile(path, m.Kind(), inst); err != nil {
+				t.Fatal(err)
+			}
+			file, err := dataset.OpenFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Tiny blocks force batch/block misalignment in the
+			// streaming scan — the result must not notice.
+			file.BlockBytes = 8 * st.Width() * 13
+
+			opt := engine.Options{R: 2, Seed: 41, K: 4, Parallel: true, Delta: 0.6}
+			for _, backend := range engine.Backends() {
+				ref, refStats, err := m.SolveInstance(backend, inst, opt)
+				if err != nil {
+					t.Fatalf("%s slice: %v", backend, err)
+				}
+				mem, memStats, err := m.SolveSource(backend, inst.Dim, inst.Objective, st, opt)
+				if err != nil {
+					t.Fatalf("%s columnar: %v", backend, err)
+				}
+				assertSolutionsIdentical(t, fmt.Sprintf("%s/%s columnar", m.Kind(), backend), ref, mem)
+				fil, _, err := m.SolveSource(backend, inst.Dim, inst.Objective, file, opt)
+				if err != nil {
+					t.Fatalf("%s file: %v", backend, err)
+				}
+				assertSolutionsIdentical(t, fmt.Sprintf("%s/%s file", m.Kind(), backend), ref, fil)
+				// Resource accounting must agree too: same passes/rounds,
+				// same metered bits, same net sizes.
+				if refStats.String() != memStats.String() {
+					t.Fatalf("%s/%s stats drift:\n slice    %s\n columnar %s",
+						m.Kind(), backend, refStats.String(), memStats.String())
+				}
+			}
+		})
+	}
+}
+
+// TestSolveSourceValidation pins the kind-independent input checks of
+// the columnar path.
+func TestSolveSourceValidation(t *testing.T) {
+	m, _ := engine.Lookup("meb")
+	good := dataset.NewStore(2)
+	good.AppendRow([]float64{1, 2})
+	if _, _, err := m.SolveSource("quantum", 2, nil, good, engine.Options{}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	if _, _, err := m.SolveSource("ram", 0, nil, good, engine.Options{}); err == nil {
+		t.Error("dim 0 accepted")
+	}
+	if _, _, err := m.SolveSource("ram", 3, nil, good, engine.Options{}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	empty := dataset.NewStore(2)
+	if _, _, err := m.SolveSource("ram", 2, nil, empty, engine.Options{}); err == nil {
+		t.Error("empty meb instance accepted")
+	}
+	// Columnar validates rows on ingestion (svm label invariant).
+	svm, _ := engine.Lookup("svm")
+	if _, err := engine.Columnar(svm, engine.Instance{Dim: 2, Rows: [][]float64{{1, 2, 5}}}); err == nil {
+		t.Error("svm label 5 ingested")
+	}
+	// LP: empty instances are allowed (box optimum) and the objective
+	// reaches the problem builder.
+	lp, _ := engine.Lookup("lp")
+	emptyLP := dataset.NewStore(3)
+	sol, _, err := lp.SolveSource("ram", 2, []float64{1, 1}, emptyLP, engine.Options{})
+	if err != nil {
+		t.Fatalf("empty lp: %v", err)
+	}
+	if v, ok := sol.Scalar("value"); !ok || v == 0 {
+		t.Fatalf("empty lp solution %+v", sol)
+	}
+	if _, _, err := lp.SolveSource("ram", 2, []float64{1}, emptyLP, engine.Options{}); err == nil {
+		t.Error("short lp objective accepted")
+	}
+}
+
+// TestSolveDatasetFile covers the one-call file entry point.
+func TestSolveDatasetFile(t *testing.T) {
+	m, _ := engine.Lookup("sea")
+	inst := conformanceInstance(t, m, 300, 5)
+	path := filepath.Join(t.TempDir(), "sea.lds")
+	if err := engine.WriteDatasetFile(path, "sea", inst); err != nil {
+		t.Fatal(err)
+	}
+	opt := engine.Options{R: 2, Seed: 5}
+	want, _, err := m.SolveInstance(engine.BackendStream, inst, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := engine.SolveDatasetFile(path, engine.BackendStream, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSolutionsIdentical(t, "sea file stream", want, got)
+	if stats.Stream == nil || stats.Stream.Passes < 1 {
+		t.Fatalf("missing stream stats: %+v", stats)
+	}
+	if _, _, err := engine.SolveDatasetFile(filepath.Join(t.TempDir(), "absent.lds"), "ram", opt); err == nil {
+		t.Fatal("absent file accepted")
+	}
+}
+
+// TestOpenDatasetFileValidatesRows: files arrive from arbitrary
+// paths, so OpenDatasetFile must apply the same row checks as JSON
+// ingestion — a NaN coordinate or a broken kind invariant is an open
+// error, never a garbage solve.
+func TestOpenDatasetFileValidatesRows(t *testing.T) {
+	dir := t.TempDir()
+	nanStore := dataset.NewStore(2)
+	nanStore.AppendRow([]float64{1, math.NaN()})
+	nanPath := filepath.Join(dir, "nan.lds")
+	if err := dataset.WriteFile(nanPath, dataset.Info{Kind: "meb", Dim: 2, Width: 2, Rows: 1}, nanStore); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := engine.OpenDatasetFile(nanPath); err == nil {
+		t.Fatal("NaN row accepted from dataset file")
+	}
+	badLabel := dataset.NewStore(3)
+	badLabel.AppendRow([]float64{1, 2, 0.5}) // svm label must be ±1
+	labelPath := filepath.Join(dir, "label.lds")
+	if err := dataset.WriteFile(labelPath, dataset.Info{Kind: "svm", Dim: 2, Width: 3, Rows: 1}, badLabel); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := engine.OpenDatasetFile(labelPath); err == nil {
+		t.Fatal("invalid svm label accepted from dataset file")
+	}
+	badObj := dataset.NewStore(3)
+	badObj.AppendRow([]float64{1, 2, 3})
+	objPath := filepath.Join(dir, "obj.lds")
+	if err := dataset.WriteFile(objPath, dataset.Info{Kind: "lp", Dim: 2, Width: 3,
+		Objective: []float64{1, math.Inf(1)}, Rows: 1}, badObj); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := engine.OpenDatasetFile(objPath); err == nil {
+		t.Fatal("non-finite objective accepted from dataset file")
+	}
+}

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"lowdimlp/internal/coordinator"
+	"lowdimlp/internal/dataset"
+	"lowdimlp/internal/lptype"
 	"lowdimlp/internal/mpc"
 	"lowdimlp/internal/stream"
 )
@@ -68,5 +70,83 @@ func SolveMPC[P, C, B any](s *Spec[P, C, B], p P, items []C, opt Options) (B, MP
 		co.R = 0 // let the MPC solver derive r = ⌈1/δ⌉
 	}
 	return mpc.Solve(dom, items, s.ItemCodec(dim), s.BasisCodec(dim),
+		mpc.Options{Core: co, Delta: opt.Delta})
+}
+
+// --- columnar (dataset) dispatchers ------------------------------------
+//
+// The Solve* functions above consume typed slices; these consume a
+// dataset.Source — an in-memory columnar store or a file-backed
+// binary dataset — through the domain's flat-row primitives. Seeds,
+// RNG consumption and arithmetic match the slice dispatchers exactly,
+// so for equal inputs the two families return bit-identical results
+// (the dataset conformance suite pins this for every registered kind).
+
+// specAccess builds the columnar access layer for a spec's domain.
+func specAccess[P, C, B any](s *Spec[P, C, B], p P, seed uint64) lptype.RowAccess[C, B] {
+	dim := s.Dim(p)
+	return lptype.NewRowAccess(s.NewDomain(p, seed), func(row []float64) C { return s.Item(dim, row) })
+}
+
+// SolveSourceRAM materializes the source (zero-copy for memory-backed
+// sources) and runs the in-memory reference solver.
+func SolveSourceRAM[P, C, B any](s *Spec[P, C, B], p P, src dataset.Source, opt Options) (B, error) {
+	var zero B
+	view, err := dataset.Materialize(src)
+	if err != nil {
+		return zero, err
+	}
+	dim := s.Dim(p)
+	items := make([]C, view.Rows())
+	for i := range items {
+		items[i] = s.Item(dim, view.Row(i))
+	}
+	return s.NewDomain(p, opt.Seed).Solve(items)
+}
+
+// SolveSourceStreaming scans the source with the fused-pass streaming
+// solver — the out-of-core path: a file-backed source is read in
+// blocks and never materialized.
+func SolveSourceStreaming[P, C, B any](s *Spec[P, C, B], p P, src dataset.Source, opt Options) (B, StreamingStats, error) {
+	dim := s.Dim(p)
+	var zc C
+	var zb B
+	return stream.SolveDataset(specAccess(s, p, opt.Seed^s.SeedMix), src, stream.Options{
+		Core:         opt.Core(),
+		BitsPerItem:  s.ItemCodec(dim).Bits(zc),
+		BitsPerBasis: s.BasisCodec(dim).Bits(zb),
+	})
+}
+
+// SolveSourceCoordinator shards the source across opt.Sites() sites as
+// zero-copy round-robin columnar views (the same assignment as
+// Partition) and runs the coordinator protocol.
+func SolveSourceCoordinator[P, C, B any](s *Spec[P, C, B], p P, src dataset.Source, opt Options) (B, CoordinatorStats, error) {
+	var zero B
+	view, err := dataset.Materialize(src)
+	if err != nil {
+		return zero, CoordinatorStats{}, err
+	}
+	dim := s.Dim(p)
+	return coordinator.SolveDataset(specAccess(s, p, opt.Seed^s.SeedMix), view.Shard(opt.Sites()),
+		s.ItemCodec(dim), s.BasisCodec(dim),
+		coordinator.Options{Core: opt.Core(), Parallel: opt.Parallel})
+}
+
+// SolveSourceMPC distributes the source round-robin across the MPC
+// machines as zero-copy columnar views.
+func SolveSourceMPC[P, C, B any](s *Spec[P, C, B], p P, src dataset.Source, opt Options) (B, MPCStats, error) {
+	var zero B
+	view, err := dataset.Materialize(src)
+	if err != nil {
+		return zero, MPCStats{}, err
+	}
+	dim := s.Dim(p)
+	co := opt.Core()
+	if opt.R == 0 {
+		co.R = 0 // let the MPC solver derive r = ⌈1/δ⌉
+	}
+	return mpc.SolveDataset(specAccess(s, p, opt.Seed^s.SeedMix), view,
+		s.ItemCodec(dim), s.BasisCodec(dim),
 		mpc.Options{Core: co, Delta: opt.Delta})
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"lowdimlp/internal/comm"
+	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/lptype"
 )
 
@@ -125,6 +126,12 @@ type Model interface {
 	// stats are populated (for non-ram backends) even when the solve
 	// fails, so callers can report partial resource usage.
 	SolveInstance(backend string, inst Instance, opt Options) (Solution, Stats, error)
+	// SolveSource solves a columnar dataset source (in-memory store or
+	// file-backed binary dataset) on the named backend. Rows are not
+	// re-validated here — dataset ingestion (chunk upload, file write,
+	// Columnar) is where row invariants are checked. Results are
+	// bit-identical to SolveInstance over the same rows and options.
+	SolveSource(backend string, dim int, objective []float64, src dataset.Source, opt Options) (Solution, Stats, error)
 
 	// RowRoundTrip decodes and re-encodes one row (conformance).
 	RowRoundTrip(dim int, row []float64) []float64
@@ -262,6 +269,50 @@ func (s *Spec[P, C, B]) SolveInstance(backend string, inst Instance, opt Options
 		return Solution{}, stats, err
 	}
 	return s.Render(inst.Dim, b), stats, nil
+}
+
+// SolveSource decodes nothing up front: the backend scans the source
+// through the domain's flat-row primitives (streaming reads files in
+// blocks; coordinator/mpc shard zero-copy views) — the single
+// columnar backend switch, mirroring SolveInstance.
+func (s *Spec[P, C, B]) SolveSource(backend string, dim int, objective []float64, src dataset.Source, opt Options) (Solution, Stats, error) {
+	var stats Stats
+	if dim < 1 {
+		return Solution{}, stats, fmt.Errorf("%s: dim must be ≥ 1, got %d", s.Name, dim)
+	}
+	if want := s.Width(dim); src.Width() != want {
+		return Solution{}, stats, fmt.Errorf("%s: source width %d, want %d at dim %d", s.Name, src.Width(), want, dim)
+	}
+	if src.Rows() == 0 && !s.Empty {
+		return Solution{}, stats, fmt.Errorf("%s: empty instance", s.Name)
+	}
+	p, err := s.Problem(Instance{Dim: dim, Objective: objective})
+	if err != nil {
+		return Solution{}, stats, err
+	}
+	var b B
+	switch backend {
+	case BackendRAM:
+		b, err = SolveSourceRAM(s, p, src, opt)
+	case BackendStream:
+		var st StreamingStats
+		b, st, err = SolveSourceStreaming(s, p, src, opt)
+		stats.Stream = &st
+	case BackendCoordinator:
+		var st CoordinatorStats
+		b, st, err = SolveSourceCoordinator(s, p, src, opt)
+		stats.Coordinator = &st
+	case BackendMPC:
+		var st MPCStats
+		b, st, err = SolveSourceMPC(s, p, src, opt)
+		stats.MPC = &st
+	default:
+		return Solution{}, stats, fmt.Errorf("unknown model %q (want %s)", backend, strings.Join(Backends(), ", "))
+	}
+	if err != nil {
+		return Solution{}, stats, err
+	}
+	return s.Render(dim, b), stats, nil
 }
 
 // RowRoundTrip decodes row into a constraint and re-encodes it.

@@ -19,6 +19,9 @@ type Config struct {
 	Quick bool
 	// Seed makes runs reproducible.
 	Seed uint64
+	// JSONPath, when set, makes experiments that support it (M2)
+	// write a machine-readable result file alongside the table.
+	JSONPath string
 }
 
 // Experiment is one reproducible claim.

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lowdimlp/internal/dataset"
+	"lowdimlp/internal/engine"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "M2",
+		Title: "Dataset layer: slice vs columnar vs file-backed sources",
+		Claim: "columnar refactor: every kind × backend is bit-identical across all three instance sources, and the columnar scan is the fast path",
+		Run:   runM2,
+	})
+}
+
+// m2Row is one cell of the sweep, in the machine-readable BENCH_M2
+// form (the perf-trajectory artifact CI uploads).
+type m2Row struct {
+	Kind      string  `json:"kind"`
+	Backend   string  `json:"backend"`
+	Source    string  `json:"source"` // slice | columnar | file
+	N         int     `json:"n"`
+	D         int     `json:"d"`
+	MS        float64 `json:"ms"`
+	Result    float64 `json:"result"`
+	Identical bool    `json:"identical"` // bit-identical to the slice source
+}
+
+// m2Report is the BENCH_M2.json schema.
+type m2Report struct {
+	Experiment string  `json:"experiment"`
+	Seed       uint64  `json:"seed"`
+	Quick      bool    `json:"quick"`
+	Rows       []m2Row `json:"rows"`
+}
+
+// runM2 sweeps every registered kind × backend × instance source. The
+// slice source (SolveInstance) is the reference; the columnar store
+// and the file-backed binary dataset must reproduce it bit for bit,
+// and the wall-clock column is the repository's storage-layer perf
+// trajectory. With cfg.JSONPath set (lpbench -json) the table is also
+// written as machine-readable JSON.
+func runM2(w io.Writer, cfg Config) error {
+	n := 200_000
+	if cfg.Quick {
+		n = 20_000
+	}
+	const d = 3
+	dir, err := os.MkdirTemp("", "lpbench-m2-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	report := m2Report{Experiment: "M2", Seed: cfg.Seed, Quick: cfg.Quick}
+	t := newTable(w, "kind", "model", "source", "n", "ms", "result", "identical")
+	opt := engine.Options{R: 2, Seed: cfg.Seed, K: 8, Parallel: true}
+	for _, m := range engine.Models() {
+		inst, err := m.Generate(m.Families()[0], engine.GenParams{N: n, D: d, Seed: cfg.Seed})
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.Kind(), err)
+		}
+		st, err := engine.Columnar(m, inst)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, m.Kind()+".lds")
+		if err := engine.WriteDatasetFile(path, m.Kind(), inst); err != nil {
+			return err
+		}
+		file, err := dataset.OpenFile(path)
+		if err != nil {
+			return err
+		}
+		for _, backend := range engine.Backends() {
+			var ref engine.Solution
+			for _, source := range []string{"slice", "columnar", "file"} {
+				start := time.Now()
+				var sol engine.Solution
+				var err error
+				switch source {
+				case "slice":
+					sol, _, err = m.SolveInstance(backend, inst, opt)
+				case "columnar":
+					sol, _, err = m.SolveSource(backend, inst.Dim, inst.Objective, st, opt)
+				case "file":
+					sol, _, err = m.SolveSource(backend, inst.Dim, inst.Objective, file, opt)
+				}
+				if err != nil {
+					return fmt.Errorf("%s/%s/%s: %w", m.Kind(), backend, source, err)
+				}
+				ms := float64(time.Since(start)) / float64(time.Millisecond)
+				identical := true
+				if source == "slice" {
+					ref = sol
+				} else {
+					identical = solutionsIdentical(ref, sol)
+				}
+				row := m2Row{
+					Kind: m.Kind(), Backend: backend, Source: source,
+					N: len(inst.Rows), D: d, MS: ms,
+					Result: firstScalar(sol), Identical: identical,
+				}
+				report.Rows = append(report.Rows, row)
+				verdict := "ref"
+				if source != "slice" {
+					verdict = pass(identical)
+				}
+				t.row(row.Kind, row.Backend, row.Source, row.N,
+					fmt.Sprintf("%.1f", row.MS), fmt.Sprintf("%.6g", row.Result), verdict)
+			}
+		}
+	}
+	t.flush()
+	if cfg.JSONPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s (%d rows)\n", cfg.JSONPath, len(report.Rows))
+	}
+	return nil
+}
+
+// solutionsIdentical compares two rendered solutions bit for bit.
+func solutionsIdentical(a, b engine.Solution) bool {
+	if len(a.Fields) != len(b.Fields) {
+		return false
+	}
+	for i, fa := range a.Fields {
+		fb := b.Fields[i]
+		if fa.Key != fb.Key || fa.IsVec != fb.IsVec || fa.Num != fb.Num || len(fa.Vec) != len(fb.Vec) {
+			return false
+		}
+		for j := range fa.Vec {
+			if fa.Vec[j] != fb.Vec[j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -59,6 +59,15 @@ func (d *Domain) Violates(b Basis, c Halfspace) bool {
 	return !c.Satisfied(b.Sol.X)
 }
 
+// ViolatesRow is the columnar violation test: the constraint is read
+// straight from its wire row a_1…a_d b (no halfspace materialized).
+// The value-typed Halfspace view aliases the row on the stack, so this
+// is allocation-free and bit-identical to Violates over Item(row).
+func (d *Domain) ViolatesRow(b Basis, row []float64) bool {
+	dim := d.Prob.Dim
+	return !(Halfspace{A: row[:dim], B: row[dim]}).Satisfied(b.Sol.X)
+}
+
 // CombinatorialDim returns ν = d+1 (Matoušek–Sharir–Welzl bound for
 // linear programming, quoted in §4.1).
 func (d *Domain) CombinatorialDim() int { return d.Prob.Dim + 1 }

@@ -65,6 +65,67 @@ type Domain[C, B any] interface {
 	VCDim() int
 }
 
+// RowViolator is the dataset-aware extension of Domain: a violation
+// test that reads a constraint directly from its flat wire-row
+// encoding (internal/dataset row layout) instead of a decoded C.
+//
+// Implementations must compute exactly the arithmetic of
+// Violates(b, Item(row)) — the columnar scan paths are required to be
+// bit-identical to the slice paths — but without materializing the
+// constraint, so a batched scan performs zero allocations per row.
+// All four concrete domains (lp, svm, meb, sea) implement it.
+type RowViolator[B any] interface {
+	// ViolatesRow reports whether the constraint encoded by row
+	// violates b: f(B ∪ {row}) > f(B).
+	ViolatesRow(b B, row []float64) bool
+}
+
+// RowAccess couples a Domain with its flat-row encoding — the access
+// abstraction the columnar backends scan through. It prefers the
+// domain's native RowViolator (zero-decode, zero-alloc) and falls back
+// to decode-then-Violates, which is always available and always
+// agrees.
+type RowAccess[C, B any] struct {
+	dom    Domain[C, B]
+	decode func(row []float64) C
+	vrow   func(b B, row []float64) bool
+}
+
+// NewRowAccess builds the access layer for dom, with decode mapping a
+// flat wire row to a constraint (the engine Spec's Item).
+func NewRowAccess[C, B any](dom Domain[C, B], decode func(row []float64) C) RowAccess[C, B] {
+	ra := RowAccess[C, B]{dom: dom, decode: decode}
+	if rv, ok := dom.(RowViolator[B]); ok {
+		ra.vrow = rv.ViolatesRow
+	} else {
+		ra.vrow = func(b B, row []float64) bool { return dom.Violates(b, decode(row)) }
+	}
+	return ra
+}
+
+// Domain returns the underlying domain.
+func (ra RowAccess[C, B]) Domain() Domain[C, B] { return ra.dom }
+
+// Item decodes one flat row into a constraint. The constraint may
+// alias the row's memory; callers retaining it across buffer reuse
+// must copy the row first.
+func (ra RowAccess[C, B]) Item(row []float64) C { return ra.decode(row) }
+
+// ViolatesRow is the flat-row violation test (Tv over the arena).
+func (ra RowAccess[C, B]) ViolatesRow(b B, row []float64) bool { return ra.vrow(b, row) }
+
+// WeightExp is the on-the-fly weight exponent of §3.2 computed over a
+// flat row: a(row) = #{stored bases the row's constraint violates}.
+func (ra RowAccess[C, B]) WeightExp(bases []B, row []float64) int {
+	a := 0
+	for i := range bases {
+		if ra.vrow(bases[i], row) {
+			a++
+		}
+	}
+	return a
+}
+
 // Verify checks that b is consistent with being a basis of S: no
 // constraint of S violates b. (Together with locality this certifies
 // f(b) = f(S); see Lemma 3.1 of the paper.) It returns the index of the

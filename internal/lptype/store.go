@@ -1,0 +1,118 @@
+package lptype
+
+import (
+	"math"
+
+	"lowdimlp/internal/dataset"
+	"lowdimlp/internal/numeric"
+)
+
+// Store is the local-constraint storage abstraction the distributed
+// backends (internal/coordinator, internal/mpc) scan: what a site or
+// machine holds. Two implementations exist — a typed constraint slice
+// (SliceStore, the historical representation) and a zero-copy columnar
+// view (ViewStore, a dataset.View shard) — and both implement the
+// §3.2 weight/violation scan primitives with identical arithmetic in
+// identical order, so swapping one for the other changes no bit of
+// any protocol transcript.
+type Store[C, B any] interface {
+	// Size returns the number of local constraints.
+	Size() int
+	// Scan walks the local constraints once, accumulating (with Kahan
+	// compensation, in storage order) the total weight induced by the
+	// stored bases, and — when pending is non-nil — the violator
+	// weight and count of the pending basis.
+	Scan(bases []B, pending *B, mult float64) (wTot, wViol float64, count int)
+	// Weights fills w[i] with constraint i's current weight
+	// mult^a(i); len(w) must be Size().
+	Weights(bases []B, mult float64, w []float64)
+	// Item returns constraint i, decoded. The result may alias the
+	// underlying arena.
+	Item(i int) C
+}
+
+// SliceStore wraps a typed constraint slice — the adapter that keeps
+// the slice-based entry points bit-identical on top of the shared
+// protocol implementations.
+func SliceStore[C, B any](dom Domain[C, B], items []C) Store[C, B] {
+	return sliceStore[C, B]{dom: dom, items: items}
+}
+
+type sliceStore[C, B any] struct {
+	dom   Domain[C, B]
+	items []C
+}
+
+func (s sliceStore[C, B]) Size() int { return len(s.items) }
+
+func (s sliceStore[C, B]) Scan(bases []B, pending *B, mult float64) (float64, float64, int) {
+	var wTot, wViol numeric.Kahan
+	count := 0
+	for _, c := range s.items {
+		w := math.Pow(mult, float64(weightExp(s.dom, bases, c)))
+		wTot.Add(w)
+		if pending != nil && s.dom.Violates(*pending, c) {
+			wViol.Add(w)
+			count++
+		}
+	}
+	return wTot.Sum(), wViol.Sum(), count
+}
+
+func (s sliceStore[C, B]) Weights(bases []B, mult float64, w []float64) {
+	for j, c := range s.items {
+		w[j] = math.Pow(mult, float64(weightExp(s.dom, bases, c)))
+	}
+}
+
+func (s sliceStore[C, B]) Item(i int) C { return s.items[i] }
+
+// weightExp is the on-the-fly weight exponent a(c) = #{stored bases
+// violated by c} (§3.2) over a typed constraint.
+func weightExp[C, B any](dom Domain[C, B], bases []B, c C) int {
+	a := 0
+	for i := range bases {
+		if dom.Violates(bases[i], c) {
+			a++
+		}
+	}
+	return a
+}
+
+// ViewStore wraps a columnar view shard: scans run over the flat
+// arena through the domain's row primitives — no per-constraint
+// decode, no allocation — and Item decodes lazily (only sampled
+// constraints are ever materialized).
+func ViewStore[C, B any](ra RowAccess[C, B], view dataset.View) Store[C, B] {
+	return viewStore[C, B]{ra: ra, view: view}
+}
+
+type viewStore[C, B any] struct {
+	ra   RowAccess[C, B]
+	view dataset.View
+}
+
+func (s viewStore[C, B]) Size() int { return s.view.Rows() }
+
+func (s viewStore[C, B]) Scan(bases []B, pending *B, mult float64) (float64, float64, int) {
+	var wTot, wViol numeric.Kahan
+	count := 0
+	for i, n := 0, s.view.Rows(); i < n; i++ {
+		row := s.view.Row(i)
+		w := math.Pow(mult, float64(s.ra.WeightExp(bases, row)))
+		wTot.Add(w)
+		if pending != nil && s.ra.ViolatesRow(*pending, row) {
+			wViol.Add(w)
+			count++
+		}
+	}
+	return wTot.Sum(), wViol.Sum(), count
+}
+
+func (s viewStore[C, B]) Weights(bases []B, mult float64, w []float64) {
+	for i, n := 0, s.view.Rows(); i < n; i++ {
+		w[i] = math.Pow(mult, float64(s.ra.WeightExp(bases, s.view.Row(i))))
+	}
+}
+
+func (s viewStore[C, B]) Item(i int) C { return s.ra.Item(s.view.Row(i)) }

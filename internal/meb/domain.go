@@ -42,6 +42,10 @@ func (d *Domain) Basis(b Basis) []Point { return b.Support }
 // which happens exactly when p is outside it (Tv).
 func (d *Domain) Violates(b Basis, p Point) bool { return !b.B.Contains(p) }
 
+// ViolatesRow is the columnar violation test: a wire row *is* a point,
+// so the cast is free and the test bit-identical to Violates.
+func (d *Domain) ViolatesRow(b Basis, row []float64) bool { return !b.B.Contains(Point(row)) }
+
 // CombinatorialDim returns ν = d+1 (§4.3).
 func (d *Domain) CombinatorialDim() int { return d.Dim + 1 }
 

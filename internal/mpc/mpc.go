@@ -38,6 +38,7 @@ import (
 
 	"lowdimlp/internal/comm"
 	"lowdimlp/internal/core"
+	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/lptype"
 	"lowdimlp/internal/numeric"
 	"lowdimlp/internal/sampling"
@@ -118,7 +119,7 @@ func (nw *net) nextRound() {
 // machine is one MPC participant.
 type machine[C, B any] struct {
 	id    int
-	items []C
+	data  lptype.Store[C, B]
 	bases []B
 	rng   *rand.Rand
 	// childTot/childViol retain the per-child subtree weight reports of
@@ -153,14 +154,55 @@ func (m *machine[C, B]) subViol() float64 {
 func (m *machine[C, B]) subCnt() int { return m.cnt }
 
 // Solve runs the MPC version of Algorithm 1 (Theorem 3) on items.
-// The input is distributed round-robin across the machines.
+// The input is distributed round-robin across the machines. It is a
+// thin adapter: each machine's share becomes a SliceStore over the
+// shared protocol implementation, bit-identical to the historical
+// slice-only code.
 func Solve[C, B any](
 	dom lptype.Domain[C, B], items []C,
 	ccodec comm.Codec[C], bcodec comm.Codec[B],
 	opt Options,
 ) (B, Stats, error) {
+	return solve(dom, len(items), func(k int) []lptype.Store[C, B] {
+		parts := make([][]C, k)
+		for i, c := range items {
+			parts[i%k] = append(parts[i%k], c)
+		}
+		stores := make([]lptype.Store[C, B], k)
+		for i, p := range parts {
+			stores[i] = lptype.SliceStore(dom, p)
+		}
+		return stores
+	}, ccodec, bcodec, opt)
+}
+
+// SolveDataset runs the same protocol over a columnar view: machines
+// hold zero-copy round-robin shards (the same assignment as Solve's
+// i%k distribution) and scan the flat arena through the domain's row
+// primitives.
+func SolveDataset[C, B any](
+	ra lptype.RowAccess[C, B], view dataset.View,
+	ccodec comm.Codec[C], bcodec comm.Codec[B],
+	opt Options,
+) (B, Stats, error) {
+	return solve(ra.Domain(), view.Rows(), func(k int) []lptype.Store[C, B] {
+		shards := view.Shard(k)
+		stores := make([]lptype.Store[C, B], k)
+		for i, sh := range shards {
+			stores[i] = lptype.ViewStore(ra, sh)
+		}
+		return stores
+	}, ccodec, bcodec, opt)
+}
+
+// solve is the protocol body; distribute materializes the per-machine
+// storage once the machine count is known.
+func solve[C, B any](
+	dom lptype.Domain[C, B], n int, distribute func(k int) []lptype.Store[C, B],
+	ccodec comm.Codec[C], bcodec comm.Codec[B],
+	opt Options,
+) (B, Stats, error) {
 	var zero B
-	n := len(items)
 	delta := opt.Delta
 	if delta <= 0 || delta >= 1 {
 		delta = 0.5
@@ -200,13 +242,10 @@ func Solve[C, B any](
 	m := core.NetSize(eps, lambda, n, nu, opt.Core)
 	stats.NetSize = m
 
+	stores := distribute(k)
 	machines := make([]*machine[C, B], k)
 	for i := range machines {
-		machines[i] = &machine[C, B]{id: i, rng: numeric.NewRand(opt.Core.Seed^0x3bc, uint64(i)+1)}
-	}
-	for i, c := range items {
-		mm := machines[i%k]
-		mm.items = append(mm.items, c)
+		machines[i] = &machine[C, B]{id: i, data: stores[i], rng: numeric.NewRand(opt.Core.Seed^0x3bc, uint64(i)+1)}
 	}
 	nw := newNet(k)
 
@@ -216,7 +255,8 @@ func Solve[C, B any](
 		var all []C
 		for _, mm := range machines {
 			bits := 0
-			for _, c := range mm.items {
+			for i, sz := 0, mm.data.Size(); i < sz; i++ {
+				c := mm.data.Item(i)
 				bits += ccodec.Bits(c)
 				all = append(all, c)
 			}
@@ -254,17 +294,9 @@ func Solve[C, B any](
 		}
 		// ---- (2) local scans + aggregation up the tree. ----
 		for _, mm := range machines {
-			var wTot, wViol numeric.Kahan
-			cnt := 0
-			for _, c := range mm.items {
-				w := math.Pow(mult, float64(weightExp(dom, mm.bases, c)))
-				wTot.Add(w)
-				if pending != nil && dom.Violates(*pending, c) {
-					wViol.Add(w)
-					cnt++
-				}
-			}
-			mm.selfTot, mm.selfViol = wTot.Sum(), wViol.Sum()
+			// Typed or columnar — identical arithmetic either way.
+			wTot, wViol, cnt := mm.data.Scan(mm.bases, pending, mult)
+			mm.selfTot, mm.selfViol = wTot, wViol
 			mm.childTot = mm.childTot[:0]
 			mm.childViol = mm.childViol[:0]
 			// Violator counts ride along with the weights; fold the
@@ -345,14 +377,12 @@ func Solve[C, B any](
 			if alloc[mm.id] == 0 {
 				continue
 			}
-			w := make([]float64, len(mm.items))
-			for j, c := range mm.items {
-				w[j] = math.Pow(mult, float64(weightExp(dom, mm.bases, c)))
-			}
+			w := make([]float64, mm.data.Size())
+			mm.data.Weights(mm.bases, mult, w)
 			al := sampling.NewAlias(w)
 			bits := 0
 			for t := 0; t < alloc[mm.id]; t++ {
-				c := mm.items[al.Draw(mm.rng)]
+				c := mm.data.Item(al.Draw(mm.rng))
 				netItems = append(netItems, c)
 				bits += ccodec.Bits(c)
 			}
@@ -393,17 +423,6 @@ func sumPos(ws []float64) bool {
 		s += w
 	}
 	return s > 0
-}
-
-// weightExp is the on-the-fly weight exponent (§3.2).
-func weightExp[C, B any](dom lptype.Domain[C, B], bases []B, c C) int {
-	a := 0
-	for i := range bases {
-		if dom.Violates(bases[i], c) {
-			a++
-		}
-	}
-	return a
 }
 
 // --- f-ary tree topology over machine ids 0..k-1 ---------------------

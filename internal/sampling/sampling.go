@@ -98,6 +98,76 @@ func (r *Reservoir[T]) Reset() {
 	}
 }
 
+// RowReservoir is Reservoir specialized to flat dataset rows
+// ([]float64 views whose backing memory the producer reuses between
+// batches): accepted rows are copied into slot buffers allocated once
+// at construction, so a whole streaming pass allocates nothing in the
+// offer loop. The replacement logic and, critically, the RNG
+// consumption are identical to Reservoir's — a row scan and a typed
+// scan fed the same weights select the same items.
+type RowReservoir struct {
+	slots [][]float64 // m buffers of exactly width values
+	total float64
+	rng   *rand.Rand
+}
+
+// NewRowReservoir returns a reservoir of m slots for rows of the given
+// width, driven by rng.
+func NewRowReservoir(m, width int, rng *rand.Rand) *RowReservoir {
+	arena := make([]float64, m*width)
+	slots := make([][]float64, m)
+	for i := range slots {
+		slots[i] = arena[i*width : (i+1)*width : (i+1)*width]
+	}
+	return &RowReservoir{slots: slots, rng: rng}
+}
+
+// Offer presents one row with the given weight (≥ 0), copying it into
+// every slot that takes it. Mirrors Reservoir.Offer step for step.
+func (r *RowReservoir) Offer(row []float64, w float64) {
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic("sampling: weight must be finite and nonnegative")
+	}
+	if w == 0 {
+		return
+	}
+	r.total += w
+	p := w / r.total
+	if p >= 1 {
+		for i := range r.slots {
+			copy(r.slots[i], row)
+		}
+		return
+	}
+	log1p := math.Log1p(-p)
+	i := 0
+	for {
+		u := r.rng.Float64()
+		if u == 0 {
+			u = 0.5
+		}
+		i += int(math.Log(u) / log1p)
+		if i >= len(r.slots) {
+			return
+		}
+		copy(r.slots[i], row)
+		i++
+	}
+}
+
+// Total returns the total weight offered so far.
+func (r *RowReservoir) Total() float64 { return r.total }
+
+// Sample returns the m sampled rows; ok is false before the first
+// positive-weight offer. The rows are the reservoir's own buffers and
+// stay valid until the next Offer run reuses them.
+func (r *RowReservoir) Sample() (rows [][]float64, ok bool) {
+	if r.total <= 0 {
+		return nil, false
+	}
+	return r.slots, true
+}
+
 // Alias is a Walker/Vose alias table: O(n) construction, O(1) per draw
 // from a fixed discrete distribution.
 type Alias struct {

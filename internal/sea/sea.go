@@ -198,17 +198,35 @@ func liftEval(x []float64, p Point) (lift, u, v, slack float64) {
 	return q2 - dot, x[d], x[d+1], numeric.Eps * scale
 }
 
+// ViolatesRow is the columnar violation test: a wire row *is* a point,
+// so the cast is free and the test bit-identical to Violates.
+func (d *Domain) ViolatesRow(b Basis, row []float64) bool { return d.Violates(b, Point(row)) }
+
 // CombinatorialDim returns ν = d+3: a basis of the lifted LP in
 // R^{d+2} has at most d+3 tight halfspaces, each from a distinct
 // point in the worst case.
 func (d *Domain) CombinatorialDim() int { return d.Dim + 3 }
 
-// VCDim returns λ for the induced range space (complements of annuli
-// — each range an intersection of two lifted halfspaces). We use the
-// lifted-halfspace bound d+3; as everywhere in this repository the
-// solvers are Las Vegas, so λ only sizes the ε-nets (resources),
-// never correctness.
-func (d *Domain) VCDim() int { return d.Dim + 3 }
+// VCDim returns λ = d+2 for the annulus range space — the value that
+// sizes the ε-nets (Lemma 2.2 samples O~(λ/ε) constraints).
+//
+// Derivation. A violation range is parametrized by a basis (c, u, v)
+// and reads {p : g_c(p) > u or g_c(p) < v} with g_c(p) = |p|² − 2⟨p,c⟩.
+// Lift p to q(p) = (p, |p|²) on the paraboloid in R^{d+1}: the range
+// becomes the complement of the slab v ≤ ⟨(−2c, 1), q⟩ ≤ u, whose
+// normal has its last coordinate pinned to 1. The family therefore has
+// exactly d+2 real parameters (c ∈ R^d plus the two thresholds), and
+// the distinct intersections it induces on n lifted points are counted
+// by the cells of an arrangement of 2n hyperplanes in that (d+2)-
+// dimensional parameter space: the shatter function is O(n^{d+2}), so
+// the ε-net theorem applies with shatter exponent d+2. This is one
+// less than the generic lifted-halfspace bound d+3 (halfspaces in
+// R^{d+2}), which forgets that a basis's two halfspaces per point
+// share their normal. A matching lower bound holds already for d = 1
+// (width-0 annuli shatter {0, 1, 2} ∪ {any symmetric pair}); either
+// way the solvers are Las Vegas, so λ only shrinks resources, never
+// correctness.
+func (d *Domain) VCDim() int { return d.Dim + 2 }
 
 // supportOf returns the points whose inner or outer constraint is
 // tight at b (capped at max points).

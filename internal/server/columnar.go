@@ -1,0 +1,95 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"lowdimlp/internal/dataset"
+	"lowdimlp/internal/engine"
+)
+
+// decodeRowsJSON streams a JSON array-of-rows straight into a columnar
+// store: one reusable []float64 is decoded per row (json.Decoder
+// reuses its backing array) and copied into the arena, so ingesting n
+// rows allocates O(1) slice headers instead of n — no [][]float64 is
+// ever materialized. Each row is validated (width, finiteness,
+// kind-specific invariants) before it is committed; maxRows bounds the
+// total.
+func decodeRowsJSON(raw []byte, m engine.Model, dim int, st *dataset.Store, maxRows int) error {
+	width := m.RowWidth(dim)
+	if st.Width() != width {
+		return fmt.Errorf("internal: store width %d, kind %q wants %d", st.Width(), m.Kind(), width)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	tok, err := dec.Token()
+	if err != nil {
+		return fmt.Errorf("bad rows JSON: %w", err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return fmt.Errorf("rows must be an array, got %v", tok)
+	}
+	row := make([]float64, 0, width)
+	i := 0
+	for dec.More() {
+		row = row[:0]
+		if err := dec.Decode(&row); err != nil {
+			return fmt.Errorf("row %d: bad JSON: %w", i, err)
+		}
+		if len(row) != width {
+			return fmt.Errorf("row %d needs %d numbers, got %d", i, width, len(row))
+		}
+		for _, v := range row {
+			if !finite(v) {
+				return fmt.Errorf("row %d has a non-finite number", i)
+			}
+		}
+		if err := m.CheckRow(dim, row); err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+		if st.Rows() >= maxRows {
+			return fmt.Errorf("instance exceeds %d rows", maxRows)
+		}
+		st.AppendRow(row)
+		i++
+	}
+	if _, err := dec.Token(); err != nil { // closing ']'
+		return fmt.Errorf("bad rows JSON: %w", err)
+	}
+	return nil
+}
+
+// countJSONRows counts the top-level elements of a JSON array of
+// arrays without decoding it — a byte scan, so job status can report
+// the instance size from submission while materialization waits for a
+// worker. Malformed input yields a best-effort count; the real decode
+// rejects it later.
+func countJSONRows(raw []byte) int {
+	depth, count := 0, 0
+	inStr, esc := false, false
+	for _, b := range raw {
+		if inStr {
+			switch {
+			case esc:
+				esc = false
+			case b == '\\':
+				esc = true
+			case b == '"':
+				inStr = false
+			}
+			continue
+		}
+		switch b {
+		case '"':
+			inStr = true
+		case '[':
+			depth++
+			if depth == 2 {
+				count++
+			}
+		case ']':
+			depth--
+		}
+	}
+	return count
+}

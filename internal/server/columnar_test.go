@@ -1,0 +1,54 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCountJSONRows pins the decode-free row counter that backs the
+// job-status N field for inline bodies.
+func TestCountJSONRows(t *testing.T) {
+	cases := []struct {
+		raw  string
+		want int
+	}{
+		{`[]`, 0},
+		{`[[1,2],[3,4]]`, 2},
+		{`[ [1.5e3, -2], [3,4], [5,6] ]`, 3},
+		{`[["a[","]b"],[1,2]]`, 2},   // brackets inside strings don't count
+		{`[["\"[",2]]`, 1},           // escaped quote then bracket
+		{`[[[1],[2]],[[3],[4]]]`, 2}, // nested arrays count once
+	}
+	for _, c := range cases {
+		if got := countJSONRows([]byte(c.raw)); got != c.want {
+			t.Errorf("countJSONRows(%s) = %d, want %d", c.raw, got, c.want)
+		}
+	}
+}
+
+// TestEmptyRowsWhitespace: "rows": [ ] must behave exactly like
+// "rows": [] — absent.
+func TestEmptyRowsWhitespace(t *testing.T) {
+	for _, body := range []string{
+		`{"kind":"meb","model":"ram","dim":2,"rows":[]}`,
+		`{"kind":"meb","model":"ram","dim":2,"rows":[ ]}`,
+		"{\"kind\":\"meb\",\"model\":\"ram\",\"dim\":2,\"rows\":[\n]}",
+		`{"kind":"meb","model":"ram","dim":2,"rows":null}`,
+		`{"kind":"meb","model":"ram","dim":2}`,
+	} {
+		var req SolveRequest
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			t.Fatalf("%s: %v", body, err)
+		}
+		if req.rawRows != nil {
+			t.Errorf("%s: rawRows = %q, want nil", body, req.rawRows)
+		}
+	}
+	var req SolveRequest
+	if err := json.Unmarshal([]byte(`{"kind":"meb","dim":2,"rows":[ [1,2] ]}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.rawRows == nil {
+		t.Error("non-empty rows array dropped")
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lowdimlp/internal/dataset"
 )
 
 // ErrUnknownInstance marks lookups of IDs the store does not hold —
@@ -16,19 +18,21 @@ import (
 // from a malformed payload (400).
 var ErrUnknownInstance = errors.New("unknown instance")
 
-// instance is a chunk-uploaded row set awaiting a solve request.
+// instance is a chunk-uploaded row set awaiting a solve request. Rows
+// land directly in a columnar store: appends are arena copies, and the
+// eventual solve scans the arena with no per-row decode.
 type instance struct {
 	mu     sync.Mutex
 	kind   string
 	dim    int
-	rows   [][]float64
+	data   *dataset.Store
 	sealed bool // claimed by a job; further appends are rejected
 
 	created time.Time
 	// touched is the unix-nano time of the last Create/Append/Restore,
 	// read lock-free by the idle sweeper and the list endpoint.
 	touched atomic.Int64
-	// nrows mirrors len(rows) for lock-free listing.
+	// nrows mirrors data.Rows() for lock-free listing.
 	nrows atomic.Int64
 }
 
@@ -90,7 +94,13 @@ func NewInstanceStore(max int, ttl time.Duration) *InstanceStore {
 }
 
 // Create opens a new upload for the given kind/dim and returns its ID.
+// The kind must be registered (its row width fixes the columnar
+// layout).
 func (s *InstanceStore) Create(kind string, dim int) (string, error) {
+	m, err := lookupModel(kind)
+	if err != nil {
+		return "", err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.byID) >= s.max {
@@ -99,16 +109,54 @@ func (s *InstanceStore) Create(kind string, dim int) (string, error) {
 	s.nextID++
 	id := fmt.Sprintf("inst-%06d", s.nextID)
 	now := time.Now()
-	ins := &instance{kind: kind, dim: dim, created: now}
+	ins := &instance{kind: kind, dim: dim, data: dataset.NewStore(m.RowWidth(dim)), created: now}
 	ins.touch(now)
 	s.byID[id] = ins
 	return id, nil
 }
 
+// Meta returns the kind and dimension of an open upload — what the
+// append handler needs to validate and decode a chunk before taking
+// the instance lock.
+func (s *InstanceStore) Meta(id string) (kind string, dim int, err error) {
+	s.mu.Lock()
+	ins, ok := s.byID[id]
+	s.mu.Unlock()
+	if !ok {
+		return "", 0, fmt.Errorf("%w %q", ErrUnknownInstance, id)
+	}
+	// kind and dim are immutable after Create.
+	return ins.kind, ins.dim, nil
+}
+
 // Append adds a batch of rows to an open upload. Row widths and
 // kind-specific invariants are validated against the instance's
-// registered kind.
+// registered kind. (The HTTP handler decodes JSON chunks straight into
+// a columnar store and uses AppendChunk; this [][]float64 entry point
+// serves library callers and tests.)
 func (s *InstanceStore) Append(id string, rows [][]float64) (total int, err error) {
+	kind, dim, err := s.Meta(id)
+	if err != nil {
+		return 0, err
+	}
+	m, err := lookupModel(kind)
+	if err != nil {
+		return 0, err
+	}
+	if err := validateRows(m, dim, rows); err != nil {
+		return 0, err
+	}
+	chunk := dataset.NewStore(m.RowWidth(dim))
+	chunk.Grow(len(rows))
+	for _, row := range rows {
+		chunk.AppendRow(row)
+	}
+	return s.AppendChunk(id, chunk)
+}
+
+// AppendChunk appends an already-validated columnar chunk to an open
+// upload: one arena copy, no per-row work.
+func (s *InstanceStore) AppendChunk(id string, chunk *dataset.Store) (total int, err error) {
 	s.mu.Lock()
 	ins, ok := s.byID[id]
 	s.mu.Unlock()
@@ -120,27 +168,24 @@ func (s *InstanceStore) Append(id string, rows [][]float64) (total int, err erro
 	if ins.sealed {
 		return 0, fmt.Errorf("instance %q already submitted", id)
 	}
-	m, err := lookupModel(ins.kind)
-	if err != nil {
-		return 0, err
+	if chunk.Width() != ins.data.Width() {
+		return 0, fmt.Errorf("instance %q chunk width %d, want %d", id, chunk.Width(), ins.data.Width())
 	}
-	if err := validateRows(m, ins.dim, rows); err != nil {
-		return 0, err
-	}
-	if len(ins.rows)+len(rows) > MaxInstanceRows {
+	if ins.data.Rows()+chunk.Rows() > MaxInstanceRows {
 		return 0, fmt.Errorf("instance %q would exceed %d rows", id, MaxInstanceRows)
 	}
-	ins.rows = append(ins.rows, rows...)
-	ins.nrows.Store(int64(len(ins.rows)))
+	ins.data.AppendValues(chunk.Values())
+	ins.nrows.Store(int64(ins.data.Rows()))
 	ins.touch(time.Now())
-	return len(ins.rows), nil
+	return ins.data.Rows(), nil
 }
 
-// Take seals and removes the instance, returning its rows for the
-// job that referenced it. The kind and dimension must match the
-// claiming request; on mismatch the upload stays in the store so a
-// corrected resubmission can still find it.
-func (s *InstanceStore) Take(id, kind string, dim int) ([][]float64, error) {
+// Take seals and removes the instance, returning its columnar store
+// for the job that referenced it (zero-copy: the arena moves, rows are
+// not touched). The kind and dimension must match the claiming
+// request; on mismatch the upload stays in the store so a corrected
+// resubmission can still find it.
+func (s *InstanceStore) Take(id, kind string, dim int) (*dataset.Store, error) {
 	s.mu.Lock()
 	ins, ok := s.byID[id]
 	if !ok {
@@ -162,23 +207,23 @@ func (s *InstanceStore) Take(id, kind string, dim int) ([][]float64, error) {
 	ins.mu.Lock()
 	defer ins.mu.Unlock()
 	ins.sealed = true
-	return ins.rows, nil
+	return ins.data, nil
 }
 
-// Restore re-registers rows under their original ID after a Take
-// whose job submission failed, so a retryable 503 does not destroy a
-// chunk-uploaded instance. It bypasses the in-flight limit (the rows
-// were already admitted once). A tombstoned ID — the client DELETEd
-// the instance during the Take window — is not resurrected.
-func (s *InstanceStore) Restore(id, kind string, dim int, rows [][]float64) {
+// Restore re-registers a taken store under its original ID after a
+// Take whose job submission failed, so a retryable 503 does not
+// destroy a chunk-uploaded instance. It bypasses the in-flight limit
+// (the rows were already admitted once). A tombstoned ID — the client
+// DELETEd the instance during the Take window — is not resurrected.
+func (s *InstanceStore) Restore(id, kind string, dim int, data *dataset.Store) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dropped := s.tombs[id]; dropped {
 		return
 	}
 	now := time.Now()
-	ins := &instance{kind: kind, dim: dim, rows: rows, created: now}
-	ins.nrows.Store(int64(len(rows)))
+	ins := &instance{kind: kind, dim: dim, data: data, created: now}
+	ins.nrows.Store(int64(data.Rows()))
 	ins.touch(now)
 	s.byID[id] = ins
 }

@@ -119,14 +119,25 @@ func NewManager(workers, queueDepth int, cache *Cache, metrics *Metrics) *Manage
 // Shutdown closes the queue under the same lock, so Submit can never
 // send on a closed channel.
 func (m *Manager) Submit(req *SolveRequest) (*Job, error) {
+	// Size the job before taking the lock: counting undecoded inline
+	// rows is an O(body) byte scan, and m.mu serializes every submit
+	// and status poll.
+	n := len(req.Rows)
+	if req.rawRows != nil {
+		// Undecoded inline rows: count without decoding, so queued and
+		// failed jobs still report the submitted instance size.
+		n = countJSONRows(req.rawRows)
+	}
+	if req.data != nil {
+		n = req.data.Rows()
+	}
+	if req.Generate != nil {
+		n = req.Generate.N
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, ErrShuttingDown
-	}
-	n := len(req.Rows)
-	if req.Generate != nil {
-		n = req.Generate.N
 	}
 	j := &Job{
 		ID:    newJobID(),
@@ -251,7 +262,7 @@ func (m *Manager) run(j *Job) {
 	if err == nil {
 		// Report the true instance size: generators may round the
 		// requested n (chebyshev emits constraint pairs).
-		j.N = len(req.Rows)
+		j.N = req.data.Rows()
 	}
 	j.req = nil // release the instance rows
 	if err != nil {

@@ -323,9 +323,9 @@ func TestSweepKeepsRacingAppend(t *testing.T) {
 		store.Sweep()
 		if n := <-done; n > 0 {
 			// Append reported success → the rows must be reachable.
-			rows, err := store.Take(id, "meb", 2)
-			if err != nil || len(rows) != n {
-				t.Fatalf("trial %d: successful append lost (%v, %d rows)", trial, err, len(rows))
+			data, err := store.Take(id, "meb", 2)
+			if err != nil || data.Rows() != n {
+				t.Fatalf("trial %d: successful append lost (%v, %d rows)", trial, err, data.Rows())
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -13,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/engine"
 	// The kind catalog: importing it registers every problem kind the
 	// service can solve. The handlers themselves are kind-agnostic.
@@ -187,29 +189,33 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*SolveRe
 	}
 	taken := ""
 	if req.InstanceID != "" {
-		rows, err := s.instances.Take(req.InstanceID, req.Kind, req.Dim)
+		data, err := s.instances.Take(req.InstanceID, req.Kind, req.Dim)
 		if err != nil {
 			return nil, "", err
 		}
 		taken = req.InstanceID
-		req.Rows = rows
+		req.data = data
 		req.InstanceID = ""
 	}
-	if len(req.Rows) == 0 && req.Generate == nil {
+	hasRows := len(req.Rows) > 0 || len(req.rawRows) > 0 ||
+		(req.data != nil && req.data.Rows() > 0)
+	if !hasRows && req.Generate == nil {
 		// Kinds with a defined empty optimum (LP: the box corner) may
 		// run empty; the rest need data. Hand a consumed upload back
 		// before failing — the client may still be appending rows.
 		m, merr := req.model()
 		if merr == nil && !m.AllowsEmpty() {
 			if taken != "" {
-				s.instances.Restore(taken, req.Kind, req.Dim, req.Rows)
+				s.instances.Restore(taken, req.Kind, req.Dim, req.data)
 			}
 			return nil, "", fmt.Errorf("empty instance")
 		}
 	}
-	// Generate specs are validated here but materialized by the worker
-	// pool (Manager.run), so synthesis cost is bounded by Workers
-	// rather than by however many handler goroutines are in flight.
+	// Generate specs and undecoded inline rows are validated here only
+	// structurally; materialization (synthesis, JSON-to-columnar
+	// decode, row invariants) happens on the worker pool (Manager.run),
+	// so ingestion cost is bounded by Workers rather than by however
+	// many handler goroutines are in flight.
 	return req, taken, nil
 }
 
@@ -226,7 +232,7 @@ func (s *Server) decodeAndSubmit(w http.ResponseWriter, r *http.Request) (*Job, 
 	job, err := s.manager.Submit(req)
 	if err != nil {
 		if taken != "" {
-			s.instances.Restore(taken, req.Kind, req.Dim, req.Rows)
+			s.instances.Restore(taken, req.Kind, req.Dim, req.data)
 		}
 		writeError(w, http.StatusServiceUnavailable, err)
 		return nil, false
@@ -412,20 +418,45 @@ func (s *Server) handleInstanceList(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// instanceAppendBody is one chunk of rows.
+// instanceAppendBody is one chunk of rows (the client-side shape; the
+// handler decodes the rows array straight into a columnar store).
 type instanceAppendBody struct {
 	Rows [][]float64 `json:"rows"`
 }
 
+// instanceAppendWire is the server-side parse target: the rows array
+// stays raw so it can be streamed into the columnar chunk without
+// materializing a [][]float64.
+type instanceAppendWire struct {
+	Rows json.RawMessage `json:"rows"`
+}
+
 func (s *Server) handleInstanceAppend(w http.ResponseWriter, r *http.Request) {
-	var body instanceAppendBody
+	var body instanceAppendWire
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&body); err != nil {
 		err = fmt.Errorf("bad JSON: %w", err)
 		writeError(w, decodeErrorStatus(err), err)
 		return
 	}
 	id := r.PathValue("id")
-	total, err := s.instances.Append(id, body.Rows)
+	kind, dim, err := s.instances.Meta(id)
+	if err != nil {
+		writeError(w, decodeErrorStatus(err), err)
+		return
+	}
+	m, err := lookupModel(kind)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	chunk := dataset.NewStore(m.RowWidth(dim))
+	if raw := bytes.TrimSpace(body.Rows); len(raw) > 0 && !bytes.Equal(raw, []byte("null")) {
+		if err := decodeRowsJSON(raw, m, dim, chunk, MaxInstanceRows); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	total, err := s.instances.AppendChunk(id, chunk)
 	if err != nil {
 		writeError(w, decodeErrorStatus(err), err)
 		return

@@ -117,8 +117,6 @@ func TestSolveValidation(t *testing.T) {
 		{Kind: "quantum", Model: "ram", Dim: 2},
 		{Kind: "lp", Model: "warp", Dim: 2, Objective: []float64{1, 1}},
 		{Kind: "lp", Model: "ram", Dim: 2, Objective: []float64{1}},
-		{Kind: "lp", Model: "ram", Dim: 2, Objective: []float64{1, 1}, Rows: [][]float64{{1, 2}}},
-		{Kind: "svm", Model: "ram", Dim: 2, Rows: [][]float64{{1, 2, 5}}},
 		{Kind: "meb", Model: "ram", Dim: 0},
 		{Kind: "meb", Model: "ram", Dim: MaxDim + 1},
 	}
@@ -126,6 +124,24 @@ func TestSolveValidation(t *testing.T) {
 		resp, raw := postJSON(t, ts.URL+"/v1/solve", c)
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("case %d: status %d, want 400 (%s)", i, resp.StatusCode, raw)
+		}
+	}
+	// Row-content errors surface when the worker pool materializes the
+	// inline body into the columnar store (handlers no longer decode
+	// rows), so the sync path reports them as a failed job: 422 with
+	// the row error, not a handler-time 400.
+	rowCases := []SolveRequest{
+		{Kind: "lp", Model: "ram", Dim: 2, Objective: []float64{1, 1}, Rows: [][]float64{{1, 2}}},
+		{Kind: "svm", Model: "ram", Dim: 2, Rows: [][]float64{{1, 2, 5}}},
+	}
+	for i, c := range rowCases {
+		resp, raw := postJSON(t, ts.URL+"/v1/solve", c)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("row case %d: status %d, want 422 (%s)", i, resp.StatusCode, raw)
+		}
+		st := decodeStatus(t, raw)
+		if st.State != StateFailed || st.Error == "" {
+			t.Errorf("row case %d: status %+v, want failed with row error", i, st)
 		}
 	}
 	// NaN/Inf never survive JSON encoding, so the finite check is

@@ -1,45 +1,92 @@
 package server
 
 import (
+	"fmt"
+
+	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/engine"
 )
 
-// materialize resolves a Generate spec into inline Rows (and, for
-// kinds with one, an Objective), so that downstream solving, caching
-// and digesting see one uniform request shape. No-op for inline
-// requests. The generator families are the kind's registered ones; an
-// unmatched kind or family is an error — never a silently empty
-// instance.
+// materialize resolves whatever carries the instance — undecoded
+// inline rows, a pre-decoded Rows slice, or a Generate spec — into the
+// request's columnar store, so that downstream solving, caching and
+// digesting see one uniform shape. It runs on the worker pool
+// (Manager.run), never on a handler goroutine: decoding a
+// multi-million-row body and synthesizing a generated instance are the
+// two expensive ingestion steps, and the pool bounds both by Workers.
+// Chunk-uploaded instances arrive already columnar (InstanceStore.Take
+// sets data) and are a no-op here.
 func materialize(r *SolveRequest) error {
-	if r.Generate == nil {
+	if r.data != nil {
 		return nil
 	}
 	m, err := r.model()
 	if err != nil {
 		return err
 	}
-	inst, err := m.Generate(r.Generate.Family, r.Generate.params())
-	if err != nil {
-		return err
+	switch {
+	case r.Generate != nil:
+		inst, err := m.Generate(r.Generate.Family, r.Generate.params())
+		if err != nil {
+			return err
+		}
+		st, err := engine.Columnar(m, inst)
+		if err != nil {
+			return err
+		}
+		r.Dim = inst.Dim
+		r.Objective = inst.Objective
+		r.data = st
+		r.Generate = nil
+	case r.rawRows != nil:
+		st := newKindStore(m, r.Dim)
+		if err := decodeRowsJSON(r.rawRows, m, r.Dim, st, MaxInstanceRows); err != nil {
+			return err
+		}
+		r.data = st
+		r.rawRows = nil
+	case r.Rows != nil:
+		// Library-style callers that built the request in memory; rows
+		// were validated by Validate.
+		st := newKindStore(m, r.Dim)
+		st.Grow(len(r.Rows))
+		for i, row := range r.Rows {
+			if len(row) != st.Width() {
+				return fmt.Errorf("row %d needs %d numbers, got %d", i, st.Width(), len(row))
+			}
+			st.AppendRow(row)
+		}
+		r.data = st
+		r.Rows = nil
+	default:
+		// No instance material at all — kinds with a defined empty
+		// optimum (LP) run on an empty store; Validate/decodeRequest
+		// rejected the rest already.
+		r.data = newKindStore(m, r.Dim)
 	}
-	r.Dim = inst.Dim
-	r.Objective = inst.Objective
-	r.Rows = inst.Rows
-	r.Generate = nil
+	if r.data.Rows() == 0 && !m.AllowsEmpty() {
+		return fmt.Errorf("empty instance")
+	}
 	return nil
 }
 
+// newKindStore returns an empty columnar store with the kind's row
+// width at the request dimension.
+func newKindStore(m engine.Model, dim int) *dataset.Store {
+	return dataset.NewStore(m.RowWidth(dim))
+}
+
 // runSolve executes a validated, materialized request through the
-// engine registry and returns the rendered solution plus the resource
-// stats of the model that ran. There is deliberately no per-kind code
-// here: the registry entry carries everything.
+// engine registry's columnar path and returns the rendered solution
+// plus the resource stats of the model that ran. There is deliberately
+// no per-kind code here: the registry entry carries everything, and
+// the solve scans the columnar arena directly.
 func runSolve(r *SolveRequest) (*SolveResult, *StatsPayload, error) {
 	m, err := r.model()
 	if err != nil {
 		return nil, nil, err
 	}
-	inst := engine.Instance{Dim: r.Dim, Objective: r.Objective, Rows: r.Rows}
-	sol, stats, err := m.SolveInstance(r.Model, inst, r.Options.lib())
+	sol, stats, err := m.SolveSource(r.Model, r.Dim, r.Objective, r.data, r.Options.lib())
 	if err != nil {
 		return nil, &stats, err
 	}

@@ -22,13 +22,16 @@
 package server
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
 
+	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/engine"
 )
 
@@ -119,6 +122,55 @@ type SolveRequest struct {
 	Generate *GenerateSpec `json:"generate,omitempty"`
 	// Options tune the solver.
 	Options SolveOptions `json:"options,omitempty"`
+
+	// rawRows holds the undecoded JSON of an inline rows array. The
+	// HTTP handlers deliberately do not decode it: materialization of
+	// inline bodies happens on the worker pool (materialize), so a
+	// flood of large uploads is bounded by Workers, not by however
+	// many handler goroutines are in flight.
+	rawRows json.RawMessage
+	// data is the materialized columnar instance: set by the worker
+	// (from rawRows, Rows or Generate) or at decode time for
+	// chunk-uploaded instances (InstanceStore.Take).
+	data *dataset.Store
+}
+
+// UnmarshalJSON decodes the request envelope but leaves the rows array
+// raw (see rawRows). Client-side marshalling is untouched: Rows
+// marshals normally.
+func (r *SolveRequest) UnmarshalJSON(b []byte) error {
+	type envelope SolveRequest // method-free alias: no recursion
+	aux := struct {
+		*envelope
+		Rows json.RawMessage `json:"rows"` // shadows envelope.Rows
+	}{envelope: (*envelope)(r)}
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	raw := bytes.TrimSpace(aux.Rows)
+	if len(raw) == 0 || bytes.Equal(raw, []byte("null")) || emptyJSONArray(raw) {
+		raw = nil // absent and empty mean the same: no inline rows
+	}
+	r.rawRows = raw
+	return nil
+}
+
+// emptyJSONArray reports whether raw is "[]" up to interior
+// whitespace, so "rows": [ ] behaves exactly like "rows": [].
+func emptyJSONArray(raw []byte) bool {
+	if len(raw) == 0 || raw[0] != '[' {
+		return false
+	}
+	for _, b := range raw[1:] {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+		case ']':
+			return true
+		default:
+			return false
+		}
+	}
+	return false
 }
 
 // model returns the registry entry for the request's kind. It is only
@@ -204,7 +256,7 @@ func (r *SolveRequest) Validate() error {
 		return fmt.Errorf("unknown model %q (want %s)", r.Model, strings.Join(engine.Backends(), ", "))
 	}
 	sources := 0
-	if len(r.Rows) > 0 {
+	if len(r.Rows) > 0 || len(r.rawRows) > 0 {
 		sources++
 	}
 	if r.InstanceID != "" {
@@ -235,6 +287,9 @@ func (r *SolveRequest) Validate() error {
 			}
 		}
 	}
+	// Undecoded inline rows (rawRows) are validated on the worker when
+	// they are materialized into the columnar store; a pre-decoded
+	// Rows slice (library callers, restored uploads) is checked here.
 	return validateRows(m, r.Dim, r.Rows)
 }
 
@@ -316,10 +371,20 @@ func (r *SolveRequest) Digest() string {
 	for _, v := range r.Objective {
 		putF(v)
 	}
-	putU(uint64(len(r.Rows)))
-	for _, row := range r.Rows {
-		for _, v := range row {
+	// The columnar arena digests to exactly the bytes the historical
+	// [][]float64 loop produced (row count, then values row-major), so
+	// cache entries survive the storage refactor.
+	if r.data != nil {
+		putU(uint64(r.data.Rows()))
+		for _, v := range r.data.Values() {
 			putF(v)
+		}
+	} else {
+		putU(uint64(len(r.Rows)))
+		for _, row := range r.Rows {
+			for _, v := range row {
+				putF(v)
+			}
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))

@@ -1,0 +1,319 @@
+package stream
+
+import (
+	"math"
+
+	"lowdimlp/internal/core"
+	"lowdimlp/internal/dataset"
+	"lowdimlp/internal/lptype"
+	"lowdimlp/internal/numeric"
+	"lowdimlp/internal/sampling"
+)
+
+// SolveDataset runs the streaming version of Algorithm 1 (Theorem 1)
+// over a columnar dataset source — the zero-copy twin of Solve.
+//
+// The scan loop reads rows in reusable batches straight off the
+// source (an in-memory arena or a block-streamed file), tests
+// violations through the domain's flat-row primitives, and samples
+// with row reservoirs that copy only on accept, so the per-constraint
+// cost is arithmetic plus at most one slot copy: no allocation, no
+// pointer chase, no decode. The RNG consumption matches Solve exactly,
+// making the result bit-identical to the slice path for equal inputs
+// and options (the engine's dataset conformance suite pins this).
+func SolveDataset[C, B any](ra lptype.RowAccess[C, B], src dataset.Source, opt Options) (B, Stats, error) {
+	var zero B
+	dom := ra.Domain()
+	stats := Stats{}
+	n := src.Rows()
+	stats.N = n
+	if n == 0 {
+		b, err := dom.Solve(nil)
+		return b, stats, err
+	}
+
+	nu := dom.CombinatorialDim()
+	lambda := dom.VCDim()
+	r := opt.Core.EffectiveR(n)
+	stats.R = r
+	mult := math.Pow(float64(n), 1/float64(r))
+	eps := 1 / (10 * float64(nu) * mult)
+	m := core.NetSize(eps, lambda, n, nu, opt.Core)
+	stats.NetSize = m
+
+	cur := src.NewCursor()
+	defer dataset.CloseCursor(cur)
+	batch := make([]dataset.Row, batchRows(opt))
+	width := src.Width()
+
+	if m >= n {
+		// Net would contain everything: one pass, solve directly.
+		items, scanned, err := materializeItems(ra, cur, batch, n)
+		stats.Passes++
+		stats.ItemsScanned += scanned
+		if err != nil {
+			return zero, stats, err
+		}
+		stats.DirectSolve = true
+		stats.NetSize = n
+		stats.trackSpace(opt, n, 0)
+		b, err := dom.Solve(items)
+		return b, stats, err
+	}
+
+	rng := numeric.NewRand(opt.Core.Seed, 0x57124)
+	var bases []B // bases of successful iterations — the weight oracle
+
+	maxIters := opt.Core.MaxIters
+	if maxIters <= 0 {
+		maxIters = 60*nu*r + 60
+	}
+
+	if opt.Unfused {
+		return solveDatasetUnfused(ra, cur, batch, width, n, m, eps, mult, maxIters, rng, &stats, opt)
+	}
+
+	// Fused mode. Pass 0: uniform-weight sample (no bases stored yet).
+	res := sampling.NewRowReservoir(m, width, rng)
+	if err := cur.Reset(); err != nil {
+		return zero, stats, err
+	}
+	for {
+		nr, err := cur.Next(batch)
+		if err != nil {
+			return zero, stats, err
+		}
+		if nr == 0 {
+			break
+		}
+		for _, row := range batch[:nr] {
+			stats.ItemsScanned++
+			res.Offer(row, 1)
+		}
+	}
+	stats.Passes++
+	netRows, ok := res.Sample()
+	if !ok {
+		return zero, stats, ErrEmptyStream
+	}
+	pending, err := dom.Solve(decodeNet(ra, netRows, width))
+	if err != nil {
+		return zero, stats, err
+	}
+	stats.Iterations++
+
+	for iter := 1; iter <= maxIters; iter++ {
+		// One fused pass: violation test for `pending` + dual reservoirs
+		// for the next net.
+		resFail := sampling.NewRowReservoir(m, width, rng)
+		resSucc := sampling.NewRowReservoir(m, width, rng)
+		wTotal, wViol, violCount, scanned, err := fusedRowPass(ra, cur, batch, bases, pending, mult, resFail, resSucc)
+		stats.ItemsScanned += scanned
+		if err != nil {
+			return zero, stats, err
+		}
+		stats.Passes++
+		stats.trackSpace(opt, 2*m, len(bases))
+		if violCount == 0 {
+			return pending, stats, nil
+		}
+		success := wViol.Sum() <= eps*wTotal.Sum()
+		var nextNet [][]float64
+		if success {
+			stats.Successes++
+			bases = append(bases, pending)
+			stats.StoredBases = len(bases)
+			nextNet, _ = resSucc.Sample()
+		} else {
+			stats.Failures++
+			if opt.Core.MonteCarlo {
+				return zero, stats, core.ErrRoundFailed
+			}
+			nextNet, _ = resFail.Sample()
+		}
+		pending, err = dom.Solve(decodeNet(ra, nextNet, width))
+		if err != nil {
+			return zero, stats, err
+		}
+		stats.Iterations++
+	}
+	return zero, stats, core.ErrIterationBudget
+}
+
+// fusedRowPass scans the source once, simultaneously (a) accumulating
+// the violation weight of `pending` under the on-the-fly weights and
+// (b) feeding the success/failure reservoirs for the next net — the
+// "one pass per iteration" loop of §3.2 over flat rows. This is the
+// hot path of the streaming backend: per row it performs the weight
+// and violation arithmetic plus at most an accepted-slot copy, and
+// allocates nothing (the allocation-regression test pins this).
+func fusedRowPass[C, B any](
+	ra lptype.RowAccess[C, B], cur dataset.Cursor, batch []dataset.Row,
+	bases []B, pending B, mult float64,
+	resFail, resSucc *sampling.RowReservoir,
+) (wTotal, wViol numeric.Kahan, violCount int, scanned int64, err error) {
+	if err = cur.Reset(); err != nil {
+		return
+	}
+	for {
+		var nr int
+		nr, err = cur.Next(batch)
+		if err != nil {
+			return
+		}
+		if nr == 0 {
+			return
+		}
+		for _, row := range batch[:nr] {
+			scanned++
+			w := math.Pow(mult, float64(ra.WeightExp(bases, row)))
+			wTotal.Add(w)
+			if ra.ViolatesRow(pending, row) {
+				wViol.Add(w)
+				violCount++
+				resFail.Offer(row, w)
+				resSucc.Offer(row, w*mult)
+			} else {
+				resFail.Offer(row, w)
+				resSucc.Offer(row, w)
+			}
+		}
+	}
+}
+
+// solveDatasetUnfused is the two-passes-per-iteration ablation over a
+// dataset source, mirroring solveUnfused.
+func solveDatasetUnfused[C, B any](
+	ra lptype.RowAccess[C, B], cur dataset.Cursor, batch []dataset.Row,
+	width, n, m int, eps, mult float64, maxIters int, rng *numericRand,
+	stats *Stats, opt Options,
+) (B, Stats, error) {
+	var zero B
+	dom := ra.Domain()
+	var bases []B
+	for iter := 0; iter < maxIters; iter++ {
+		// Pass A: weighted sample.
+		res := sampling.NewRowReservoir(m, width, rng)
+		if err := cur.Reset(); err != nil {
+			return zero, *stats, err
+		}
+		for {
+			nr, err := cur.Next(batch)
+			if err != nil {
+				return zero, *stats, err
+			}
+			if nr == 0 {
+				break
+			}
+			for _, row := range batch[:nr] {
+				stats.ItemsScanned++
+				res.Offer(row, math.Pow(mult, float64(ra.WeightExp(bases, row))))
+			}
+		}
+		stats.Passes++
+		netRows, ok := res.Sample()
+		if !ok {
+			return zero, *stats, ErrEmptyStream
+		}
+		basis, err := dom.Solve(decodeNet(ra, netRows, width))
+		if err != nil {
+			return zero, *stats, err
+		}
+		stats.Iterations++
+		// Pass B: violation test.
+		var wTotal, wViol numeric.Kahan
+		violCount := 0
+		if err := cur.Reset(); err != nil {
+			return zero, *stats, err
+		}
+		for {
+			nr, err := cur.Next(batch)
+			if err != nil {
+				return zero, *stats, err
+			}
+			if nr == 0 {
+				break
+			}
+			for _, row := range batch[:nr] {
+				stats.ItemsScanned++
+				w := math.Pow(mult, float64(ra.WeightExp(bases, row)))
+				wTotal.Add(w)
+				if ra.ViolatesRow(basis, row) {
+					wViol.Add(w)
+					violCount++
+				}
+			}
+		}
+		stats.Passes++
+		stats.trackSpace(opt, m, len(bases))
+		if violCount == 0 {
+			return basis, *stats, nil
+		}
+		if wViol.Sum() <= eps*wTotal.Sum() {
+			stats.Successes++
+			bases = append(bases, basis)
+			stats.StoredBases = len(bases)
+		} else {
+			stats.Failures++
+			if opt.Core.MonteCarlo {
+				return zero, *stats, core.ErrRoundFailed
+			}
+		}
+	}
+	return zero, *stats, core.ErrIterationBudget
+}
+
+// decodeNet turns sampled net rows into constraints for the basis
+// solver. The rows are reservoir slot buffers that the next pass will
+// reuse, and decoded constraints may alias their input (lp does), so
+// the net is copied into one fresh arena first — one allocation per
+// iteration, on the cold path.
+func decodeNet[C, B any](ra lptype.RowAccess[C, B], rows [][]float64, width int) []C {
+	arena := make([]float64, len(rows)*width)
+	items := make([]C, len(rows))
+	for i, row := range rows {
+		dst := arena[i*width : (i+1)*width : (i+1)*width]
+		copy(dst, row)
+		items[i] = ra.Item(dst)
+	}
+	return items
+}
+
+// materializeItems drains the cursor into a decoded constraint slice
+// (the m ≥ n direct-solve path). Rows are copied into one arena so
+// decoded constraints never alias cursor buffers.
+func materializeItems[C, B any](ra lptype.RowAccess[C, B], cur dataset.Cursor, batch []dataset.Row, n int) ([]C, int64, error) {
+	if err := cur.Reset(); err != nil {
+		return nil, 0, err
+	}
+	items := make([]C, 0, n)
+	var arena []float64
+	var scanned int64
+	for {
+		nr, err := cur.Next(batch)
+		if err != nil {
+			return nil, scanned, err
+		}
+		if nr == 0 {
+			return items, scanned, nil
+		}
+		for _, row := range batch[:nr] {
+			scanned++
+			w := len(row)
+			if cap(arena)-len(arena) < w {
+				arena = make([]float64, 0, max(n*w/4+w, 1024))
+			}
+			lo := len(arena)
+			arena = append(arena, row...)
+			items = append(items, ra.Item(arena[lo:lo+w:lo+w]))
+		}
+	}
+}
+
+// batchRows returns the cursor batch size for dataset scans.
+func batchRows(opt Options) int {
+	if opt.BatchRows > 0 {
+		return opt.BatchRows
+	}
+	return dataset.DefaultBatchRows
+}

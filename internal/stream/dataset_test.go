@@ -1,0 +1,145 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"lowdimlp/internal/core"
+	"lowdimlp/internal/dataset"
+	"lowdimlp/internal/lptype"
+	"lowdimlp/internal/meb"
+	"lowdimlp/internal/numeric"
+	"lowdimlp/internal/sampling"
+)
+
+func coreOpt(r int, seed uint64) core.Options {
+	return core.Options{R: r, Seed: seed, NetConst: 0.5}
+}
+
+// mebAccess builds the columnar access layer for a MEB domain.
+func mebAccess(d int) lptype.RowAccess[meb.Point, meb.Basis] {
+	return lptype.NewRowAccess[meb.Point, meb.Basis](meb.NewDomain(d),
+		func(row []float64) meb.Point { return meb.Point(row) })
+}
+
+// cloud fills a columnar store with a deterministic point cloud.
+func cloud(n, d int, seed uint64) *dataset.Store {
+	st := dataset.NewStore(d)
+	st.Grow(n)
+	rng := numeric.NewRand(seed, 1)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		st.AppendRow(row)
+	}
+	return st
+}
+
+// TestSolveDatasetMatchesSlice pins the tentpole equivalence at the
+// stream level: the columnar scan must reproduce the typed scan bit
+// for bit — same passes, same nets, same basis.
+func TestSolveDatasetMatchesSlice(t *testing.T) {
+	const n, d = 3000, 3
+	st := cloud(n, d, 42)
+	pts := make([]meb.Point, n)
+	for i := range pts {
+		pts[i] = meb.Point(st.Row(i))
+	}
+	opt := Options{Core: coreOpt(2, 7)}
+	dom := meb.NewDomain(d)
+	want, wantStats, err := Solve[meb.Point, meb.Basis](dom, NewSliceStream(pts), n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotStats, err := SolveDataset(mebAccess(d), st, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.B.R2 != got.B.R2 {
+		t.Fatalf("radius² %v (slice) vs %v (dataset)", want.B.R2, got.B.R2)
+	}
+	for i := range want.B.Center {
+		if want.B.Center[i] != got.B.Center[i] {
+			t.Fatalf("center[%d] %v vs %v", i, want.B.Center[i], got.B.Center[i])
+		}
+	}
+	if want.B.IsEmpty() != got.B.IsEmpty() {
+		t.Fatal("emptiness mismatch")
+	}
+	if wantStats.Passes != gotStats.Passes || wantStats.Iterations != gotStats.Iterations ||
+		wantStats.NetSize != gotStats.NetSize || wantStats.ItemsScanned != gotStats.ItemsScanned {
+		t.Fatalf("stats drift: %+v vs %+v", wantStats, gotStats)
+	}
+	// Batch size must not change anything (it only affects cursor
+	// mechanics, never arithmetic or RNG order).
+	opt.BatchRows = 7
+	got2, _, err := SolveDataset(mebAccess(d), st, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.B.R2 != want.B.R2 {
+		t.Fatalf("batch=7 radius² %v, want %v", got2.B.R2, want.B.R2)
+	}
+}
+
+// TestSolveDatasetUnfusedMatchesSlice covers the two-pass ablation.
+func TestSolveDatasetUnfusedMatchesSlice(t *testing.T) {
+	const n, d = 2000, 2
+	st := cloud(n, d, 9)
+	pts := make([]meb.Point, n)
+	for i := range pts {
+		pts[i] = meb.Point(st.Row(i))
+	}
+	opt := Options{Core: coreOpt(2, 3), Unfused: true}
+	want, _, err := Solve[meb.Point, meb.Basis](meb.NewDomain(d), NewSliceStream(pts), n, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := SolveDataset(mebAccess(d), st, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.B.R2 != got.B.R2 {
+		t.Fatalf("unfused radius² %v vs %v", want.B.R2, got.B.R2)
+	}
+}
+
+// TestFusedRowPassAllocations is the allocation-regression guard for
+// the streaming hot path: one fused pass over n constraints in
+// batches must allocate at most once per batch (in practice: zero) —
+// never per constraint.
+func TestFusedRowPassAllocations(t *testing.T) {
+	const n, d, batchSize = 4096, 3, 256
+	st := cloud(n, d, 17)
+	ra := mebAccess(d)
+	dom := meb.NewDomain(d)
+	seedPts := make([]meb.Point, 8)
+	for i := range seedPts {
+		seedPts[i] = meb.Point(st.Row(i))
+	}
+	pending, err := dom.Solve(seedPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bases := []meb.Basis{pending}
+	rng := numeric.NewRand(5, 0x57124)
+	resFail := sampling.NewRowReservoir(32, d, rng)
+	resSucc := sampling.NewRowReservoir(32, d, rng)
+	cur := st.NewCursor()
+	batch := make([]dataset.Row, batchSize)
+	mult := math.Pow(float64(n), 0.5)
+
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, _, _, err := fusedRowPass(ra, cur, batch, bases, pending, mult, resFail, resSucc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	budget := float64(n / batchSize) // ≤ 1 alloc per batch
+	if allocs > budget {
+		t.Fatalf("fused pass: %.1f allocs for %d rows (budget %.0f — ≤1 per %d-row batch)",
+			allocs, n, budget, batchSize)
+	}
+	t.Logf("fused pass over %d rows: %.1f allocs (budget %.0f)", n, allocs, budget)
+}

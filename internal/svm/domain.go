@@ -40,6 +40,13 @@ func (d *Domain) Basis(b Basis) []Example { return b.Support }
 // margin on e (Tv).
 func (d *Domain) Violates(b Basis, e Example) bool { return !e.Satisfied(b.Sol.U) }
 
+// ViolatesRow is the columnar violation test over the wire row
+// x_1…x_d y — allocation-free and bit-identical to Violates over the
+// decoded example.
+func (d *Domain) ViolatesRow(b Basis, row []float64) bool {
+	return !(Example{X: row[:d.Dim], Y: row[d.Dim]}).Satisfied(b.Sol.U)
+}
+
 // CombinatorialDim returns ν = d+1 (§4.2).
 func (d *Domain) CombinatorialDim() int { return d.Dim + 1 }
 

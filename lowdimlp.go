@@ -287,3 +287,25 @@ func SolveInstance(kind, backend string, inst Instance, opt Options) (Solution, 
 	}
 	return m.SolveInstance(backend, inst, opt.engine())
 }
+
+// WriteDatasetFile writes an instance of any registered kind as a
+// self-describing binary dataset file (kind, dimension, objective and
+// a flat little-endian row arena — see internal/dataset). Dataset
+// files are the out-of-core input format: lpsolve accepts them
+// directly and the streaming backend scans them in fixed-size blocks
+// without ever materializing the instance.
+func WriteDatasetFile(path, kind string, inst Instance) error {
+	return engine.WriteDatasetFile(path, kind, inst)
+}
+
+// SolveDatasetFile solves a binary dataset file on the named backend.
+// The file names its own kind, dimension and objective; the streaming
+// backend reads it in blocks, so instances larger than memory are
+// fine. Results are bit-identical to SolveInstance over the same rows.
+func SolveDatasetFile(path, backend string, opt Options) (Solution, SolveStats, error) {
+	return engine.SolveDatasetFile(path, backend, opt.engine())
+}
+
+// IsDatasetFile reports whether the file at path begins with the
+// binary dataset magic (cheap sniff; no full header validation).
+func IsDatasetFile(path string) bool { return engine.IsDatasetFile(path) }
