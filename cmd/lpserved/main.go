@@ -9,6 +9,7 @@
 //
 //	lpserved [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	         [-max-body BYTES] [-instance-ttl D]
+//	         [-spill-rows N] [-spill-dir DIR]
 //
 // Endpoints (see internal/server for the wire format):
 //
@@ -24,6 +25,12 @@
 //
 // Chunk uploads idle longer than -instance-ttl are reclaimed
 // automatically, so abandoned uploads cannot wedge the slot limit.
+//
+// Chunk appends may be binary: POST the LDSET1 form of a batch (what
+// `lpsolve -convert` writes) with Content-Type application/octet-stream
+// and the rows are ingested with no JSON float parsing. With
+// -spill-rows N, uploads that reach N rows spill to sharded dataset
+// files under -spill-dir and are solved out-of-core.
 //
 // Example:
 //
@@ -55,13 +62,15 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "job queue depth (0 = 4×workers)")
-		cache   = flag.Int("cache", 256, "result-cache capacity (-1 disables)")
-		maxBody = flag.Int64("max-body", 64<<20, "max request body bytes")
-		instTTL = flag.Duration("instance-ttl", server.DefaultInstanceTTL, "idle chunk-upload eviction horizon (negative disables)")
-		grace   = flag.Duration("grace", 30*time.Second, "shutdown drain timeout")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "job queue depth (0 = 4×workers)")
+		cache     = flag.Int("cache", 256, "result-cache capacity (-1 disables)")
+		maxBody   = flag.Int64("max-body", 64<<20, "max request body bytes")
+		instTTL   = flag.Duration("instance-ttl", server.DefaultInstanceTTL, "idle chunk-upload eviction horizon (negative disables)")
+		spillRows = flag.Int("spill-rows", 0, "spill chunk uploads to sharded files past this many rows (0 disables)")
+		spillDir  = flag.String("spill-dir", "", "directory for spilled instances (empty = OS temp dir)")
+		grace     = flag.Duration("grace", 30*time.Second, "shutdown drain timeout")
 	)
 	flag.Parse()
 
@@ -71,6 +80,8 @@ func main() {
 		CacheSize:    *cache,
 		MaxBodyBytes: *maxBody,
 		InstanceTTL:  *instTTL,
+		SpillRows:    *spillRows,
+		SpillDir:     *spillDir,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -9,16 +9,27 @@
 //
 //	lpsolve [-model ram|stream|coordinator|mpc] [-r N] [-k N]
 //	        [-delta F] [-seed N] [-parallel] [file]
-//	lpsolve -convert out.lds [file]
+//	lpsolve -convert out.lds [-shards N] [file]
 //	lpsolve -kinds
 //
 // # Input formats
 //
-// A file argument that starts with the binary dataset magic (see
+// A file argument that starts with a binary dataset magic (see
 // internal/dataset; written by -convert or lowdimlp.WriteDatasetFile)
-// is solved directly from disk: the file names its own kind, dimension
-// and objective, and the streaming backend scans it in fixed-size
-// blocks, so instances larger than memory work (-model stream).
+// is solved directly from disk: the dataset names its own kind,
+// dimension and objective, and the streaming backend scans it in
+// fixed-size blocks, so instances larger than memory work
+// (-model stream). Two layouts exist — a single LDSET1 file
+// (memory-mapped when the host allows) and an LDSETM manifest
+// referencing round-robin shard files, whose scans parallelize
+// (-parallel) and whose shards map one-to-one onto coordinator sites
+// (-model coordinator -k N).
+//
+// -convert writes either layout from any input: text or binary in,
+// -shards N ≥ 2 out writes a sharded manifest (name it *.ldm), and
+// -shards 1 (the default) writes a single file — so -convert also
+// splits an existing single-file dataset and merges a sharded one
+// back.
 //
 // Everything else is plain text, '#' comments allowed. The first
 // non-comment line selects the problem kind:
@@ -76,18 +87,26 @@ func main() {
 	flag.Uint64Var(&cfg.Seed, "seed", 1, "random seed")
 	flag.BoolVar(&cfg.Parallel, "parallel", false, "run coordinator sites on goroutines")
 	kinds := flag.Bool("kinds", false, "list the registered problem kinds and exit")
-	convert := flag.String("convert", "", "write the parsed text instance as a binary dataset file and exit")
+	convert := flag.String("convert", "", "write the instance as a binary dataset at this path and exit")
+	shards := flag.Int("shards", 1, "with -convert: shard count (≥ 2 writes an LDSETM manifest + shard files)")
 	flag.Parse()
 
 	if *kinds {
 		printKinds(os.Stdout)
 		return
 	}
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards must be ≥ 1, got %d", *shards))
+	}
 	if flag.NArg() > 0 && lowdimlp.IsDatasetFile(flag.Arg(0)) {
-		// Binary dataset input: solve straight off the file (the
-		// streaming backend never materializes it).
+		// Binary dataset input: convert between layouts, or solve
+		// straight off the file (the streaming backend never
+		// materializes it).
 		if *convert != "" {
-			fatal(fmt.Errorf("%s is already a binary dataset file", flag.Arg(0)))
+			if err := runConvertBinary(flag.Arg(0), *convert, *shards, os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
 		}
 		if err := runDataset(flag.Arg(0), os.Stdout, cfg); err != nil {
 			fatal(err)
@@ -104,7 +123,7 @@ func main() {
 		in = f
 	}
 	if *convert != "" {
-		if err := runConvert(in, *convert, os.Stdout); err != nil {
+		if err := runConvert(in, *convert, *shards, os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
@@ -128,16 +147,39 @@ func runDataset(path string, out io.Writer, cfg config) error {
 }
 
 // runConvert parses a text instance and writes it as a binary dataset
-// file.
-func runConvert(in io.Reader, outPath string, out io.Writer) error {
+// (single file, or a sharded manifest for shards ≥ 2).
+func runConvert(in io.Reader, outPath string, shards int, out io.Writer) error {
 	kind, m, inst, err := parse(in)
 	if err != nil {
 		return err
+	}
+	if shards > 1 {
+		if err := lowdimlp.WriteShardedDatasetFile(outPath, kind, inst, shards); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s: kind=%s dim=%d %ss=%d shards=%d\n",
+			outPath, kind, inst.Dim, m.RowLabel(), len(inst.Rows), shards)
+		return nil
 	}
 	if err := lowdimlp.WriteDatasetFile(outPath, kind, inst); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %s: kind=%s dim=%d %ss=%d\n", outPath, kind, inst.Dim, m.RowLabel(), len(inst.Rows))
+	return nil
+}
+
+// runConvertBinary rewrites an existing binary dataset in the other
+// layout: split a single file into shards, or merge a sharded manifest
+// back into one file.
+func runConvertBinary(inPath, outPath string, shards int, out io.Writer) error {
+	if err := lowdimlp.ConvertDatasetLayout(inPath, outPath, shards); err != nil {
+		return err
+	}
+	if shards > 1 {
+		fmt.Fprintf(out, "wrote %s: split %s into %d shards\n", outPath, inPath, shards)
+	} else {
+		fmt.Fprintf(out, "wrote %s: merged %s into a single file\n", outPath, inPath)
+	}
 	return nil
 }
 

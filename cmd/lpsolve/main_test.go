@@ -140,7 +140,7 @@ func TestPrintKinds(t *testing.T) {
 func TestConvertAndSolveDataset(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "lp.lds")
 	var out bytes.Buffer
-	if err := runConvert(strings.NewReader(lpInput), path, &out); err != nil {
+	if err := runConvert(strings.NewReader(lpInput), path, 1, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "kind=lp") {
@@ -165,5 +165,91 @@ func TestConvertAndSolveDataset(t *testing.T) {
 	}
 	if lowdimlp.IsDatasetFile(txt) {
 		t.Fatal("text instance sniffed as dataset file")
+	}
+}
+
+// TestConvertShardedSplitMerge: text → sharded manifest → solve on
+// every backend → merge back to a single file → solve again, all
+// answers matching the text path.
+func TestConvertShardedSplitMerge(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "lp.ldm")
+	var out bytes.Buffer
+	if err := runConvert(strings.NewReader(lpInput), manifest, 3, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "shards=3") {
+		t.Fatalf("convert output %q", out.String())
+	}
+	if !lowdimlp.IsDatasetFile(manifest) {
+		t.Fatal("manifest not recognized as a dataset file")
+	}
+	for _, model := range []string{"ram", "stream", "coordinator", "mpc"} {
+		var got bytes.Buffer
+		cfg := testConfig(model)
+		cfg.K = 3 // one shard file per coordinator site
+		cfg.Parallel = true
+		if err := runDataset(manifest, &got, cfg); err != nil {
+			t.Fatalf("model %s: %v", model, err)
+		}
+		if !strings.Contains(got.String(), "objective = 3") {
+			t.Errorf("model %s: sharded output %q lacks objective 3", model, got.String())
+		}
+	}
+	// Merge the sharded layout back into one file and re-split it.
+	single := filepath.Join(dir, "merged.lds")
+	out.Reset()
+	if err := runConvertBinary(manifest, single, 1, &out); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := runDataset(single, &got, testConfig("stream")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got.String(), "objective = 3") {
+		t.Errorf("merged output %q lacks objective 3", got.String())
+	}
+	resplit := filepath.Join(dir, "resplit.ldm")
+	if err := runConvertBinary(single, resplit, 4, &out); err != nil {
+		t.Fatal(err)
+	}
+	got.Reset()
+	if err := runDataset(resplit, &got, testConfig("ram")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got.String(), "objective = 3") {
+		t.Errorf("re-split output %q lacks objective 3", got.String())
+	}
+}
+
+// TestConvertRefusesSelfOverwrite: converting a dataset onto its own
+// path (or onto one of its shard files) must fail before truncating
+// the input out from under the reader.
+func TestConvertRefusesSelfOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "x.ldm")
+	var out bytes.Buffer
+	if err := runConvert(strings.NewReader(lpInput), manifest, 3, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := runConvertBinary(manifest, manifest, 4, &out); err == nil {
+		t.Fatal("re-shard onto the manifest path accepted")
+	}
+	shard0 := filepath.Join(dir, "x-000.lds")
+	if err := runConvertBinary(manifest, shard0, 1, &out); err == nil {
+		t.Fatal("merge onto a shard file accepted")
+	}
+	// A same-basename output in the same dir collides at the shard
+	// level even when the manifest names differ.
+	if err := runConvertBinary(manifest, filepath.Join(dir, "x.ldm2"), 3, &out); err == nil {
+		t.Fatal("shard-name collision accepted")
+	}
+	// The input is intact and still solves.
+	var got bytes.Buffer
+	if err := runDataset(manifest, &got, testConfig("ram")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got.String(), "objective = 3") {
+		t.Fatalf("input damaged: %q", got.String())
 	}
 }

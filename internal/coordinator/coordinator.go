@@ -122,6 +122,43 @@ func SolveDataset[C, B any](
 	return solve(ra.Domain(), stores, ccodec, bcodec, opt)
 }
 
+// SolveSource runs the protocol over any columnar source with k sites.
+// A sharded source whose shard count equals k maps one shard onto one
+// site directly — shard files are streamed by their site's scans and
+// sampled by offset, so the instance is "distributed" without
+// materializing a row (the disk-backed analogue of handing each
+// coordinator site its partition). Any other source is materialized
+// (zero-copy when memory-backed) and sharded round-robin; either way
+// site j sees rows j, j+k, j+2k, … in order, so the protocol
+// transcript — and the answer — is bit-identical across layouts.
+func SolveSource[C, B any](
+	ra lptype.RowAccess[C, B], src dataset.Source, k int,
+	ccodec comm.Codec[C], bcodec comm.Codec[B],
+	opt Options,
+) (B, Stats, error) {
+	var zero B
+	if k < 1 {
+		return zero, Stats{}, ErrNoSites
+	}
+	if sh, ok := src.(dataset.Sharded); ok && sh.NumShards() == k {
+		stores := make([]lptype.Store[C, B], k)
+		for i := range stores {
+			stores[i] = lptype.SourceStore(ra, sh.Shard(i))
+		}
+		defer func() {
+			for _, s := range stores {
+				lptype.CloseStore(s)
+			}
+		}()
+		return solve(ra.Domain(), stores, ccodec, bcodec, opt)
+	}
+	view, err := dataset.Materialize(src)
+	if err != nil {
+		return zero, Stats{}, err
+	}
+	return SolveDataset(ra, view.Shard(k), ccodec, bcodec, opt)
+}
+
 // solve is the protocol body, generic over site storage.
 func solve[C, B any](
 	dom lptype.Domain[C, B], stores []lptype.Store[C, B],

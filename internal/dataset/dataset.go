@@ -82,6 +82,17 @@ func NewStore(width int) *Store {
 	return &Store{width: width}
 }
 
+// arenaStore wraps an existing flat arena (len a multiple of width) as
+// a Store without copying — the mmap source's zero-copy bridge. The
+// caller owns the arena's lifetime and must never append through the
+// returned store while views of it are live.
+func arenaStore(width int, vals []float64) *Store {
+	if width < 1 || len(vals)%width != 0 {
+		panic(fmt.Sprintf("dataset: arena of %d values at width %d", len(vals), width))
+	}
+	return &Store{width: width, data: vals}
+}
+
 // FromRows copies a [][]float64 row set into a new columnar store —
 // the adapter from the slice world.
 func FromRows(width int, rows [][]float64) (*Store, error) {
@@ -264,6 +275,35 @@ func CloseCursor(c Cursor) {
 	if cl, ok := c.(io.Closer); ok {
 		cl.Close()
 	}
+}
+
+// CloseSource releases any resources a source holds (file descriptors,
+// mmap mappings); memory sources are no-ops.
+func CloseSource(s Source) {
+	if cl, ok := s.(io.Closer); ok {
+		cl.Close()
+	}
+}
+
+// Sharded marks sources stored as round-robin shards (shard j holds
+// rows j, j+k, j+2k, … of the instance — the same assignment as
+// View.Shard and the engine's Partition). The distributed backends map
+// one shard onto one site/machine directly, so a sharded file is
+// "distributed" without materializing a row; the sequential cursor of
+// a Sharded source interleaves the shards back into original order.
+type Sharded interface {
+	Source
+	// NumShards returns the shard count k ≥ 1.
+	NumShards() int
+	// Shard returns shard j as its own source.
+	Shard(j int) Source
+}
+
+// RowReaderAt marks sources that can read one row by index without a
+// cursor — what site-local sampling needs from a shard file.
+type RowReaderAt interface {
+	// ReadRowAt copies row i into dst (len(dst) = source width).
+	ReadRowAt(i int, dst []float64) error
 }
 
 // DefaultBatchRows is the batch size scans use when the caller does

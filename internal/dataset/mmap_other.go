@@ -1,0 +1,25 @@
+//go:build !unix
+
+package dataset
+
+import "fmt"
+
+// ErrMmapUnavailable reports that the mmap source cannot be used on
+// this host; callers fall back to the buffered File source.
+var ErrMmapUnavailable = fmt.Errorf("dataset: mmap unavailable")
+
+// Mapped is unavailable on this platform; OpenMapped always fails and
+// callers use the buffered File source instead.
+type Mapped struct{ store *Store }
+
+// OpenMapped reports mmap as unavailable on this platform.
+func OpenMapped(path string) (*Mapped, error) {
+	return nil, fmt.Errorf("%w on this platform", ErrMmapUnavailable)
+}
+
+func (m *Mapped) Width() int        { return m.store.Width() }
+func (m *Mapped) Rows() int         { return m.store.Rows() }
+func (m *Mapped) Info() Info        { return Info{} }
+func (m *Mapped) View() View        { return m.store.View() }
+func (m *Mapped) NewCursor() Cursor { return m.store.NewCursor() }
+func (m *Mapped) Close() error      { return nil }

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"path/filepath"
 
 	"lowdimlp/internal/dataset"
 )
@@ -62,23 +64,72 @@ func OpenDatasetFile(path string) (Model, *dataset.File, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := lookup(f.Info().Kind)
+	m, err := checkDataset(path, f.Info(), f)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
-	}
-	if want := m.RowWidth(f.Info().Dim); f.Width() != want {
-		return nil, nil, fmt.Errorf("%s: width %d, kind %q at dim %d wants %d",
-			path, f.Width(), m.Kind(), f.Info().Dim, want)
-	}
-	for _, v := range f.Info().Objective {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, nil, fmt.Errorf("%s: objective has a non-finite coefficient", path)
-		}
-	}
-	if err := validateSource(m, f.Info().Dim, f); err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, err
 	}
 	return m, f, nil
+}
+
+// checkDataset applies the shared ingestion checks to an opened
+// dataset source: registry kind, row width, objective finiteness, and
+// one streaming validation pass over the rows.
+func checkDataset(path string, info dataset.Info, src dataset.Source) (Model, error) {
+	m, err := lookup(info.Kind)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if want := m.RowWidth(info.Dim); src.Width() != want {
+		return nil, fmt.Errorf("%s: width %d, kind %q at dim %d wants %d",
+			path, src.Width(), m.Kind(), info.Dim, want)
+	}
+	for _, v := range info.Objective {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%s: objective has a non-finite coefficient", path)
+		}
+	}
+	if err := validateSource(m, info.Dim, src); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// OpenDatasetSource opens a dataset path of either layout and returns
+// the best source for it: an LDSETM manifest becomes a ShardedFile
+// (per-shard cursors, parallel scans, direct shard→site mapping), and
+// a single LDSET1 file is memory-mapped when the host allows (zero-
+// copy cursors off the page cache), falling back to the buffered
+// streaming File otherwise. The source holds descriptors and possibly
+// a mapping: release it with dataset.CloseSource once solving is done.
+// Validation is identical across layouts.
+func OpenDatasetSource(path string) (Model, dataset.Info, dataset.Source, error) {
+	if dataset.SniffManifestFile(path) {
+		sh, err := dataset.OpenSharded(path)
+		if err != nil {
+			return nil, dataset.Info{}, nil, err
+		}
+		m, err := checkDataset(path, sh.Info(), sh)
+		if err != nil {
+			sh.Close()
+			return nil, dataset.Info{}, nil, err
+		}
+		return m, sh.Info(), sh, nil
+	}
+	if mm, err := dataset.OpenMapped(path); err == nil {
+		m, cerr := checkDataset(path, mm.Info(), mm)
+		if cerr != nil {
+			mm.Close()
+			return nil, dataset.Info{}, nil, cerr
+		}
+		return m, mm.Info(), mm, nil
+	} else if !errors.Is(err, dataset.ErrMmapUnavailable) {
+		return nil, dataset.Info{}, nil, err
+	}
+	m, f, err := OpenDatasetFile(path)
+	if err != nil {
+		return nil, dataset.Info{}, nil, err
+	}
+	return m, f.Info(), f, nil
 }
 
 // validateSource scans src once, applying the finiteness and
@@ -110,21 +161,92 @@ func validateSource(m Model, dim int, src dataset.Source) error {
 	}
 }
 
-// SolveDatasetFile opens a dataset file and solves it on the named
-// backend — the one-call out-of-core entry point (streaming never
-// materializes the file).
+// SolveDatasetFile opens a dataset path (single file or sharded
+// manifest) and solves it on the named backend — the one-call
+// out-of-core entry point (streaming never materializes the file; a
+// sharded manifest maps straight onto coordinator sites and parallel
+// scans).
 func SolveDatasetFile(path, backend string, opt Options) (Solution, Stats, error) {
-	m, f, err := OpenDatasetFile(path)
+	m, info, src, err := OpenDatasetSource(path)
 	if err != nil {
 		return Solution{}, Stats{}, err
 	}
-	return m.SolveSource(backend, f.Info().Dim, f.Info().Objective, f, opt)
+	defer dataset.CloseSource(src)
+	return m.SolveSource(backend, info.Dim, info.Objective, src, opt)
 }
 
-// IsDatasetFile reports whether path starts with the binary dataset
-// magic — the sniff CLIs use to route a file argument to the dataset
-// reader instead of the text parser.
-func IsDatasetFile(path string) bool { return dataset.SniffFile(path) }
+// WriteShardedDatasetFile writes inst as an LDSETM manifest at path
+// plus round-robin LDSET1 shard files next to it.
+func WriteShardedDatasetFile(path, kind string, inst Instance, shards int) error {
+	m, err := lookup(kind)
+	if err != nil {
+		return err
+	}
+	st, err := Columnar(m, inst)
+	if err != nil {
+		return err
+	}
+	return dataset.WriteShardedFile(path, dataset.Info{
+		Kind:      m.Kind(),
+		Dim:       inst.Dim,
+		Width:     st.Width(),
+		Objective: inst.Objective,
+		Rows:      st.Rows(),
+	}, st, shards)
+}
+
+// ConvertDatasetLayout rewrites the dataset at inPath (either layout)
+// as a single LDSET1 file (shards ≤ 1) or an LDSETM manifest with the
+// given shard count at outPath — lpsolve's split/merge. The input is
+// fully validated (it may come from anywhere); rows stream straight
+// from the source cursor to the writer. Output paths that collide
+// with the open input (including its shard files, and the shard files
+// the output would generate) are rejected: the writer would truncate
+// what the reader is still streaming — or mmap-reading — from.
+func ConvertDatasetLayout(inPath, outPath string, shards int) (dataset.Info, error) {
+	_, info, src, err := OpenDatasetSource(inPath)
+	if err != nil {
+		return dataset.Info{}, err
+	}
+	defer dataset.CloseSource(src)
+	inPaths := map[string]bool{canonPath(inPath): true}
+	if sh, ok := src.(*dataset.ShardedFile); ok {
+		for _, p := range sh.Paths() {
+			inPaths[canonPath(p)] = true
+		}
+	}
+	outPaths := []string{outPath}
+	if shards > 1 {
+		dir := filepath.Dir(outPath)
+		for j := 0; j < shards; j++ {
+			outPaths = append(outPaths, filepath.Join(dir, dataset.ShardName(outPath, j)))
+		}
+	}
+	for _, p := range outPaths {
+		if inPaths[canonPath(p)] {
+			return dataset.Info{}, fmt.Errorf("convert would overwrite its own input %s; choose a different output path", p)
+		}
+	}
+	if shards <= 1 {
+		return info, dataset.WriteFile(outPath, info, src)
+	}
+	return info, dataset.WriteShardedFile(outPath, info, src, shards)
+}
+
+// canonPath normalizes a path for the self-overwrite check (absolute
+// and cleaned; symlink games are out of scope for a local CLI guard).
+func canonPath(p string) string {
+	if abs, err := filepath.Abs(p); err == nil {
+		return abs
+	}
+	return filepath.Clean(p)
+}
+
+// IsDatasetFile reports whether path starts with either binary dataset
+// magic (single-file or sharded manifest) — the sniff CLIs use to
+// route a file argument to the dataset reader instead of the text
+// parser.
+func IsDatasetFile(path string) bool { return dataset.SniffAnyFile(path) }
 
 // lookup resolves a kind or reports the catalog.
 func lookup(kind string) (Model, error) {

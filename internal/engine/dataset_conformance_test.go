@@ -1,8 +1,10 @@
 // Dataset conformance: for every registered kind and every backend,
-// the three instance sources — the slice adapter (SolveInstance), an
-// in-memory columnar store, and a file-backed binary dataset — must
-// produce bit-identical solutions. This is the proof that the
-// columnar refactor changed the storage layer and nothing else.
+// the five instance sources — the slice adapter (SolveInstance), an
+// in-memory columnar store, a file-backed binary dataset, a sharded
+// multi-file dataset (scanned in parallel: Options.Parallel is on),
+// and a memory-mapped file — must produce bit-identical solutions.
+// This is the proof that the storage layer (and the parallel scan
+// machinery on top of it) changes wall-clock time and nothing else.
 package engine_test
 
 import (
@@ -44,27 +46,60 @@ func TestAllSourcesBitIdentical(t *testing.T) {
 			// streaming scan — the result must not notice.
 			file.BlockBytes = 8 * st.Width() * 13
 
+			// Sharded layout: shard count = coordinator site count, so
+			// the coordinator maps one shard file onto each site (the
+			// no-materialization path), and the parallel streaming scan
+			// (opt.Parallel) runs one goroutine per shard.
+			shPath := filepath.Join(filepath.Dir(path), m.Kind()+".ldm")
+			if err := engine.WriteShardedDatasetFile(shPath, m.Kind(), inst, 4); err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := dataset.OpenSharded(shPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sharded.Close()
+			buffered, err := dataset.OpenShardedBuffered(shPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer buffered.Close()
+			buffered.BlockBytes = 8 * st.Width() * 11
+
+			mapped, err := dataset.OpenMapped(path)
+			if err != nil {
+				t.Fatalf("mmap: %v", err)
+			}
+			defer mapped.Close()
+
+			sources := []struct {
+				name string
+				src  dataset.Source
+			}{
+				{"columnar", st},
+				{"file", file},
+				{"sharded", dataset.Source(sharded)},
+				{"sharded-buffered", dataset.Source(buffered)},
+				{"mapped", dataset.Source(mapped)},
+			}
 			opt := engine.Options{R: 2, Seed: 41, K: 4, Parallel: true, Delta: 0.6}
 			for _, backend := range engine.Backends() {
 				ref, refStats, err := m.SolveInstance(backend, inst, opt)
 				if err != nil {
 					t.Fatalf("%s slice: %v", backend, err)
 				}
-				mem, memStats, err := m.SolveSource(backend, inst.Dim, inst.Objective, st, opt)
-				if err != nil {
-					t.Fatalf("%s columnar: %v", backend, err)
-				}
-				assertSolutionsIdentical(t, fmt.Sprintf("%s/%s columnar", m.Kind(), backend), ref, mem)
-				fil, _, err := m.SolveSource(backend, inst.Dim, inst.Objective, file, opt)
-				if err != nil {
-					t.Fatalf("%s file: %v", backend, err)
-				}
-				assertSolutionsIdentical(t, fmt.Sprintf("%s/%s file", m.Kind(), backend), ref, fil)
-				// Resource accounting must agree too: same passes/rounds,
-				// same metered bits, same net sizes.
-				if refStats.String() != memStats.String() {
-					t.Fatalf("%s/%s stats drift:\n slice    %s\n columnar %s",
-						m.Kind(), backend, refStats.String(), memStats.String())
+				for _, s := range sources {
+					got, gotStats, err := m.SolveSource(backend, inst.Dim, inst.Objective, s.src, opt)
+					if err != nil {
+						t.Fatalf("%s %s: %v", backend, s.name, err)
+					}
+					assertSolutionsIdentical(t, fmt.Sprintf("%s/%s %s", m.Kind(), backend, s.name), ref, got)
+					// Resource accounting must agree too: same passes/
+					// rounds, same metered bits, same net sizes.
+					if refStats.String() != gotStats.String() {
+						t.Fatalf("%s/%s stats drift:\n slice %s\n %s %s",
+							m.Kind(), backend, refStats.String(), s.name, gotStats.String())
+					}
 				}
 			}
 		})

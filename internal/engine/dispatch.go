@@ -106,8 +106,14 @@ func SolveSourceRAM[P, C, B any](s *Spec[P, C, B], p P, src dataset.Source, opt 
 
 // SolveSourceStreaming scans the source with the fused-pass streaming
 // solver — the out-of-core path: a file-backed source is read in
-// blocks and never materialized.
+// blocks and never materialized. With Options.Parallel a sharded
+// source is scanned by one decode goroutine per shard; the merged row
+// order is the original one, so (as everywhere Parallel appears) the
+// answer is bit-identical and only wall-clock changes.
 func SolveSourceStreaming[P, C, B any](s *Spec[P, C, B], p P, src dataset.Source, opt Options) (B, StreamingStats, error) {
+	if opt.Parallel {
+		src = dataset.Parallel(src)
+	}
 	dim := s.Dim(p)
 	var zc C
 	var zb B
@@ -118,35 +124,29 @@ func SolveSourceStreaming[P, C, B any](s *Spec[P, C, B], p P, src dataset.Source
 	})
 }
 
-// SolveSourceCoordinator shards the source across opt.Sites() sites as
-// zero-copy round-robin columnar views (the same assignment as
-// Partition) and runs the coordinator protocol.
+// SolveSourceCoordinator runs the coordinator protocol with the source
+// split across opt.Sites() sites round-robin. A sharded source whose
+// shard count equals the site count puts one shard file on each site
+// with no materialization (the coordinator package streams the shard
+// scans); anything else is materialized into zero-copy views, with the
+// identical site contents either way.
 func SolveSourceCoordinator[P, C, B any](s *Spec[P, C, B], p P, src dataset.Source, opt Options) (B, CoordinatorStats, error) {
-	var zero B
-	view, err := dataset.Materialize(src)
-	if err != nil {
-		return zero, CoordinatorStats{}, err
-	}
 	dim := s.Dim(p)
-	return coordinator.SolveDataset(specAccess(s, p, opt.Seed^s.SeedMix), view.Shard(opt.Sites()),
+	return coordinator.SolveSource(specAccess(s, p, opt.Seed^s.SeedMix), src, opt.Sites(),
 		s.ItemCodec(dim), s.BasisCodec(dim),
 		coordinator.Options{Core: opt.Core(), Parallel: opt.Parallel})
 }
 
 // SolveSourceMPC distributes the source round-robin across the MPC
-// machines as zero-copy columnar views.
+// machines (shard files map directly onto machines when the counts
+// line up; zero-copy columnar views otherwise).
 func SolveSourceMPC[P, C, B any](s *Spec[P, C, B], p P, src dataset.Source, opt Options) (B, MPCStats, error) {
-	var zero B
-	view, err := dataset.Materialize(src)
-	if err != nil {
-		return zero, MPCStats{}, err
-	}
 	dim := s.Dim(p)
 	co := opt.Core()
 	if opt.R == 0 {
 		co.R = 0 // let the MPC solver derive r = ⌈1/δ⌉
 	}
-	return mpc.SolveDataset(specAccess(s, p, opt.Seed^s.SeedMix), view,
+	return mpc.SolveSource(specAccess(s, p, opt.Seed^s.SeedMix), src,
 		s.ItemCodec(dim), s.BasisCodec(dim),
 		mpc.Options{Core: co, Delta: opt.Delta})
 }

@@ -1,6 +1,8 @@
 package lptype
 
 import (
+	"fmt"
+	"io"
 	"math"
 
 	"lowdimlp/internal/dataset"
@@ -116,3 +118,117 @@ func (s viewStore[C, B]) Weights(bases []B, mult float64, w []float64) {
 }
 
 func (s viewStore[C, B]) Item(i int) C { return s.ra.Item(s.view.Row(i)) }
+
+// SourceStore wraps any columnar source as site/machine-local storage:
+// memory-backed sources become zero-copy ViewStores, and file-backed
+// shards are scanned through their cursors — Scan and Weights stream
+// the shard in blocks with the exact arithmetic (and order) of the
+// other stores, and Item reads single rows by offset (pread), so a
+// shard file acts as a site without a single row being materialized.
+// This is what routes an LDSETM shard file straight onto a coordinator
+// site or MPC machine.
+func SourceStore[C, B any](ra RowAccess[C, B], src dataset.Source) Store[C, B] {
+	if m, ok := src.(dataset.RandomAccess); ok {
+		return ViewStore(ra, m.View())
+	}
+	return &cursorStore[C, B]{ra: ra, src: src}
+}
+
+type cursorStore[C, B any] struct {
+	ra  RowAccess[C, B]
+	src dataset.Source
+	// cur and batch are lazily created and reused across passes; a
+	// store belongs to one site, which scans sequentially.
+	cur   dataset.Cursor
+	batch []dataset.Row
+}
+
+func (s *cursorStore[C, B]) Size() int { return s.src.Rows() }
+
+// pass resets (creating on first use) the scan cursor.
+func (s *cursorStore[C, B]) pass() error {
+	if s.cur == nil {
+		s.cur = s.src.NewCursor()
+		s.batch = make([]dataset.Row, dataset.DefaultBatchRows)
+	}
+	return s.cur.Reset()
+}
+
+func (s *cursorStore[C, B]) Scan(bases []B, pending *B, mult float64) (float64, float64, int) {
+	var wTot, wViol numeric.Kahan
+	count := 0
+	if err := s.pass(); err != nil {
+		panic(fmt.Sprintf("lptype: shard scan: %v", err))
+	}
+	for {
+		n, err := s.cur.Next(s.batch)
+		if err != nil {
+			panic(fmt.Sprintf("lptype: shard scan: %v", err))
+		}
+		if n == 0 {
+			return wTot.Sum(), wViol.Sum(), count
+		}
+		for _, row := range s.batch[:n] {
+			w := math.Pow(mult, float64(s.ra.WeightExp(bases, row)))
+			wTot.Add(w)
+			if pending != nil && s.ra.ViolatesRow(*pending, row) {
+				wViol.Add(w)
+				count++
+			}
+		}
+	}
+}
+
+func (s *cursorStore[C, B]) Weights(bases []B, mult float64, w []float64) {
+	if err := s.pass(); err != nil {
+		panic(fmt.Sprintf("lptype: shard scan: %v", err))
+	}
+	i := 0
+	for {
+		n, err := s.cur.Next(s.batch)
+		if err != nil {
+			panic(fmt.Sprintf("lptype: shard scan: %v", err))
+		}
+		if n == 0 {
+			return
+		}
+		for _, row := range s.batch[:n] {
+			w[i] = math.Pow(mult, float64(s.ra.WeightExp(bases, row)))
+			i++
+		}
+	}
+}
+
+// Item reads row i by offset. Sampling touches O(net size) rows per
+// iteration, so the per-call read and copy are cold-path costs. A read
+// failure mid-protocol (the shard file was validated at open, so this
+// means the file changed or I/O died under us) panics: the protocol
+// has no recovery path, and garbage answers are worse than a crash.
+func (s *cursorStore[C, B]) Item(i int) C {
+	rr, ok := s.src.(dataset.RowReaderAt)
+	if !ok {
+		panic(fmt.Sprintf("lptype: source %T has no random row access", s.src))
+	}
+	row := make([]float64, s.src.Width())
+	if err := rr.ReadRowAt(i, row); err != nil {
+		panic(fmt.Sprintf("lptype: shard row read: %v", err))
+	}
+	return s.ra.Item(row)
+}
+
+// Close releases the scan cursor's descriptor.
+func (s *cursorStore[C, B]) Close() error {
+	if s.cur != nil {
+		dataset.CloseCursor(s.cur)
+		s.cur = nil
+	}
+	return nil
+}
+
+// CloseStore releases any resources a site store holds (cursor-backed
+// stores keep a descriptor); slice and view stores are no-ops.
+func CloseStore[C, B any](s Store[C, B]) {
+	if c, ok := s.(io.Closer); ok {
+		c.Close()
+	}
+}

@@ -163,7 +163,7 @@ func Solve[C, B any](
 	ccodec comm.Codec[C], bcodec comm.Codec[B],
 	opt Options,
 ) (B, Stats, error) {
-	return solve(dom, len(items), func(k int) []lptype.Store[C, B] {
+	return solve(dom, len(items), func(k int) ([]lptype.Store[C, B], error) {
 		parts := make([][]C, k)
 		for i, c := range items {
 			parts[i%k] = append(parts[i%k], c)
@@ -172,7 +172,7 @@ func Solve[C, B any](
 		for i, p := range parts {
 			stores[i] = lptype.SliceStore(dom, p)
 		}
-		return stores
+		return stores, nil
 	}, ccodec, bcodec, opt)
 }
 
@@ -185,20 +185,60 @@ func SolveDataset[C, B any](
 	ccodec comm.Codec[C], bcodec comm.Codec[B],
 	opt Options,
 ) (B, Stats, error) {
-	return solve(ra.Domain(), view.Rows(), func(k int) []lptype.Store[C, B] {
+	return solve(ra.Domain(), view.Rows(), func(k int) ([]lptype.Store[C, B], error) {
 		shards := view.Shard(k)
 		stores := make([]lptype.Store[C, B], k)
 		for i, sh := range shards {
 			stores[i] = lptype.ViewStore(ra, sh)
 		}
-		return stores
+		return stores, nil
+	}, ccodec, bcodec, opt)
+}
+
+// SolveSource runs the protocol over any columnar source. When the
+// source is sharded and its shard count happens to equal the machine
+// count derived from n and δ, each machine scans its shard file
+// directly (no materialization — the out-of-core MPC path); otherwise
+// the source is materialized (zero-copy when memory-backed) and split
+// round-robin. Machine j holds rows j, j+k, j+2k, … in order in every
+// case, so the answer is bit-identical across layouts.
+func SolveSource[C, B any](
+	ra lptype.RowAccess[C, B], src dataset.Source,
+	ccodec comm.Codec[C], bcodec comm.Codec[B],
+	opt Options,
+) (B, Stats, error) {
+	var opened []lptype.Store[C, B]
+	defer func() {
+		for _, s := range opened {
+			lptype.CloseStore(s)
+		}
+	}()
+	return solve(ra.Domain(), src.Rows(), func(k int) ([]lptype.Store[C, B], error) {
+		if sh, ok := src.(dataset.Sharded); ok && sh.NumShards() == k {
+			stores := make([]lptype.Store[C, B], k)
+			for i := range stores {
+				stores[i] = lptype.SourceStore(ra, sh.Shard(i))
+			}
+			opened = stores
+			return stores, nil
+		}
+		view, err := dataset.Materialize(src)
+		if err != nil {
+			return nil, err
+		}
+		shards := view.Shard(k)
+		stores := make([]lptype.Store[C, B], k)
+		for i, s := range shards {
+			stores[i] = lptype.ViewStore(ra, s)
+		}
+		return stores, nil
 	}, ccodec, bcodec, opt)
 }
 
 // solve is the protocol body; distribute materializes the per-machine
 // storage once the machine count is known.
 func solve[C, B any](
-	dom lptype.Domain[C, B], n int, distribute func(k int) []lptype.Store[C, B],
+	dom lptype.Domain[C, B], n int, distribute func(k int) ([]lptype.Store[C, B], error),
 	ccodec comm.Codec[C], bcodec comm.Codec[B],
 	opt Options,
 ) (B, Stats, error) {
@@ -242,7 +282,10 @@ func solve[C, B any](
 	m := core.NetSize(eps, lambda, n, nu, opt.Core)
 	stats.NetSize = m
 
-	stores := distribute(k)
+	stores, err := distribute(k)
+	if err != nil {
+		return zero, stats, err
+	}
 	machines := make([]*machine[C, B], k)
 	for i := range machines {
 		machines[i] = &machine[C, B]{id: i, data: stores[i], rng: numeric.NewRand(opt.Core.Seed^0x3bc, uint64(i)+1)}

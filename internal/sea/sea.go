@@ -88,6 +88,22 @@ func (b Basis) IsEmpty() bool { return b.X == nil }
 // Annulus recovers the geometric annulus from the lifted solution.
 // The inner squared radius is clamped at 0 (float round-off can leave
 // v + |c|² marginally negative on zero-width instances).
+//
+// Degenerate bases — fewer than d+2 support points in general
+// position, so the support's affine hull has dimension < d — leave the
+// center under-determined: moving it orthogonally to the hull changes
+// every hull point's squared distance by the same amount, so the
+// lifted LP's optimal face is unbounded in those directions and
+// Seidel's lexicographic minimum lands on the implicit bounding box,
+// an arbitrary data-free corner. The render detects that signature
+// (box-scale center plus a rank-deficient support hull) and snaps the
+// center to the projection of the LP optimum onto the hull — still an
+// optimum, because the hull component of the center survives the box
+// excursion at full absolute precision — and recomputes both radii
+// from the support distances (recovering them from u + |c|² would
+// subtract ~box² numbers whose low bits are long gone). Violation
+// testing is untouched: it runs in lifted coordinates on the exact LP
+// solution.
 func (b Basis) Annulus() Annulus {
 	if b.IsEmpty() {
 		return Annulus{}
@@ -96,6 +112,10 @@ func (b Basis) Annulus() Annulus {
 	c := b.X[:d]
 	c2 := numeric.Dot(c, c)
 	a := Annulus{Center: append([]float64(nil), c...), R2: b.X[d] + c2, InR2: b.X[d+1] + c2}
+	if proj, ok := snapDegenerate(b.Support, a.Center); ok {
+		a.Center = proj
+		a.R2, a.InR2 = supportRadii(b.Support, proj)
+	}
 	if a.R2 < 0 {
 		a.R2 = 0
 	}
@@ -103,6 +123,95 @@ func (b Basis) Annulus() Annulus {
 		a.InR2 = 0
 	}
 	return a
+}
+
+// snapDegenerate projects a box-stranded center onto the affine hull
+// of the support points. It reports ok=false — leave the exact LP
+// render alone — unless the center sits at bounding-box scale (the
+// under-determination signature; a merely ill-conditioned instance,
+// e.g. nearly-collinear points with a far-but-finite circumcenter,
+// keeps its exact extreme render) and the support hull is genuinely
+// rank-deficient.
+func snapDegenerate(support []Point, c []float64) ([]float64, bool) {
+	d := len(c)
+	atBox := false
+	for _, ci := range c {
+		if math.Abs(ci) >= 0.5*lp.DefaultBox {
+			atBox = true
+			break
+		}
+	}
+	if !atBox || len(support) == 0 {
+		return nil, false
+	}
+	// Orthonormalize the hull directions q_i − q_0 (modified
+	// Gram-Schmidt with a relative rank tolerance).
+	q0 := support[0]
+	basis := make([][]float64, 0, d)
+	scale := 1.0
+	for _, q := range support[1:] {
+		v := make([]float64, d)
+		for i := range v {
+			v[i] = q[i] - q0[i]
+		}
+		if n := numeric.Norm2(v); n > scale {
+			scale = n
+		}
+		for _, e := range basis {
+			t := numeric.Dot(v, e)
+			for i := range v {
+				v[i] -= t * e[i]
+			}
+		}
+		if n := numeric.Norm2(v); n > 1e-9*scale {
+			for i := range v {
+				v[i] /= n
+			}
+			basis = append(basis, v)
+			if len(basis) == d {
+				return nil, false // full-rank hull: well-posed
+			}
+		}
+	}
+	// Rank < d: project c onto q0 + span(basis).
+	proj := append([]float64(nil), q0...)
+	diff := make([]float64, d)
+	for i := range diff {
+		diff[i] = c[i] - q0[i]
+	}
+	for _, e := range basis {
+		t := numeric.Dot(diff, e)
+		for i := range proj {
+			proj[i] += t * e[i]
+		}
+	}
+	return proj, true
+}
+
+// supportRadii returns the outer and inner squared radii of the
+// annulus centered at c through the support points: the optimum's
+// radii are attained on the support (tight outer and inner
+// constraints), so max and min squared support distance recover them
+// at data scale.
+func supportRadii(support []Point, c []float64) (r2, inR2 float64) {
+	inR2 = math.Inf(1)
+	for _, p := range support {
+		d2 := 0.0
+		for i := range c {
+			dd := p[i] - c[i]
+			d2 += dd * dd
+		}
+		if d2 > r2 {
+			r2 = d2
+		}
+		if d2 < inR2 {
+			inR2 = d2
+		}
+	}
+	if math.IsInf(inR2, 1) {
+		inR2 = 0
+	}
+	return r2, inR2
 }
 
 // Domain adapts the smallest enclosing annulus to the lptype.Domain

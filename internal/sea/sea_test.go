@@ -241,3 +241,63 @@ func TestRingPlantsAnnulus(t *testing.T) {
 		t.Fatalf("width %v exceeds planted thickness", a.Width())
 	}
 }
+
+// TestDegenerateCollinearSnapsCenter pins the degenerate-instance
+// render: with fewer than d+2 points in general position the LP
+// optimum's center is under-determined and lands on the bounding box;
+// the render must snap it onto the support's affine hull (here the
+// line y = x) at data scale, preserving optimality and coverage.
+func TestDegenerateCollinearSnapsCenter(t *testing.T) {
+	dom := NewDomain(2, 3)
+	pts := []Point{{0, 0}, {1, 1}, {2, 2}, {5, 5}}
+	b, err := dom.Solve(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := b.Annulus()
+	if len(a.Center) != 2 {
+		t.Fatalf("center %v", a.Center)
+	}
+	if math.Abs(a.Center[0]-a.Center[1]) > 1e-6 {
+		t.Fatalf("center %v is off the data line y=x", a.Center)
+	}
+	if math.Abs(a.Center[0]) > 100 {
+		t.Fatalf("center %v is not data-scale (box corner leak)", a.Center)
+	}
+	// The snapped annulus still covers every input point.
+	for _, p := range pts {
+		dx, dy := p[0]-a.Center[0], p[1]-a.Center[1]
+		d := math.Hypot(dx, dy)
+		if d > a.OuterRadius()+1e-6 || d < a.InnerRadius()-1e-6 {
+			t.Fatalf("point %v at distance %v outside [%v, %v]", p, d, a.InnerRadius(), a.OuterRadius())
+		}
+	}
+	if a.Width() < 0 {
+		t.Fatalf("negative width %v", a.Width())
+	}
+
+	// A singleton degenerates all the way: the annulus is the point.
+	one, err := dom.Solve([]Point{{3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa := one.Annulus()
+	if math.Abs(oa.Center[0]-3) > 1e-6 || math.Abs(oa.Center[1]-4) > 1e-6 {
+		t.Fatalf("singleton center %v, want (3,4)", oa.Center)
+	}
+	if oa.OuterRadius() > 1e-6 {
+		t.Fatalf("singleton outer radius %v", oa.OuterRadius())
+	}
+
+	// Well-posed instances keep their exact render: the unit square's
+	// annulus center stays at the square's center, untouched by the
+	// snap heuristic.
+	sq, err := dom.Solve([]Point{{0, 0}, {1, 0}, {0, 1}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := sq.Annulus()
+	if math.Abs(sa.Center[0]-0.5) > 1e-6 || math.Abs(sa.Center[1]-0.5) > 1e-6 {
+		t.Fatalf("square center %v, want (0.5,0.5)", sa.Center)
+	}
+}

@@ -4,10 +4,51 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/engine"
 )
+
+// decodeBinaryChunk reads one LDSET1 block (self-describing header +
+// raw little-endian rows, the same format lpsolve -convert writes)
+// from r into a validated columnar chunk: the header must agree with
+// the instance's kind and dimension, and every row gets the identical
+// finiteness and kind-invariant checks as the JSON path — just without
+// parsing a single ASCII float.
+func decodeBinaryChunk(r io.Reader, m engine.Model, kind string, dim int) (*dataset.Store, error) {
+	// Strict: exactly one block per request — trailing bytes would be
+	// rows the client thinks it uploaded, silently dropped. The decode
+	// streams straight off the body; nothing is buffered twice.
+	info, st, err := dataset.DecodeFromStrict(r)
+	if err != nil {
+		return nil, fmt.Errorf("bad binary chunk: %w", err)
+	}
+	if info.Kind != kind {
+		return nil, fmt.Errorf("binary chunk is kind %q, instance is %q", info.Kind, kind)
+	}
+	if info.Dim != dim {
+		return nil, fmt.Errorf("binary chunk has dim %d, instance has %d", info.Dim, dim)
+	}
+	if want := m.RowWidth(dim); st.Width() != want {
+		return nil, fmt.Errorf("binary chunk width %d, kind %q at dim %d wants %d", st.Width(), kind, dim, want)
+	}
+	if st.Rows() > MaxInstanceRows {
+		return nil, fmt.Errorf("binary chunk exceeds %d rows", MaxInstanceRows)
+	}
+	for i, n := 0, st.Rows(); i < n; i++ {
+		row := st.Row(i)
+		for _, v := range row {
+			if !finite(v) {
+				return nil, fmt.Errorf("row %d has a non-finite number", i)
+			}
+		}
+		if err := m.CheckRow(dim, row); err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+	}
+	return st, nil
+}
 
 // decodeRowsJSON streams a JSON array-of-rows straight into a columnar
 // store: one reusable []float64 is decoded per row (json.Decoder

@@ -3,6 +3,8 @@ package server
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -20,23 +22,61 @@ var ErrUnknownInstance = errors.New("unknown instance")
 
 // instance is a chunk-uploaded row set awaiting a solve request. Rows
 // land directly in a columnar store: appends are arena copies, and the
-// eventual solve scans the arena with no per-row decode.
+// eventual solve scans the arena with no per-row decode. Instances
+// whose row count crosses the store's spill threshold move to a
+// sharded on-disk layout (dataset.ShardWriter): appends stream to the
+// shard files, and Take hands the job a ShardedFile source, so a huge
+// upload never holds its rows in memory.
 type instance struct {
 	mu     sync.Mutex
 	kind   string
 	dim    int
-	data   *dataset.Store
-	sealed bool // claimed by a job; further appends are rejected
+	data   *dataset.Store       // in-memory rows; nil once spilled
+	spill  *dataset.ShardWriter // non-nil while spilling to disk
+	spillP string               // spill manifest path
+	spillD string               // owned spill directory (removed on release)
+	taken  *spilledSource       // a spilled source returned by a failed submit (Restore)
+	sealed bool                 // claimed by a job; further appends are rejected
 
 	created time.Time
 	// touched is the unix-nano time of the last Create/Append/Restore,
 	// read lock-free by the idle sweeper and the list endpoint.
 	touched atomic.Int64
-	// nrows mirrors data.Rows() for lock-free listing.
+	// nrows mirrors the row count for lock-free listing.
 	nrows atomic.Int64
 }
 
 func (ins *instance) touch(now time.Time) { ins.touched.Store(now.UnixNano()) }
+
+// release frees any on-disk state the instance still owns (spill files
+// not yet handed to a job, or a restored spilled source). Caller holds
+// ins.mu.
+func (ins *instance) release() {
+	if ins.spill != nil {
+		ins.spill.Abort()
+		ins.spill = nil
+		os.RemoveAll(ins.spillD)
+	}
+	if ins.taken != nil {
+		ins.taken.Cleanup()
+		ins.taken = nil
+	}
+}
+
+// spilledSource is the solve-side view of a spilled instance: a
+// sharded dataset plus ownership of its directory. The job that
+// consumes it calls Cleanup once the solve is terminal; Restore hands
+// it back intact after a failed submit.
+type spilledSource struct {
+	*dataset.ShardedFile
+	dir string
+}
+
+// Cleanup closes the shard files and removes the spill directory.
+func (s *spilledSource) Cleanup() {
+	s.Close()
+	os.RemoveAll(s.dir)
+}
 
 // InstanceInfo is one open upload as reported by List — the operator
 // view behind GET /v1/instances.
@@ -69,11 +109,23 @@ type InstanceStore struct {
 	max    int
 	ttl    time.Duration
 	tombs  map[string]time.Time // dropped IDs → drop time
+
+	// spillRows (> 0) spills uploads that reach this many rows to a
+	// sharded layout under spillDir; 0 keeps everything in memory.
+	spillRows int
+	spillDir  string
+	// onSpill, when set, observes each spill (metrics hook).
+	onSpill func()
 }
 
 // DefaultInstanceTTL is the idle eviction horizon when the Server
 // config leaves it zero.
 const DefaultInstanceTTL = 10 * time.Minute
+
+// DefaultSpillShards is the shard count of spilled instances: enough
+// shards that a spilled solve can fan one goroutine (or one
+// coordinator site) per shard, few enough that shard files stay large.
+const DefaultSpillShards = 8
 
 // NewInstanceStore returns a store admitting up to max in-flight
 // uploads (≤ 0 means 64) with the given idle TTL (0 means
@@ -91,6 +143,19 @@ func NewInstanceStore(max int, ttl time.Duration) *InstanceStore {
 		ttl:   ttl,
 		tombs: make(map[string]time.Time),
 	}
+}
+
+// EnableSpill makes uploads that reach rows rows spill to sharded
+// dataset files under dir ("" = the OS temp directory). Call before
+// the store is shared.
+func (s *InstanceStore) EnableSpill(dir string, rows int, onSpill func()) {
+	if rows <= 0 {
+		return
+	}
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	s.spillDir, s.spillRows, s.onSpill = dir, rows, onSpill
 }
 
 // Create opens a new upload for the given kind/dim and returns its ID.
@@ -155,7 +220,8 @@ func (s *InstanceStore) Append(id string, rows [][]float64) (total int, err erro
 }
 
 // AppendChunk appends an already-validated columnar chunk to an open
-// upload: one arena copy, no per-row work.
+// upload: one arena copy (or, once the upload has spilled, a streamed
+// write to the round-robin shard files), no per-row decode.
 func (s *InstanceStore) AppendChunk(id string, chunk *dataset.Store) (total int, err error) {
 	s.mu.Lock()
 	ins, ok := s.byID[id]
@@ -168,24 +234,87 @@ func (s *InstanceStore) AppendChunk(id string, chunk *dataset.Store) (total int,
 	if ins.sealed {
 		return 0, fmt.Errorf("instance %q already submitted", id)
 	}
-	if chunk.Width() != ins.data.Width() {
-		return 0, fmt.Errorf("instance %q chunk width %d, want %d", id, chunk.Width(), ins.data.Width())
+	if ins.taken != nil {
+		return 0, fmt.Errorf("instance %q spilled to disk and was finalized; appends are closed", id)
 	}
-	if ins.data.Rows()+chunk.Rows() > MaxInstanceRows {
+	width := ins.width()
+	if chunk.Width() != width {
+		return 0, fmt.Errorf("instance %q chunk width %d, want %d", id, chunk.Width(), width)
+	}
+	if ins.rows()+chunk.Rows() > MaxInstanceRows {
 		return 0, fmt.Errorf("instance %q would exceed %d rows", id, MaxInstanceRows)
 	}
-	ins.data.AppendValues(chunk.Values())
-	ins.nrows.Store(int64(ins.data.Rows()))
+	if ins.spill == nil && s.spillRows > 0 && ins.data.Rows()+chunk.Rows() >= s.spillRows {
+		if err := s.startSpill(id, ins); err != nil {
+			return 0, fmt.Errorf("instance %q spill: %w", id, err)
+		}
+	}
+	if ins.spill != nil {
+		if err := ins.spill.AppendValues(chunk.Values()); err != nil {
+			return 0, fmt.Errorf("instance %q spill append: %w", id, err)
+		}
+	} else {
+		ins.data.AppendValues(chunk.Values())
+	}
+	ins.nrows.Store(int64(ins.rows()))
 	ins.touch(time.Now())
-	return ins.data.Rows(), nil
+	return ins.rows(), nil
 }
 
-// Take seals and removes the instance, returning its columnar store
-// for the job that referenced it (zero-copy: the arena moves, rows are
-// not touched). The kind and dimension must match the claiming
-// request; on mismatch the upload stays in the store so a corrected
-// resubmission can still find it.
-func (s *InstanceStore) Take(id, kind string, dim int) (*dataset.Store, error) {
+// width returns the instance's row width regardless of storage.
+func (ins *instance) width() int {
+	if ins.spill != nil {
+		return ins.spill.Info().Width
+	}
+	return ins.data.Width()
+}
+
+// rows returns the instance's row count regardless of storage. Caller
+// holds ins.mu.
+func (ins *instance) rows() int {
+	if ins.spill != nil {
+		return ins.spill.Rows()
+	}
+	return ins.data.Rows()
+}
+
+// startSpill moves an in-memory upload to a sharded on-disk layout:
+// the rows accumulated so far stream into DefaultSpillShards shard
+// files and later appends go straight to disk. Caller holds ins.mu.
+func (s *InstanceStore) startSpill(id string, ins *instance) error {
+	dir, err := os.MkdirTemp(s.spillDir, "lpserved-"+id+"-")
+	if err != nil {
+		return err
+	}
+	manifest := filepath.Join(dir, id+".ldm")
+	w, err := dataset.NewShardWriter(manifest, dataset.Info{
+		Kind: ins.kind, Dim: ins.dim, Width: ins.data.Width(),
+	}, DefaultSpillShards)
+	if err != nil {
+		os.RemoveAll(dir)
+		return err
+	}
+	if err := w.AppendSource(ins.data); err != nil {
+		w.Abort()
+		os.RemoveAll(dir)
+		return err
+	}
+	ins.spill, ins.spillP, ins.spillD = w, manifest, dir
+	ins.data = nil
+	if s.onSpill != nil {
+		s.onSpill()
+	}
+	return nil
+}
+
+// Take seals and removes the instance, returning its columnar source
+// for the job that referenced it (zero-copy: an in-memory arena moves,
+// a spilled upload is finalized into a sharded dataset whose files the
+// job now owns — Cleanup on the returned source removes them). The
+// kind and dimension must match the claiming request; on mismatch the
+// upload stays in the store so a corrected resubmission can still find
+// it.
+func (s *InstanceStore) Take(id, kind string, dim int) (dataset.Source, error) {
 	s.mu.Lock()
 	ins, ok := s.byID[id]
 	if !ok {
@@ -207,22 +336,59 @@ func (s *InstanceStore) Take(id, kind string, dim int) (*dataset.Store, error) {
 	ins.mu.Lock()
 	defer ins.mu.Unlock()
 	ins.sealed = true
+	if ins.taken != nil {
+		// A previously finalized spill, restored after a failed submit.
+		src := ins.taken
+		ins.taken = nil
+		return src, nil
+	}
+	if ins.spill != nil {
+		w := ins.spill
+		ins.spill = nil
+		if err := w.Finish(); err != nil {
+			os.RemoveAll(ins.spillD)
+			return nil, fmt.Errorf("instance %q: finalizing spill: %w", id, err)
+		}
+		sh, err := dataset.OpenSharded(ins.spillP)
+		if err != nil {
+			os.RemoveAll(ins.spillD)
+			return nil, fmt.Errorf("instance %q: reopening spill: %w", id, err)
+		}
+		return &spilledSource{ShardedFile: sh, dir: ins.spillD}, nil
+	}
 	return ins.data, nil
 }
 
-// Restore re-registers a taken store under its original ID after a
+// Restore re-registers a taken source under its original ID after a
 // Take whose job submission failed, so a retryable 503 does not
 // destroy a chunk-uploaded instance. It bypasses the in-flight limit
 // (the rows were already admitted once). A tombstoned ID — the client
-// DELETEd the instance during the Take window — is not resurrected.
-func (s *InstanceStore) Restore(id, kind string, dim int, data *dataset.Store) {
+// DELETEd the instance during the Take window — is not resurrected
+// (a spilled source's files are removed instead). A restored spilled
+// instance accepts further solves but no further appends (its shard
+// files are final).
+func (s *InstanceStore) Restore(id, kind string, dim int, data dataset.Source) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dropped := s.tombs[id]; dropped {
+		if sp, ok := data.(*spilledSource); ok {
+			sp.Cleanup()
+		}
 		return
 	}
 	now := time.Now()
-	ins := &instance{kind: kind, dim: dim, data: data, created: now}
+	ins := &instance{kind: kind, dim: dim, created: now}
+	switch d := data.(type) {
+	case *spilledSource:
+		ins.taken = d
+	case *dataset.Store:
+		ins.data = d
+	default:
+		// Take only ever hands out the two types above; anything else
+		// is a programming error, and quietly improvising storage for
+		// it would hide the bug.
+		panic(fmt.Sprintf("server: Restore with unexpected source type %T", data))
+	}
 	ins.nrows.Store(int64(data.Rows()))
 	ins.touch(now)
 	s.byID[id] = ins
@@ -247,6 +413,7 @@ func (s *InstanceStore) Drop(id string) bool {
 	if ok {
 		ins.mu.Lock()
 		ins.sealed = true
+		ins.release()
 		ins.mu.Unlock()
 	}
 	return ok
@@ -349,6 +516,7 @@ func (s *InstanceStore) Sweep() int {
 		c.ins.mu.Lock()
 		if c.ins.touched.Load() < cutoff && !c.ins.sealed {
 			c.ins.sealed = true
+			c.ins.release()
 			victims = append(victims, c)
 		}
 		c.ins.mu.Unlock()

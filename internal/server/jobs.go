@@ -232,11 +232,15 @@ func (m *Manager) run(j *Job) {
 	// the materialized rows keeps one cache key per instance whether
 	// it arrived inline or generated.
 	err := materialize(req)
+	_, spilled := req.data.(interface{ Cleanup() })
 	switch {
 	case err != nil:
-	case !m.cache.Enabled():
+	case !m.cache.Enabled() || spilled:
 		// Caching off: skip the digest — hashing a multi-million-row
-		// instance for a cache that can never hit is pure waste.
+		// instance for a cache that can never hit is pure waste. A
+		// spilled instance skips it too: digesting would re-stream the
+		// whole on-disk dataset just to key a cache whose hit chance
+		// for a one-shot giant upload is nil.
 		m.metrics.CacheMisses.Add(1)
 		result, stats, err = runSolve(req)
 	default:
@@ -263,6 +267,11 @@ func (m *Manager) run(j *Job) {
 		// Report the true instance size: generators may round the
 		// requested n (chebyshev emits constraint pairs).
 		j.N = req.data.Rows()
+	}
+	// A spilled instance owns on-disk shard files; the job is terminal,
+	// so nothing will read them again.
+	if c, ok := req.data.(interface{ Cleanup() }); ok {
+		c.Cleanup()
 	}
 	j.req = nil // release the instance rows
 	if err != nil {

@@ -23,6 +23,11 @@ type Metrics struct {
 	// InstancesExpired counts chunk uploads reclaimed by the idle
 	// sweeper.
 	InstancesExpired atomic.Int64
+	// InstancesSpilled counts chunk uploads that crossed the spill
+	// threshold and moved to sharded on-disk storage.
+	InstancesSpilled atomic.Int64
+	// BinaryAppends counts application/octet-stream chunk appends.
+	BinaryAppends atomic.Int64
 
 	mu           sync.Mutex
 	solveCount   map[string]int64   // kind/model → solves
@@ -69,6 +74,8 @@ func (m *Metrics) Render(w io.Writer) {
 	c("lpserved_cache_hits_total", "Result-cache hits.", m.CacheHits.Load())
 	c("lpserved_cache_misses_total", "Result-cache misses.", m.CacheMisses.Load())
 	c("lpserved_instances_expired_total", "Chunk uploads reclaimed by the idle sweeper.", m.InstancesExpired.Load())
+	c("lpserved_instances_spilled_total", "Chunk uploads spilled to sharded on-disk storage.", m.InstancesSpilled.Load())
+	c("lpserved_binary_appends_total", "Binary (octet-stream) chunk appends.", m.BinaryAppends.Load())
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -38,6 +38,15 @@ type Config struct {
 	// InstanceTTL evicts chunk uploads idle past this horizon
 	// (0 = DefaultInstanceTTL; < 0 disables eviction).
 	InstanceTTL time.Duration
+	// SpillRows (> 0) spills chunk uploads that reach this many rows
+	// to sharded dataset files instead of holding them in memory; the
+	// solve then runs out-of-core over the shard files. 0 disables
+	// spilling.
+	SpillRows int
+	// SpillDir is where spilled instances live ("" = the OS temp
+	// directory). Each instance gets its own subdirectory, removed when
+	// the instance is solved, dropped or swept.
+	SpillDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +92,7 @@ func New(cfg Config) *Server {
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
+	s.instances.EnableSpill(cfg.SpillDir, cfg.SpillRows, func() { metrics.InstancesSpilled.Add(1) })
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
@@ -432,12 +442,6 @@ type instanceAppendWire struct {
 }
 
 func (s *Server) handleInstanceAppend(w http.ResponseWriter, r *http.Request) {
-	var body instanceAppendWire
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&body); err != nil {
-		err = fmt.Errorf("bad JSON: %w", err)
-		writeError(w, decodeErrorStatus(err), err)
-		return
-	}
 	id := r.PathValue("id")
 	kind, dim, err := s.instances.Meta(id)
 	if err != nil {
@@ -449,11 +453,30 @@ func (s *Server) handleInstanceAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	chunk := dataset.NewStore(m.RowWidth(dim))
-	if raw := bytes.TrimSpace(body.Rows); len(raw) > 0 && !bytes.Equal(raw, []byte("null")) {
-		if err := decodeRowsJSON(raw, m, dim, chunk, MaxInstanceRows); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+	var chunk *dataset.Store
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/octet-stream") {
+		// Binary append: the body is an LDSET1 block — header plus raw
+		// little-endian rows — decoded straight into a columnar chunk.
+		// No JSON float parsing anywhere on this path.
+		chunk, err = decodeBinaryChunk(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), m, kind, dim)
+		if err != nil {
+			writeError(w, decodeErrorStatus(err), err)
 			return
+		}
+		s.metrics.BinaryAppends.Add(1)
+	} else {
+		var body instanceAppendWire
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&body); err != nil {
+			err = fmt.Errorf("bad JSON: %w", err)
+			writeError(w, decodeErrorStatus(err), err)
+			return
+		}
+		chunk = dataset.NewStore(m.RowWidth(dim))
+		if raw := bytes.TrimSpace(body.Rows); len(raw) > 0 && !bytes.Equal(raw, []byte("null")) {
+			if err := decodeRowsJSON(raw, m, dim, chunk, MaxInstanceRows); err != nil {
+				writeError(w, http.StatusBadRequest, err)
+				return
+			}
 		}
 	}
 	total, err := s.instances.AppendChunk(id, chunk)

@@ -131,8 +131,11 @@ type SolveRequest struct {
 	rawRows json.RawMessage
 	// data is the materialized columnar instance: set by the worker
 	// (from rawRows, Rows or Generate) or at decode time for
-	// chunk-uploaded instances (InstanceStore.Take).
-	data *dataset.Store
+	// chunk-uploaded instances (InstanceStore.Take). Small instances
+	// are in-memory stores; instances that spilled during upload are
+	// sharded on-disk sources (solved out-of-core, digested by
+	// streaming).
+	data dataset.Source
 }
 
 // UnmarshalJSON decodes the request envelope but leaves the rows array
@@ -371,13 +374,41 @@ func (r *SolveRequest) Digest() string {
 	for _, v := range r.Objective {
 		putF(v)
 	}
-	// The columnar arena digests to exactly the bytes the historical
+	// The columnar source digests to exactly the bytes the historical
 	// [][]float64 loop produced (row count, then values row-major), so
-	// cache entries survive the storage refactor.
+	// cache entries survive both the storage refactor and a spill to
+	// disk: a sharded source streams through its order-preserving
+	// cursor and hashes identically to the in-memory arena.
 	if r.data != nil {
 		putU(uint64(r.data.Rows()))
-		for _, v := range r.data.Values() {
-			putF(v)
+		if st, ok := r.data.(*dataset.Store); ok {
+			for _, v := range st.Values() {
+				putF(v)
+			}
+		} else {
+			cur := r.data.NewCursor()
+			batch := make([]dataset.Row, dataset.DefaultBatchRows)
+			for {
+				n, err := cur.Next(batch)
+				if err != nil {
+					// Hash the error sentinel: an unreadable instance
+					// must never collide with a readable one. The
+					// solve that follows reports the real error.
+					dataset.CloseCursor(cur)
+					h.Write([]byte("digest-error:"))
+					h.Write([]byte(err.Error()))
+					return hex.EncodeToString(h.Sum(nil))
+				}
+				if n == 0 {
+					break
+				}
+				for _, row := range batch[:n] {
+					for _, v := range row {
+						putF(v)
+					}
+				}
+			}
+			dataset.CloseCursor(cur)
 		}
 	} else {
 		putU(uint64(len(r.Rows)))

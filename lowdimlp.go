@@ -298,14 +298,36 @@ func WriteDatasetFile(path, kind string, inst Instance) error {
 	return engine.WriteDatasetFile(path, kind, inst)
 }
 
-// SolveDatasetFile solves a binary dataset file on the named backend.
-// The file names its own kind, dimension and objective; the streaming
-// backend reads it in blocks, so instances larger than memory are
-// fine. Results are bit-identical to SolveInstance over the same rows.
+// WriteShardedDatasetFile writes an instance as a sharded multi-file
+// dataset: an LDSETM manifest at path plus `shards` LDSET1 shard files
+// next to it, rows assigned round-robin (row i → shard i%shards, the
+// same assignment as Partition). A sharded dataset solves exactly like
+// a single-file one, but its shards map one-to-one onto coordinator
+// sites (no materialization) and its scans can run one goroutine per
+// shard (Options.Parallel).
+func WriteShardedDatasetFile(path, kind string, inst Instance, shards int) error {
+	return engine.WriteShardedDatasetFile(path, kind, inst, shards)
+}
+
+// ConvertDatasetLayout rewrites a binary dataset (either layout) as a
+// single file (shards ≤ 1) or a sharded manifest — the library form of
+// `lpsolve -convert -shards N` split/merge.
+func ConvertDatasetLayout(inPath, outPath string, shards int) error {
+	_, err := engine.ConvertDatasetLayout(inPath, outPath, shards)
+	return err
+}
+
+// SolveDatasetFile solves a binary dataset path on the named backend —
+// a single LDSET1 file (memory-mapped when the host allows, streamed
+// in blocks otherwise) or an LDSETM sharded manifest (scanned in
+// parallel under Options.Parallel; shard files map onto coordinator
+// sites directly). The dataset names its own kind, dimension and
+// objective; instances larger than memory are fine. Results are
+// bit-identical to SolveInstance over the same rows.
 func SolveDatasetFile(path, backend string, opt Options) (Solution, SolveStats, error) {
 	return engine.SolveDatasetFile(path, backend, opt.engine())
 }
 
-// IsDatasetFile reports whether the file at path begins with the
+// IsDatasetFile reports whether the file at path begins with either
 // binary dataset magic (cheap sniff; no full header validation).
 func IsDatasetFile(path string) bool { return engine.IsDatasetFile(path) }
