@@ -7,9 +7,11 @@
 //
 // Usage:
 //
-//	lpserved [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	lpserved [-addr :8080] [-pool N] [-queue N] [-cache N]
 //	         [-max-body BYTES] [-instance-ttl D]
 //	         [-spill-rows N] [-spill-dir DIR]
+//	         [-workers host1,host2,...]
+//	lpserved -worker shard.lds [-addr :8081] [-session-ttl D]
 //
 // Endpoints (see internal/server for the wire format):
 //
@@ -31,6 +33,23 @@
 // and the rows are ingested with no JSON float parsing. With
 // -spill-rows N, uploads that reach N rows spill to sharded dataset
 // files under -spill-dir and are solved out-of-core.
+//
+// # Cluster mode
+//
+// With -worker FILE the process runs in worker mode instead: it owns
+// the given LDSET1 dataset shard (memory-mapped when the host allows,
+// never materialized) and answers the coordinator protocol's binary
+// frames on POST /v1/worker/step (plus GET /v1/worker/info and
+// /healthz). A fleet of k workers — one per shard of an `lpsolve
+// -convert -shards k` dataset — jointly solves the instance when a
+// coordinator drives them: either `lpsolve -workers host1,...,hostk`
+// or a front-end lpserved started with -workers, which then serves
+// requests carrying "fleet": true by running the two-round protocol
+// across the worker processes. Same seed, same answer, same metered
+// bits as the in-process coordinator (see DESIGN.md §9).
+//
+// The solver pool size flag is -pool (it was -workers before worker
+// fleets existed).
 //
 // Example:
 //
@@ -57,31 +76,41 @@ import (
 	"syscall"
 	"time"
 
+	"lowdimlp/internal/comm/httptransport"
 	"lowdimlp/internal/server"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
-		queue     = flag.Int("queue", 0, "job queue depth (0 = 4×workers)")
-		cache     = flag.Int("cache", 256, "result-cache capacity (-1 disables)")
-		maxBody   = flag.Int64("max-body", 64<<20, "max request body bytes")
-		instTTL   = flag.Duration("instance-ttl", server.DefaultInstanceTTL, "idle chunk-upload eviction horizon (negative disables)")
-		spillRows = flag.Int("spill-rows", 0, "spill chunk uploads to sharded files past this many rows (0 disables)")
-		spillDir  = flag.String("spill-dir", "", "directory for spilled instances (empty = OS temp dir)")
-		grace     = flag.Duration("grace", 30*time.Second, "shutdown drain timeout")
+		addr       = flag.String("addr", ":8080", "listen address")
+		pool       = flag.Int("pool", 0, "solver pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "job queue depth (0 = 4×pool)")
+		cache      = flag.Int("cache", 256, "result-cache capacity (-1 disables)")
+		maxBody    = flag.Int64("max-body", 64<<20, "max request body bytes")
+		instTTL    = flag.Duration("instance-ttl", server.DefaultInstanceTTL, "idle chunk-upload eviction horizon (negative disables)")
+		spillRows  = flag.Int("spill-rows", 0, "spill chunk uploads to sharded files past this many rows (0 disables)")
+		spillDir   = flag.String("spill-dir", "", "directory for spilled instances (empty = OS temp dir)")
+		grace      = flag.Duration("grace", 30*time.Second, "shutdown drain timeout")
+		workerData = flag.String("worker", "", "run in worker mode, owning this LDSET1 dataset shard")
+		sessTTL    = flag.Duration("session-ttl", server.DefaultSessionTTL, "worker mode: idle protocol-session eviction horizon (negative disables)")
+		fleet      = flag.String("workers", "", "comma-separated worker base URLs serving \"fleet\": true solves (worker i = site i)")
 	)
 	flag.Parse()
 
+	if *workerData != "" {
+		runWorker(*workerData, *addr, *sessTTL, *grace)
+		return
+	}
+
 	srv := server.New(server.Config{
-		Workers:      *workers,
+		Workers:      *pool,
 		QueueDepth:   *queue,
 		CacheSize:    *cache,
 		MaxBodyBytes: *maxBody,
 		InstanceTTL:  *instTTL,
 		SpillRows:    *spillRows,
 		SpillDir:     *spillDir,
+		FleetWorkers: httptransport.SplitList(*fleet),
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -120,4 +149,44 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("lpserved: bye")
+}
+
+// runWorker is worker mode: own one dataset shard, answer protocol
+// frames until signalled.
+func runWorker(dataPath, addr string, sessTTL, grace time.Duration) {
+	w, err := server.NewWorker(server.WorkerConfig{DataPath: dataPath, SessionTTL: sessTTL})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpserved:", err)
+		os.Exit(1)
+	}
+	info := w.Info()
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           w.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("lpserved: worker for %s (kind=%s dim=%d rows=%d) listening on %s",
+			dataPath, info.Kind, info.Dim, info.Rows, addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("lpserved: worker: %v, shutting down (grace %v)", sig, grace)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "lpserved:", err)
+		os.Exit(1)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("lpserved: worker http shutdown: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		log.Printf("lpserved: worker close: %v", err)
+	}
+	log.Printf("lpserved: worker bye")
 }

@@ -9,8 +9,20 @@
 //
 //	lpsolve [-model ram|stream|coordinator|mpc] [-r N] [-k N]
 //	        [-delta F] [-seed N] [-parallel] [file]
+//	lpsolve -workers host1,host2,... [-r N] [-seed N] [-parallel]
 //	lpsolve -convert out.lds [-shards N] [file]
 //	lpsolve -kinds
+//
+// # Cluster mode
+//
+// -workers takes no input file: the instance lives pre-sharded on a
+// fleet of lpserved worker processes (one `lpserved -worker
+// shard.lds` per shard; list the workers in shard order), and lpsolve
+// drives the coordinator model's two-round protocol against them —
+// a real multi-process distributed solve. The solution and the
+// metered communication are bit-identical to
+// `lpsolve -model coordinator -k N` over the matching sharded
+// dataset with the same seed.
 //
 // # Input formats
 //
@@ -55,6 +67,7 @@ import (
 	"strings"
 
 	"lowdimlp"
+	"lowdimlp/internal/comm/httptransport"
 )
 
 // config carries the solver settings from the flags to run.
@@ -89,10 +102,46 @@ func main() {
 	kinds := flag.Bool("kinds", false, "list the registered problem kinds and exit")
 	convert := flag.String("convert", "", "write the instance as a binary dataset at this path and exit")
 	shards := flag.Int("shards", 1, "with -convert: shard count (≥ 2 writes an LDSETM manifest + shard files)")
+	workers := flag.String("workers", "", "solve over a fleet of lpserved worker processes (comma-separated base URLs, shard order)")
 	flag.Parse()
 
 	if *kinds {
 		printKinds(os.Stdout)
+		return
+	}
+	if *workers != "" {
+		// A fleet solve reads no local input and runs only on the
+		// coordinator model — refuse conflicting requests instead of
+		// silently answering a different question.
+		if flag.NArg() > 0 {
+			fatal(fmt.Errorf("-workers solves the fleet's own shards; it takes no input file (got %q)", flag.Arg(0)))
+		}
+		if *convert != "" {
+			fatal(fmt.Errorf("-workers and -convert are mutually exclusive"))
+		}
+		modelSet, kSet, deltaSet := false, false, false
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "model":
+				modelSet = true
+			case "k":
+				kSet = true
+			case "delta":
+				deltaSet = true
+			}
+		})
+		if modelSet && cfg.Model != "coordinator" {
+			fatal(fmt.Errorf("-workers runs the coordinator model; -model %s is not available on a fleet", cfg.Model))
+		}
+		if kSet {
+			fatal(fmt.Errorf("-workers sets the site count itself (one worker = one site); -k is not available on a fleet"))
+		}
+		if deltaSet {
+			fatal(fmt.Errorf("-delta is an MPC option; it does not apply to a fleet solve"))
+		}
+		if err := runFleet(*workers, os.Stdout, cfg); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	if *shards < 1 {
@@ -131,6 +180,22 @@ func main() {
 	if err := run(in, os.Stdout, cfg); err != nil {
 		fatal(err)
 	}
+}
+
+// runFleet drives the coordinator protocol over a fleet of lpserved
+// worker processes; the workers name the instance kind themselves.
+func runFleet(workers string, out io.Writer, cfg config) error {
+	urls := httptransport.SplitList(workers)
+	kind, sol, stats, err := lowdimlp.SolveFleet(urls, cfg.options())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "# kind=%s over %d workers\n", kind, len(urls))
+	fmt.Fprint(out, sol.Text())
+	if s := stats.String(); s != "" {
+		fmt.Fprintln(out, s)
+	}
+	return nil
 }
 
 // runDataset solves a binary dataset file on the configured backend.

@@ -1,0 +1,141 @@
+// Package e2e holds whole-system smoke tests that cross real process
+// boundaries: they build the actual binaries and wire them together
+// the way an operator would.
+package e2e
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lowdimlp"
+)
+
+// TestClusterSmoke is the multi-process end-to-end check: for every
+// registered kind it shards one instance, launches 3 real `lpserved
+// -worker` processes (one per shard) plus an `lpsolve -workers`
+// coordinator process, and asserts the distributed answer — solution
+// lines and the metered rounds/bits line — agrees byte for byte with
+// the single-process `lpsolve -model coordinator` run over the same
+// sharded dataset.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke: skipped in -short mode")
+	}
+	bin := t.TempDir()
+	for _, cmd := range []string{"lpsolve", "lpserved"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "lowdimlp/cmd/"+cmd)
+		build.Dir = ".."
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+	}
+	lpsolve := filepath.Join(bin, "lpsolve")
+	lpserved := filepath.Join(bin, "lpserved")
+
+	const k = 3
+	for _, kind := range lowdimlp.Kinds() {
+		t.Run(kind, func(t *testing.T) {
+			m, _ := lowdimlp.LookupKind(kind)
+			inst, err := m.Generate(m.Families()[0], lowdimlp.GenParams{N: 8000, D: 3, Seed: 17})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dir := t.TempDir()
+			manifest := filepath.Join(dir, "ds.ldm")
+			if err := lowdimlp.WriteShardedDatasetFile(manifest, kind, inst, k); err != nil {
+				t.Fatal(err)
+			}
+
+			// One worker process per shard, on pre-grabbed local ports.
+			addrs := make([]string, k)
+			for i := 0; i < k; i++ {
+				addrs[i] = grabAddr(t)
+				shard := strings.TrimSuffix(filepath.Base(manifest), ".ldm")
+				w := exec.Command(lpserved,
+					"-worker", filepath.Join(dir, fmt.Sprintf("%s-%03d.lds", shard, i)),
+					"-addr", addrs[i])
+				w.Stdout, w.Stderr = os.Stderr, os.Stderr
+				if err := w.Start(); err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() {
+					w.Process.Kill()
+					w.Wait()
+				})
+			}
+			for _, a := range addrs {
+				waitHealthy(t, a)
+			}
+
+			single := runCmd(t, lpsolve, "-model", "coordinator", "-k", fmt.Sprint(k), "-seed", "23", manifest)
+			fleet := runCmd(t, lpsolve, "-workers", strings.Join(addrs, ","), "-seed", "23", "-parallel")
+			if got, want := stripComments(fleet), stripComments(single); got != want {
+				t.Errorf("distributed output drifted from single-process:\n--- fleet:\n%s--- single:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// grabAddr reserves a localhost port and releases it for the worker
+// to bind (the usual pre-grab race is fine for a test).
+func grabAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitHealthy polls the worker's /healthz until it answers.
+func waitHealthy(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("worker on %s never became healthy", addr)
+}
+
+// runCmd runs one process to completion and returns its stdout.
+func runCmd(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(name, args...)
+	var out strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %s: %v", name, strings.Join(args, " "), err)
+	}
+	return out.String()
+}
+
+// stripComments drops '#' banner lines (the fleet run prints one) so
+// the two outputs compare on solution and stats lines alone.
+func stripComments(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return strings.TrimRight(b.String(), "\n") + "\n"
+}

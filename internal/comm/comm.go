@@ -120,6 +120,10 @@ func (b *Buffer) Bits() int { return 8 * len(b.data) }
 // Len returns the current size in bytes.
 func (b *Buffer) Len() int { return len(b.data) }
 
+// Remaining returns the number of unread bytes — protocol parsers use
+// it to reject requests with trailing garbage.
+func (b *Buffer) Remaining() int { return len(b.data) - b.pos }
+
 // PutUvarint appends an unsigned varint.
 func (b *Buffer) PutUvarint(v uint64) { b.data = binary.AppendUvarint(b.data, v) }
 

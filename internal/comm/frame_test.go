@@ -1,0 +1,116 @@
+package comm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Type: FrameInfo},
+		{Type: FrameBegin, Session: 0, Seq: 7, Payload: []byte{1, 2, 3}},
+		{Type: FrameRoundA, Session: math.MaxUint64, Seq: math.MaxUint64, Payload: bytes.Repeat([]byte{0xab}, 1000)},
+		{Type: FrameRoundB, Session: 1, Seq: 2, Payload: []byte{}},
+		{Type: FrameShipAll, Session: 42},
+		{Type: FrameEnd, Session: 9, Seq: 3},
+		{Type: FrameReply, Session: 5, Seq: 4, Payload: []byte("payload")},
+	}
+	for _, f := range frames {
+		enc := EncodeFrame(f)
+		got, n, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", f, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(enc))
+		}
+		if got.Type != f.Type || got.Session != f.Session || got.Seq != f.Seq || !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("round trip: got %+v, want %+v", got, f)
+		}
+		// Strict decode: trailing bytes must be rejected.
+		if _, err := DecodeFrameStrict(append(enc, 0)); err == nil {
+			t.Fatalf("strict decode accepted a trailing byte")
+		}
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	good := EncodeFrame(Frame{Type: FrameRoundA, Session: 1, Seq: 2, Payload: []byte{1, 2, 3}})
+	cases := map[string][]byte{
+		"empty":          nil,
+		"short":          good[:3],
+		"bad magic":      append([]byte("XXXX"), good[4:]...),
+		"bad type":       append(append([]byte{}, good[:4]...), append([]byte{0xff}, good[5:]...)...),
+		"truncated body": good[:len(good)-2],
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeFrame(b); err == nil {
+			t.Errorf("%s: decode accepted %x", name, b)
+		}
+	}
+	// A forged payload length beyond the cap must error before any
+	// allocation.
+	var huge []byte
+	huge = append(huge, good[:5]...)
+	huge = append(huge, 1, 1) // session, seq
+	huge = appendUvarint(huge, MaxFramePayload+1)
+	if _, _, err := DecodeFrame(huge); err == nil {
+		t.Fatalf("decode accepted an over-cap payload length")
+	}
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	b := &Buffer{data: dst}
+	b.PutUvarint(v)
+	return b.data
+}
+
+func TestSiteInfoRoundTrip(t *testing.T) {
+	infos := []SiteInfo{
+		{Kind: "lp", Dim: 3, Width: 4, Rows: 100, Objective: []float64{1, -2.5, math.Pi}},
+		{Kind: "meb", Dim: 2, Width: 2, Rows: 0},
+		{Kind: "", Dim: 0, Width: 0, Rows: 0},
+	}
+	for _, info := range infos {
+		enc := AppendSiteInfo(nil, info)
+		got, err := DecodeSiteInfo(enc)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", info, err)
+		}
+		if got.Kind != info.Kind || got.Dim != info.Dim || got.Width != info.Width || got.Rows != info.Rows {
+			t.Fatalf("round trip: got %+v, want %+v", got, info)
+		}
+		if len(got.Objective) != len(info.Objective) {
+			t.Fatalf("objective length: got %d, want %d", len(got.Objective), len(info.Objective))
+		}
+		for i := range info.Objective {
+			if math.Float64bits(got.Objective[i]) != math.Float64bits(info.Objective[i]) {
+				t.Fatalf("objective[%d]: got %v, want %v", i, got.Objective[i], info.Objective[i])
+			}
+		}
+	}
+	if _, err := DecodeSiteInfo([]byte{0xff}); err == nil {
+		t.Fatalf("decode accepted garbage")
+	}
+	if _, err := DecodeSiteInfo(append(AppendSiteInfo(nil, infos[0]), 9)); err == nil {
+		t.Fatalf("decode accepted trailing bytes")
+	}
+}
+
+func TestBeginPayloadRoundTrip(t *testing.T) {
+	enc := AppendBeginPayload(nil, 12345, 7, 31.62)
+	seed, site, mult, err := DecodeBeginPayload(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 12345 || site != 7 || mult != 31.62 {
+		t.Fatalf("got seed=%d site=%d mult=%v", seed, site, mult)
+	}
+	if _, _, _, err := DecodeBeginPayload(enc[:3]); err == nil {
+		t.Fatalf("decode accepted a truncated begin payload")
+	}
+	if _, _, _, err := DecodeBeginPayload(append(enc, 1)); err == nil {
+		t.Fatalf("decode accepted trailing bytes")
+	}
+}

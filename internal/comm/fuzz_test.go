@@ -1,0 +1,46 @@
+package comm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameRoundTrip feeds the wire-frame decoder arbitrary bytes:
+// it must never panic, and whatever it does decode must survive an
+// encode→decode round trip unchanged (a worker and a coordinator can
+// never disagree about a frame's meaning). Byte-exact re-encoding is
+// deliberately not asserted: varints admit non-minimal encodings.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(EncodeFrame(Frame{Type: FrameInfo}))
+	f.Add(EncodeFrame(Frame{Type: FrameBegin, Seq: 1, Payload: AppendBeginPayload(nil, 7, 2, 31.6)}))
+	f.Add(EncodeFrame(Frame{Type: FrameRoundA, Session: 99, Seq: 3, Payload: []byte{1, 2, 3, 4}}))
+	f.Add(EncodeFrame(Frame{Type: FrameReply, Session: 1, Seq: 1, Payload: AppendSiteInfo(nil,
+		SiteInfo{Kind: "lp", Dim: 2, Width: 3, Rows: 10, Objective: []float64{1, 2}})}))
+	f.Add([]byte("LPF1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n < 1 || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		enc := EncodeFrame(fr)
+		fr2, err := DecodeFrameStrict(enc)
+		if err != nil {
+			t.Fatalf("re-decode of %x: %v", enc, err)
+		}
+		if fr2.Type != fr.Type || fr2.Session != fr.Session || fr2.Seq != fr.Seq || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("round trip drift: %+v vs %+v", fr, fr2)
+		}
+		// Payloads of the structured frame types must round-trip
+		// through their own codecs without panicking either.
+		switch fr.Type {
+		case FrameBegin:
+			DecodeBeginPayload(fr.Payload)
+		case FrameReply:
+			DecodeSiteInfo(fr.Payload)
+		}
+	})
+}

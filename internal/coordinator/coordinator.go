@@ -38,7 +38,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand/v2"
 	"sync"
 
 	"lowdimlp/internal/comm"
@@ -79,14 +78,14 @@ func (s Stats) String() string {
 // ErrNoSites is returned when the partition is empty.
 var ErrNoSites = errors.New("coordinator: no sites")
 
-// site is one of the k participants. Sites own their local constraint
-// storage (a typed slice or a zero-copy columnar shard), their copy of
-// the successful-basis list, and private randomness.
-type site[C, B any] struct {
-	data  lptype.Store[C, B]
-	bases []B
-	rng   *rand.Rand
-}
+// Seed mixes for the coordinator's and the sites' private RNG
+// streams. Wire-stable: a worker process derives its site RNG from
+// siteSeedMix, so changing either value changes every distributed
+// answer.
+const (
+	siteSeedMix  = 0x5173
+	coordSeedMix = 0xc002d
+)
 
 // Solve runs the distributed version of Algorithm 1 (Theorem 2) on the
 // partition parts (one slice per site). Codecs meter the communication.
@@ -159,23 +158,52 @@ func SolveSource[C, B any](
 	return SolveDataset(ra, view.Shard(k), ccodec, bcodec, opt)
 }
 
-// solve is the protocol body, generic over site storage.
+// solve adapts site storage onto the in-process transport and runs
+// the shared protocol driver — the historical simulation, now
+// expressed as "the networked coordinator over a loopback transport".
 func solve[C, B any](
 	dom lptype.Domain[C, B], stores []lptype.Store[C, B],
 	ccodec comm.Codec[C], bcodec comm.Codec[B],
 	opt Options,
 ) (B, Stats, error) {
 	var zero B
-	k := len(stores)
+	if len(stores) == 0 {
+		return zero, Stats{}, ErrNoSites
+	}
+	sites := make([]*protoSite[C, B], len(stores))
+	for i, s := range stores {
+		sites[i] = newProtoSite(s, ccodec, bcodec)
+	}
+	return SolveTransport(dom, &localTransport[C, B]{sites: sites}, ccodec, bcodec, opt)
+}
+
+// SolveTransport runs the coordinator's side of Algorithm 1 over any
+// Transport — the in-process loopback or a fleet of worker processes.
+// Every request and reply payload is charged to the meter as it
+// flies, so the reported Stats are the exact on-the-wire protocol
+// bytes; for equal inputs, seeds and options the driver produces
+// bit-identical bases, solutions and meter totals on every transport.
+func SolveTransport[C, B any](
+	dom lptype.Domain[C, B], tr comm.Transport,
+	ccodec comm.Codec[C], bcodec comm.Codec[B],
+	opt Options,
+) (B, Stats, error) {
+	var zero B
+	k := tr.Sites()
 	if k == 0 {
 		return zero, Stats{}, ErrNoSites
 	}
 	n := 0
-	for _, s := range stores {
-		n += s.Size()
+	for i := 0; i < k; i++ {
+		n += tr.SiteRows(i)
 	}
 	stats := Stats{N: n, K: k}
 	meter := comm.NewMeter()
+	finish := func() {
+		stats.Rounds = meter.Rounds()
+		stats.TotalBits = meter.TotalBits()
+		stats.Messages = meter.Messages()
+	}
 	if n == 0 {
 		b, err := dom.Solve(nil)
 		return b, stats, err
@@ -190,9 +218,10 @@ func solve[C, B any](
 	m := core.NetSize(eps, lambda, n, nu, opt.Core)
 	stats.NetSize = m
 
-	sites := make([]*site[C, B], k)
-	for i, s := range stores {
-		sites[i] = &site[C, B]{data: s, rng: numeric.NewRand(opt.Core.Seed^0x5173, uint64(i)+1)}
+	// Session setup (control plane: seeds and the multiplier are
+	// public run parameters, not protocol communication).
+	if err := tr.Begin(opt.Core.Seed, mult); err != nil {
+		return zero, stats, err
 	}
 
 	if m >= n {
@@ -200,23 +229,37 @@ func solve[C, B any](
 		// degenerates to the naive algorithm, as it should).
 		meter.StartRound()
 		var all []C
-		for _, s := range sites {
-			for i, sz := 0, s.data.Size(); i < sz; i++ {
-				c := s.data.Item(i)
+		for i := 0; i < k; i++ {
+			rep, err := tr.RoundTrip(i, comm.FrameShipAll, nil)
+			if err != nil {
+				finish()
+				return zero, stats, err
+			}
+			buf := comm.FromBytes(rep)
+			for j, rows := 0, tr.SiteRows(i); j < rows; j++ {
+				c, err := comm.Value(buf, ccodec)
+				if err != nil {
+					finish()
+					return zero, stats, &comm.TransportError{Site: i, Type: comm.FrameShipAll,
+						Err: fmt.Errorf("%w: ship-all item %d: %v", comm.ErrProtocol, j, err)}
+				}
 				meter.Charge(ccodec.Bits(c))
 				all = append(all, c)
 			}
+			if buf.Remaining() != 0 {
+				finish()
+				return zero, stats, &comm.TransportError{Site: i, Type: comm.FrameShipAll,
+					Err: fmt.Errorf("%w: %d trailing bytes in ship-all reply", comm.ErrProtocol, buf.Remaining())}
+			}
 		}
-		stats.Rounds = meter.Rounds()
-		stats.TotalBits = meter.TotalBits()
-		stats.Messages = meter.Messages()
+		finish()
 		stats.DirectSolve = true
 		stats.NetSize = n
 		b, err := dom.Solve(all)
 		return b, stats, err
 	}
 
-	coordRng := numeric.NewRand(opt.Core.Seed^0xc002d, 0)
+	coordRng := numeric.NewRand(opt.Core.Seed^coordSeedMix, 0)
 	maxIters := opt.Core.MaxIters
 	if maxIters <= 0 {
 		maxIters = 60*nu*r + 60
@@ -231,8 +274,8 @@ func solve[C, B any](
 		repTotal := make([]float64, k)
 		repViol := make([]float64, k)
 		repCount := make([]int, k)
+		siteErr := make([]error, k)
 		runSites(opt, k, func(i int) {
-			s := sites[i]
 			// coord → site i: the pending basis (or none).
 			req := comm.NewBuffer()
 			req.PutBool(pending != nil)
@@ -240,16 +283,33 @@ func solve[C, B any](
 				comm.PutValue(req, bcodec, *pending)
 			}
 			meter.Charge(req.Bits())
-			// Site-local scan (typed or columnar — same arithmetic).
-			repTotal[i], repViol[i], repCount[i] = s.data.Scan(s.bases, pending, mult)
+			rep, err := tr.RoundTrip(i, comm.FrameRoundA, req.Bytes())
+			if err != nil {
+				siteErr[i] = err
+				return
+			}
 			// site i → coord: two weights and a count.
-			rep := comm.NewBuffer()
-			rep.PutFloat(repTotal[i])
-			rep.PutFloat(repViol[i])
-			rep.PutInt(repCount[i])
-			meter.Charge(rep.Bits())
+			buf := comm.FromBytes(rep)
+			if repTotal[i], err = buf.Float(); err == nil {
+				if repViol[i], err = buf.Float(); err == nil {
+					repCount[i], err = buf.Int()
+				}
+			}
+			if err != nil || buf.Remaining() != 0 {
+				if err == nil {
+					err = fmt.Errorf("%d trailing bytes", buf.Remaining())
+				}
+				siteErr[i] = &comm.TransportError{Site: i, Type: comm.FrameRoundA,
+					Err: fmt.Errorf("%w: round A reply: %v", comm.ErrProtocol, err)}
+				return
+			}
+			meter.Charge(8 * len(rep))
 		})
 		stats.Iterations++
+		if err := firstError(siteErr); err != nil {
+			finish()
+			return zero, stats, err
+		}
 
 		var wS, wV float64
 		violators := 0
@@ -261,9 +321,7 @@ func solve[C, B any](
 		success := false
 		if pending != nil {
 			if violators == 0 {
-				stats.Rounds = meter.Rounds()
-				stats.TotalBits = meter.TotalBits()
-				stats.Messages = meter.Messages()
+				finish()
 				return *pending, stats, nil
 			}
 			success = wV <= eps*wS
@@ -272,9 +330,7 @@ func solve[C, B any](
 			} else {
 				stats.Failures++
 				if opt.Core.MonteCarlo {
-					stats.Rounds = meter.Rounds()
-					stats.TotalBits = meter.TotalBits()
-					stats.Messages = meter.Messages()
+					finish()
 					return zero, stats, core.ErrRoundFailed
 				}
 			}
@@ -295,29 +351,43 @@ func solve[C, B any](
 		meter.StartRound()
 		netParts := make([][]C, k)
 		runSites(opt, k, func(i int) {
-			s := sites[i]
 			req := comm.NewBuffer()
 			req.PutBool(success)
 			req.PutInt(alloc[i])
 			meter.Charge(req.Bits())
-			if success {
-				s.bases = append(s.bases, *pending)
+			rep, err := tr.RoundTrip(i, comm.FrameRoundB, req.Bytes())
+			if err != nil {
+				siteErr[i] = err
+				return
 			}
-			if alloc[i] > 0 {
-				// Sample alloc[i] items by local (updated) weight.
-				w := make([]float64, s.data.Size())
-				s.data.Weights(s.bases, mult, w)
-				al := sampling.NewAlias(w)
-				picked := make([]C, alloc[i])
-				rep := comm.NewBuffer()
-				for t := range picked {
-					picked[t] = s.data.Item(al.Draw(s.rng))
-					comm.PutValue(rep, ccodec, picked[t])
+			if alloc[i] == 0 {
+				if len(rep) != 0 {
+					siteErr[i] = &comm.TransportError{Site: i, Type: comm.FrameRoundB,
+						Err: fmt.Errorf("%w: unsolicited %d-byte round B reply", comm.ErrProtocol, len(rep))}
 				}
-				netParts[i] = picked
-				meter.Charge(rep.Bits())
+				return
 			}
+			buf := comm.FromBytes(rep)
+			picked := make([]C, alloc[i])
+			for t := range picked {
+				if picked[t], err = comm.Value(buf, ccodec); err != nil {
+					siteErr[i] = &comm.TransportError{Site: i, Type: comm.FrameRoundB,
+						Err: fmt.Errorf("%w: sampled item %d: %v", comm.ErrProtocol, t, err)}
+					return
+				}
+			}
+			if buf.Remaining() != 0 {
+				siteErr[i] = &comm.TransportError{Site: i, Type: comm.FrameRoundB,
+					Err: fmt.Errorf("%w: %d trailing bytes in round B reply", comm.ErrProtocol, buf.Remaining())}
+				return
+			}
+			netParts[i] = picked
+			meter.Charge(8 * len(rep))
 		})
+		if err := firstError(siteErr); err != nil {
+			finish()
+			return zero, stats, err
+		}
 
 		var net []C
 		for _, p := range netParts {
@@ -325,17 +395,24 @@ func solve[C, B any](
 		}
 		basis, err := dom.Solve(net)
 		if err != nil {
-			stats.Rounds = meter.Rounds()
-			stats.TotalBits = meter.TotalBits()
-			stats.Messages = meter.Messages()
+			finish()
 			return zero, stats, err
 		}
 		pending = &basis
 	}
-	stats.Rounds = meter.Rounds()
-	stats.TotalBits = meter.TotalBits()
-	stats.Messages = meter.Messages()
+	finish()
 	return zero, stats, core.ErrIterationBudget
+}
+
+// firstError returns the lowest-site error of a round, so a
+// multi-site failure reports deterministically.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runSites executes fn for every site index, in parallel when

@@ -1,0 +1,250 @@
+package coordinator
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"lowdimlp/internal/comm"
+	"lowdimlp/internal/dataset"
+	"lowdimlp/internal/lptype"
+	"lowdimlp/internal/numeric"
+	"lowdimlp/internal/sampling"
+)
+
+// This file is the site side of the two-round protocol, factored out
+// of the solve loop so the *same* state machine runs in both
+// substrates: the in-process simulation (localTransport below) calls
+// it directly, and an lpserved worker process (internal/server) calls
+// it for frames that arrived over HTTP. Bit-identical behavior across
+// the two is therefore structural, not coincidental — there is one
+// implementation of "what a site does".
+
+// Site is one protocol participant, driven by frames. Step handles
+// one request payload and returns the reply payload; both are exactly
+// the bytes the coordinator meters. A Site belongs to one solve and
+// is not safe for concurrent Steps.
+type Site interface {
+	// Step handles one protocol frame.
+	Step(typ comm.FrameType, payload []byte) ([]byte, error)
+	// Close releases site-local resources (scan cursors).
+	Close() error
+}
+
+// SiteHost mints protocol sites over data a process owns — the worker
+// side of session creation. Each solve gets its own Site (sites carry
+// per-run state: bases, RNG, the pending basis).
+type SiteHost interface {
+	// Rows returns the number of constraints the host's data holds.
+	Rows() int
+	// NewSession returns a site initialized with the run parameters of
+	// one solve: the raw option seed, the site index, and the weight
+	// multiplier n^{1/r}.
+	NewSession(seed uint64, site int, mult float64) Site
+}
+
+// NewSourceSiteHost returns a SiteHost over a columnar source. The
+// access factory builds the kind's row-access layer for a given raw
+// option seed (the engine closes it over the Spec, applying the
+// per-kind seed mix) — sessions construct their domain at Begin time
+// because the seed is a per-run parameter.
+func NewSourceSiteHost[C, B any](
+	access func(seed uint64) lptype.RowAccess[C, B],
+	src dataset.Source,
+	ccodec comm.Codec[C], bcodec comm.Codec[B],
+) SiteHost {
+	return &sourceSiteHost[C, B]{access: access, src: src, ccodec: ccodec, bcodec: bcodec}
+}
+
+type sourceSiteHost[C, B any] struct {
+	access func(seed uint64) lptype.RowAccess[C, B]
+	src    dataset.Source
+	ccodec comm.Codec[C]
+	bcodec comm.Codec[B]
+}
+
+func (h *sourceSiteHost[C, B]) Rows() int { return h.src.Rows() }
+
+func (h *sourceSiteHost[C, B]) NewSession(seed uint64, site int, mult float64) Site {
+	s := newProtoSite(lptype.SourceStore(h.access(seed), h.src), h.ccodec, h.bcodec)
+	s.begin(seed, site, mult)
+	return s
+}
+
+// protoSite is the site state machine: local constraint storage, the
+// successful-basis list, private randomness, and the pending basis
+// delivered by the last round A. It is exactly the per-site state of
+// the historical in-process simulation, now addressable by frames.
+type protoSite[C, B any] struct {
+	store   lptype.Store[C, B]
+	ccodec  comm.Codec[C]
+	bcodec  comm.Codec[B]
+	bases   []B
+	rng     *rand.Rand
+	pending *B
+	mult    float64
+	begun   bool
+}
+
+func newProtoSite[C, B any](store lptype.Store[C, B], ccodec comm.Codec[C], bcodec comm.Codec[B]) *protoSite[C, B] {
+	return &protoSite[C, B]{store: store, ccodec: ccodec, bcodec: bcodec}
+}
+
+// begin installs the run parameters. The RNG derivation (seed ^
+// siteSeedMix, stream = site index + 1) matches the historical site
+// construction bit for bit.
+func (s *protoSite[C, B]) begin(seed uint64, site int, mult float64) {
+	s.rng = numeric.NewRand(seed^siteSeedMix, uint64(site)+1)
+	s.mult = mult
+	s.bases = nil
+	s.pending = nil
+	s.begun = true
+}
+
+// Step dispatches one protocol frame.
+func (s *protoSite[C, B]) Step(typ comm.FrameType, payload []byte) ([]byte, error) {
+	if typ == comm.FrameBegin {
+		seed, site, mult, err := comm.DecodeBeginPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		s.begin(seed, site, mult)
+		b := comm.NewBuffer()
+		b.PutUvarint(uint64(s.store.Size()))
+		return b.Bytes(), nil
+	}
+	if !s.begun {
+		return nil, fmt.Errorf("%w: frame type %d before begin", comm.ErrProtocol, typ)
+	}
+	switch typ {
+	case comm.FrameRoundA:
+		return s.roundA(payload)
+	case comm.FrameRoundB:
+		return s.roundB(payload)
+	case comm.FrameShipAll:
+		return s.shipAll(payload)
+	default:
+		return nil, fmt.Errorf("%w: unexpected frame type %d", comm.ErrProtocol, typ)
+	}
+}
+
+// roundA handles "pending basis out, weight report back": decode the
+// (optional) pending basis, scan the local constraints, and reply
+// with the local total weight, the pending basis's local violator
+// weight, and the violator count.
+func (s *protoSite[C, B]) roundA(payload []byte) ([]byte, error) {
+	req := comm.FromBytes(payload)
+	has, err := req.Bool()
+	if err != nil {
+		return nil, fmt.Errorf("%w: round A flag: %v", comm.ErrProtocol, err)
+	}
+	s.pending = nil
+	if has {
+		basis, err := comm.Value(req, s.bcodec)
+		if err != nil {
+			return nil, fmt.Errorf("%w: round A basis: %v", comm.ErrProtocol, err)
+		}
+		s.pending = &basis
+	}
+	if req.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in round A request", comm.ErrProtocol, req.Remaining())
+	}
+	wTot, wViol, count := s.store.Scan(s.bases, s.pending, s.mult)
+	rep := comm.NewBuffer()
+	rep.PutFloat(wTot)
+	rep.PutFloat(wViol)
+	rep.PutInt(count)
+	return rep.Bytes(), nil
+}
+
+// roundB handles "flag + allocation out, sampled constraints back":
+// on success the pending basis joins the stored list (bumping future
+// weights), then the site samples its allocation by local weight and
+// ships the sampled constraints. An allocation of zero sends no reply
+// message (the reply payload is empty and the coordinator charges
+// nothing — exactly the in-process accounting).
+func (s *protoSite[C, B]) roundB(payload []byte) ([]byte, error) {
+	req := comm.FromBytes(payload)
+	success, err := req.Bool()
+	if err != nil {
+		return nil, fmt.Errorf("%w: round B flag: %v", comm.ErrProtocol, err)
+	}
+	alloc, err := req.Int()
+	if err != nil {
+		return nil, fmt.Errorf("%w: round B allocation: %v", comm.ErrProtocol, err)
+	}
+	if req.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in round B request", comm.ErrProtocol, req.Remaining())
+	}
+	if alloc < 0 {
+		return nil, fmt.Errorf("%w: negative round B allocation %d", comm.ErrProtocol, alloc)
+	}
+	if success {
+		if s.pending == nil {
+			return nil, fmt.Errorf("%w: round B success with no pending basis", comm.ErrProtocol)
+		}
+		s.bases = append(s.bases, *s.pending)
+	}
+	if alloc == 0 {
+		return nil, nil
+	}
+	w := make([]float64, s.store.Size())
+	s.store.Weights(s.bases, s.mult, w)
+	al := sampling.NewAlias(w)
+	rep := comm.NewBuffer()
+	for t := 0; t < alloc; t++ {
+		comm.PutValue(rep, s.ccodec, s.store.Item(al.Draw(s.rng)))
+	}
+	return rep.Bytes(), nil
+}
+
+// shipAll replies with every local constraint in storage order — the
+// degenerate protocol for tiny inputs.
+func (s *protoSite[C, B]) shipAll(payload []byte) ([]byte, error) {
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: %d unexpected bytes in ship-all request", comm.ErrProtocol, len(payload))
+	}
+	rep := comm.NewBuffer()
+	for i, n := 0, s.store.Size(); i < n; i++ {
+		comm.PutValue(rep, s.ccodec, s.store.Item(i))
+	}
+	return rep.Bytes(), nil
+}
+
+// Close releases the site's scan cursor (no-op for in-memory stores).
+func (s *protoSite[C, B]) Close() error {
+	lptype.CloseStore(s.store)
+	return nil
+}
+
+// localTransport is the in-process Transport: frames are handed to
+// site objects in the same address space. It is the historical
+// simulation, expressed on the substrate boundary the networked
+// implementation shares.
+type localTransport[C, B any] struct {
+	sites []*protoSite[C, B]
+}
+
+func (t *localTransport[C, B]) Sites() int { return len(t.sites) }
+
+func (t *localTransport[C, B]) SiteRows(i int) int { return t.sites[i].store.Size() }
+
+func (t *localTransport[C, B]) Begin(seed uint64, mult float64) error {
+	for i, s := range t.sites {
+		if _, err := s.Step(comm.FrameBegin, comm.AppendBeginPayload(nil, seed, i, mult)); err != nil {
+			return &comm.TransportError{Site: i, Type: comm.FrameBegin, Err: err}
+		}
+	}
+	return nil
+}
+
+func (t *localTransport[C, B]) RoundTrip(site int, typ comm.FrameType, payload []byte) ([]byte, error) {
+	rep, err := t.sites[site].Step(typ, payload)
+	if err != nil {
+		return nil, &comm.TransportError{Site: site, Type: typ, Err: err}
+	}
+	return rep, nil
+}
+
+// Close is a no-op: the stores behind local sites belong to the
+// caller (SolveSource closes cursor-backed ones itself).
+func (t *localTransport[C, B]) Close() error { return nil }

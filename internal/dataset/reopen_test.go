@@ -1,0 +1,151 @@
+package dataset
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReopenShardWriter: finalize → reopen → append → finalize must
+// produce exactly the layout one uninterrupted writer would have
+// written, and the manifest must be absent (unreadable layout) while
+// appends are in flight.
+func TestReopenShardWriter(t *testing.T) {
+	dir := t.TempDir()
+	info := Info{Kind: "meb", Dim: 2, Width: 2}
+	row := func(i int) []float64 { return []float64{float64(i), float64(i) * 0.5} }
+
+	writeRows := func(w *ShardWriter, lo, hi int) {
+		t.Helper()
+		for i := lo; i < hi; i++ {
+			if err := w.AppendRow(row(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Interrupted layout: 0..37, finalize, reopen, 37..100, finalize.
+	interrupted := filepath.Join(dir, "interrupted.ldm")
+	w, err := NewShardWriter(interrupted, info, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRows(w, 0, 37)
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	w, err = ReopenShardWriter(interrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Rows() != 37 {
+		t.Fatalf("reopened writer reports %d rows, want 37", w.Rows())
+	}
+	if _, err := os.Stat(interrupted); !os.IsNotExist(err) {
+		t.Fatalf("manifest still present while the layout is writable (err=%v)", err)
+	}
+	writeRows(w, 37, 100)
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference layout: one uninterrupted writer.
+	reference := filepath.Join(dir, "reference.ldm")
+	w2, err := NewShardWriter(reference, info, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeRows(w2, 0, 100)
+	if err := w2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard payloads must agree byte for byte.
+	for j := 0; j < 3; j++ {
+		got, err := os.ReadFile(filepath.Join(dir, ShardName(interrupted, j)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join(dir, ShardName(reference, j)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("shard %d drifted from the uninterrupted layout", j)
+		}
+	}
+
+	// And the merged scan returns the rows in order.
+	sh, err := OpenSharded(interrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	if sh.Rows() != 100 {
+		t.Fatalf("layout holds %d rows, want 100", sh.Rows())
+	}
+	cur := sh.NewCursor()
+	defer CloseCursor(cur)
+	batch := make([]Row, 16)
+	i := 0
+	for {
+		n, err := cur.Next(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		for _, r := range batch[:n] {
+			want := row(i)
+			if math.Float64bits(r[0]) != math.Float64bits(want[0]) || math.Float64bits(r[1]) != math.Float64bits(want[1]) {
+				t.Fatalf("row %d is %v, want %v", i, r, want)
+			}
+			i++
+		}
+	}
+	if i != 100 {
+		t.Fatalf("scanned %d rows, want 100", i)
+	}
+}
+
+// TestReopenShardWriterRejects: corrupt layouts must refuse to reopen
+// rather than corrupt further.
+func TestReopenShardWriterRejects(t *testing.T) {
+	dir := t.TempDir()
+	info := Info{Kind: "meb", Dim: 2, Width: 2}
+	manifest := filepath.Join(dir, "ds.ldm")
+	w, err := NewShardWriter(manifest, info, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.AppendRow([]float64{float64(i), 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate a shard behind the manifest's back.
+	shard0 := filepath.Join(dir, ShardName(manifest, 0))
+	b, err := os.ReadFile(shard0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shard0, b[:len(b)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReopenShardWriter(manifest); err == nil {
+		t.Fatal("reopened a layout with a truncated shard")
+	}
+	// The manifest must still be there: a failed reopen must not
+	// destroy a readable layout.
+	if _, err := os.Stat(manifest); err != nil {
+		t.Fatalf("failed reopen removed the manifest: %v", err)
+	}
+	if _, err := ReopenShardWriter(filepath.Join(dir, "missing.ldm")); err == nil {
+		t.Fatal("reopened a nonexistent manifest")
+	}
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"fmt"
+
+	"lowdimlp/internal/comm"
+	"lowdimlp/internal/comm/httptransport"
+	"lowdimlp/internal/coordinator"
+	"lowdimlp/internal/dataset"
+	"lowdimlp/internal/lptype"
+)
+
+// This file is the registry's networked-coordinator bridge: any
+// registered kind can host one shard of itself in a worker process
+// (NewSiteHost — the lpserved -worker side) and drive Algorithm 1
+// over a fleet of such workers (SolveTransport / SolveFleet — the
+// coordinator side), with no per-kind code anywhere.
+
+// NewSiteHost returns the worker-side protocol host for one shard of
+// an instance of this kind: sessions scan src through the kind's
+// row-access layer (no materialization) and answer round-A/round-B
+// frames. The objective is the shard header's — every shard of an
+// instance repeats it.
+func (s *Spec[P, C, B]) NewSiteHost(dim int, objective []float64, src dataset.Source) (coordinator.SiteHost, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("%s: dim must be ≥ 1, got %d", s.Name, dim)
+	}
+	if want := s.Width(dim); src.Width() != want {
+		return nil, fmt.Errorf("%s: source width %d, want %d at dim %d", s.Name, src.Width(), want, dim)
+	}
+	p, err := s.Problem(Instance{Dim: dim, Objective: objective})
+	if err != nil {
+		return nil, err
+	}
+	// The domain is built per session (at Begin) because the seed is a
+	// per-run parameter; the seed mix matches the coordinator side's
+	// dispatchers, so worker-local arithmetic is the in-process
+	// arithmetic.
+	access := func(seed uint64) lptype.RowAccess[C, B] { return specAccess(s, p, seed^s.SeedMix) }
+	return coordinator.NewSourceSiteHost(access, src, s.ItemCodec(dim), s.BasisCodec(dim)), nil
+}
+
+// SolveTransport runs the coordinator backend over an explicit
+// transport — the loopback transport for tests, the HTTP fleet
+// transport for real multi-process solves. Bit-identical to
+// SolveSource on the coordinator backend for the same shard contents,
+// seed and options (the conformance suite pins this).
+func (s *Spec[P, C, B]) SolveTransport(dim int, objective []float64, tr comm.Transport, opt Options) (Solution, Stats, error) {
+	var stats Stats
+	if dim < 1 {
+		return Solution{}, stats, fmt.Errorf("%s: dim must be ≥ 1, got %d", s.Name, dim)
+	}
+	p, err := s.Problem(Instance{Dim: dim, Objective: objective})
+	if err != nil {
+		return Solution{}, stats, err
+	}
+	dom := s.NewDomain(p, opt.Seed^s.SeedMix)
+	b, st, err := coordinator.SolveTransport(dom, tr, s.ItemCodec(dim), s.BasisCodec(dim),
+		coordinator.Options{Core: opt.Core(), Parallel: opt.Parallel})
+	stats.Coordinator = &st
+	if err != nil {
+		return Solution{}, stats, err
+	}
+	return s.Render(dim, b), stats, nil
+}
+
+// SolveFleet dials a fleet of lpserved worker processes (worker i =
+// site i), resolves the instance kind from the workers' shard
+// headers, and runs the two-round protocol against them. It returns
+// the kind alongside the solution so callers that did not know what
+// the fleet holds (lpsolve -workers, lpserved fleet requests) can
+// report it.
+func SolveFleet(workers []string, opt Options) (string, Solution, Stats, error) {
+	return SolveFleetTransport(workers, opt, httptransport.Options{}, "")
+}
+
+// SolveFleetTransport is SolveFleet with explicit transport options
+// (per-exchange timeout, custom HTTP client) and an optional kind
+// expectation: a non-empty expectKind fails the solve before any
+// protocol round when the fleet holds a different kind.
+func SolveFleetTransport(workers []string, opt Options, topt httptransport.Options, expectKind string) (string, Solution, Stats, error) {
+	fleet, err := httptransport.Dial(workers, topt)
+	if err != nil {
+		return "", Solution{}, Stats{}, err
+	}
+	info := fleet.Info()
+	if expectKind != "" && expectKind != info.Kind {
+		return info.Kind, Solution{}, Stats{},
+			fmt.Errorf("the worker fleet holds kind %q, request says %q", info.Kind, expectKind)
+	}
+	m, err := lookup(info.Kind)
+	if err != nil {
+		return info.Kind, Solution{}, Stats{}, err
+	}
+	tr := fleet.Run()
+	defer tr.Close()
+	sol, stats, err := m.SolveTransport(info.Dim, info.Objective, tr, opt)
+	return info.Kind, sol, stats, err
+}

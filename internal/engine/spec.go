@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"lowdimlp/internal/comm"
+	"lowdimlp/internal/coordinator"
 	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/lptype"
 )
@@ -132,6 +133,14 @@ type Model interface {
 	// Columnar) is where row invariants are checked. Results are
 	// bit-identical to SolveInstance over the same rows and options.
 	SolveSource(backend string, dim int, objective []float64, src dataset.Source, opt Options) (Solution, Stats, error)
+	// SolveTransport runs the coordinator backend over an explicit
+	// comm.Transport — how a fleet of worker processes jointly solves
+	// one instance. Bit-identical to SolveSource on the coordinator
+	// backend for the same shard contents, seed and options.
+	SolveTransport(dim int, objective []float64, tr comm.Transport, opt Options) (Solution, Stats, error)
+	// NewSiteHost returns the worker-side protocol host over one shard
+	// of an instance of this kind (lpserved -worker).
+	NewSiteHost(dim int, objective []float64, src dataset.Source) (coordinator.SiteHost, error)
 
 	// RowRoundTrip decodes and re-encodes one row (conformance).
 	RowRoundTrip(dim int, row []float64) []float64

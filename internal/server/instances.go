@@ -235,7 +235,23 @@ func (s *InstanceStore) AppendChunk(id string, chunk *dataset.Store) (total int,
 		return 0, fmt.Errorf("instance %q already submitted", id)
 	}
 	if ins.taken != nil {
-		return 0, fmt.Errorf("instance %q spilled to disk and was finalized; appends are closed", id)
+		// A restored spill: the failed submit left a finalized sharded
+		// layout. Reopen it for appending — the shard files stay in
+		// place, the manifest comes back at the next Take's Finish.
+		if err := ins.reopenSpill(); err != nil {
+			// The on-disk layout is gone (reopenSpill released it), so
+			// the instance has no storage left: retire it — leaving a
+			// live ID with nil storage would panic a later append or
+			// Take. ins.mu → s.mu is safe: no path acquires them in
+			// the opposite order while holding one.
+			ins.sealed = true
+			s.mu.Lock()
+			if s.byID[id] == ins {
+				delete(s.byID, id)
+			}
+			s.mu.Unlock()
+			return 0, fmt.Errorf("instance %q: reopening restored spill: %w", id, err)
+		}
 	}
 	width := ins.width()
 	if chunk.Width() != width {
@@ -259,6 +275,28 @@ func (s *InstanceStore) AppendChunk(id string, chunk *dataset.Store) (total int,
 	ins.nrows.Store(int64(ins.rows()))
 	ins.touch(time.Now())
 	return ins.rows(), nil
+}
+
+// reopenSpill turns a restored, finalized spilled source back into an
+// appendable ShardWriter over the same files. On failure the taken
+// source is already closed, so the instance's on-disk state is
+// released rather than leaked. Caller holds ins.mu.
+func (ins *instance) reopenSpill() error {
+	sp := ins.taken
+	manifest := sp.Paths()[0]
+	dir := sp.dir
+	// Close the read-side handles (possibly mmaps) before reopening
+	// the files for writing.
+	sp.Close()
+	w, err := dataset.ReopenShardWriter(manifest)
+	if err != nil {
+		os.RemoveAll(dir)
+		ins.taken = nil
+		return err
+	}
+	ins.spill, ins.spillP, ins.spillD = w, manifest, dir
+	ins.taken = nil
+	return nil
 }
 
 // width returns the instance's row width regardless of storage.
@@ -365,8 +403,9 @@ func (s *InstanceStore) Take(id, kind string, dim int) (dataset.Source, error) {
 // (the rows were already admitted once). A tombstoned ID — the client
 // DELETEd the instance during the Take window — is not resurrected
 // (a spilled source's files are removed instead). A restored spilled
-// instance accepts further solves but no further appends (its shard
-// files are final).
+// instance accepts both further solves and further appends: the first
+// append reopens the finalized shard files for writing
+// (dataset.ReopenShardWriter) and the next Take finalizes them again.
 func (s *InstanceStore) Restore(id, kind string, dim int, data dataset.Source) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

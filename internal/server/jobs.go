@@ -7,6 +7,9 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"lowdimlp/internal/comm/httptransport"
+	"lowdimlp/internal/engine"
 )
 
 // ErrQueueFull is returned when the job queue is at capacity.
@@ -65,6 +68,10 @@ func (j *Job) Status() JobStatus {
 type Manager struct {
 	cache   *Cache
 	metrics *Metrics
+	// fleet is the worker-process fleet (lpserved -workers) that
+	// serves Fleet requests; empty means fleet solves are refused.
+	// Set before the first job is accepted.
+	fleet []string
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -223,50 +230,76 @@ func (m *Manager) run(j *Job) {
 
 	start := time.Now()
 	var (
-		result *SolveResult
-		stats  *StatsPayload
-		hit    bool
+		result    *SolveResult
+		stats     *StatsPayload
+		hit       bool
+		err       error
+		fleetKind string
 	)
-	// Generated instances are synthesized here, on the worker, so the
-	// pool bounds the memory and CPU of the ?generate= path. Digesting
-	// the materialized rows keeps one cache key per instance whether
-	// it arrived inline or generated.
-	err := materialize(req)
-	_, spilled := req.data.(interface{ Cleanup() })
-	switch {
-	case err != nil:
-	case !m.cache.Enabled() || spilled:
-		// Caching off: skip the digest — hashing a multi-million-row
-		// instance for a cache that can never hit is pure waste. A
-		// spilled instance skips it too: digesting would re-stream the
-		// whole on-disk dataset just to key a cache whose hit chance
-		// for a one-shot giant upload is nil.
-		m.metrics.CacheMisses.Add(1)
-		result, stats, err = runSolve(req)
-	default:
-		key := req.Digest()
-		result, stats, hit = m.cache.Get(key)
-		if hit {
-			m.metrics.CacheHits.Add(1)
-		} else {
+	if req.Fleet {
+		// Fleet solves: the instance lives on the worker processes, so
+		// there is nothing to materialize and nothing to digest — the
+		// cache is skipped (the service cannot see the rows it would
+		// key on).
+		fleetKind, result, stats, err = m.runFleet(req)
+	} else {
+		// Generated instances are synthesized here, on the worker, so
+		// the pool bounds the memory and CPU of the ?generate= path.
+		// Digesting the materialized rows keeps one cache key per
+		// instance whether it arrived inline or generated.
+		err = materialize(req)
+		_, spilled := req.data.(interface{ Cleanup() })
+		switch {
+		case err != nil:
+		case !m.cache.Enabled() || spilled:
+			// Caching off: skip the digest — hashing a multi-million-row
+			// instance for a cache that can never hit is pure waste. A
+			// spilled instance skips it too: digesting would re-stream the
+			// whole on-disk dataset just to key a cache whose hit chance
+			// for a one-shot giant upload is nil.
 			m.metrics.CacheMisses.Add(1)
 			result, stats, err = runSolve(req)
-			if err == nil {
-				m.cache.Put(key, result, stats)
+		default:
+			key := req.Digest()
+			result, stats, hit = m.cache.Get(key)
+			if hit {
+				m.metrics.CacheHits.Add(1)
+			} else {
+				m.metrics.CacheMisses.Add(1)
+				result, stats, err = runSolve(req)
+				if err == nil {
+					m.cache.Put(key, result, stats)
+				}
 			}
 		}
 	}
 	elapsed := time.Since(start)
-	m.metrics.ObserveSolve(j.Kind, j.Model, elapsed)
+	kindLabel := j.Kind
+	if fleetKind != "" {
+		// A kind-less fleet request learns its kind from the workers;
+		// label the latency series with it rather than "".
+		kindLabel = fleetKind
+	}
+	m.metrics.ObserveSolve(kindLabel, j.Model, elapsed)
 
 	j.mu.Lock()
 	j.cached = hit
 	j.elapsed = elapsed
 	j.result, j.stats, j.err = result, stats, err
+	if fleetKind != "" {
+		// The fleet's shard headers name the kind; a request that left
+		// it blank learns it here.
+		j.Kind = fleetKind
+	}
 	if err == nil {
 		// Report the true instance size: generators may round the
-		// requested n (chebyshev emits constraint pairs).
-		j.N = req.data.Rows()
+		// requested n (chebyshev emits constraint pairs), and a fleet
+		// solve only learns its size from the workers.
+		if req.data != nil {
+			j.N = req.data.Rows()
+		} else if stats != nil && stats.Coordinator != nil {
+			j.N = stats.Coordinator.N
+		}
 	}
 	// A spilled instance owns on-disk shard files; the job is terminal,
 	// so nothing will read them again.
@@ -284,6 +317,30 @@ func (m *Manager) run(j *Job) {
 	j.mu.Unlock()
 	close(j.Done)
 	m.retire(j.ID)
+}
+
+// runFleet solves over the configured worker fleet through the shared
+// engine driver, passing along the request's kind expectation. The
+// returned kind is what the fleet actually holds.
+func (m *Manager) runFleet(req *SolveRequest) (string, *SolveResult, *StatsPayload, error) {
+	if len(m.fleet) == 0 {
+		return "", nil, nil, errors.New("no worker fleet configured (start lpserved with -workers)")
+	}
+	m.metrics.FleetSolves.Add(1)
+	// Dial per solve, deliberately: the k FrameInfo exchanges are
+	// cheap next to the protocol rounds, and re-dialing revalidates
+	// fleet coherence every time — a worker restarted with a
+	// different shard fails the solve at dial, not mid-protocol.
+	kind, sol, stats, err := engine.SolveFleetTransport(m.fleet, req.Options.lib(), httptransport.Options{}, req.Kind)
+	if err != nil {
+		if stats.Coordinator == nil {
+			// Dial or expectation failure: no protocol ran, report no
+			// stats rather than an all-zero block.
+			return kind, nil, nil, err
+		}
+		return kind, nil, &stats, err
+	}
+	return kind, &sol, &stats, nil
 }
 
 // retire records a terminal job and evicts the oldest finished jobs

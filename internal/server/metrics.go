@@ -28,6 +28,8 @@ type Metrics struct {
 	InstancesSpilled atomic.Int64
 	// BinaryAppends counts application/octet-stream chunk appends.
 	BinaryAppends atomic.Int64
+	// FleetSolves counts solves driven over the worker fleet.
+	FleetSolves atomic.Int64
 
 	mu           sync.Mutex
 	solveCount   map[string]int64   // kind/model → solves
@@ -76,6 +78,7 @@ func (m *Metrics) Render(w io.Writer) {
 	c("lpserved_instances_expired_total", "Chunk uploads reclaimed by the idle sweeper.", m.InstancesExpired.Load())
 	c("lpserved_instances_spilled_total", "Chunk uploads spilled to sharded on-disk storage.", m.InstancesSpilled.Load())
 	c("lpserved_binary_appends_total", "Binary (octet-stream) chunk appends.", m.BinaryAppends.Load())
+	c("lpserved_fleet_solves_total", "Solves driven over the worker fleet.", m.FleetSolves.Load())
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,0 +1,187 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"os"
+	"testing"
+
+	"lowdimlp/internal/dataset"
+)
+
+// TestRestoredSpillAcceptsAppends is the regression test for the
+// ROADMAP re-spill item: a spilled instance that was taken by a
+// submit, failed (queue full), and restored must accept further
+// appends — the finalized shard files reopen for writing — and a
+// later Take must hand out every row in the original append order.
+func TestRestoredSpillAcceptsAppends(t *testing.T) {
+	spillBase := t.TempDir()
+	s := NewInstanceStore(4, -1)
+	s.EnableSpill(spillBase, 100, nil)
+
+	const width = 2
+	row := func(i int) []float64 { return []float64{float64(i), float64(-i)} }
+	appendRows := func(id string, lo, hi int) {
+		t.Helper()
+		chunk := dataset.NewStore(width)
+		for i := lo; i < hi; i++ {
+			chunk.AppendRow(row(i))
+		}
+		if _, err := s.AppendChunk(id, chunk); err != nil {
+			t.Fatalf("append [%d,%d): %v", lo, hi, err)
+		}
+	}
+
+	id, err := s.Create("meb", width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRows(id, 0, 150) // crosses the spill threshold
+	src, err := s.Take(id, "meb", width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.(*spilledSource); !ok {
+		t.Fatalf("took a %T, want a spilled source", src)
+	}
+	// The submit "failed"; the instance comes back.
+	s.Restore(id, "meb", width, src)
+
+	// The heart of the regression: appends after a restore used to be
+	// rejected ("shard files are final").
+	appendRows(id, 150, 260)
+	// A second failed-submit cycle must work too.
+	src, err = s.Take(id, "meb", width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Restore(id, "meb", width, src)
+	appendRows(id, 260, 300)
+
+	src, err = s.Take(id, "meb", width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, ok := src.(*spilledSource)
+	if !ok {
+		t.Fatalf("final take returned a %T, want a spilled source", src)
+	}
+	defer sp.Cleanup()
+	if sp.Rows() != 300 {
+		t.Fatalf("final take holds %d rows, want 300", sp.Rows())
+	}
+	// Row order must be exactly the append order: the reopened writer
+	// resumes the round-robin assignment where the finalized layout
+	// stopped.
+	cur := sp.NewCursor()
+	defer dataset.CloseCursor(cur)
+	batch := make([]dataset.Row, 64)
+	i := 0
+	for {
+		n, err := cur.Next(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		for _, r := range batch[:n] {
+			want := row(i)
+			if math.Float64bits(r[0]) != math.Float64bits(want[0]) || math.Float64bits(r[1]) != math.Float64bits(want[1]) {
+				t.Fatalf("row %d is %v, want %v", i, r, want)
+			}
+			i++
+		}
+	}
+	if i != 300 {
+		t.Fatalf("scanned %d rows, want 300", i)
+	}
+	sp.Cleanup()
+	if left, _ := os.ReadDir(spillBase); len(left) != 0 {
+		t.Fatalf("spill dir still holds %d entries after cleanup", len(left))
+	}
+}
+
+// TestRestoredSpillReopenFailureRetires: when the restored layout
+// cannot be reopened (someone truncated a shard file on disk), the
+// append must fail cleanly and the instance must be retired — a live
+// ID with no storage would panic the next append or Take.
+func TestRestoredSpillReopenFailureRetires(t *testing.T) {
+	spillBase := t.TempDir()
+	s := NewInstanceStore(4, -1)
+	s.EnableSpill(spillBase, 50, nil)
+	id, err := s.Create("meb", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := dataset.NewStore(2)
+	for i := 0; i < 80; i++ {
+		chunk.AppendRow([]float64{float64(i), 1})
+	}
+	if _, err := s.AppendChunk(id, chunk); err != nil {
+		t.Fatal(err)
+	}
+	src, err := s.Take(id, "meb", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := src.(*spilledSource)
+	s.Restore(id, "meb", 2, src)
+
+	// Sabotage the finalized layout behind the store's back.
+	shard0 := sp.Paths()[1]
+	b, err := os.ReadFile(shard0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shard0, b[:len(b)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	more := dataset.NewStore(2)
+	more.AppendRow([]float64{1, 2})
+	if _, err := s.AppendChunk(id, more); err == nil {
+		t.Fatal("append over a corrupt restored spill reported success")
+	}
+	// The instance is gone, not wedged: further appends and takes see
+	// a clean unknown-instance error instead of a panic.
+	if _, err := s.AppendChunk(id, more); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("append after retirement: %v, want ErrUnknownInstance", err)
+	}
+	if _, err := s.Take(id, "meb", 2); !errors.Is(err, ErrUnknownInstance) {
+		t.Fatalf("take after retirement: %v, want ErrUnknownInstance", err)
+	}
+	if n := s.Len(); n != 0 {
+		t.Fatalf("store still holds %d instances", n)
+	}
+}
+
+// TestRestoredSpillDropReleasesFiles: dropping an instance that holds
+// a restored spilled source must remove its on-disk layout.
+func TestRestoredSpillDropReleasesFiles(t *testing.T) {
+	spillBase := t.TempDir()
+	s := NewInstanceStore(4, -1)
+	s.EnableSpill(spillBase, 50, nil)
+	id, err := s.Create("meb", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := dataset.NewStore(2)
+	for i := 0; i < 80; i++ {
+		chunk.AppendRow([]float64{float64(i), 1})
+	}
+	if _, err := s.AppendChunk(id, chunk); err != nil {
+		t.Fatal(err)
+	}
+	src, err := s.Take(id, "meb", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Restore(id, "meb", 2, src)
+	if !s.Drop(id) {
+		t.Fatal("drop failed")
+	}
+	if left, _ := os.ReadDir(spillBase); len(left) != 0 {
+		t.Fatalf("spill dir still holds %d entries after drop", len(left))
+	}
+}

@@ -47,6 +47,10 @@ type Config struct {
 	// directory). Each instance gets its own subdirectory, removed when
 	// the instance is solved, dropped or swept.
 	SpillDir string
+	// FleetWorkers is the lpserved worker-process fleet (base URLs,
+	// one per shard; worker i = coordinator site i) that serves
+	// requests with "fleet": true. Empty refuses fleet solves.
+	FleetWorkers []string
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +96,7 @@ func New(cfg Config) *Server {
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
+	s.manager.fleet = cfg.FleetWorkers
 	s.instances.EnableSpill(cfg.SpillDir, cfg.SpillRows, func() { metrics.InstancesSpilled.Add(1) })
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -209,7 +214,7 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*SolveRe
 	}
 	hasRows := len(req.Rows) > 0 || len(req.rawRows) > 0 ||
 		(req.data != nil && req.data.Rows() > 0)
-	if !hasRows && req.Generate == nil {
+	if !hasRows && req.Generate == nil && !req.Fleet {
 		// Kinds with a defined empty optimum (LP: the box corner) may
 		// run empty; the rest need data. Hand a consumed upload back
 		// before failing — the client may still be appending rows.

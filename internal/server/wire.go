@@ -120,6 +120,13 @@ type SolveRequest struct {
 	InstanceID string `json:"instance_id,omitempty"`
 	// Generate synthesizes the instance server-side.
 	Generate *GenerateSpec `json:"generate,omitempty"`
+	// Fleet asks the service to solve over its configured worker fleet
+	// (lpserved -workers): the instance lives pre-sharded on the
+	// workers, so fleet requests carry no rows — kind, dimension and
+	// objective come from the workers' shard headers. The model is
+	// coordinator (the only backend with a networked substrate) and
+	// may be omitted.
+	Fleet bool `json:"fleet,omitempty"`
 	// Options tune the solver.
 	Options SolveOptions `json:"options,omitempty"`
 
@@ -245,6 +252,26 @@ const MaxInstanceRows = 5_000_000
 func (r *SolveRequest) Validate() error {
 	r.Kind = strings.ToLower(strings.TrimSpace(r.Kind))
 	r.Model = strings.ToLower(strings.TrimSpace(r.Model))
+	if r.Fleet {
+		// Fleet solves: the workers hold the instance, so no local
+		// material is accepted and the kind (if stated at all) is just
+		// an expectation checked against the fleet's shard headers.
+		if r.Model == "" {
+			r.Model = ModelCoordinator
+		}
+		if r.Model != ModelCoordinator {
+			return fmt.Errorf("fleet solves run on the coordinator model, not %q", r.Model)
+		}
+		if len(r.Rows) > 0 || len(r.rawRows) > 0 || r.InstanceID != "" || r.Generate != nil {
+			return fmt.Errorf("fleet solves take no rows, instance_id or generate — the workers hold the instance")
+		}
+		if r.Kind != "" {
+			if _, err := r.model(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if r.Model == "" {
 		r.Model = ModelRAM
 	}

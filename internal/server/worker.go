@@ -1,0 +1,334 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lowdimlp/internal/comm"
+	"lowdimlp/internal/comm/httptransport"
+	"lowdimlp/internal/coordinator"
+	"lowdimlp/internal/dataset"
+	"lowdimlp/internal/engine"
+)
+
+// Worker is lpserved's worker mode: one process owning one LDSET1
+// dataset shard, answering the coordinator protocol's round-A/round-B
+// frames over a single binary endpoint. k workers plus a coordinator
+// (lpsolve -workers, or an lpserved front end with -workers) execute
+// Algorithm 1 as a real multi-process distributed solve: the shard is
+// opened through the dataset layer (memory-mapped when the host
+// allows, streamed otherwise) and never materialized — protocol scans
+// run straight over the file, exactly as an in-process coordinator
+// site would scan its shard.
+//
+// Endpoints:
+//
+//	POST /v1/worker/step   one enveloped protocol frame in, one out
+//	GET  /v1/worker/info   shard metadata (operator view, JSON)
+//	GET  /healthz          liveness
+//
+// Protocol sessions are per-solve state (bases, RNG, pending basis):
+// FrameBegin opens one, FrameEnd closes it, and sessions idle past
+// the TTL are reclaimed so a crashed coordinator cannot leak them.
+type Worker struct {
+	cfg   WorkerConfig
+	info  dataset.Info
+	src   dataset.Source
+	host  coordinator.SiteHost
+	mux   *http.ServeMux
+	steps atomic.Int64
+
+	mu       sync.Mutex
+	sessions map[uint64]*workerSession
+
+	sweepOnce sync.Once
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+}
+
+// WorkerConfig tunes a Worker.
+type WorkerConfig struct {
+	// DataPath is the LDSET1 shard file this worker owns (one shard of
+	// a sharded dataset, or a whole single-file dataset for a
+	// one-worker fleet).
+	DataPath string
+	// MaxSessions bounds concurrently open protocol sessions
+	// (0 = 64).
+	MaxSessions int
+	// SessionTTL reclaims sessions idle past this horizon
+	// (0 = DefaultSessionTTL; < 0 disables reclamation).
+	SessionTTL time.Duration
+	// MaxFrameBytes bounds one request frame (0 = 4 MiB — coordinator
+	// requests are a basis or two varints, never large).
+	MaxFrameBytes int64
+}
+
+// DefaultSessionTTL is the idle session reclamation horizon.
+const DefaultSessionTTL = 5 * time.Minute
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = DefaultSessionTTL
+	}
+	if c.MaxFrameBytes == 0 {
+		c.MaxFrameBytes = 4 << 20
+	}
+	return c
+}
+
+// workerSession is one open protocol session. Steps within a session
+// are serialized by mu (the coordinator sends one frame at a time per
+// site; the lock makes a misbehaving client safe, not fast). closed,
+// guarded by mu, marks a session the sweeper or an End reclaimed — a
+// step that raced the reclamation and got the pointer before the map
+// delete must not execute on the closed site (its cursor would
+// silently reopen and leak).
+type workerSession struct {
+	id      uint64
+	site    coordinator.Site
+	mu      sync.Mutex
+	closed  bool
+	touched atomic.Int64 // unix nanos of the last step
+}
+
+// close releases the session's site exactly once. Caller must not
+// hold s.mu.
+func (s *workerSession) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		s.site.Close()
+	}
+}
+
+// NewWorker opens the shard and assembles the worker. The shard names
+// its own kind/dim/objective; the kind must be registered. The whole
+// dataset layer's validation applies: a corrupt or truncated shard is
+// an open error here, not a wrong answer mid-protocol.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	m, info, src, err := engine.OpenDatasetSource(cfg.DataPath)
+	if err != nil {
+		return nil, err
+	}
+	if _, sharded := src.(*dataset.ShardedFile); sharded {
+		dataset.CloseSource(src)
+		return nil, fmt.Errorf("%s: is an LDSETM manifest; a worker owns one LDSET1 shard file — start one worker per shard", cfg.DataPath)
+	}
+	host, err := m.NewSiteHost(info.Dim, info.Objective, src)
+	if err != nil {
+		dataset.CloseSource(src)
+		return nil, err
+	}
+	w := &Worker{
+		cfg:       cfg,
+		info:      info,
+		src:       src,
+		host:      host,
+		mux:       http.NewServeMux(),
+		sessions:  make(map[uint64]*workerSession),
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	w.mux.HandleFunc("POST "+httptransport.StepPath, w.handleStep)
+	w.mux.HandleFunc("GET /v1/worker/info", w.handleInfo)
+	w.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		writeJSON(rw, http.StatusOK, map[string]bool{"ok": true})
+	})
+	go w.sweepLoop()
+	return w, nil
+}
+
+// Handler returns the root handler.
+func (w *Worker) Handler() http.Handler { return w.mux }
+
+// Info returns the shard metadata.
+func (w *Worker) Info() dataset.Info { return w.info }
+
+// Close stops the session sweeper, closes every open session, and
+// releases the shard.
+func (w *Worker) Close() error {
+	w.sweepOnce.Do(func() { close(w.sweepStop) })
+	<-w.sweepDone
+	w.mu.Lock()
+	stale := make([]*workerSession, 0, len(w.sessions))
+	for id, s := range w.sessions {
+		delete(w.sessions, id)
+		stale = append(stale, s)
+	}
+	w.mu.Unlock()
+	for _, s := range stale {
+		s.close()
+	}
+	dataset.CloseSource(w.src)
+	return nil
+}
+
+// sweepLoop reclaims idle sessions until Close.
+func (w *Worker) sweepLoop() {
+	defer close(w.sweepDone)
+	ttl := w.cfg.SessionTTL
+	if ttl < 0 {
+		return
+	}
+	interval := ttl / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			cutoff := time.Now().Add(-ttl).UnixNano()
+			w.mu.Lock()
+			var stale []*workerSession
+			for id, s := range w.sessions {
+				if s.touched.Load() < cutoff {
+					delete(w.sessions, id)
+					stale = append(stale, s)
+				}
+			}
+			w.mu.Unlock()
+			for _, s := range stale {
+				s.close()
+			}
+		case <-w.sweepStop:
+			return
+		}
+	}
+}
+
+// siteInfo is the shard metadata in protocol form.
+func (w *Worker) siteInfo() comm.SiteInfo {
+	return comm.SiteInfo{
+		Kind:      w.info.Kind,
+		Dim:       w.info.Dim,
+		Width:     w.info.Width,
+		Rows:      w.info.Rows,
+		Objective: w.info.Objective,
+	}
+}
+
+// newSessionID mints an unguessable nonzero session id — the endpoint
+// is unauthenticated, so sequential ids would let any client step (and
+// corrupt) another coordinator's session.
+func newSessionID() uint64 {
+	for {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			panic(err) // crypto/rand never fails on supported platforms
+		}
+		if id := binary.LittleEndian.Uint64(b[:]); id != 0 {
+			return id
+		}
+	}
+}
+
+// handleStep is the protocol endpoint: one enveloped frame per POST.
+// Malformed envelopes and payloads are 4xx responses (the transport
+// client surfaces them as typed errors); only a genuinely broken
+// shard read would 500.
+func (w *Worker) handleStep(rw http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, w.cfg.MaxFrameBytes))
+	if err != nil {
+		writeError(rw, decodeErrorStatus(err), fmt.Errorf("reading frame: %w", err))
+		return
+	}
+	f, err := comm.DecodeFrameStrict(body)
+	if err != nil {
+		writeError(rw, http.StatusBadRequest, err)
+		return
+	}
+	w.steps.Add(1)
+	reply := func(session uint64, payload []byte) {
+		rw.Header().Set("Content-Type", "application/octet-stream")
+		rw.Write(comm.EncodeFrame(comm.Frame{Type: comm.FrameReply, Session: session, Seq: f.Seq, Payload: payload}))
+	}
+	switch f.Type {
+	case comm.FrameInfo:
+		reply(0, comm.AppendSiteInfo(nil, w.siteInfo()))
+	case comm.FrameBegin:
+		seed, site, mult, err := comm.DecodeBeginPayload(f.Payload)
+		if err != nil {
+			writeError(rw, http.StatusBadRequest, err)
+			return
+		}
+		s := &workerSession{id: newSessionID(), site: w.host.NewSession(seed, site, mult)}
+		s.touched.Store(time.Now().UnixNano())
+		w.mu.Lock()
+		if len(w.sessions) >= w.cfg.MaxSessions {
+			w.mu.Unlock()
+			s.site.Close()
+			writeError(rw, http.StatusServiceUnavailable,
+				fmt.Errorf("too many open protocol sessions (limit %d)", w.cfg.MaxSessions))
+			return
+		}
+		w.sessions[s.id] = s
+		w.mu.Unlock()
+		b := comm.NewBuffer()
+		b.PutUvarint(uint64(w.host.Rows()))
+		reply(s.id, b.Bytes())
+	case comm.FrameEnd:
+		w.mu.Lock()
+		s, ok := w.sessions[f.Session]
+		delete(w.sessions, f.Session)
+		w.mu.Unlock()
+		if !ok {
+			writeError(rw, http.StatusNotFound, fmt.Errorf("unknown session %d", f.Session))
+			return
+		}
+		s.close()
+		reply(f.Session, nil)
+	default:
+		w.mu.Lock()
+		s, ok := w.sessions[f.Session]
+		w.mu.Unlock()
+		if !ok {
+			writeError(rw, http.StatusNotFound, fmt.Errorf("unknown session %d", f.Session))
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			// The sweeper (or a concurrent End) reclaimed the session
+			// between our map lookup and this lock.
+			s.mu.Unlock()
+			writeError(rw, http.StatusNotFound, fmt.Errorf("unknown session %d", f.Session))
+			return
+		}
+		s.touched.Store(time.Now().UnixNano())
+		payload, err := s.site.Step(f.Type, f.Payload)
+		s.mu.Unlock()
+		if err != nil {
+			writeError(rw, http.StatusUnprocessableEntity, err)
+			return
+		}
+		reply(f.Session, payload)
+	}
+}
+
+// handleInfo is the operator view of the shard.
+func (w *Worker) handleInfo(rw http.ResponseWriter, _ *http.Request) {
+	w.mu.Lock()
+	open := len(w.sessions)
+	w.mu.Unlock()
+	writeJSON(rw, http.StatusOK, map[string]any{
+		"kind":      w.info.Kind,
+		"dim":       w.info.Dim,
+		"width":     w.info.Width,
+		"rows":      w.info.Rows,
+		"objective": w.info.Objective,
+		"sessions":  open,
+		"steps":     w.steps.Load(),
+	})
+}

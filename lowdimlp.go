@@ -262,6 +262,10 @@ type SolveStats = engine.Stats
 // layout, generator families and the backend-generic solver.
 type ProblemModel = engine.Model
 
+// GenParams parameterize a registered kind's instance generators
+// (ProblemModel.Generate).
+type GenParams = engine.GenParams
+
 // Kinds returns the registered problem kinds ("lp", "svm", "meb",
 // "sea", ...).
 func Kinds() []string { return engine.Kinds() }
@@ -331,3 +335,16 @@ func SolveDatasetFile(path, backend string, opt Options) (Solution, SolveStats, 
 // IsDatasetFile reports whether the file at path begins with either
 // binary dataset magic (cheap sniff; no full header validation).
 func IsDatasetFile(path string) bool { return engine.IsDatasetFile(path) }
+
+// SolveFleet runs the coordinator model as a real multi-process
+// distributed solve: each worker is the base URL of an lpserved
+// worker process (`lpserved -worker shard.lds`) owning one shard of
+// the instance, and worker i plays site i of the two-round protocol
+// (list workers in shard order). The workers' shard headers name the
+// instance kind, which is returned alongside the solution. For the
+// same shards, seed and options the result — solution, rounds, and
+// metered communication bits — is bit-identical to the in-process
+// coordinator over the matching sharded dataset.
+func SolveFleet(workers []string, opt Options) (string, Solution, SolveStats, error) {
+	return engine.SolveFleet(workers, opt.engine())
+}
