@@ -22,8 +22,15 @@
 //	POST /v1/instances/{id}/rows  append a batch
 //	GET  /v1/instances            list open uploads (operator view)
 //	DELETE /v1/instances/{id}     drop an upload
+//	GET  /v1/traces               recent solve traces (ring, newest first)
 //	GET  /healthz                 liveness
 //	GET  /metrics                 Prometheus-style metrics
+//
+// Solve requests carrying "trace": true (or ?trace=1 on the
+// query-string form) return a span-level trace of the solve inline in
+// the job status; every captured trace also lands in the /v1/traces
+// ring (-trace-buffer). Tracing never changes the answer or the
+// metered bits (DESIGN.md §10).
 //
 // Chunk uploads idle longer than -instance-ttl are reclaimed
 // automatically, so abandoned uploads cannot wedge the slot limit.
@@ -94,6 +101,7 @@ func main() {
 		workerData = flag.String("worker", "", "run in worker mode, owning this LDSET1 dataset shard")
 		sessTTL    = flag.Duration("session-ttl", server.DefaultSessionTTL, "worker mode: idle protocol-session eviction horizon (negative disables)")
 		fleet      = flag.String("workers", "", "comma-separated worker base URLs serving \"fleet\": true solves (worker i = site i)")
+		traceBuf   = flag.Int("trace-buffer", 0, "solve-trace ring capacity for GET /v1/traces (0 = 128, negative disables)")
 	)
 	flag.Parse()
 
@@ -111,6 +119,7 @@ func main() {
 		SpillRows:    *spillRows,
 		SpillDir:     *spillDir,
 		FleetWorkers: httptransport.SplitList(*fleet),
+		TraceBuffer:  *traceBuf,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

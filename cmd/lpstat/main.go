@@ -1,0 +1,104 @@
+// Command lpstat is the operator's window into a lowdimlp deployment:
+// it polls an lpserved frontend and its worker fleet — health,
+// metrics, shard metadata, and a live protocol probe per worker — and
+// renders a color-coded status board or, as `lpstat doctor`, runs the
+// heuristic rule table that turns raw observations into plain-language
+// diagnoses with suggested fixes.
+//
+// Usage:
+//
+//	lpstat [-frontend URL] [-workers host1,host2,...] [flags]
+//	lpstat doctor [-frontend URL] [-workers host1,host2,...] [flags]
+//
+// Flags:
+//
+//	-frontend URL   lpserved frontend base URL (e.g. http://localhost:8080)
+//	-workers LIST   comma-separated worker base URLs, in site order
+//	-watch          refresh the board continuously
+//	-interval D     watch refresh interval (default 2s)
+//	-timeout D      per-probe HTTP timeout (default 3s)
+//	-no-color       plain output (also automatic when not a TTY)
+//
+// The board marks each worker UP (probed end-to-end through a real
+// protocol frame), BROKEN (answers HTTP but not the worker protocol),
+// or DOWN, alongside its shard, session and traffic counters. The
+// doctor exits 1 when any error-severity finding exists, so it can
+// gate deploy scripts:
+//
+//	lpstat doctor -workers host1:9001,host2:9001 || exit 1
+//
+// See DESIGN.md §10 for the full rule table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lowdimlp/internal/comm/httptransport"
+	"lowdimlp/internal/lpstat"
+)
+
+func main() {
+	args := os.Args[1:]
+	doctor := len(args) > 0 && args[0] == "doctor"
+	if doctor {
+		args = args[1:]
+	}
+
+	fs := flag.NewFlagSet("lpstat", flag.ExitOnError)
+	var (
+		frontend = fs.String("frontend", "", "lpserved frontend base URL")
+		workers  = fs.String("workers", "", "comma-separated worker base URLs (site order)")
+		watch    = fs.Bool("watch", false, "refresh continuously")
+		interval = fs.Duration("interval", 2*time.Second, "watch refresh interval")
+		timeout  = fs.Duration("timeout", 3*time.Second, "per-probe HTTP timeout")
+		noColor  = fs.Bool("no-color", false, "disable ANSI colors")
+	)
+	fs.Parse(args)
+
+	opt := lpstat.Options{
+		Frontend: *frontend,
+		Workers:  httptransport.SplitList(*workers),
+		Timeout:  *timeout,
+	}
+	if opt.Frontend == "" && len(opt.Workers) == 0 {
+		fmt.Fprintln(os.Stderr, "lpstat: nothing to inspect — pass -frontend and/or -workers")
+		os.Exit(2)
+	}
+	color := !*noColor && isTTY()
+
+	if doctor {
+		findings := lpstat.Diagnose(lpstat.Collect(opt))
+		lpstat.RenderFindings(os.Stdout, findings, color)
+		if lpstat.HasErrors(findings) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	for {
+		fleet := lpstat.Collect(opt)
+		if *watch {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		fmt.Printf("lpstat @ %s\n", fleet.When.Format(time.TimeOnly))
+		lpstat.RenderBoard(os.Stdout, fleet, color)
+		if !*watch {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// isTTY reports whether stdout looks like a terminal — char device,
+// not a pipe or file — so plain `lpstat > log` output stays clean
+// without -no-color.
+func isTTY() bool {
+	fi, err := os.Stdout.Stat()
+	if err != nil {
+		return false
+	}
+	return fi.Mode()&os.ModeCharDevice != 0
+}

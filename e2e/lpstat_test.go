@@ -1,0 +1,120 @@
+package e2e
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lowdimlp"
+)
+
+// TestLpstatDoctorE2E drives the real inspector against a real fleet:
+// it builds lpserved and lpstat, launches 3 worker processes over a
+// sharded lp instance, and checks that (a) the board shows every site
+// UP, (b) `lpstat doctor` exits clean on the healthy fleet, and (c)
+// after killing one worker the doctor exits 1 and names the dead site.
+func TestLpstatDoctorE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke: skipped in -short mode")
+	}
+	bin := t.TempDir()
+	for _, cmd := range []string{"lpserved", "lpstat"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "lowdimlp/cmd/"+cmd)
+		build.Dir = ".."
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+	}
+	lpserved := filepath.Join(bin, "lpserved")
+	lpstat := filepath.Join(bin, "lpstat")
+
+	m, _ := lowdimlp.LookupKind("lp")
+	inst, err := m.Generate(m.Families()[0], lowdimlp.GenParams{N: 6000, D: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "ds.ldm")
+	const k = 3
+	if err := lowdimlp.WriteShardedDatasetFile(manifest, "lp", inst, k); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := make([]string, k)
+	procs := make([]*exec.Cmd, k)
+	for i := 0; i < k; i++ {
+		addrs[i] = grabAddr(t)
+		w := exec.Command(lpserved,
+			"-worker", filepath.Join(dir, fmt.Sprintf("ds-%03d.lds", i)),
+			"-addr", addrs[i])
+		w.Stdout, w.Stderr = os.Stderr, os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = w
+		t.Cleanup(func() {
+			w.Process.Kill()
+			w.Wait()
+		})
+	}
+	for _, a := range addrs {
+		waitHealthy(t, a)
+	}
+	workerList := "http://" + strings.Join(addrs, ",http://")
+
+	// Healthy fleet: the board marks every site UP, the doctor is clean.
+	board, code := runLpstat(t, lpstat, "-no-color", "-workers", workerList)
+	if code != 0 {
+		t.Fatalf("lpstat board exited %d:\n%s", code, board)
+	}
+	if got := strings.Count(board, " UP"); got < k {
+		t.Errorf("board shows %d UP workers, want %d:\n%s", got, k, board)
+	}
+	if strings.Contains(board, "DOWN") || strings.Contains(board, "BROKEN") {
+		t.Errorf("healthy board reports a fault:\n%s", board)
+	}
+
+	diag, code := runLpstat(t, lpstat, "doctor", "-no-color", "-workers", workerList)
+	if code != 0 {
+		t.Fatalf("doctor exited %d on a healthy fleet:\n%s", code, diag)
+	}
+	if !strings.Contains(diag, "healthy") || !strings.Contains(diag, "all checks passed") {
+		t.Errorf("healthy doctor output unexpected:\n%s", diag)
+	}
+
+	// Kill site 1 and diagnose again: exit 1, dead site named.
+	procs[1].Process.Kill()
+	procs[1].Wait()
+
+	diag, code = runLpstat(t, lpstat, "doctor", "-no-color", "-workers", workerList)
+	if code != 1 {
+		t.Fatalf("doctor exited %d after killing a worker, want 1:\n%s", code, diag)
+	}
+	if !strings.Contains(diag, "worker-unreachable") {
+		t.Errorf("doctor missed the dead worker:\n%s", diag)
+	}
+	if !strings.Contains(diag, "worker 1") || !strings.Contains(diag, addrs[1]) {
+		t.Errorf("doctor does not name dead site 1 (%s):\n%s", addrs[1], diag)
+	}
+	if strings.Contains(diag, "worker 0 (") || strings.Contains(diag, "worker 2 (") {
+		t.Errorf("doctor blamed a live site:\n%s", diag)
+	}
+}
+
+// runLpstat runs lpstat to completion, tolerating the doctor's
+// nonzero exit, and returns combined output plus the exit code.
+func runLpstat(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return string(out), ee.ExitCode()
+		}
+		t.Fatalf("lpstat %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out), 0
+}

@@ -1,0 +1,105 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+)
+
+// Error classes: the coarse failure taxonomy of one transport
+// exchange, derived from the typed error chain. They are the
+// vocabulary shared by the httptransport exchange counters, solve
+// traces, and lpstat's doctor heuristics — "which of the known ways
+// did this site fail".
+const (
+	// ClassTimeout: the exchange deadline expired (a hung or
+	// overloaded worker).
+	ClassTimeout = "timeout"
+	// ClassUnreachable: the connection itself failed (dead process,
+	// wrong address, network partition).
+	ClassUnreachable = "unreachable"
+	// ClassProtocol: the remote spoke the wire format wrong — short,
+	// garbage or mismatched frames (ErrProtocol anywhere in the chain).
+	ClassProtocol = "protocol"
+	// ClassSession: the remote no longer knows the session (its TTL
+	// sweeper reclaimed it, or it restarted mid-solve).
+	ClassSession = "session-expired"
+	// ClassRemote: the remote answered with an HTTP error that is not
+	// a session loss (worker-side solve failure, overload rejection).
+	ClassRemote = "remote"
+	// ClassOther: none of the above (local request-building failures,
+	// unexpected I/O errors).
+	ClassOther = "other"
+)
+
+// RemoteError is a non-OK HTTP response from a worker, preserved with
+// its status code so callers (and ErrorClass) can distinguish a
+// session loss (404) from an overload rejection (503) or a worker-side
+// failure. httptransport wraps every non-200 step response in one.
+type RemoteError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Msg is the (truncated) response body.
+	Msg string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("HTTP %d: %s", e.Status, e.Msg)
+}
+
+// ErrorClass maps an exchange error to its class. It unwraps
+// TransportError automatically, so both the wrapped cause and the
+// full typed error classify identically.
+func ErrorClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	var te *TransportError
+	if errors.As(err, &te) {
+		err = te.Err
+	}
+	// Deadline first: a timeout often surfaces wrapped in a net/url
+	// error, and the context sentinel is the reliable signal.
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return ClassTimeout
+	}
+	if errors.Is(err, ErrProtocol) {
+		return ClassProtocol
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		if re.Status == 404 && strings.Contains(re.Msg, "unknown session") {
+			return ClassSession
+		}
+		return ClassRemote
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		if ne.Timeout() {
+			return ClassTimeout
+		}
+		return ClassUnreachable
+	}
+	var op *net.OpError
+	if errors.As(err, &op) {
+		return ClassUnreachable
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		// A connection that died mid-response: the peer is gone.
+		return ClassUnreachable
+	}
+	return ClassOther
+}
+
+// Class returns the error class of the failed exchange (a ClassXxx
+// constant) — the doctor-rule vocabulary.
+func (e *TransportError) Class() string { return ErrorClass(e.Err) }
+
+// ErrorClasses lists every class in display order (for metric
+// renderers that want stable, complete families).
+func ErrorClasses() []string {
+	return []string{ClassTimeout, ClassUnreachable, ClassProtocol, ClassSession, ClassRemote, ClassOther}
+}

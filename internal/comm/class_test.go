@@ -1,0 +1,69 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+	"testing"
+)
+
+func TestErrorClass(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"nil", nil, ""},
+		{"deadline", context.DeadlineExceeded, ClassTimeout},
+		{"wrapped deadline", fmt.Errorf("Post %q: %w", "http://x", context.DeadlineExceeded), ClassTimeout},
+		{"protocol", fmt.Errorf("%w: bad frame magic", ErrProtocol), ClassProtocol},
+		{"session 404", &RemoteError{Status: 404, Msg: `{"error":"unknown session 99"}`}, ClassSession},
+		{"plain 404", &RemoteError{Status: 404, Msg: `{"error":"no such job"}`}, ClassRemote},
+		{"overload 503", &RemoteError{Status: 503, Msg: "too many open protocol sessions"}, ClassRemote},
+		{"refused", &net.OpError{Op: "dial", Err: syscall.ECONNREFUSED}, ClassUnreachable},
+		{"net timeout", &timeoutErr{}, ClassTimeout},
+		{"other", fmt.Errorf("something else"), ClassOther},
+	}
+	for _, c := range cases {
+		if got := ErrorClass(c.err); got != c.want {
+			t.Errorf("%s: ErrorClass = %q, want %q", c.name, got, c.want)
+		}
+		// The typed transport error classifies like its cause.
+		if c.err == nil {
+			continue
+		}
+		te := &TransportError{Site: 1, Type: FrameRoundA, Err: c.err}
+		if got := te.Class(); got != c.want {
+			t.Errorf("%s: TransportError.Class = %q, want %q", c.name, got, c.want)
+		}
+		if got := ErrorClass(te); got != c.want {
+			t.Errorf("%s: ErrorClass(TransportError) = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+// timeoutErr is a net.Error that reports a timeout without being the
+// context sentinel (e.g. a TCP read deadline).
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+var _ net.Error = timeoutErr{}
+
+func TestErrorClassesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range ErrorClasses() {
+		if seen[c] {
+			t.Errorf("duplicate class %q", c)
+		}
+		seen[c] = true
+	}
+	for _, c := range []string{ClassTimeout, ClassUnreachable, ClassProtocol, ClassSession, ClassRemote, ClassOther} {
+		if !seen[c] {
+			t.Errorf("class %q missing from ErrorClasses()", c)
+		}
+	}
+}

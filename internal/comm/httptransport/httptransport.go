@@ -53,6 +53,11 @@ type Options struct {
 	// with no client-level timeout; the per-exchange timeout above
 	// still applies).
 	Client *http.Client
+	// Metrics, when non-nil, collects per-exchange latency and
+	// error-class counters across every exchange this fleet performs
+	// (a frontend shares one collector across solves so /metrics shows
+	// cumulative fleet health).
+	Metrics *Metrics
 }
 
 func (o Options) timeout() time.Duration {
@@ -310,7 +315,9 @@ func (f *Fleet) exchange(i int, frame comm.Frame) (comm.Frame, error) {
 }
 
 // exchangeTimeout is exchange with an explicit deadline.
-func (f *Fleet) exchangeTimeout(i int, frame comm.Frame, timeout time.Duration) (comm.Frame, error) {
+func (f *Fleet) exchangeTimeout(i int, frame comm.Frame, timeout time.Duration) (rep comm.Frame, err error) {
+	start := time.Now()
+	defer func() { f.opt.Metrics.observe(time.Since(start), err) }()
 	fail := func(err error) (comm.Frame, error) {
 		return comm.Frame{}, &comm.TransportError{Site: i, Type: frame.Type, Err: err}
 	}
@@ -336,9 +343,10 @@ func (f *Fleet) exchangeTimeout(i int, frame comm.Frame, timeout time.Duration) 
 		if len(msg) > 512 {
 			msg = msg[:512] + "…"
 		}
-		return fail(fmt.Errorf("worker %s: HTTP %d: %s", f.urls[i], resp.StatusCode, msg))
+		return fail(fmt.Errorf("worker %s: %w", f.urls[i],
+			&comm.RemoteError{Status: resp.StatusCode, Msg: msg}))
 	}
-	rep, err := comm.DecodeFrameStrict(body)
+	rep, err = comm.DecodeFrameStrict(body)
 	if err != nil {
 		return fail(err)
 	}

@@ -1,0 +1,73 @@
+package httptransport
+
+import (
+	"sync"
+	"time"
+
+	"lowdimlp/internal/comm"
+)
+
+// Metrics aggregates per-exchange latency and error counters for one
+// transport client — the frontend-side view of fleet health. Errors
+// are keyed by comm error class (comm.ErrorClass over the typed
+// *comm.TransportError), so a scrape can tell a dead worker from a
+// corrupt-frame worker from a TTL-expired session without parsing
+// error strings. Attach one via Options.Metrics; nil disables
+// collection at zero cost.
+type Metrics struct {
+	mu        sync.Mutex
+	exchanges int64
+	errors    map[string]int64 // error class → count
+	seconds   float64          // total latency, successful + failed
+	max       float64
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{errors: make(map[string]int64)}
+}
+
+// observe records one exchange. Nil-safe: a nil receiver no-ops, so
+// the transport instruments unconditionally.
+func (m *Metrics) observe(d time.Duration, err error) {
+	if m == nil {
+		return
+	}
+	s := d.Seconds()
+	m.mu.Lock()
+	m.exchanges++
+	m.seconds += s
+	if s > m.max {
+		m.max = s
+	}
+	if err != nil {
+		m.errors[comm.ErrorClass(err)]++
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	// Exchanges counts every request/reply exchange attempted.
+	Exchanges int64
+	// Errors counts failed exchanges by comm error class.
+	Errors map[string]int64
+	// Seconds is total exchange latency (successful and failed).
+	Seconds float64
+	// MaxSeconds is the slowest single exchange.
+	MaxSeconds float64
+}
+
+// Snapshot returns a copy of the current counters (empty for nil).
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{Errors: map[string]int64{}}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	errs := make(map[string]int64, len(m.errors))
+	for k, v := range m.errors {
+		errs[k] = v
+	}
+	return Snapshot{Exchanges: m.exchanges, Errors: errs, Seconds: m.seconds, MaxSeconds: m.max}
+}

@@ -45,6 +45,7 @@ import (
 	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/lptype"
 	"lowdimlp/internal/numeric"
+	"lowdimlp/internal/obs"
 	"lowdimlp/internal/sampling"
 )
 
@@ -54,6 +55,12 @@ type Options struct {
 	// Parallel runs site-local computation on goroutines (one per
 	// site). The protocol and its randomness are identical either way.
 	Parallel bool
+	// Trace, when non-nil, records the solve's execution structure:
+	// one span per site exchange (with the exact payload bytes the
+	// Meter charges) plus the begin/merge phases. Tracing observes
+	// values that already exist — it never changes the protocol, the
+	// answer, or the metered totals, and a nil Trace costs nothing.
+	Trace *obs.Trace
 }
 
 // Stats reports the resources of a coordinator-model run — the
@@ -220,9 +227,13 @@ func SolveTransport[C, B any](
 
 	// Session setup (control plane: seeds and the multiplier are
 	// public run parameters, not protocol communication).
+	trace := opt.Trace
+	bsp := trace.Start("begin")
 	if err := tr.Begin(opt.Core.Seed, mult); err != nil {
+		bsp.EndErr(err, comm.ErrorClass(err))
 		return zero, stats, err
 	}
+	bsp.End()
 
 	if m >= n {
 		// Tiny input: sites ship everything in one round (the protocol
@@ -230,8 +241,10 @@ func SolveTransport[C, B any](
 		meter.StartRound()
 		var all []C
 		for i := 0; i < k; i++ {
+			sp := trace.StartSite("ship-all", i, 1)
 			rep, err := tr.RoundTrip(i, comm.FrameShipAll, nil)
 			if err != nil {
+				sp.EndErr(err, comm.ErrorClass(err))
 				finish()
 				return zero, stats, err
 			}
@@ -239,23 +252,30 @@ func SolveTransport[C, B any](
 			for j, rows := 0, tr.SiteRows(i); j < rows; j++ {
 				c, err := comm.Value(buf, ccodec)
 				if err != nil {
-					finish()
-					return zero, stats, &comm.TransportError{Site: i, Type: comm.FrameShipAll,
+					terr := &comm.TransportError{Site: i, Type: comm.FrameShipAll,
 						Err: fmt.Errorf("%w: ship-all item %d: %v", comm.ErrProtocol, j, err)}
+					sp.EndErr(terr, terr.Class())
+					finish()
+					return zero, stats, terr
 				}
 				meter.Charge(ccodec.Bits(c))
 				all = append(all, c)
 			}
 			if buf.Remaining() != 0 {
-				finish()
-				return zero, stats, &comm.TransportError{Site: i, Type: comm.FrameShipAll,
+				terr := &comm.TransportError{Site: i, Type: comm.FrameShipAll,
 					Err: fmt.Errorf("%w: %d trailing bytes in ship-all reply", comm.ErrProtocol, buf.Remaining())}
+				sp.EndErr(terr, terr.Class())
+				finish()
+				return zero, stats, terr
 			}
+			sp.EndBytes(int64(len(rep)))
 		}
 		finish()
 		stats.DirectSolve = true
 		stats.NetSize = n
+		msp := trace.Start("merge")
 		b, err := dom.Solve(all)
+		msp.End()
 		return b, stats, err
 	}
 
@@ -275,7 +295,9 @@ func SolveTransport[C, B any](
 		repViol := make([]float64, k)
 		repCount := make([]int, k)
 		siteErr := make([]error, k)
+		round := meter.Rounds()
 		runSites(opt, k, func(i int) {
+			sp := trace.StartSite("round-a", i, round)
 			// coord → site i: the pending basis (or none).
 			req := comm.NewBuffer()
 			req.PutBool(pending != nil)
@@ -286,6 +308,7 @@ func SolveTransport[C, B any](
 			rep, err := tr.RoundTrip(i, comm.FrameRoundA, req.Bytes())
 			if err != nil {
 				siteErr[i] = err
+				sp.EndErr(err, comm.ErrorClass(err))
 				return
 			}
 			// site i → coord: two weights and a count.
@@ -299,11 +322,14 @@ func SolveTransport[C, B any](
 				if err == nil {
 					err = fmt.Errorf("%d trailing bytes", buf.Remaining())
 				}
-				siteErr[i] = &comm.TransportError{Site: i, Type: comm.FrameRoundA,
+				terr := &comm.TransportError{Site: i, Type: comm.FrameRoundA,
 					Err: fmt.Errorf("%w: round A reply: %v", comm.ErrProtocol, err)}
+				siteErr[i] = terr
+				sp.EndErr(terr, terr.Class())
 				return
 			}
 			meter.Charge(8 * len(rep))
+			sp.EndBytes(int64(req.Len() + len(rep)))
 		})
 		stats.Iterations++
 		if err := firstError(siteErr); err != nil {
@@ -349,8 +375,10 @@ func SolveTransport[C, B any](
 
 		// ---- Round B: flag + allocation out, sampled items back. ----
 		meter.StartRound()
+		round = meter.Rounds()
 		netParts := make([][]C, k)
 		runSites(opt, k, func(i int) {
+			sp := trace.StartSite("round-b", i, round)
 			req := comm.NewBuffer()
 			req.PutBool(success)
 			req.PutInt(alloc[i])
@@ -358,31 +386,41 @@ func SolveTransport[C, B any](
 			rep, err := tr.RoundTrip(i, comm.FrameRoundB, req.Bytes())
 			if err != nil {
 				siteErr[i] = err
+				sp.EndErr(err, comm.ErrorClass(err))
 				return
 			}
 			if alloc[i] == 0 {
 				if len(rep) != 0 {
-					siteErr[i] = &comm.TransportError{Site: i, Type: comm.FrameRoundB,
+					terr := &comm.TransportError{Site: i, Type: comm.FrameRoundB,
 						Err: fmt.Errorf("%w: unsolicited %d-byte round B reply", comm.ErrProtocol, len(rep))}
+					siteErr[i] = terr
+					sp.EndErr(terr, terr.Class())
+					return
 				}
+				sp.EndBytes(int64(req.Len()))
 				return
 			}
 			buf := comm.FromBytes(rep)
 			picked := make([]C, alloc[i])
 			for t := range picked {
 				if picked[t], err = comm.Value(buf, ccodec); err != nil {
-					siteErr[i] = &comm.TransportError{Site: i, Type: comm.FrameRoundB,
+					terr := &comm.TransportError{Site: i, Type: comm.FrameRoundB,
 						Err: fmt.Errorf("%w: sampled item %d: %v", comm.ErrProtocol, t, err)}
+					siteErr[i] = terr
+					sp.EndErr(terr, terr.Class())
 					return
 				}
 			}
 			if buf.Remaining() != 0 {
-				siteErr[i] = &comm.TransportError{Site: i, Type: comm.FrameRoundB,
+				terr := &comm.TransportError{Site: i, Type: comm.FrameRoundB,
 					Err: fmt.Errorf("%w: %d trailing bytes in round B reply", comm.ErrProtocol, buf.Remaining())}
+				siteErr[i] = terr
+				sp.EndErr(terr, terr.Class())
 				return
 			}
 			netParts[i] = picked
 			meter.Charge(8 * len(rep))
+			sp.EndBytes(int64(req.Len() + len(rep)))
 		})
 		if err := firstError(siteErr); err != nil {
 			finish()
@@ -393,11 +431,14 @@ func SolveTransport[C, B any](
 		for _, p := range netParts {
 			net = append(net, p...)
 		}
+		msp := trace.Start("merge")
 		basis, err := dom.Solve(net)
 		if err != nil {
+			msp.EndErr(err, "")
 			finish()
 			return zero, stats, err
 		}
+		msp.End()
 		pending = &basis
 	}
 	finish()

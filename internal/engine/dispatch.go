@@ -57,7 +57,7 @@ func SolveCoordinator[P, C, B any](s *Spec[P, C, B], p P, parts [][]C, opt Optio
 	dom := s.NewDomain(p, opt.Seed^s.SeedMix)
 	dim := s.Dim(p)
 	return coordinator.Solve(dom, parts, s.ItemCodec(dim), s.BasisCodec(dim),
-		coordinator.Options{Core: opt.Core(), Parallel: opt.Parallel})
+		coordinator.Options{Core: opt.Core(), Parallel: opt.EffectiveParallel(), Trace: opt.Trace})
 }
 
 // SolveMPC solves in the MPC model with per-machine load O~(n^Delta)
@@ -111,7 +111,7 @@ func SolveSourceRAM[P, C, B any](s *Spec[P, C, B], p P, src dataset.Source, opt 
 // order is the original one, so (as everywhere Parallel appears) the
 // answer is bit-identical and only wall-clock changes.
 func SolveSourceStreaming[P, C, B any](s *Spec[P, C, B], p P, src dataset.Source, opt Options) (B, StreamingStats, error) {
-	if opt.Parallel {
+	if opt.EffectiveParallel() {
 		src = dataset.Parallel(src)
 	}
 	dim := s.Dim(p)
@@ -134,7 +134,7 @@ func SolveSourceCoordinator[P, C, B any](s *Spec[P, C, B], p P, src dataset.Sour
 	dim := s.Dim(p)
 	return coordinator.SolveSource(specAccess(s, p, opt.Seed^s.SeedMix), src, opt.Sites(),
 		s.ItemCodec(dim), s.BasisCodec(dim),
-		coordinator.Options{Core: opt.Core(), Parallel: opt.Parallel})
+		coordinator.Options{Core: opt.Core(), Parallel: opt.EffectiveParallel(), Trace: opt.Trace})
 }
 
 // SolveSourceMPC distributes the source round-robin across the MPC

@@ -20,7 +20,10 @@
 package engine
 
 import (
+	"runtime"
+
 	"lowdimlp/internal/core"
+	"lowdimlp/internal/obs"
 )
 
 // Backend names: the computation models of the paper, as they appear
@@ -69,10 +72,27 @@ type Options struct {
 	// entry points take explicit partitions and ignore it.
 	K int
 	// Parallel runs coordinator site-local computation on one
-	// goroutine per site. The protocol, its randomness and the metered
-	// communication are identical either way; only wall-clock time
-	// changes. Ignored by the other backends.
+	// goroutine per site (and sharded streaming scans on one decode
+	// goroutine per shard). The protocol, its randomness and the
+	// metered communication are identical either way; only wall-clock
+	// time changes. On a single-CPU host the fan-out is pure overhead
+	// (BENCH_M3: parallel *loses* at GOMAXPROCS=1), so the engine
+	// auto-disables it there — see EffectiveParallel.
 	Parallel bool
+	// Trace, when non-nil, records the solve's execution structure
+	// (phases, per-round site exchanges with their protocol bytes,
+	// typed error annotations — see internal/obs). Tracing never
+	// changes the answer or the metered totals; nil costs nothing.
+	Trace *obs.Trace
+}
+
+// EffectiveParallel reports whether Parallel will actually fan out:
+// requested, and more than one CPU to fan out onto. With GOMAXPROCS=1
+// goroutine-per-site/shard is pure scheduling overhead on top of the
+// same serial execution, so the engine silently falls back to the
+// serial path (identical answers — Parallel never affects results).
+func (o Options) EffectiveParallel() bool {
+	return o.Parallel && runtime.GOMAXPROCS(0) > 1
 }
 
 // Core converts to the core-algorithm options, applying the library
@@ -108,7 +128,7 @@ func (o Options) Sites() int {
 //   - mpc reads R (zero stays zero: it means "derive from δ"), Delta,
 //     Seed, MonteCarlo, NetConst.
 //
-// Parallel never affects the answer and is always cleared.
+// Parallel and Trace never affect the answer and are always cleared.
 func Canonical(backend string, o Options) Options {
 	c := Options{Seed: o.Seed}
 	normR := func() int {

@@ -1,0 +1,181 @@
+package lpstat
+
+import (
+	"fmt"
+
+	"lowdimlp/internal/comm"
+)
+
+// Severity orders findings: errors break solves now, warnings will,
+// ok means the fleet is healthy.
+type Severity int
+
+const (
+	SevOK Severity = iota
+	SevWarn
+	SevError
+)
+
+// String renders the severity for the CLI.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "ERROR"
+	case SevWarn:
+		return "WARN"
+	default:
+		return "OK"
+	}
+}
+
+// Finding is one doctor diagnosis: an observation mapped through the
+// rule table to plain language and a suggested fix.
+type Finding struct {
+	Severity  Severity
+	Rule      string // stable rule name (DESIGN.md §10 table)
+	Target    string // "frontend" or "worker N (url)"
+	Diagnosis string
+	Fix       string
+}
+
+// Diagnose runs the heuristic rule table over one fleet snapshot.
+// Findings come back errors first; a healthy fleet yields exactly one
+// SevOK finding so "no news" is distinguishable from "no check ran".
+func Diagnose(f *Fleet) []Finding {
+	var out []Finding
+	add := func(sev Severity, rule, target, diagnosis, fix string) {
+		out = append(out, Finding{Severity: sev, Rule: rule, Target: target, Diagnosis: diagnosis, Fix: fix})
+	}
+
+	if fe := f.Frontend; fe != nil {
+		if !fe.Reachable {
+			add(SevError, "frontend-unreachable", "frontend",
+				fmt.Sprintf("the frontend at %s is not answering (%s: %s)", fe.URL, fe.ErrClass, fe.Err),
+				"check that lpserved is running and the address/port is right")
+		} else {
+			if fe.JobsFailed > 0 && fe.JobsDone == 0 {
+				add(SevError, "frontend-all-jobs-failing", "frontend",
+					fmt.Sprintf("every finished job failed (%d failed, 0 done)", fe.JobsFailed),
+					"inspect a failed job's error via GET /v1/jobs/{id}; if these are fleet solves, run lpstat doctor with -workers to probe the fleet")
+			} else if fe.JobsFailed > 0 {
+				add(SevWarn, "frontend-failed-jobs", "frontend",
+					fmt.Sprintf("%d of %d finished jobs failed", fe.JobsFailed, fe.JobsFailed+fe.JobsDone),
+					"inspect failed jobs via GET /v1/jobs/{id}")
+			}
+			if fe.JobsQueued > 0 {
+				add(SevWarn, "frontend-queue-backlog", "frontend",
+					fmt.Sprintf("%d jobs are waiting in the queue (%d running)", fe.JobsQueued, fe.JobsRunning),
+					"the pool is saturated: raise -pool, or expect latency")
+			}
+			for class, n := range fe.FleetErrors {
+				rule, diag, fix := fleetErrorRule(class, n)
+				add(SevWarn, rule, "frontend", diag, fix)
+			}
+		}
+	}
+
+	// Fleet coherence: all reachable workers must hold shards of the
+	// same kind and dimension, or the dial-time check fails every
+	// fleet solve.
+	kind, dim := "", 0
+	for _, w := range f.Workers {
+		if w.Reachable && w.Kind != "" {
+			if kind == "" {
+				kind, dim = w.Kind, w.Dim
+			} else if w.Kind != kind || w.Dim != dim {
+				add(SevError, "fleet-incoherent",
+					fmt.Sprintf("worker %d (%s)", w.Site, w.URL),
+					fmt.Sprintf("shard is %s/d=%d but the fleet started as %s/d=%d — fleet solves will refuse to dial",
+						w.Kind, w.Dim, kind, dim),
+					"point every worker at shards of the same converted dataset (lpsolve -convert -shards k)")
+			}
+		}
+	}
+
+	for _, w := range f.Workers {
+		target := fmt.Sprintf("worker %d (%s)", w.Site, w.URL)
+		if !w.Reachable {
+			add(SevError, "worker-unreachable", target,
+				fmt.Sprintf("site %d is not answering (%s: %s) — fleet solves will fail mid-round when the coordinator contacts it", w.Site, w.ErrClass, w.Err),
+				"restart the worker (lpserved -worker shard.lds) or fix the address in -workers")
+			continue
+		}
+		if !w.ProbeOK {
+			switch w.ProbeClass {
+			case comm.ClassProtocol:
+				add(SevError, "worker-corrupt-frame", target,
+					fmt.Sprintf("site %d answers HTTP but not the worker protocol (%s) — the coordinator will see corrupt frames", w.Site, w.ProbeErr),
+					"something other than lpserved -worker is on this port, or a proxy is mangling bodies; restart the real worker there")
+			default:
+				add(SevError, "worker-step-unserved", target,
+					fmt.Sprintf("site %d failed a live protocol probe (%s: %s)", w.Site, w.ProbeClass, w.ProbeErr),
+					"check the worker's logs; its step endpoint is not serving")
+			}
+		}
+		if w.SessionsExpired > 0 {
+			add(SevWarn, "worker-session-expired", target,
+				fmt.Sprintf("%d protocol sessions idled past the TTL and were reclaimed — a coordinator died mid-solve, or the TTL is shorter than real round gaps; affected solves see session-expired errors", w.SessionsExpired),
+				"if coordinators are healthy, raise -session-ttl; otherwise find out why they vanish mid-protocol")
+		}
+		if w.FrameDecodeErrors > 0 {
+			add(SevWarn, "worker-garbage-frames", target,
+				fmt.Sprintf("%d request bodies failed the strict frame decode — something is POSTing garbage to this worker's step endpoint", w.FrameDecodeErrors),
+				"find the client speaking the wrong protocol (a scraper? a load balancer health check?) and point it elsewhere")
+		}
+		if w.ProbeOK && w.StepErrors > 0 {
+			add(SevWarn, "worker-step-errors", target,
+				fmt.Sprintf("%d frames were refused after decoding (unknown/expired sessions, limits, step failures)", w.StepErrors),
+				"correlate with coordinator-side errors; expired sessions point at the TTL, limits at too many concurrent solves")
+		}
+		if w.SessionsOpen >= 64 {
+			add(SevWarn, "worker-sessions-saturated", target,
+				fmt.Sprintf("%d protocol sessions are open — at the default limit new solves are refused", w.SessionsOpen),
+				"coordinators are leaking sessions (crashing before FrameEnd?) or the fleet is genuinely oversubscribed")
+		}
+	}
+
+	// Errors first, then warnings, preserving discovery order inside
+	// each band (insertion sort keeps it dependency-free and stable).
+	ordered := make([]Finding, 0, len(out))
+	for _, sev := range []Severity{SevError, SevWarn} {
+		for _, fd := range out {
+			if fd.Severity == sev {
+				ordered = append(ordered, fd)
+			}
+		}
+	}
+	if len(ordered) == 0 {
+		target := "fleet"
+		if f.Frontend != nil && len(f.Workers) == 0 {
+			target = "frontend"
+		}
+		ordered = append(ordered, Finding{
+			Severity: SevOK, Rule: "healthy", Target: target,
+			Diagnosis: fmt.Sprintf("all checks passed (%d workers probed)", len(f.Workers)),
+		})
+	}
+	return ordered
+}
+
+// fleetErrorRule maps a frontend-observed fleet exchange error class
+// to its diagnosis — the coordinator-side mirror of the worker rules.
+func fleetErrorRule(class string, n int64) (rule, diagnosis, fix string) {
+	switch class {
+	case comm.ClassUnreachable, comm.ClassTimeout:
+		return "fleet-worker-died",
+			fmt.Sprintf("%d fleet exchanges failed as %s — a worker died or dropped off the network mid-round", n, class),
+			"run lpstat doctor with -workers to find which site is down, then restart it"
+	case comm.ClassProtocol:
+		return "fleet-corrupt-frames",
+			fmt.Sprintf("%d fleet exchanges returned undecodable frames — a worker port is serving the wrong process or a proxy corrupts bodies", n),
+			"probe each worker (lpstat doctor -workers …); the corrupt one fails the protocol probe"
+	case comm.ClassSession:
+		return "fleet-session-expired",
+			fmt.Sprintf("%d fleet exchanges hit expired worker sessions — rounds took longer than the workers' session TTL", n),
+			"raise the workers' -session-ttl or investigate what stalled the coordinator between rounds"
+	default:
+		return "fleet-exchange-errors",
+			fmt.Sprintf("%d fleet exchanges failed with class %s", n, class),
+			"check the frontend logs for the underlying errors"
+	}
+}

@@ -1,0 +1,283 @@
+package lpstat
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lowdimlp/internal/comm"
+	"lowdimlp/internal/comm/httptransport"
+)
+
+// fakeWorkerMetrics renders a worker /metrics exposition with the
+// given counter overrides.
+func fakeWorkerMetrics(expired, decodeErrs, stepErrs, open int) string {
+	return fmt.Sprintf(`# HELP lpserved_worker_sessions_open Protocol sessions currently open.
+# TYPE lpserved_worker_sessions_open gauge
+lpserved_worker_sessions_open %d
+# TYPE lpserved_worker_sessions_opened_total counter
+lpserved_worker_sessions_opened_total 5
+# TYPE lpserved_worker_sessions_expired_total counter
+lpserved_worker_sessions_expired_total %d
+# TYPE lpserved_worker_steps_total counter
+lpserved_worker_steps_total 40
+# TYPE lpserved_worker_step_errors_total counter
+lpserved_worker_step_errors_total %d
+# TYPE lpserved_worker_frame_decode_errors_total counter
+lpserved_worker_frame_decode_errors_total %d
+# TYPE lpserved_worker_bytes_in_total counter
+lpserved_worker_bytes_in_total 1024
+# TYPE lpserved_worker_bytes_out_total counter
+lpserved_worker_bytes_out_total 2048
+# TYPE lpserved_worker_shard_rows gauge
+lpserved_worker_shard_rows 1000
+# TYPE lpserved_worker_shard_info gauge
+lpserved_worker_shard_info{kind="lp",dim="3"} 1
+`, open, expired, stepErrs, decodeErrs)
+}
+
+// fakeWorker serves a healthy worker surface; corrupt makes the step
+// endpoint return undecodable bytes (the wrong-process-on-the-port
+// scenario).
+func fakeWorker(t *testing.T, metrics string, corrupt bool) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"ok":true}`))
+	})
+	mux.HandleFunc("GET /v1/worker/info", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"kind":"lp","dim":3,"rows":1000,"sessions":0,"steps":40}`))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(metrics))
+	})
+	mux.HandleFunc("POST "+httptransport.StepPath, func(w http.ResponseWriter, r *http.Request) {
+		if corrupt {
+			w.Write([]byte("mangled by a broken proxy"))
+			return
+		}
+		info := comm.SiteInfo{Kind: "lp", Dim: 3, Width: 4, Rows: 1000, Objective: []float64{1, 0, 0}}
+		w.Write(comm.EncodeFrame(comm.Frame{Type: comm.FrameReply, Payload: comm.AppendSiteInfo(nil, info)}))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func findRule(fs []Finding, rule string) *Finding {
+	for i := range fs {
+		if fs[i].Rule == rule {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+func TestDoctorHealthyFleet(t *testing.T) {
+	w1 := fakeWorker(t, fakeWorkerMetrics(0, 0, 0, 0), false)
+	w2 := fakeWorker(t, fakeWorkerMetrics(0, 0, 0, 0), false)
+	fleet := Collect(Options{Workers: []string{w1.URL, w2.URL}})
+	for i, ws := range fleet.Workers {
+		if !ws.Reachable || !ws.ProbeOK || ws.Kind != "lp" || ws.Rows != 1000 {
+			t.Fatalf("worker %d snapshot: %+v", i, ws)
+		}
+	}
+	findings := Diagnose(fleet)
+	if len(findings) != 1 || findings[0].Rule != "healthy" || findings[0].Severity != SevOK {
+		t.Fatalf("healthy fleet findings: %+v", findings)
+	}
+	if HasErrors(findings) {
+		t.Fatal("healthy fleet reported errors")
+	}
+}
+
+// TestDoctorDeadWorker is fault scenario 1 (worker death mid-round):
+// the dead site is named, with an unreachable classification.
+func TestDoctorDeadWorker(t *testing.T) {
+	alive := fakeWorker(t, fakeWorkerMetrics(0, 0, 0, 0), false)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from now on
+
+	fleet := Collect(Options{Workers: []string{alive.URL, deadURL}})
+	if fleet.Workers[1].Reachable {
+		t.Fatal("dead worker reported reachable")
+	}
+	if got := fleet.Workers[1].ErrClass; got != comm.ClassUnreachable {
+		t.Fatalf("dead worker class %q, want unreachable", got)
+	}
+	findings := Diagnose(fleet)
+	fd := findRule(findings, "worker-unreachable")
+	if fd == nil || fd.Severity != SevError {
+		t.Fatalf("no worker-unreachable error: %+v", findings)
+	}
+	if !strings.Contains(fd.Target, "worker 1") || !strings.Contains(fd.Target, deadURL) {
+		t.Errorf("finding does not name the dead site: %q", fd.Target)
+	}
+	if !HasErrors(findings) {
+		t.Fatal("dead worker not an error")
+	}
+}
+
+// TestDoctorCorruptWorker is fault scenario 2 (garbage/short frames):
+// the live protocol probe fails strict decode → protocol class.
+func TestDoctorCorruptWorker(t *testing.T) {
+	bad := fakeWorker(t, fakeWorkerMetrics(0, 0, 0, 0), true)
+	fleet := Collect(Options{Workers: []string{bad.URL}})
+	ws := fleet.Workers[0]
+	if !ws.Reachable || ws.ProbeOK || ws.ProbeClass != comm.ClassProtocol {
+		t.Fatalf("corrupt worker snapshot: %+v", ws)
+	}
+	findings := Diagnose(fleet)
+	fd := findRule(findings, "worker-corrupt-frame")
+	if fd == nil || fd.Severity != SevError {
+		t.Fatalf("no worker-corrupt-frame error: %+v", findings)
+	}
+}
+
+// TestDoctorTTLExpiredSessions is fault scenario 3 (session TTL
+// expiry): the worker's expiry counter drives the diagnosis.
+func TestDoctorTTLExpiredSessions(t *testing.T) {
+	w := fakeWorker(t, fakeWorkerMetrics(3, 0, 0, 0), false)
+	fleet := Collect(Options{Workers: []string{w.URL}})
+	if got := fleet.Workers[0].SessionsExpired; got != 3 {
+		t.Fatalf("SessionsExpired = %d, want 3", got)
+	}
+	findings := Diagnose(fleet)
+	fd := findRule(findings, "worker-session-expired")
+	if fd == nil || fd.Severity != SevWarn {
+		t.Fatalf("no worker-session-expired warning: %+v", findings)
+	}
+	if !strings.Contains(fd.Diagnosis, "3 protocol sessions") {
+		t.Errorf("diagnosis does not carry the count: %q", fd.Diagnosis)
+	}
+}
+
+func TestDoctorGarbageFramesAndStepErrors(t *testing.T) {
+	w := fakeWorker(t, fakeWorkerMetrics(0, 2, 5, 0), false)
+	findings := Diagnose(Collect(Options{Workers: []string{w.URL}}))
+	if findRule(findings, "worker-garbage-frames") == nil {
+		t.Errorf("no garbage-frames warning: %+v", findings)
+	}
+	if findRule(findings, "worker-step-errors") == nil {
+		t.Errorf("no step-errors warning: %+v", findings)
+	}
+	if HasErrors(findings) {
+		t.Error("warnings escalated to errors")
+	}
+}
+
+func TestDoctorIncoherentFleet(t *testing.T) {
+	lp := fakeWorker(t, fakeWorkerMetrics(0, 0, 0, 0), false)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte(`{"ok":true}`)) })
+	mux.HandleFunc("GET /v1/worker/info", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"kind":"meb","dim":4,"rows":500}`))
+	})
+	mux.HandleFunc("POST "+httptransport.StepPath, func(w http.ResponseWriter, r *http.Request) {
+		info := comm.SiteInfo{Kind: "meb", Dim: 4, Width: 4, Rows: 500}
+		w.Write(comm.EncodeFrame(comm.Frame{Type: comm.FrameReply, Payload: comm.AppendSiteInfo(nil, info)}))
+	})
+	meb := httptest.NewServer(mux)
+	t.Cleanup(meb.Close)
+
+	findings := Diagnose(Collect(Options{Workers: []string{lp.URL, meb.URL}}))
+	fd := findRule(findings, "fleet-incoherent")
+	if fd == nil || fd.Severity != SevError {
+		t.Fatalf("no fleet-incoherent error: %+v", findings)
+	}
+}
+
+// fakeFrontend serves a frontend surface with the given metrics text.
+func fakeFrontend(t *testing.T, metrics string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte(`{"ok":true}`)) })
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte(metrics)) })
+	mux.HandleFunc("GET /v1/instances", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"instances":[{"id":"a"},{"id":"b"}],"limit":64}`))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestDoctorFleetErrorClasses(t *testing.T) {
+	metrics := `# TYPE lpserved_jobs_done_total counter
+lpserved_jobs_done_total 4
+# TYPE lpserved_jobs_failed_total counter
+lpserved_jobs_failed_total 1
+# TYPE lpserved_fleet_exchange_errors_total counter
+lpserved_fleet_exchange_errors_total{class="unreachable"} 2
+lpserved_fleet_exchange_errors_total{class="session-expired"} 1
+lpserved_fleet_exchange_errors_total{class="protocol"} 0
+`
+	fe := fakeFrontend(t, metrics)
+	fleet := Collect(Options{Frontend: fe.URL})
+	if fleet.Frontend.InstancesOpen != 2 {
+		t.Errorf("InstancesOpen = %d, want 2", fleet.Frontend.InstancesOpen)
+	}
+	findings := Diagnose(fleet)
+	if findRule(findings, "fleet-worker-died") == nil {
+		t.Errorf("no fleet-worker-died finding: %+v", findings)
+	}
+	if findRule(findings, "fleet-session-expired") == nil {
+		t.Errorf("no fleet-session-expired finding: %+v", findings)
+	}
+	if findRule(findings, "fleet-corrupt-frames") != nil {
+		t.Errorf("zero-count protocol class produced a finding")
+	}
+	if findRule(findings, "frontend-failed-jobs") == nil {
+		t.Errorf("no failed-jobs warning: %+v", findings)
+	}
+}
+
+func TestDoctorFrontendDown(t *testing.T) {
+	fe := httptest.NewServer(http.NotFoundHandler())
+	url := fe.URL
+	fe.Close()
+	findings := Diagnose(Collect(Options{Frontend: url}))
+	fd := findRule(findings, "frontend-unreachable")
+	if fd == nil || fd.Severity != SevError {
+		t.Fatalf("no frontend-unreachable error: %+v", findings)
+	}
+}
+
+func TestRenderBoardPlain(t *testing.T) {
+	w := fakeWorker(t, fakeWorkerMetrics(0, 0, 0, 0), false)
+	fleet := Collect(Options{Workers: []string{w.URL}})
+	var sb strings.Builder
+	RenderBoard(&sb, fleet, false)
+	out := sb.String()
+	if strings.Contains(out, "\x1b[") {
+		t.Errorf("plain render contains ANSI escapes:\n%s", out)
+	}
+	for _, want := range []string{w.URL, "lp", "UP", "WORKERS (1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("board missing %q:\n%s", want, out)
+		}
+	}
+
+	var cb strings.Builder
+	RenderBoard(&cb, fleet, true)
+	if !strings.Contains(cb.String(), ansiGreen) {
+		t.Error("colored render has no green UP")
+	}
+}
+
+func TestRenderFindings(t *testing.T) {
+	findings := []Finding{
+		{Severity: SevError, Rule: "worker-unreachable", Target: "worker 2 (http://x)", Diagnosis: "site 2 is gone", Fix: "restart it"},
+		{Severity: SevOK, Rule: "healthy", Target: "fleet", Diagnosis: "all good"},
+	}
+	var sb strings.Builder
+	RenderFindings(&sb, findings, false)
+	out := sb.String()
+	for _, want := range []string{"ERROR", "worker-unreachable", "site 2 is gone", "fix: restart it", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("findings output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package lpstat
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ANSI escape codes used by the board. Color selection is a plain
+// bool so -no-color and non-TTY output stay byte-clean.
+const (
+	ansiReset  = "\x1b[0m"
+	ansiRed    = "\x1b[31m"
+	ansiGreen  = "\x1b[32m"
+	ansiYellow = "\x1b[33m"
+	ansiDim    = "\x1b[2m"
+	ansiBold   = "\x1b[1m"
+)
+
+// painter wraps text in a color when enabled.
+type painter bool
+
+func (p painter) paint(code, s string) string {
+	if !p {
+		return s
+	}
+	return code + s + ansiReset
+}
+
+// RenderBoard writes the color-coded status board for one snapshot.
+func RenderBoard(w io.Writer, f *Fleet, color bool) {
+	p := painter(color)
+	if fe := f.Frontend; fe != nil {
+		state := p.paint(ansiGreen, "UP")
+		if !fe.Reachable {
+			state = p.paint(ansiRed, "DOWN ("+fe.ErrClass+")")
+		}
+		fmt.Fprintf(w, "%s %s  %s\n", p.paint(ansiBold, "FRONTEND"), fe.URL, state)
+		if fe.Reachable && fe.HasMetrics {
+			fmt.Fprintf(w, "  jobs: %d queued  %d running  %d done  %s failed   cache: %s   uploads: %d open, %d spilled\n",
+				fe.JobsQueued, fe.JobsRunning, fe.JobsDone, paintFailed(p, fe.JobsFailed),
+				cacheCell(fe), fe.InstancesOpen, fe.Spilled)
+			fleetCell := fmt.Sprintf("%d solves", fe.FleetSolves)
+			if len(fe.FleetErrors) > 0 {
+				parts := make([]string, 0, len(fe.FleetErrors))
+				for class, n := range fe.FleetErrors {
+					parts = append(parts, fmt.Sprintf("%d %s", n, class))
+				}
+				fleetCell += ", " + p.paint(ansiRed, strings.Join(parts, ", "))
+			}
+			fmt.Fprintf(w, "  fleet: %s   traces: %d captured\n", fleetCell, fe.TracesCaptured)
+		}
+	}
+	if len(f.Workers) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%s (%d)\n", painter(color).paint(ansiBold, "WORKERS"), len(f.Workers))
+	fmt.Fprintf(w, "  %-4s %-28s %-5s %-3s %-9s %-5s %-7s %-5s %s\n",
+		"site", "worker", "kind", "dim", "rows", "sess", "steps", "errs", "status")
+	for _, ws := range f.Workers {
+		fmt.Fprintf(w, "  %-4d %-28s %-5s %-3s %-9s %-5s %-7s %-5s %s\n",
+			ws.Site, ws.URL, dash(ws.Kind), dashInt(ws.Dim), dashInt(ws.Rows),
+			dashI64(ws.SessionsOpen, ws.HasMetrics), dashI64(ws.Steps, ws.HasMetrics),
+			dashI64(ws.StepErrors+ws.FrameDecodeErrors, ws.HasMetrics), workerState(p, ws))
+	}
+}
+
+// workerState renders one worker's status cell.
+func workerState(p painter, w WorkerStatus) string {
+	switch {
+	case !w.Reachable:
+		return p.paint(ansiRed, "DOWN ("+w.ErrClass+")")
+	case !w.ProbeOK:
+		return p.paint(ansiRed, "BROKEN ("+w.ProbeClass+")")
+	case w.SessionsExpired > 0 || w.FrameDecodeErrors > 0 || w.StepErrors > 0:
+		return p.paint(ansiYellow, "UP (warnings)")
+	default:
+		return p.paint(ansiGreen, "UP")
+	}
+}
+
+func paintFailed(p painter, n int64) string {
+	s := fmt.Sprintf("%d", n)
+	if n > 0 {
+		return p.paint(ansiRed, s)
+	}
+	return s
+}
+
+func cacheCell(fe *FrontendStatus) string {
+	if fe.CacheHits+fe.CacheMisses == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%.0f%% hit", 100*fe.CacheRate())
+}
+
+func dash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
+}
+
+func dashInt(v int) string {
+	if v == 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func dashI64(v int64, have bool) string {
+	if !have {
+		return "—"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// RenderFindings writes the doctor's findings, worst first.
+func RenderFindings(w io.Writer, findings []Finding, color bool) {
+	p := painter(color)
+	for _, f := range findings {
+		var tag string
+		switch f.Severity {
+		case SevError:
+			tag = p.paint(ansiRed, "ERROR")
+		case SevWarn:
+			tag = p.paint(ansiYellow, "WARN ")
+		default:
+			tag = p.paint(ansiGreen, "OK   ")
+		}
+		fmt.Fprintf(w, "%s %s [%s] %s\n", tag, p.paint(ansiBold, f.Target), f.Rule, f.Diagnosis)
+		if f.Fix != "" {
+			fmt.Fprintf(w, "      %s\n", p.paint(ansiDim, "fix: "+f.Fix))
+		}
+	}
+}
+
+// HasErrors reports whether any finding is error-severity — the
+// doctor's exit code.
+func HasErrors(findings []Finding) bool {
+	for _, f := range findings {
+		if f.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}

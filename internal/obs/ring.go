@@ -1,0 +1,62 @@
+package obs
+
+import "sync"
+
+// Ring is a bounded buffer of rendered traces: the newest N traces a
+// service captured, oldest evicted first. It is what GET /v1/traces
+// serves — a crashed solve's trace survives for triage without the
+// service accumulating every trace ever recorded.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []TraceData
+	next  int
+	full  bool
+	added int64
+}
+
+// NewRing returns a ring holding up to n traces (n < 1 is raised
+// to 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]TraceData, n)}
+}
+
+// Add records one rendered trace, evicting the oldest when full.
+func (r *Ring) Add(d TraceData) {
+	r.mu.Lock()
+	r.buf[r.next] = d
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.added++
+	r.mu.Unlock()
+}
+
+// Added returns the number of traces ever added (a counter for
+// /metrics).
+func (r *Ring) Added() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.added
+}
+
+// Snapshot returns the buffered traces, newest first.
+func (r *Ring) Snapshot() []TraceData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]TraceData, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the slot before next, wrapping.
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

@@ -1,0 +1,469 @@
+// Package promtext is a strict parser for the Prometheus text
+// exposition format (the subset OpenMetrics shares): HELP/TYPE
+// comments, label sets with escapes, counter/gauge/summary/histogram
+// family structure. It serves two masters with one implementation —
+// the CI tests parse lpserved's rendered /metrics and fail on any
+// malformed line a real scraper would choke on, and lpstat scrapes
+// live endpoints through it instead of regexing text.
+//
+// Strictness is the point: every sample must follow a TYPE line for
+// its family, names and labels must match the Prometheus grammar,
+// summary families may only carry quantile/_sum/_count samples,
+// histogram families only _bucket/_sum/_count with a +Inf bucket,
+// cumulative bucket counts must be non-decreasing and agree with
+// _count, and duplicate series are errors. A format bug that silently
+// breaks a Grafana dashboard breaks the build here instead.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one series sample: a metric name, its label set, a value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label value ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// Family is one metric family: the TYPE line and the samples under it.
+type Family struct {
+	Name    string
+	Type    string // counter | gauge | summary | histogram | untyped
+	Help    string
+	Samples []Sample
+}
+
+// Value returns the value of the sample whose labels equal want
+// exactly (nil matches the empty label set).
+func (f *Family) Value(want map[string]string) (float64, bool) {
+	for _, s := range f.Samples {
+		if labelsEqual(s.Labels, want) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Metrics is a parsed scrape.
+type Metrics struct {
+	Families []Family
+	byName   map[string]int // family name → Families index
+}
+
+// Family returns the named family.
+func (m *Metrics) Family(name string) (*Family, bool) {
+	i, ok := m.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return &m.Families[i], true
+}
+
+// Value returns the value of name with exactly the given labels.
+// Summary/histogram child samples (x_sum, x_bucket, …) resolve
+// through their parent family.
+func (m *Metrics) Value(name string, labels map[string]string) (float64, bool) {
+	for i := range m.Families {
+		for _, s := range m.Families[i].Samples {
+			if s.Name == name && labelsEqual(s.Labels, labels) {
+				return s.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Sum adds every sample of name across label sets (0 when absent) —
+// the "total over all kinds/classes" view lpstat wants.
+func (m *Metrics) Sum(name string) float64 {
+	var t float64
+	for i := range m.Families {
+		for _, s := range m.Families[i].Samples {
+			if s.Name == name {
+				t += s.Value
+			}
+		}
+	}
+	return t
+}
+
+func labelsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+var familyTypes = map[string]bool{
+	"counter": true, "gauge": true, "summary": true, "histogram": true, "untyped": true,
+}
+
+// Parse reads one exposition and validates it strictly; any deviation
+// from the grammar or the family-structure rules is an error naming
+// the offending line.
+func Parse(r io.Reader) (*Metrics, error) {
+	m := &Metrics{byName: make(map[string]int)}
+	cur := -1                     // index of the family the last TYPE opened
+	seen := make(map[string]bool) // name + sorted labels → duplicate check
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		fail := func(format string, args ...any) (*Metrics, error) {
+			return nil, fmt.Errorf("line %d: %s (%q)", lineNo, fmt.Sprintf(format, args...), line)
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if line == "# EOF" { // OpenMetrics terminator
+				continue
+			}
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fail("comment is neither HELP nor TYPE")
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fail("bad metric name %q", name)
+			}
+			switch fields[1] {
+			case "HELP":
+				fi := m.family(name)
+				if m.Families[fi].Help != "" {
+					return fail("second HELP for %s", name)
+				}
+				if len(fields) == 4 {
+					m.Families[fi].Help = fields[3]
+				}
+			case "TYPE":
+				if len(fields) != 4 || !familyTypes[fields[3]] {
+					return fail("bad TYPE")
+				}
+				fi := m.family(name)
+				if m.Families[fi].Type != "" {
+					return fail("second TYPE for %s", name)
+				}
+				if len(m.Families[fi].Samples) > 0 {
+					return fail("TYPE for %s after its samples", name)
+				}
+				m.Families[fi].Type = fields[3]
+				cur = fi
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if cur < 0 || !sampleBelongs(&m.Families[cur], s.Name) {
+			return fail("sample %s outside its family's TYPE block", s.Name)
+		}
+		key := seriesKey(s)
+		if seen[key] {
+			return fail("duplicate series %s", key)
+		}
+		seen[key] = true
+		m.Families[cur].Samples = append(m.Families[cur].Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for i := range m.Families {
+		if err := checkFamily(&m.Families[i]); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// family returns (creating if needed) the Families index for name.
+func (m *Metrics) family(name string) int {
+	if i, ok := m.byName[name]; ok {
+		return i
+	}
+	m.Families = append(m.Families, Family{Name: name})
+	i := len(m.Families) - 1
+	m.byName[name] = i
+	return i
+}
+
+// sampleBelongs reports whether a sample name is legal inside fam's
+// TYPE block.
+func sampleBelongs(fam *Family, name string) bool {
+	switch fam.Type {
+	case "summary":
+		return name == fam.Name || name == fam.Name+"_sum" || name == fam.Name+"_count"
+	case "histogram":
+		return name == fam.Name+"_bucket" || name == fam.Name+"_sum" || name == fam.Name+"_count"
+	default:
+		return name == fam.Name
+	}
+}
+
+// checkFamily enforces the per-type structural rules.
+func checkFamily(f *Family) error {
+	if f.Type == "" {
+		if len(f.Samples) > 0 {
+			return fmt.Errorf("family %s has samples but no TYPE", f.Name)
+		}
+		return nil // HELP-only stub: legal, if pointless
+	}
+	if f.Type != "histogram" {
+		return nil
+	}
+	// Histograms: group buckets by their non-le labels; each group
+	// needs a +Inf bucket, non-decreasing cumulative counts, and a
+	// _count equal to the +Inf bucket.
+	type group struct {
+		bounds []float64
+		counts []float64
+		count  *float64
+	}
+	groups := make(map[string]*group)
+	key := func(labels map[string]string) string {
+		ks := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				ks = append(ks, k)
+			}
+		}
+		sort.Strings(ks)
+		var b strings.Builder
+		for _, k := range ks {
+			fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+		}
+		return b.String()
+	}
+	for _, s := range f.Samples {
+		g := groups[key(s.Labels)]
+		if g == nil {
+			g = &group{}
+			groups[key(s.Labels)] = g
+		}
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s without le label", s.Name)
+			}
+			bound, err := parseFloat(le)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", s.Name, le)
+			}
+			g.bounds = append(g.bounds, bound)
+			g.counts = append(g.counts, s.Value)
+		case f.Name + "_count":
+			v := s.Value
+			g.count = &v
+		}
+	}
+	for k, g := range groups {
+		if len(g.bounds) == 0 {
+			return fmt.Errorf("histogram %s{%s} has no buckets", f.Name, k)
+		}
+		if !sort.Float64sAreSorted(g.bounds) {
+			return fmt.Errorf("histogram %s{%s} buckets out of order", f.Name, k)
+		}
+		if !math.IsInf(g.bounds[len(g.bounds)-1], 1) {
+			return fmt.Errorf("histogram %s{%s} missing +Inf bucket", f.Name, k)
+		}
+		for i := 1; i < len(g.counts); i++ {
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("histogram %s{%s} cumulative counts decrease", f.Name, k)
+			}
+		}
+		if g.count == nil {
+			return fmt.Errorf("histogram %s{%s} missing _count", f.Name, k)
+		}
+		if *g.count != g.counts[len(g.counts)-1] {
+			return fmt.Errorf("histogram %s{%s}: _count %g != +Inf bucket %g",
+				f.Name, k, *g.count, g.counts[len(g.counts)-1])
+		}
+	}
+	return nil
+}
+
+func seriesKey(s Sample) string {
+	ks := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for _, k := range ks {
+		fmt.Fprintf(&b, "%s=%q,", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// parseSample parses `name{l1="v1",…} value [timestamp]`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("missing metric name")
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	if rest == "" {
+		return s, fmt.Errorf("missing value")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) > 2 {
+		return s, fmt.Errorf("trailing garbage after value")
+	}
+	v, err := parseFloat(fields[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", fields[0])
+	}
+	s.Value = v
+	if len(fields) == 2 { // optional timestamp (milliseconds)
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return s, nil
+}
+
+// parseLabels parses a `{name="value",…}` block starting at rest[0]
+// == '{' and returns the index just past the closing brace.
+func parseLabels(rest string, into map[string]string) (int, error) {
+	i := 1
+	for {
+		for i < len(rest) && (rest[i] == ' ' || rest[i] == ',') {
+			i++
+		}
+		if i < len(rest) && rest[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(rest) && isLabelChar(rest[i], i == start) {
+			i++
+		}
+		if i == start {
+			return 0, fmt.Errorf("bad label name")
+		}
+		name := rest[start:i]
+		if i >= len(rest) || rest[i] != '=' {
+			return 0, fmt.Errorf("label %s missing =", name)
+		}
+		i++
+		if i >= len(rest) || rest[i] != '"' {
+			return 0, fmt.Errorf("label %s value not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(rest) {
+				return 0, fmt.Errorf("label %s value unterminated", name)
+			}
+			c := rest[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(rest) {
+					return 0, fmt.Errorf("label %s value unterminated escape", name)
+				}
+				switch rest[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("label %s has bad escape \\%c", name, rest[i])
+				}
+				i++
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := into[name]; dup {
+			return 0, fmt.Errorf("duplicate label %s", name)
+		}
+		into[name] = val.String()
+	}
+}
+
+// parseFloat accepts the Prometheus value grammar: Go floats plus
+// +Inf/-Inf/NaN spellings.
+func parseFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func isLabelChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

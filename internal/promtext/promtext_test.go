@@ -1,0 +1,117 @@
+package promtext
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const good = `# HELP jobs_total Jobs accepted.
+# TYPE jobs_total counter
+jobs_total 42
+# HELP queue_depth Jobs waiting.
+# TYPE queue_depth gauge
+queue_depth 3
+# HELP solve_seconds Latency.
+# TYPE solve_seconds histogram
+solve_seconds_bucket{kind="lp",le="0.1"} 2
+solve_seconds_bucket{kind="lp",le="1"} 5
+solve_seconds_bucket{kind="lp",le="+Inf"} 7
+solve_seconds_sum{kind="lp"} 3.5
+solve_seconds_count{kind="lp"} 7
+# HELP exchange_seconds Exchange latency.
+# TYPE exchange_seconds summary
+exchange_seconds_sum 1.25
+exchange_seconds_count 10
+# HELP errors_total Errors by class.
+# TYPE errors_total counter
+errors_total{class="timeout"} 0
+errors_total{class="unreachable"} 2
+`
+
+func TestParseGood(t *testing.T) {
+	m, err := Parse(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Value("jobs_total", nil); !ok || v != 42 {
+		t.Errorf("jobs_total = %v, %v", v, ok)
+	}
+	if v, ok := m.Value("solve_seconds_bucket", map[string]string{"kind": "lp", "le": "+Inf"}); !ok || v != 7 {
+		t.Errorf("+Inf bucket = %v, %v", v, ok)
+	}
+	if got := m.Sum("errors_total"); got != 2 {
+		t.Errorf("Sum(errors_total) = %g, want 2", got)
+	}
+	f, ok := m.Family("solve_seconds")
+	if !ok || f.Type != "histogram" || len(f.Samples) != 5 {
+		t.Errorf("solve_seconds family = %+v, %v", f, ok)
+	}
+	if _, ok := m.Value("jobs_total", map[string]string{"class": "x"}); ok {
+		t.Error("label-mismatched lookup succeeded")
+	}
+}
+
+func TestParseEscapesAndSpecials(t *testing.T) {
+	src := "# TYPE weird gauge\n" +
+		`weird{msg="a\"b\\c\nd"} NaN` + "\n" +
+		"# TYPE inf gauge\ninf +Inf\n# EOF\n"
+	m, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := m.Family("weird")
+	if got := f.Samples[0].Label("msg"); got != "a\"b\\c\nd" {
+		t.Errorf("escape decode = %q", got)
+	}
+	if !math.IsNaN(f.Samples[0].Value) {
+		t.Errorf("NaN value = %g", f.Samples[0].Value)
+	}
+	if v, _ := m.Value("inf", nil); !math.IsInf(v, 1) {
+		t.Errorf("inf = %g", v)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":    "loose_metric 1\n",
+		"bad comment":            "# NOTE something\n",
+		"second TYPE":            "# TYPE a counter\n# TYPE a gauge\na 1\n",
+		"bad type name":          "# TYPE a countre\na 1\n",
+		"foreign sample in fam":  "# TYPE a counter\nb 1\n",
+		"histogram no +Inf":      "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram no le":        "# TYPE h histogram\nh_bucket 1\nh_sum 1\nh_count 1\n",
+		"histogram count drift":  "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+		"histogram decreasing":   "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 1\n",
+		"summary stray quantile": "# TYPE s summary\ns_bucket{le=\"1\"} 1\n",
+		"duplicate series":       "# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n",
+		"duplicate label":        "# TYPE a counter\na{x=\"1\",x=\"2\"} 1\n",
+		"unterminated label":     "# TYPE a counter\na{x=\"1 1\n",
+		"bad value":              "# TYPE a counter\na one\n",
+		"bad escape":             "# TYPE a counter\na{x=\"\\t\"} 1\n",
+		"missing value":          "# TYPE a counter\na{x=\"1\"}\n",
+		"trailing garbage":       "# TYPE a counter\na 1 2 3\n",
+		"bad metric name":        "# TYPE 9a counter\n9a 1\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted\n%s", name, src)
+		}
+	}
+}
+
+func TestParseHistogramMultiGroup(t *testing.T) {
+	src := `# TYPE h histogram
+h_bucket{kind="lp",le="1"} 1
+h_bucket{kind="lp",le="+Inf"} 2
+h_sum{kind="lp"} 0.5
+h_count{kind="lp"} 2
+h_bucket{kind="svm",le="1"} 4
+h_bucket{kind="svm",le="+Inf"} 4
+h_sum{kind="svm"} 1.5
+h_count{kind="svm"} 4
+`
+	if _, err := Parse(strings.NewReader(src)); err != nil {
+		t.Fatalf("multi-group histogram rejected: %v", err)
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"sync"
 	"time"
 
+	"lowdimlp/internal/comm"
 	"lowdimlp/internal/comm/httptransport"
 	"lowdimlp/internal/engine"
+	"lowdimlp/internal/obs"
 )
 
 // ErrQueueFull is returned when the job queue is at capacity.
@@ -38,6 +40,7 @@ type Job struct {
 	elapsed time.Duration
 	result  *SolveResult
 	stats   *StatsPayload
+	trace   *obs.TraceData
 	err     error
 }
 
@@ -54,6 +57,7 @@ func (j *Job) Status() JobStatus {
 		Cached: j.cached,
 		Result: j.result,
 		Stats:  j.stats,
+		Trace:  j.trace,
 	}
 	if j.state == StateDone || j.state == StateFailed {
 		st.ElapsedMS = float64(j.elapsed) / float64(time.Millisecond)
@@ -72,6 +76,10 @@ type Manager struct {
 	// serves Fleet requests; empty means fleet solves are refused.
 	// Set before the first job is accepted.
 	fleet []string
+	// traces is the bounded ring of captured execution traces (GET
+	// /v1/traces); nil disables retention (inline traces still work).
+	// Set before the first job is accepted.
+	traces *obs.Ring
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -228,6 +236,29 @@ func (m *Manager) run(j *Job) {
 	req := j.req
 	j.mu.Unlock()
 
+	// Trace requests get a live recorder; everything below instruments
+	// through it unconditionally because every obs call no-ops on nil —
+	// the untraced path stays allocation-free.
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.New(j.Kind + "/" + j.Model)
+		tr.Annotate("job", j.ID)
+		req.trace = tr
+	}
+
+	// solve wraps runSolve in a trace phase; the coordinator's own
+	// begin/round/merge spans nest inside it via req.trace.
+	solve := func() (*SolveResult, *StatsPayload, error) {
+		sp := tr.Start("solve")
+		result, stats, err := runSolve(req)
+		if err != nil {
+			sp.EndErr(err, comm.ErrorClass(err))
+		} else {
+			sp.End()
+		}
+		return result, stats, err
+	}
+
 	start := time.Now()
 	var (
 		result    *SolveResult
@@ -241,13 +272,20 @@ func (m *Manager) run(j *Job) {
 		// there is nothing to materialize and nothing to digest — the
 		// cache is skipped (the service cannot see the rows it would
 		// key on).
+		tr.Annotate("fleet", "true")
 		fleetKind, result, stats, err = m.runFleet(req)
 	} else {
 		// Generated instances are synthesized here, on the worker, so
 		// the pool bounds the memory and CPU of the ?generate= path.
 		// Digesting the materialized rows keeps one cache key per
 		// instance whether it arrived inline or generated.
+		isp := tr.Start("ingest")
 		err = materialize(req)
+		if err != nil {
+			isp.EndErr(err, "")
+		} else {
+			isp.End()
+		}
 		_, spilled := req.data.(interface{ Cleanup() })
 		switch {
 		case err != nil:
@@ -258,7 +296,7 @@ func (m *Manager) run(j *Job) {
 			// whole on-disk dataset just to key a cache whose hit chance
 			// for a one-shot giant upload is nil.
 			m.metrics.CacheMisses.Add(1)
-			result, stats, err = runSolve(req)
+			result, stats, err = solve()
 		default:
 			key := req.Digest()
 			result, stats, hit = m.cache.Get(key)
@@ -266,11 +304,16 @@ func (m *Manager) run(j *Job) {
 				m.metrics.CacheHits.Add(1)
 			} else {
 				m.metrics.CacheMisses.Add(1)
-				result, stats, err = runSolve(req)
+				result, stats, err = solve()
 				if err == nil {
 					m.cache.Put(key, result, stats)
 				}
 			}
+		}
+		if hit {
+			tr.Annotate("cache", "hit")
+		} else {
+			tr.Annotate("cache", "miss")
 		}
 	}
 	elapsed := time.Since(start)
@@ -282,10 +325,30 @@ func (m *Manager) run(j *Job) {
 	}
 	m.metrics.ObserveSolve(kindLabel, j.Model, elapsed)
 
+	// Close out the trace: the finalize phase covers post-solve
+	// bookkeeping, then the recorder is frozen into wire form and
+	// retained in the ring.
+	var tdata *obs.TraceData
+	if tr != nil {
+		fsp := tr.Start("finalize")
+		tr.Annotate("kind", kindLabel)
+		if err != nil {
+			tr.Fail(err, comm.ErrorClass(err))
+		}
+		fsp.End()
+		d := tr.Data()
+		tdata = &d
+		if m.traces != nil {
+			m.traces.Add(d)
+		}
+		m.metrics.TracesCaptured.Add(1)
+	}
+
 	j.mu.Lock()
 	j.cached = hit
 	j.elapsed = elapsed
 	j.result, j.stats, j.err = result, stats, err
+	j.trace = tdata
 	if fleetKind != "" {
 		// The fleet's shard headers name the kind; a request that left
 		// it blank learns it here.
@@ -327,11 +390,14 @@ func (m *Manager) runFleet(req *SolveRequest) (string, *SolveResult, *StatsPaylo
 		return "", nil, nil, errors.New("no worker fleet configured (start lpserved with -workers)")
 	}
 	m.metrics.FleetSolves.Add(1)
+	opt := req.Options.lib()
+	opt.Trace = req.trace
 	// Dial per solve, deliberately: the k FrameInfo exchanges are
 	// cheap next to the protocol rounds, and re-dialing revalidates
 	// fleet coherence every time — a worker restarted with a
 	// different shard fails the solve at dial, not mid-protocol.
-	kind, sol, stats, err := engine.SolveFleetTransport(m.fleet, req.Options.lib(), httptransport.Options{}, req.Kind)
+	kind, sol, stats, err := engine.SolveFleetTransport(m.fleet, opt,
+		httptransport.Options{Metrics: m.metrics.Fleet}, req.Kind)
 	if err != nil {
 		if stats.Coordinator == nil {
 			// Dial or expectation failure: no protocol ran, report no

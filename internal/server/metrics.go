@@ -4,14 +4,27 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lowdimlp/internal/comm"
+	"lowdimlp/internal/comm/httptransport"
 )
 
+// solveBuckets are the fixed lpserved_solve_seconds histogram bounds.
+// They span sub-millisecond in-memory solves to multi-minute
+// out-of-core fleet runs in roughly ×2.5 steps, so a scraper can read
+// p99 off the cumulative buckets without the service keeping samples.
+var solveBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
 // Metrics aggregates service counters for the /metrics endpoint.
-// Counters are atomics; the latency summary is mutex-guarded.
+// Counters are atomics; the latency histogram is mutex-guarded.
 type Metrics struct {
 	JobsSubmitted atomic.Int64
 	JobsQueued    atomic.Int64 // gauge: currently waiting
@@ -30,19 +43,29 @@ type Metrics struct {
 	BinaryAppends atomic.Int64
 	// FleetSolves counts solves driven over the worker fleet.
 	FleetSolves atomic.Int64
+	// TracesCaptured counts solves that recorded an execution trace.
+	TracesCaptured atomic.Int64
+
+	// Fleet collects per-exchange latency/error counters from the
+	// worker-fleet transport (runFleet passes it in the transport
+	// options); its families render alongside the service's own.
+	Fleet *httptransport.Metrics
 
 	mu           sync.Mutex
 	solveCount   map[string]int64   // kind/model → solves
 	solveSeconds map[string]float64 // kind/model → total latency
 	solveMax     map[string]float64 // kind/model → max latency
+	solveHist    map[string][]int64 // kind/model → per-bucket counts (non-cumulative)
 }
 
 // NewMetrics returns an empty metrics set.
 func NewMetrics() *Metrics {
 	return &Metrics{
+		Fleet:        httptransport.NewMetrics(),
 		solveCount:   make(map[string]int64),
 		solveSeconds: make(map[string]float64),
 		solveMax:     make(map[string]float64),
+		solveHist:    make(map[string][]int64),
 	}
 }
 
@@ -58,7 +81,19 @@ func (m *Metrics) ObserveSolve(kind, model string, d time.Duration) {
 	if s > m.solveMax[key] {
 		m.solveMax[key] = s
 	}
+	h := m.solveHist[key]
+	if h == nil {
+		// One extra slot for the +Inf overflow bucket.
+		h = make([]int64, len(solveBuckets)+1)
+		m.solveHist[key] = h
+	}
+	i := sort.SearchFloat64s(solveBuckets, s) // first bound ≥ s
+	h[i]++
 }
+
+// fmtF renders a float sample the way Prometheus expects: shortest
+// round-trip decimal ("0.0025", not "2.5e-03").
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // Render writes the metrics in Prometheus text exposition format.
 func (m *Metrics) Render(w io.Writer) {
@@ -79,6 +114,9 @@ func (m *Metrics) Render(w io.Writer) {
 	c("lpserved_instances_spilled_total", "Chunk uploads spilled to sharded on-disk storage.", m.InstancesSpilled.Load())
 	c("lpserved_binary_appends_total", "Binary (octet-stream) chunk appends.", m.BinaryAppends.Load())
 	c("lpserved_fleet_solves_total", "Solves driven over the worker fleet.", m.FleetSolves.Load())
+	c("lpserved_traces_captured_total", "Solves that recorded an execution trace.", m.TracesCaptured.Load())
+
+	m.renderFleet(w)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -87,19 +125,44 @@ func (m *Metrics) Render(w io.Writer) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	// _max lives in its own gauge family: a summary may only carry
-	// quantile/_sum/_count samples, and strict OpenMetrics parsers
-	// reject anything else under its TYPE line.
-	fmt.Fprintf(w, "# HELP lpserved_solve_seconds Solve wall-clock latency by kind/model.\n# TYPE lpserved_solve_seconds summary\n")
+	// Histogram: cumulative fixed buckets so p99 is scrapeable straight
+	// off the text format. A histogram family may only carry
+	// _bucket/_sum/_count samples; _max therefore lives in its own
+	// gauge family (strict OpenMetrics parsers reject anything else
+	// under the TYPE line).
+	fmt.Fprintf(w, "# HELP lpserved_solve_seconds Solve wall-clock latency by kind/model.\n# TYPE lpserved_solve_seconds histogram\n")
 	for _, k := range keys {
 		kind, model, _ := strings.Cut(k, "/")
-		lbl := fmt.Sprintf("{kind=%q,model=%q}", kind, model)
-		fmt.Fprintf(w, "lpserved_solve_seconds_count%s %d\n", lbl, m.solveCount[k])
-		fmt.Fprintf(w, "lpserved_solve_seconds_sum%s %g\n", lbl, m.solveSeconds[k])
+		var cum int64
+		for i, bound := range solveBuckets {
+			cum += m.solveHist[k][i]
+			fmt.Fprintf(w, "lpserved_solve_seconds_bucket{kind=%q,model=%q,le=%q} %d\n",
+				kind, model, fmtF(bound), cum)
+		}
+		fmt.Fprintf(w, "lpserved_solve_seconds_bucket{kind=%q,model=%q,le=\"+Inf\"} %d\n",
+			kind, model, m.solveCount[k])
+		fmt.Fprintf(w, "lpserved_solve_seconds_sum{kind=%q,model=%q} %s\n", kind, model, fmtF(m.solveSeconds[k]))
+		fmt.Fprintf(w, "lpserved_solve_seconds_count{kind=%q,model=%q} %d\n", kind, model, m.solveCount[k])
 	}
 	fmt.Fprintf(w, "# HELP lpserved_solve_seconds_max Max solve latency by kind/model.\n# TYPE lpserved_solve_seconds_max gauge\n")
 	for _, k := range keys {
 		kind, model, _ := strings.Cut(k, "/")
-		fmt.Fprintf(w, "lpserved_solve_seconds_max{kind=%q,model=%q} %g\n", kind, model, m.solveMax[k])
+		fmt.Fprintf(w, "lpserved_solve_seconds_max{kind=%q,model=%q} %s\n", kind, model, fmtF(m.solveMax[k]))
 	}
+}
+
+// renderFleet writes the worker-fleet transport families. Error
+// counters render one sample per known class, zeros included, so
+// scrapers see stable series and rate() works from the first error.
+func (m *Metrics) renderFleet(w io.Writer) {
+	snap := m.Fleet.Snapshot()
+	fmt.Fprintf(w, "# HELP lpserved_fleet_exchanges_total Worker protocol exchanges attempted by the fleet transport.\n# TYPE lpserved_fleet_exchanges_total counter\nlpserved_fleet_exchanges_total %d\n", snap.Exchanges)
+	fmt.Fprintf(w, "# HELP lpserved_fleet_exchange_errors_total Failed fleet exchanges by error class.\n# TYPE lpserved_fleet_exchange_errors_total counter\n")
+	for _, class := range comm.ErrorClasses() {
+		fmt.Fprintf(w, "lpserved_fleet_exchange_errors_total{class=%q} %d\n", class, snap.Errors[class])
+	}
+	fmt.Fprintf(w, "# HELP lpserved_fleet_exchange_seconds Fleet exchange latency.\n# TYPE lpserved_fleet_exchange_seconds summary\n")
+	fmt.Fprintf(w, "lpserved_fleet_exchange_seconds_sum %s\n", fmtF(snap.Seconds))
+	fmt.Fprintf(w, "lpserved_fleet_exchange_seconds_count %d\n", snap.Exchanges)
+	fmt.Fprintf(w, "# HELP lpserved_fleet_exchange_seconds_max Slowest single fleet exchange.\n# TYPE lpserved_fleet_exchange_seconds_max gauge\nlpserved_fleet_exchange_seconds_max %s\n", fmtF(snap.MaxSeconds))
 }

@@ -19,6 +19,7 @@ import (
 	// The kind catalog: importing it registers every problem kind the
 	// service can solve. The handlers themselves are kind-agnostic.
 	_ "lowdimlp/internal/models"
+	"lowdimlp/internal/obs"
 )
 
 // Config tunes a Server.
@@ -51,6 +52,10 @@ type Config struct {
 	// one per shard; worker i = coordinator site i) that serves
 	// requests with "fleet": true. Empty refuses fleet solves.
 	FleetWorkers []string
+	// TraceBuffer is the capacity of the captured-trace ring served at
+	// GET /v1/traces (0 = 128; < 0 disables retention — traces still
+	// come back inline on the jobs that asked for them).
+	TraceBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +71,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 128
+	}
 	return c
 }
 
@@ -76,6 +84,7 @@ type Server struct {
 	manager   *Manager
 	instances *InstanceStore
 	metrics   *Metrics
+	traces    *obs.Ring // nil when trace retention is disabled
 	mux       *http.ServeMux
 	sweepOnce sync.Once
 	sweepStop chan struct{}
@@ -97,6 +106,10 @@ func New(cfg Config) *Server {
 		sweepDone: make(chan struct{}),
 	}
 	s.manager.fleet = cfg.FleetWorkers
+	if cfg.TraceBuffer > 0 {
+		s.traces = obs.NewRing(cfg.TraceBuffer)
+		s.manager.traces = s.traces
+	}
 	s.instances.EnableSpill(cfg.SpillDir, cfg.SpillRows, func() { metrics.InstancesSpilled.Add(1) })
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -106,6 +119,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/instances", s.handleInstanceList)
 	s.mux.HandleFunc("POST /v1/instances/{id}/rows", s.handleInstanceAppend)
 	s.mux.HandleFunc("DELETE /v1/instances/{id}", s.handleInstanceDrop)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	go s.sweepLoop()
@@ -298,6 +312,13 @@ func overlayQuery(req *SolveRequest, r *http.Request) error {
 		if req.Generate != nil {
 			req.Generate.Seed = u
 		}
+	}
+	if v := q.Get("trace"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return fmt.Errorf("bad query parameter trace=%q", v)
+		}
+		req.Trace = b
 	}
 	if req.Generate == nil {
 		return nil
@@ -498,6 +519,22 @@ func (s *Server) handleInstanceDrop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleTraces serves the captured-trace ring, newest first — the
+// triage view of recent solves that asked for tracing.
+func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	if s.traces == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"traces": []obs.TraceData{}, "captured": 0, "limit": 0,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces":   s.traces.Snapshot(),
+		"captured": s.traces.Added(),
+		"limit":    s.cfg.TraceBuffer,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

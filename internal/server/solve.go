@@ -86,7 +86,9 @@ func runSolve(r *SolveRequest) (*SolveResult, *StatsPayload, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	sol, stats, err := m.SolveSource(r.Model, r.Dim, r.Objective, r.data, r.Options.lib())
+	opt := r.Options.lib()
+	opt.Trace = r.trace
+	sol, stats, err := m.SolveSource(r.Model, r.Dim, r.Objective, r.data, opt)
 	if err != nil {
 		return nil, &stats, err
 	}

@@ -17,6 +17,7 @@
 //	POST /v1/instances/{id}/rows  append a batch of rows
 //	GET  /v1/instances          list open uploads (operator view)
 //	DELETE /v1/instances/{id}   drop an uploaded instance
+//	GET  /v1/traces             recent execution traces (newest first)
 //	GET  /healthz               liveness
 //	GET  /metrics               Prometheus-style text metrics
 package server
@@ -33,6 +34,7 @@ import (
 
 	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/engine"
+	"lowdimlp/internal/obs"
 )
 
 // Problem kinds and computation models accepted on the wire. The kind
@@ -129,6 +131,13 @@ type SolveRequest struct {
 	Fleet bool `json:"fleet,omitempty"`
 	// Options tune the solver.
 	Options SolveOptions `json:"options,omitempty"`
+	// Trace asks the service to record an execution trace of this solve
+	// (phases, per-round site exchanges, error annotations — see
+	// internal/obs). The trace comes back on the job status and lands
+	// in the service's bounded trace ring (GET /v1/traces). Tracing never
+	// changes the answer; requests that differ only in Trace share a
+	// cache entry.
+	Trace bool `json:"trace,omitempty"`
 
 	// rawRows holds the undecoded JSON of an inline rows array. The
 	// HTTP handlers deliberately do not decode it: materialization of
@@ -143,6 +152,10 @@ type SolveRequest struct {
 	// sharded on-disk sources (solved out-of-core, digested by
 	// streaming).
 	data dataset.Source
+	// trace is the live recorder for Trace requests, attached by
+	// Manager.run before the solve and read back after. Nil when
+	// tracing is off — every instrumentation call no-ops at zero cost.
+	trace *obs.Trace
 }
 
 // UnmarshalJSON decodes the request envelope but leaves the rows array
@@ -225,7 +238,10 @@ type JobStatus struct {
 	ElapsedMS float64       `json:"elapsed_ms,omitempty"`
 	Result    *SolveResult  `json:"result,omitempty"`
 	Stats     *StatsPayload `json:"stats,omitempty"`
-	Error     string        `json:"error,omitempty"`
+	// Trace is the recorded execution trace, present on terminal jobs
+	// that asked for one ("trace": true or ?trace=1).
+	Trace *obs.TraceData `json:"trace,omitempty"`
+	Error string         `json:"error,omitempty"`
 }
 
 // errorBody is the uniform error response.

@@ -31,18 +31,19 @@ import (
 //
 //	POST /v1/worker/step   one enveloped protocol frame in, one out
 //	GET  /v1/worker/info   shard metadata (operator view, JSON)
+//	GET  /metrics          Prometheus-style text metrics
 //	GET  /healthz          liveness
 //
 // Protocol sessions are per-solve state (bases, RNG, pending basis):
 // FrameBegin opens one, FrameEnd closes it, and sessions idle past
 // the TTL are reclaimed so a crashed coordinator cannot leak them.
 type Worker struct {
-	cfg   WorkerConfig
-	info  dataset.Info
-	src   dataset.Source
-	host  coordinator.SiteHost
-	mux   *http.ServeMux
-	steps atomic.Int64
+	cfg     WorkerConfig
+	info    dataset.Info
+	src     dataset.Source
+	host    coordinator.SiteHost
+	mux     *http.ServeMux
+	metrics WorkerMetrics
 
 	mu       sync.Mutex
 	sessions map[uint64]*workerSession
@@ -142,6 +143,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	w.mux.HandleFunc("POST "+httptransport.StepPath, w.handleStep)
 	w.mux.HandleFunc("GET /v1/worker/info", w.handleInfo)
+	w.mux.HandleFunc("GET /metrics", w.handleMetrics)
 	w.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		writeJSON(rw, http.StatusOK, map[string]bool{"ok": true})
 	})
@@ -200,6 +202,7 @@ func (w *Worker) sweepLoop() {
 				}
 			}
 			w.mu.Unlock()
+			w.metrics.SessionsExpired.Add(int64(len(stale)))
 			for _, s := range stale {
 				s.close()
 			}
@@ -241,19 +244,24 @@ func newSessionID() uint64 {
 // shard read would 500.
 func (w *Worker) handleStep(rw http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, w.cfg.MaxFrameBytes))
+	w.metrics.BytesIn.Add(int64(len(body)))
 	if err != nil {
+		w.metrics.StepErrors.Add(1)
 		writeError(rw, decodeErrorStatus(err), fmt.Errorf("reading frame: %w", err))
 		return
 	}
 	f, err := comm.DecodeFrameStrict(body)
 	if err != nil {
+		w.metrics.FrameDecodeErrors.Add(1)
 		writeError(rw, http.StatusBadRequest, err)
 		return
 	}
-	w.steps.Add(1)
+	w.metrics.Steps.Add(1)
 	reply := func(session uint64, payload []byte) {
+		enc := comm.EncodeFrame(comm.Frame{Type: comm.FrameReply, Session: session, Seq: f.Seq, Payload: payload})
+		w.metrics.BytesOut.Add(int64(len(enc)))
 		rw.Header().Set("Content-Type", "application/octet-stream")
-		rw.Write(comm.EncodeFrame(comm.Frame{Type: comm.FrameReply, Session: session, Seq: f.Seq, Payload: payload}))
+		rw.Write(enc)
 	}
 	switch f.Type {
 	case comm.FrameInfo:
@@ -261,6 +269,7 @@ func (w *Worker) handleStep(rw http.ResponseWriter, r *http.Request) {
 	case comm.FrameBegin:
 		seed, site, mult, err := comm.DecodeBeginPayload(f.Payload)
 		if err != nil {
+			w.metrics.StepErrors.Add(1)
 			writeError(rw, http.StatusBadRequest, err)
 			return
 		}
@@ -270,12 +279,14 @@ func (w *Worker) handleStep(rw http.ResponseWriter, r *http.Request) {
 		if len(w.sessions) >= w.cfg.MaxSessions {
 			w.mu.Unlock()
 			s.site.Close()
+			w.metrics.StepErrors.Add(1)
 			writeError(rw, http.StatusServiceUnavailable,
 				fmt.Errorf("too many open protocol sessions (limit %d)", w.cfg.MaxSessions))
 			return
 		}
 		w.sessions[s.id] = s
 		w.mu.Unlock()
+		w.metrics.SessionsOpened.Add(1)
 		b := comm.NewBuffer()
 		b.PutUvarint(uint64(w.host.Rows()))
 		reply(s.id, b.Bytes())
@@ -285,6 +296,7 @@ func (w *Worker) handleStep(rw http.ResponseWriter, r *http.Request) {
 		delete(w.sessions, f.Session)
 		w.mu.Unlock()
 		if !ok {
+			w.metrics.StepErrors.Add(1)
 			writeError(rw, http.StatusNotFound, fmt.Errorf("unknown session %d", f.Session))
 			return
 		}
@@ -295,6 +307,7 @@ func (w *Worker) handleStep(rw http.ResponseWriter, r *http.Request) {
 		s, ok := w.sessions[f.Session]
 		w.mu.Unlock()
 		if !ok {
+			w.metrics.StepErrors.Add(1)
 			writeError(rw, http.StatusNotFound, fmt.Errorf("unknown session %d", f.Session))
 			return
 		}
@@ -303,6 +316,7 @@ func (w *Worker) handleStep(rw http.ResponseWriter, r *http.Request) {
 			// The sweeper (or a concurrent End) reclaimed the session
 			// between our map lookup and this lock.
 			s.mu.Unlock()
+			w.metrics.StepErrors.Add(1)
 			writeError(rw, http.StatusNotFound, fmt.Errorf("unknown session %d", f.Session))
 			return
 		}
@@ -310,6 +324,7 @@ func (w *Worker) handleStep(rw http.ResponseWriter, r *http.Request) {
 		payload, err := s.site.Step(f.Type, f.Payload)
 		s.mu.Unlock()
 		if err != nil {
+			w.metrics.StepErrors.Add(1)
 			writeError(rw, http.StatusUnprocessableEntity, err)
 			return
 		}
@@ -329,6 +344,16 @@ func (w *Worker) handleInfo(rw http.ResponseWriter, _ *http.Request) {
 		"rows":      w.info.Rows,
 		"objective": w.info.Objective,
 		"sessions":  open,
-		"steps":     w.steps.Load(),
+		"steps":     w.metrics.Steps.Load(),
 	})
+}
+
+// handleMetrics is the worker's Prometheus endpoint — the per-shard
+// counterpart of the frontend's /metrics, scraped by lpstat.
+func (w *Worker) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
+	w.mu.Lock()
+	open := len(w.sessions)
+	w.mu.Unlock()
+	rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.metrics.Render(rw, open, w.info.Kind, w.info.Dim, w.info.Rows)
 }
