@@ -8,6 +8,7 @@
 // Usage:
 //
 //	lpserved [-addr :8080] [-pool N] [-queue N] [-cache N]
+//	         [-batch-max N] [-basis-cache N] [-admission-rows N]
 //	         [-max-body BYTES] [-instance-ttl D]
 //	         [-spill-rows N] [-spill-dir DIR]
 //	         [-workers host1,host2,...]
@@ -34,6 +35,21 @@
 //
 // Chunk uploads idle longer than -instance-ttl are reclaimed
 // automatically, so abandoned uploads cannot wedge the slot limit.
+//
+// # Throughput engine
+//
+// Queued stream-model jobs over the same instance are scan-shared:
+// the scheduler scoops up to -batch-max of them into one batch that
+// materializes the instance once and drives every member solver
+// through a single shared cursor pass per iteration — bit-identical
+// to solo runs, k× cheaper in scans. Solved bases are kept in a
+// -basis-cache LRU keyed by instance and seed; a repeat solve (or a
+// tuning-knob overlay of one) re-verifies the cached basis in one
+// scan and warm-starts instead of re-solving. With -admission-rows N
+// the service sheds submissions that would push the pending row
+// backlog past N, answering 429 with a Retry-After estimate before
+// latency collapses (the queue-full 503 remains the hard limit).
+// See DESIGN.md §11.
 //
 // Chunk appends may be binary: POST the LDSET1 form of a batch (what
 // `lpsolve -convert` writes) with Content-Type application/octet-stream
@@ -93,6 +109,9 @@ func main() {
 		pool       = flag.Int("pool", 0, "solver pool size (0 = GOMAXPROCS)")
 		queue      = flag.Int("queue", 0, "job queue depth (0 = 4×pool)")
 		cache      = flag.Int("cache", 256, "result-cache capacity (-1 disables)")
+		batchMax   = flag.Int("batch-max", 32, "max same-instance jobs fused into one scan-shared batch (1 disables)")
+		basisCache = flag.Int("basis-cache", 256, "warm-start basis cache capacity (-1 disables)")
+		admitRows  = flag.Int64("admission-rows", 0, "shed submissions past this many pending rows with 429 + Retry-After (0 disables)")
 		maxBody    = flag.Int64("max-body", 64<<20, "max request body bytes")
 		instTTL    = flag.Duration("instance-ttl", server.DefaultInstanceTTL, "idle chunk-upload eviction horizon (negative disables)")
 		spillRows  = flag.Int("spill-rows", 0, "spill chunk uploads to sharded files past this many rows (0 disables)")
@@ -111,15 +130,18 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:      *pool,
-		QueueDepth:   *queue,
-		CacheSize:    *cache,
-		MaxBodyBytes: *maxBody,
-		InstanceTTL:  *instTTL,
-		SpillRows:    *spillRows,
-		SpillDir:     *spillDir,
-		FleetWorkers: httptransport.SplitList(*fleet),
-		TraceBuffer:  *traceBuf,
+		Workers:        *pool,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		BatchMax:       *batchMax,
+		BasisCacheSize: *basisCache,
+		AdmissionRows:  *admitRows,
+		MaxBodyBytes:   *maxBody,
+		InstanceTTL:    *instTTL,
+		SpillRows:      *spillRows,
+		SpillDir:       *spillDir,
+		FleetWorkers:   httptransport.SplitList(*fleet),
+		TraceBuffer:    *traceBuf,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -133,6 +133,17 @@ type Model interface {
 	// Columnar) is where row invariants are checked. Results are
 	// bit-identical to SolveInstance over the same rows and options.
 	SolveSource(backend string, dim int, objective []float64, src dataset.Source, opt Options) (Solution, Stats, error)
+	// SolveSourceBasis is SolveSource returning the raw final basis as
+	// well (nil on error); the server's warm-start cache stores it.
+	SolveSourceBasis(backend string, dim int, objective []float64, src dataset.Source, opt Options) (Solution, Stats, any, error)
+	// VerifyBasisSource re-validates a cached basis against a source of
+	// the same instance rows with one scan: ok=true means the rendered
+	// solution is the instance's optimum (warm start); ok=false means
+	// the caller must solve cold.
+	VerifyBasisSource(dim int, objective []float64, src dataset.Source, basis any) (Solution, bool, error)
+	// NewStreamSolver returns a pass-at-a-time streaming solver the
+	// scan-sharing batch scheduler drives through shared cursor scans.
+	NewStreamSolver(dim int, objective []float64, n int, opt Options) (StreamSolver, error)
 	// SolveTransport runs the coordinator backend over an explicit
 	// comm.Transport — how a fleet of worker processes jointly solves
 	// one instance. Bit-identical to SolveSource on the coordinator
@@ -283,45 +294,12 @@ func (s *Spec[P, C, B]) SolveInstance(backend string, inst Instance, opt Options
 // SolveSource decodes nothing up front: the backend scans the source
 // through the domain's flat-row primitives (streaming reads files in
 // blocks; coordinator/mpc shard zero-copy views) — the single
-// columnar backend switch, mirroring SolveInstance.
+// columnar backend switch, mirroring SolveInstance. (The switch
+// itself lives in SolveSourceBasis, which additionally returns the
+// raw basis for the warm-start cache.)
 func (s *Spec[P, C, B]) SolveSource(backend string, dim int, objective []float64, src dataset.Source, opt Options) (Solution, Stats, error) {
-	var stats Stats
-	if dim < 1 {
-		return Solution{}, stats, fmt.Errorf("%s: dim must be ≥ 1, got %d", s.Name, dim)
-	}
-	if want := s.Width(dim); src.Width() != want {
-		return Solution{}, stats, fmt.Errorf("%s: source width %d, want %d at dim %d", s.Name, src.Width(), want, dim)
-	}
-	if src.Rows() == 0 && !s.Empty {
-		return Solution{}, stats, fmt.Errorf("%s: empty instance", s.Name)
-	}
-	p, err := s.Problem(Instance{Dim: dim, Objective: objective})
-	if err != nil {
-		return Solution{}, stats, err
-	}
-	var b B
-	switch backend {
-	case BackendRAM:
-		b, err = SolveSourceRAM(s, p, src, opt)
-	case BackendStream:
-		var st StreamingStats
-		b, st, err = SolveSourceStreaming(s, p, src, opt)
-		stats.Stream = &st
-	case BackendCoordinator:
-		var st CoordinatorStats
-		b, st, err = SolveSourceCoordinator(s, p, src, opt)
-		stats.Coordinator = &st
-	case BackendMPC:
-		var st MPCStats
-		b, st, err = SolveSourceMPC(s, p, src, opt)
-		stats.MPC = &st
-	default:
-		return Solution{}, stats, fmt.Errorf("unknown model %q (want %s)", backend, strings.Join(Backends(), ", "))
-	}
-	if err != nil {
-		return Solution{}, stats, err
-	}
-	return s.Render(dim, b), stats, nil
+	sol, stats, _, err := s.SolveSourceBasis(backend, dim, objective, src, opt)
+	return sol, stats, err
 }
 
 // RowRoundTrip decodes row into a constraint and re-encodes it.

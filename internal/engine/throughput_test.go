@@ -1,0 +1,126 @@
+package engine_test
+
+import (
+	"testing"
+
+	"lowdimlp/internal/dataset"
+	"lowdimlp/internal/engine"
+	_ "lowdimlp/internal/models" // populate the registry
+)
+
+// driveSolver runs a StreamSolver to completion over the source with
+// its own cursor — what the batch scheduler does, minus the sharing.
+func driveSolver(t *testing.T, s engine.StreamSolver, src dataset.Source) (engine.Solution, engine.Stats) {
+	t.Helper()
+	cur := src.NewCursor()
+	defer dataset.CloseCursor(cur)
+	batch := make([]dataset.Row, dataset.DefaultBatchRows)
+	for !s.Done() {
+		s.BeginPass()
+		if _, err := dataset.SharedPass(cur, batch, s); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.EndPass(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sol, stats, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol, stats
+}
+
+// TestStreamSolverMatchesSolveSource pins the pass-at-a-time solver to
+// the one-shot stream backend for every registered kind: same rows,
+// same options ⇒ bit-identical solution and identical stream stats.
+func TestStreamSolverMatchesSolveSource(t *testing.T) {
+	for _, m := range engine.Models() {
+		m := m
+		t.Run(m.Kind(), func(t *testing.T) {
+			t.Parallel()
+			inst := conformanceInstance(t, m, 700, 41)
+			st, err := engine.Columnar(m, inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := engine.Options{R: 2, Seed: 9}
+			want, wantStats, err := m.SolveSource(engine.BackendStream, inst.Dim, inst.Objective, st, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			solver, err := m.NewStreamSolver(inst.Dim, inst.Objective, st.Rows(), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotStats := driveSolver(t, solver, st)
+			assertSolutionsIdentical(t, m.Kind()+" stream-solver", want, got)
+			if *wantStats.Stream != *gotStats.Stream {
+				t.Fatalf("stats drift: %+v vs %+v", *wantStats.Stream, *gotStats.Stream)
+			}
+			if solver.Basis() == nil {
+				t.Fatal("finished solver should expose its basis")
+			}
+		})
+	}
+}
+
+// TestVerifyBasisSource pins the warm-start verification pass: a basis
+// re-verified against the instance it came from renders the identical
+// solution, while a changed instance or a foreign basis value refuses
+// the warm start instead of returning a wrong answer.
+func TestVerifyBasisSource(t *testing.T) {
+	for _, m := range engine.Models() {
+		m := m
+		t.Run(m.Kind(), func(t *testing.T) {
+			t.Parallel()
+			inst := conformanceInstance(t, m, 700, 41)
+			st, err := engine.Columnar(m, inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := engine.Options{R: 2, Seed: 9}
+			cold, _, basis, err := m.SolveSourceBasis(engine.BackendStream, inst.Dim, inst.Objective, st, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if basis == nil {
+				t.Fatal("SolveSourceBasis returned nil basis")
+			}
+			warm, ok, err := m.VerifyBasisSource(inst.Dim, inst.Objective, st, basis)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatal("basis must verify against its own instance")
+			}
+			assertSolutionsIdentical(t, m.Kind()+" warm", cold, warm)
+			if _, ok, _ := m.VerifyBasisSource(inst.Dim, inst.Objective, st, 42); ok {
+				t.Fatal("foreign basis value must not verify")
+			}
+		})
+	}
+}
+
+// TestVerifyBasisSourceRejectsViolator: adding a point outside the
+// cached ball makes the verification pass fail (ok=false), forcing the
+// cold path — warm starts never change answers.
+func TestVerifyBasisSourceRejectsViolator(t *testing.T) {
+	m, ok := engine.Lookup("meb")
+	if !ok {
+		t.Fatal("meb not registered")
+	}
+	inst := conformanceInstance(t, m, 700, 41)
+	st, err := engine.Columnar(m, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, basis, err := m.SolveSourceBasis(engine.BackendStream, inst.Dim, nil, st, engine.Options{R: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AppendRow([]float64{100, 100, 100}) // far outside the ball
+	if _, ok, err := m.VerifyBasisSource(inst.Dim, nil, st, basis); err != nil || ok {
+		t.Fatalf("stale basis verified against grown instance (ok=%v err=%v)", ok, err)
+	}
+}

@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lowdimlp/internal/promtext"
+	"lowdimlp/internal/server"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "M4",
+		Title: "Served throughput: solo vs scan-shared vs warm-started",
+		Claim: "throughput engine: batching same-instance solves into shared scans and warm-starting repeats multiplies served solves/sec without changing a single bit of any answer",
+		Run:   runM4,
+	})
+}
+
+// m4Row is one load scenario against a live lpserved instance.
+type m4Row struct {
+	Scenario    string  `json:"scenario"` // solo | scan-shared | warm
+	Workload    string  `json:"workload"` // distinct-seeds | seed-pool
+	N           int     `json:"n"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	WallMS      float64 `json:"wall_ms"`
+	SolvesPS    float64 `json:"solves_per_s"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	// Engine counters scraped from /metrics after the run.
+	Batches      float64 `json:"batches"`
+	BatchedJobs  float64 `json:"batched_jobs"`
+	SharedPasses float64 `json:"shared_passes"`
+	WarmHits     float64 `json:"warm_hits"`
+	Coalesced    float64 `json:"coalesced"`
+}
+
+// m4Claim is the headline comparison of the experiment.
+type m4Claim struct {
+	N              int     `json:"n"`
+	Requests       int     `json:"requests"`
+	Concurrency    int     `json:"concurrency"`
+	CPUs           int     `json:"cpus"` // GOMAXPROCS: bounds what scan-sharing can save (see EXPERIMENTS.md)
+	SoloSolvesPS   float64 `json:"solo_solves_per_s"`
+	SharedSolvesPS float64 `json:"shared_solves_per_s"`
+	SharedSpeedupX float64 `json:"shared_speedup_x"`
+	SharedAtLeast2 bool    `json:"shared_at_least_2x"`
+	WarmSolvesPS   float64 `json:"warm_solves_per_s"`
+	WarmSpeedupX   float64 `json:"warm_speedup_x"`
+	WarmAtLeast2   bool    `json:"warm_at_least_2x"`
+	// Identical pins correctness under load: for every solver seed,
+	// all three scenarios returned byte-identical solution JSON.
+	Identical bool `json:"identical"`
+}
+
+// m4Report is the BENCH_M4.json schema.
+type m4Report struct {
+	Experiment string  `json:"experiment"`
+	Seed       uint64  `json:"seed"`
+	Quick      bool    `json:"quick"`
+	Rows       []m4Row `json:"rows"`
+	Claim      m4Claim `json:"claim"`
+}
+
+// m4Outcome is what one load scenario measured.
+type m4Outcome struct {
+	row     m4Row
+	results map[uint64]string // solver seed → solution JSON
+}
+
+// m4Fire drives the given per-request solver seeds against a fresh
+// lpserved built from cfg: conc clients with zero think time each pull
+// the next seed off a shared schedule and POST a synchronous solve for
+// the same hot generated instance. Wall clock and per-request
+// latencies are client-observed; engine counters come from /metrics.
+func m4Fire(cfg server.Config, genN int, genSeed uint64, seeds []uint64, conc int) (m4Outcome, error) {
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: conc}}
+
+	type reply struct {
+		seed uint64
+		lat  time.Duration
+		body []byte
+		err  error
+	}
+	replies := make([]reply, len(seeds))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seeds) {
+					return
+				}
+				body, _ := json.Marshal(server.SolveRequest{
+					Kind: "meb", Model: server.ModelStream,
+					Generate: &server.GenerateSpec{Family: "gaussian", N: genN, D: 3, Seed: genSeed},
+					Options:  server.SolveOptions{R: 3, Seed: seeds[i]},
+				})
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+				if err != nil {
+					replies[i] = reply{err: err}
+					return
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err == nil && resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+				}
+				replies[i] = reply{seed: seeds[i], lat: time.Since(t0), body: raw, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	out := m4Outcome{results: make(map[uint64]string)}
+	lats := make([]time.Duration, 0, len(seeds))
+	for i, r := range replies {
+		if r.err != nil {
+			return out, fmt.Errorf("request %d: %w", i, r.err)
+		}
+		var st server.JobStatus
+		if err := json.Unmarshal(r.body, &st); err != nil {
+			return out, fmt.Errorf("request %d: %w", i, err)
+		}
+		blob, err := json.Marshal(st.Result)
+		if err != nil {
+			return out, err
+		}
+		if prev, ok := out.results[r.seed]; ok && prev != string(blob) {
+			return out, fmt.Errorf("seed %d returned two different answers within one scenario", r.seed)
+		}
+		out.results[r.seed] = string(blob)
+		lats = append(lats, r.lat)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lats)-1))
+		return float64(lats[idx]) / float64(time.Millisecond)
+	}
+	out.row = m4Row{
+		N: genN, Requests: len(seeds), Concurrency: conc,
+		WallMS:   float64(wall) / float64(time.Millisecond),
+		SolvesPS: float64(len(seeds)) / wall.Seconds(),
+		P50MS:    pct(0.50), P99MS: pct(0.99),
+	}
+
+	mresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		return out, err
+	}
+	defer mresp.Body.Close()
+	pm, err := promtext.Parse(mresp.Body)
+	if err != nil {
+		return out, err
+	}
+	out.row.Batches = pm.Sum("lpserved_batches_total")
+	out.row.BatchedJobs = pm.Sum("lpserved_batched_jobs_total")
+	out.row.SharedPasses = pm.Sum("lpserved_shared_passes_total")
+	out.row.WarmHits = pm.Sum("lpserved_warm_hits_total")
+	out.row.Coalesced = pm.Sum("lpserved_solve_coalesced_total")
+	return out, nil
+}
+
+// runM4 measures the throughput engine end to end: open-fire bursts of
+// hot-instance solve requests against a live lpserved over HTTP, in
+// three configurations. "solo" disables every engine feature (each
+// request materializes and solves privately — the pre-engine service).
+// "scan-shared" enables the batch scheduler on the same distinct-seed
+// workload: queued same-instance jobs fuse into shared cursor scans.
+// "warm" runs a repeated-seed workload (a small pool of recurring
+// queries — dashboard traffic) against the basis cache: repeats
+// re-verify the cached basis in one scan instead of re-solving, and
+// identical in-flight requests coalesce. Every scenario's answers are
+// pinned byte-identical per solver seed across configurations — the
+// engine buys throughput, never drift.
+func runM4(w io.Writer, cfg Config) error {
+	genN := 150_000
+	requests := 64
+	conc := 16
+	poolSize := 4
+	if cfg.Quick {
+		genN, requests, conc = 30_000, 32, 8
+	}
+	genSeed := cfg.Seed
+
+	// Workload A: every request a distinct solver seed (nothing can
+	// coalesce or warm-start — isolates scan-sharing itself).
+	distinct := make([]uint64, requests)
+	for i := range distinct {
+		distinct[i] = uint64(i)
+	}
+	// Workload B: seeds recur from a small pool (warm starts and
+	// coalescing apply); the pool is a subset of workload A's seeds so
+	// answers are comparable across scenarios.
+	pool := make([]uint64, requests)
+	for i := range pool {
+		pool[i] = uint64(i % poolSize)
+	}
+
+	// One pool worker per CPU: on the 1-CPU CI container two workers
+	// would just timeshare (and cache-thrash between two half-resident
+	// solver states); a deeper queue also gives the batch scheduler
+	// more same-instance jobs to scoop per batch.
+	workers := runtime.GOMAXPROCS(0)
+	base := server.Config{Workers: workers, QueueDepth: requests + conc, CacheSize: -1, BasisCacheSize: -1, BatchMax: 1}
+	scenarios := []struct {
+		name     string
+		workload string
+		cfg      func() server.Config
+		seeds    []uint64
+	}{
+		{"solo", "distinct-seeds", func() server.Config { return base }, distinct},
+		{"scan-shared", "distinct-seeds", func() server.Config { c := base; c.BatchMax = 32; return c }, distinct},
+		{"warm", "seed-pool", func() server.Config { c := base; c.BasisCacheSize = 256; return c }, pool},
+	}
+
+	report := m4Report{Experiment: "M4", Seed: cfg.Seed, Quick: cfg.Quick}
+	t := newTable(w, "scenario", "workload", "n", "reqs", "conc", "solves/s", "p50 ms", "p99 ms", "batched", "warm", "coalesced")
+	outcomes := make(map[string]m4Outcome, len(scenarios))
+	for _, sc := range scenarios {
+		out, err := m4Fire(sc.cfg(), genN, genSeed, sc.seeds, conc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.name, err)
+		}
+		out.row.Scenario = sc.name
+		out.row.Workload = sc.workload
+		outcomes[sc.name] = out
+		report.Rows = append(report.Rows, out.row)
+		t.row(sc.name, sc.workload, out.row.N, out.row.Requests, out.row.Concurrency,
+			fmt.Sprintf("%.2f", out.row.SolvesPS),
+			fmt.Sprintf("%.0f", out.row.P50MS), fmt.Sprintf("%.0f", out.row.P99MS),
+			fmt.Sprintf("%.0f", out.row.BatchedJobs), fmt.Sprintf("%.0f", out.row.WarmHits),
+			fmt.Sprintf("%.0f", out.row.Coalesced))
+	}
+	t.flush()
+
+	// Correctness under load: per solver seed, every scenario that ran
+	// it must have returned byte-identical solution JSON.
+	identical := true
+	solo := outcomes["solo"].results
+	for _, name := range []string{"scan-shared", "warm"} {
+		for seed, blob := range outcomes[name].results {
+			if ref, ok := solo[seed]; ok && ref != blob {
+				identical = false
+				fmt.Fprintf(w, "DRIFT: %s seed %d diverged from solo\n", name, seed)
+			}
+		}
+	}
+
+	c := &report.Claim
+	c.N = genN
+	c.Requests = requests
+	c.Concurrency = conc
+	c.CPUs = runtime.GOMAXPROCS(0)
+	c.SoloSolvesPS = outcomes["solo"].row.SolvesPS
+	c.SharedSolvesPS = outcomes["scan-shared"].row.SolvesPS
+	c.WarmSolvesPS = outcomes["warm"].row.SolvesPS
+	if c.SoloSolvesPS > 0 {
+		c.SharedSpeedupX = c.SharedSolvesPS / c.SoloSolvesPS
+		c.WarmSpeedupX = c.WarmSolvesPS / c.SoloSolvesPS
+	}
+	c.SharedAtLeast2 = c.SharedSpeedupX >= 2
+	c.WarmAtLeast2 = c.WarmSpeedupX >= 2
+	c.Identical = identical
+
+	fmt.Fprintf(w, "\nclaim: scan-shared %.2fx solo, warm-started %.2fx solo on a hot n=%d instance at %d-way concurrency (%d CPU) → identical answers: %s\n",
+		c.SharedSpeedupX, c.WarmSpeedupX, genN, conc, c.CPUs, pass(identical))
+	if !c.SharedAtLeast2 && c.CPUs == 1 {
+		fmt.Fprintf(w, "note: on 1 CPU the scan-shared win is bounded by the shared fraction (materialize + cursor); see EXPERIMENTS.md M4\n")
+	}
+	if !identical {
+		return fmt.Errorf("throughput engine changed an answer under load")
+	}
+
+	if cfg.JSONPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s (%d scenarios)\n", cfg.JSONPath, len(report.Rows))
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package lp
+
+import "lowdimlp/internal/lptype"
+
+// SolveFrom is the basis-seeded entry point: it re-solves cons
+// starting from a basis computed earlier over the same constraint set
+// (or a set containing prev's tight constraints). One verification
+// pass decides everything — if no constraint violates prev, the
+// LP-type locality lemma (Lemma 3.1) says prev is a basis of the
+// whole set, so it IS the optimum and comes back unchanged
+// (warm=true), bit-identical to the solve that produced it. Any
+// violator falls back to a cold Solve (warm=false), so the result is
+// always exact: warm starts change cost, never answers.
+//
+// The soundness precondition is that prev's tight set is drawn from
+// cons (true whenever prev came from a solve over these same
+// constraints — the server's basis cache keys by instance digest to
+// guarantee it). Cost: one O(n) pass on a hit versus the full
+// O(n · iterations) cold solve.
+func (d *Domain) SolveFrom(prev Basis, cons []Halfspace) (Basis, bool, error) {
+	if lptype.Verify[Halfspace, Basis](d, cons, prev) < 0 {
+		return prev, true, nil
+	}
+	b, err := d.Solve(cons)
+	return b, false, err
+}

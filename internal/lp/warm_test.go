@@ -1,0 +1,58 @@
+package lp
+
+import "testing"
+
+// TestSolveFromWarmIdentity pins the warm-start contract: re-solving
+// the same constraint set from the cold solve's basis is a warm hit
+// and returns the cold basis unchanged, bit for bit.
+func TestSolveFromWarmIdentity(t *testing.T) {
+	p, cons := randomFeasibleLP(3, 500, 77)
+	d := NewDomain(p, 5)
+	cold, err := d.Solve(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, hit, err := d.SolveFrom(cold, cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("re-solve from the optimal basis should be a warm hit")
+	}
+	if warm.Sol.Value != cold.Sol.Value {
+		t.Fatalf("warm value %v != cold %v", warm.Sol.Value, cold.Sol.Value)
+	}
+	for i := range cold.Sol.X {
+		if warm.Sol.X[i] != cold.Sol.X[i] {
+			t.Fatalf("warm x[%d] %v != cold %v", i, warm.Sol.X[i], cold.Sol.X[i])
+		}
+	}
+}
+
+// TestSolveFromFallsBackCold pins the other half: when the basis no
+// longer covers the set (a tighter constraint arrived), SolveFrom must
+// fall back to an exact cold solve, identical to Solve from scratch.
+func TestSolveFromFallsBackCold(t *testing.T) {
+	p, cons := randomFeasibleLP(3, 500, 78)
+	d := NewDomain(p, 5)
+	prev, err := d.Solve(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the feasible region so prev's optimum is cut off.
+	tighter := append(append([]Halfspace(nil), cons...), Halfspace{A: prev.Sol.X, B: 0.5})
+	want, err := d.Solve(tighter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, hit, err := d.SolveFrom(prev, tighter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("stale basis must not warm-hit")
+	}
+	if got.Sol.Value != want.Sol.Value {
+		t.Fatalf("fallback value %v != cold %v", got.Sol.Value, want.Sol.Value)
+	}
+}

@@ -67,6 +67,25 @@ func Diagnose(f *Fleet) []Finding {
 					fmt.Sprintf("%d jobs are waiting in the queue (%d running)", fe.JobsQueued, fe.JobsRunning),
 					"the pool is saturated: raise -pool, or expect latency")
 			}
+			if fe.JobsShed > 0 {
+				add(SevWarn, "frontend-load-shedding", "frontend",
+					fmt.Sprintf("%d submissions were shed by admission control (429 + Retry-After) — the pending-row backlog keeps crossing -admission-rows", fe.JobsShed),
+					"clients should honor Retry-After and back off; if the shedding is chronic, raise -admission-rows, add pool workers, or spread the load across more frontends")
+			}
+			// Repeated-seed traffic that never warm-starts: either the
+			// basis cache is disabled while a cache-miss-heavy workload
+			// hammers the service, or cached bases keep failing
+			// re-verification (instance churn under one digest).
+			if fe.WarmHits == 0 && fe.WarmMisses >= 8 {
+				add(SevWarn, "frontend-basis-cache-cold", "frontend",
+					fmt.Sprintf("%d warm-start attempts all failed re-verification and 0 succeeded — cached bases never match the instance they are looked up for", fe.WarmMisses),
+					"the same request digest is serving changing instance content; make sure clients pin generator seeds (and don't mutate uploaded rows between solves)")
+			} else if fe.BasisEntries == 0 && fe.WarmHits == 0 && fe.WarmMisses == 0 &&
+				fe.JobsDone >= 16 && fe.CacheHits == 0 && fe.CacheMisses >= 16 {
+				add(SevWarn, "frontend-basis-cache-cold", "frontend",
+					fmt.Sprintf("%d solves ran with no result-cache hits and an empty basis cache — repeat traffic is re-solving from scratch", fe.JobsDone),
+					"start lpserved with -basis-cache (and -cache) enabled so repeated-seed requests warm-start instead of re-solving")
+			}
 			for class, n := range fe.FleetErrors {
 				rule, diag, fix := fleetErrorRule(class, n)
 				add(SevWarn, rule, "frontend", diag, fix)

@@ -88,6 +88,16 @@ type FrontendStatus struct {
 	Spilled        int64
 	FleetSolves    int64
 	TracesCaptured int64
+	// Throughput-engine counters (batch scheduler, warm starts,
+	// admission control; DESIGN.md §11).
+	JobsShed     int64
+	Coalesced    int64
+	Batches      int64
+	BatchedJobs  int64
+	SharedPasses int64
+	WarmHits     int64
+	WarmMisses   int64
+	BasisEntries int64
 	// FleetErrors are failed fleet exchanges by error class.
 	FleetErrors map[string]int64
 	// InstancesOpen is the open chunk-upload count (/v1/instances).
@@ -250,6 +260,14 @@ func collectFrontend(client *http.Client, url string) *FrontendStatus {
 			f.Spilled = int64(m.Sum("lpserved_instances_spilled_total"))
 			f.FleetSolves = int64(m.Sum("lpserved_fleet_solves_total"))
 			f.TracesCaptured = int64(m.Sum("lpserved_traces_captured_total"))
+			f.JobsShed = int64(m.Sum("lpserved_jobs_shed_total"))
+			f.Coalesced = int64(m.Sum("lpserved_solve_coalesced_total"))
+			f.Batches = int64(m.Sum("lpserved_batches_total"))
+			f.BatchedJobs = int64(m.Sum("lpserved_batched_jobs_total"))
+			f.SharedPasses = int64(m.Sum("lpserved_shared_passes_total"))
+			f.WarmHits = int64(m.Sum("lpserved_warm_hits_total"))
+			f.WarmMisses = int64(m.Sum("lpserved_warm_misses_total"))
+			f.BasisEntries = int64(m.Sum("lpserved_basis_entries"))
 			if fam, ok := m.Family("lpserved_fleet_exchange_errors_total"); ok {
 				for _, s := range fam.Samples {
 					if s.Value > 0 {

@@ -281,3 +281,89 @@ func TestRenderFindings(t *testing.T) {
 		}
 	}
 }
+
+func TestDoctorLoadShedding(t *testing.T) {
+	metrics := `# TYPE lpserved_jobs_done_total counter
+lpserved_jobs_done_total 40
+# TYPE lpserved_jobs_shed_total counter
+lpserved_jobs_shed_total 7
+`
+	fleet := Collect(Options{Frontend: fakeFrontend(t, metrics).URL})
+	if fleet.Frontend.JobsShed != 7 {
+		t.Fatalf("JobsShed = %d, want 7", fleet.Frontend.JobsShed)
+	}
+	fd := findRule(Diagnose(fleet), "frontend-load-shedding")
+	if fd == nil || fd.Severity != SevWarn {
+		t.Fatalf("no frontend-load-shedding warning: %+v", Diagnose(fleet))
+	}
+	if !strings.Contains(fd.Fix, "Retry-After") {
+		t.Errorf("shedding fix does not mention Retry-After: %q", fd.Fix)
+	}
+}
+
+// TestDoctorBasisCacheCold pins both branches of the cold-basis rule:
+// a basis cache whose entries never survive re-verification, and a
+// disabled basis cache under repeat-heavy traffic.
+func TestDoctorBasisCacheCold(t *testing.T) {
+	// Branch 1: warm lookups keep failing re-verification.
+	churn := &Fleet{Frontend: &FrontendStatus{
+		URL: "x", Reachable: true, HasMetrics: true,
+		JobsDone: 30, WarmMisses: 12,
+	}}
+	fd := findRule(Diagnose(churn), "frontend-basis-cache-cold")
+	if fd == nil || fd.Severity != SevWarn {
+		t.Fatalf("no cold-basis warning on churn: %+v", Diagnose(churn))
+	}
+	if !strings.Contains(fd.Diagnosis, "re-verification") {
+		t.Errorf("churn diagnosis does not explain the verify failures: %q", fd.Diagnosis)
+	}
+
+	// Branch 2: heavy cache-missing traffic, basis cache disabled.
+	disabled := &Fleet{Frontend: &FrontendStatus{
+		URL: "x", Reachable: true, HasMetrics: true,
+		JobsDone: 40, CacheMisses: 40,
+	}}
+	fd = findRule(Diagnose(disabled), "frontend-basis-cache-cold")
+	if fd == nil || fd.Severity != SevWarn {
+		t.Fatalf("no cold-basis warning on disabled cache: %+v", Diagnose(disabled))
+	}
+	if !strings.Contains(fd.Fix, "-basis-cache") {
+		t.Errorf("disabled-cache fix does not name the flag: %q", fd.Fix)
+	}
+
+	// A warm-hitting frontend is healthy — no finding.
+	healthy := &Fleet{Frontend: &FrontendStatus{
+		URL: "x", Reachable: true, HasMetrics: true,
+		JobsDone: 40, CacheMisses: 40, WarmHits: 20, WarmMisses: 9, BasisEntries: 4,
+	}}
+	if fd := findRule(Diagnose(healthy), "frontend-basis-cache-cold"); fd != nil {
+		t.Fatalf("healthy warm traffic produced a cold-basis finding: %+v", fd)
+	}
+}
+
+// TestFrontendThroughputScrape pins collectFrontend's mapping of the
+// throughput-engine metric families.
+func TestFrontendThroughputScrape(t *testing.T) {
+	metrics := `# TYPE lpserved_solve_coalesced_total counter
+lpserved_solve_coalesced_total 3
+# TYPE lpserved_batches_total counter
+lpserved_batches_total 2
+# TYPE lpserved_batched_jobs_total counter
+lpserved_batched_jobs_total 9
+# TYPE lpserved_shared_passes_total counter
+lpserved_shared_passes_total 14
+# TYPE lpserved_warm_hits_total counter
+lpserved_warm_hits_total 5
+# TYPE lpserved_warm_misses_total counter
+lpserved_warm_misses_total 1
+# TYPE lpserved_basis_entries gauge
+lpserved_basis_entries 4
+`
+	fe := Collect(Options{Frontend: fakeFrontend(t, metrics).URL}).Frontend
+	if fe.Coalesced != 3 || fe.Batches != 2 || fe.BatchedJobs != 9 || fe.SharedPasses != 14 {
+		t.Errorf("batch counters = %d/%d/%d/%d, want 3/2/9/14", fe.Coalesced, fe.Batches, fe.BatchedJobs, fe.SharedPasses)
+	}
+	if fe.WarmHits != 5 || fe.WarmMisses != 1 || fe.BasisEntries != 4 {
+		t.Errorf("warm counters = %d/%d/%d, want 5/1/4", fe.WarmHits, fe.WarmMisses, fe.BasisEntries)
+	}
+}

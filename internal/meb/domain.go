@@ -50,7 +50,20 @@ func (d *Domain) ViolatesRow(b Basis, row []float64) bool { return !b.B.Contains
 func (d *Domain) CombinatorialDim() int { return d.Dim + 1 }
 
 // VCDim returns λ = d+1 (complements of balls in R^d, Wenocur–Dudley,
-// quoted in §4.3).
+// quoted in §4.3) — tight, so unlike SVM there is nothing to sharpen.
+//
+// Derivation. A violation range is a ball complement {p : |p−c| > r}.
+// Lift p ↦ (p, |p|²) onto the paraboloid in R^{d+1}: the containment
+// test |p|² − 2⟨c,p⟩ ≤ r² − |c|² becomes a halfspace test on the
+// lifted points with normal (−2c, 1) and a FREE offset r² − |c|² —
+// d+1 real parameters (c and the offset), so the shatter function is
+// O(n^{d+1}) and λ ≤ d+1 (complementing every range preserves which
+// sets are shattered). It is exactly d+1: the vertices of a regular
+// simplex plus its center are shattered by balls, the classical
+// lower bound. Contrast svm.Domain.VCDim, where the margin
+// normalization pins the offset and drops the bound to d, and
+// sea.Domain.VCDim, where a shared slab normal saves one parameter
+// against the generic lifted bound.
 func (d *Domain) VCDim() int { return d.Dim + 1 }
 
 // ErrShortBuffer reports a truncated encoding.

@@ -5,11 +5,15 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
+	"math"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lowdimlp/internal/comm"
 	"lowdimlp/internal/comm/httptransport"
+	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/engine"
 	"lowdimlp/internal/obs"
 )
@@ -19,6 +23,13 @@ var ErrQueueFull = errors.New("server: job queue full")
 
 // ErrShuttingDown is returned for submissions after Shutdown starts.
 var ErrShuttingDown = errors.New("server: shutting down")
+
+// ErrOverloaded is returned when admission control sheds a submission:
+// the rows already queued or running exceed the configured budget, so
+// accepting more work would only grow latency for everyone. Distinct
+// from ErrQueueFull — shedding happens before the queue saturates,
+// and the HTTP layer answers 429 with a Retry-After estimate.
+var ErrOverloaded = errors.New("server: overloaded, request shed")
 
 // Job is one solve request moving through the manager. All mutable
 // fields are guarded by mu; Done is closed exactly once when the job
@@ -33,15 +44,24 @@ type Job struct {
 	// Done is closed when the job reaches done/failed.
 	Done chan struct{}
 
-	mu      sync.Mutex
-	req     *SolveRequest // nil once terminal
-	state   string
-	cached  bool
-	elapsed time.Duration
-	result  *SolveResult
-	stats   *StatsPayload
-	trace   *obs.TraceData
-	err     error
+	// Scheduler-private fields, written once at Submit (shareKey,
+	// cost) or while the job runs on exactly one worker (leadKey) —
+	// never read concurrently with those writes.
+	shareKey string // batch-scheduler grouping key ("" = never batch)
+	cost     int64  // row count, the admission controller's unit
+	leadKey  string // in-flight coalescing key this job leads ("" = none)
+
+	mu        sync.Mutex
+	req       *SolveRequest // nil once terminal
+	state     string
+	cached    bool
+	warm      bool
+	coalesced bool
+	elapsed   time.Duration
+	result    *SolveResult
+	stats     *StatsPayload
+	trace     *obs.TraceData
+	err       error
 }
 
 // Status snapshots the job for the wire.
@@ -49,15 +69,17 @@ func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:     j.ID,
-		State:  j.state,
-		Kind:   j.Kind,
-		Model:  j.Model,
-		N:      j.N,
-		Cached: j.cached,
-		Result: j.result,
-		Stats:  j.stats,
-		Trace:  j.trace,
+		ID:        j.ID,
+		State:     j.state,
+		Kind:      j.Kind,
+		Model:     j.Model,
+		N:         j.N,
+		Cached:    j.cached,
+		Warm:      j.warm,
+		Coalesced: j.coalesced,
+		Result:    j.result,
+		Stats:     j.stats,
+		Trace:     j.trace,
 	}
 	if j.state == StateDone || j.state == StateFailed {
 		st.ElapsedMS = float64(j.elapsed) / float64(time.Millisecond)
@@ -68,9 +90,15 @@ func (j *Job) Status() JobStatus {
 	return st
 }
 
-// Manager owns the job table, the queue and the worker pool.
+// Manager owns the job table, the queue and the worker pool. The
+// queue is a slice under mu (not a channel) so a dequeuing worker can
+// scoop every queued job that shares the head's instance into one
+// scan-shared batch.
 type Manager struct {
-	cache   *Cache
+	cache *Cache
+	// basis is the warm-start basis cache; nil disables warm starts.
+	// Set before the first job is accepted.
+	basis   *BasisCache
 	metrics *Metrics
 	// fleet is the worker-process fleet (lpserved -workers) that
 	// serves Fleet requests; empty means fleet solves are refused.
@@ -80,11 +108,31 @@ type Manager struct {
 	// /v1/traces); nil disables retention (inline traces still work).
 	// Set before the first job is accepted.
 	traces *obs.Ring
+	// batchMax caps how many same-instance jobs fuse into one
+	// scan-shared batch; ≤ 1 disables batching. Set before the first
+	// job is accepted.
+	batchMax int
+	// admitRows (> 0) is the admission budget: total rows queued or
+	// running beyond which new submissions are shed. Set before the
+	// first job is accepted.
+	admitRows int64
 
-	queue chan *Job
-	wg    sync.WaitGroup
+	// pendingRows tracks the cost of every admitted-but-not-terminal
+	// job — the admission controller's load estimate.
+	pendingRows atomic.Int64
+
+	// rowsPerSec is an EWMA of solver throughput over genuinely
+	// executed solves, feeding the Retry-After estimate.
+	rateMu     sync.Mutex
+	rowsPerSec float64
+
+	wg sync.WaitGroup
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signaled on queue growth and on close
+	queue    []*Job     // FIFO; workers pop the head
+	queueCap int
+	inflight map[string]*Job // digest → running leader (solo coalescing)
 	jobs     map[string]*Job
 	finished []string // terminal job IDs, oldest first
 	closed   bool
@@ -106,37 +154,50 @@ func newJobID() string {
 // every job ever run.
 const maxFinished = 4096
 
-// NewManager starts a manager with the given worker count and queue
-// depth (values < 1 are raised to 1). Callers must Shutdown it.
-func NewManager(workers, queueDepth int, cache *Cache, metrics *Metrics) *Manager {
-	if workers < 1 {
-		workers = 1
-	}
+// newManagerIdle builds a manager with no workers — tests use it to
+// stage a queue deterministically before starting the pool.
+func newManagerIdle(queueDepth int, cache *Cache, metrics *Metrics) *Manager {
 	if queueDepth < 1 {
 		queueDepth = 1
 	}
 	m := &Manager{
-		cache:   cache,
-		metrics: metrics,
-		queue:   make(chan *Job, queueDepth),
-		jobs:    make(map[string]*Job),
+		cache:    cache,
+		metrics:  metrics,
+		queueCap: queueDepth,
+		inflight: make(map[string]*Job),
+		jobs:     make(map[string]*Job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// start launches the worker pool (counts < 1 are raised to 1).
+func (m *Manager) start(workers int) {
+	if workers < 1 {
+		workers = 1
 	}
 	for i := 0; i < workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
+}
+
+// NewManager starts a manager with the given worker count and queue
+// depth (values < 1 are raised to 1). Callers must Shutdown it.
+func NewManager(workers, queueDepth int, cache *Cache, metrics *Metrics) *Manager {
+	m := newManagerIdle(queueDepth, cache, metrics)
+	m.start(workers)
 	return m
 }
 
 // Submit validates nothing (the handler already did), assigns an ID
-// and enqueues the job. It fails fast when the queue is full rather
-// than blocking the HTTP handler. The enqueue happens under mu —
-// Shutdown closes the queue under the same lock, so Submit can never
-// send on a closed channel.
+// and enqueues the job. It fails fast — shedding under admission
+// pressure, rejecting when the queue is full — rather than blocking
+// the HTTP handler.
 func (m *Manager) Submit(req *SolveRequest) (*Job, error) {
 	// Size the job before taking the lock: counting undecoded inline
 	// rows is an O(body) byte scan, and m.mu serializes every submit
-	// and status poll.
+	// and status poll. The size doubles as the job's admission cost.
 	n := len(req.Rows)
 	if req.rawRows != nil {
 		// Undecoded inline rows: count without decoding, so queued and
@@ -149,31 +210,45 @@ func (m *Manager) Submit(req *SolveRequest) (*Job, error) {
 	if req.Generate != nil {
 		n = req.Generate.N
 	}
+	var share string
+	if m.batchMax > 1 {
+		share = req.shareKey()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, ErrShuttingDown
 	}
-	j := &Job{
-		ID:    newJobID(),
-		Kind:  req.Kind,
-		Model: req.Model,
-		N:     n,
-		req:   req,
-		Done:  make(chan struct{}),
-		state: StateQueued,
+	if m.admitRows > 0 {
+		// Estimated-cost load shedding: refuse when the backlog plus
+		// this job would exceed the budget — but never shed into an
+		// idle system, however oversized the single request (it would
+		// otherwise be undeliverable at any load).
+		if pending := m.pendingRows.Load(); pending > 0 && pending+int64(n) > m.admitRows {
+			m.metrics.JobsShed.Add(1)
+			return nil, ErrOverloaded
+		}
 	}
-	// The queued gauge rises before the send: an idle worker can
-	// dequeue (and decrement) the instant the job hits the channel.
-	m.metrics.JobsQueued.Add(1)
-	select {
-	case m.queue <- j:
-	default:
-		m.metrics.JobsQueued.Add(-1)
+	if len(m.queue) >= m.queueCap {
 		return nil, ErrQueueFull
 	}
+	j := &Job{
+		ID:       newJobID(),
+		Kind:     req.Kind,
+		Model:    req.Model,
+		N:        n,
+		req:      req,
+		Done:     make(chan struct{}),
+		state:    StateQueued,
+		shareKey: share,
+		cost:     int64(n),
+	}
+	m.queue = append(m.queue, j)
+	m.pendingRows.Add(j.cost)
+	m.metrics.JobsQueued.Add(1)
 	m.jobs[j.ID] = j
 	m.metrics.JobsSubmitted.Add(1)
+	m.cond.Signal()
 	return j, nil
 }
 
@@ -185,6 +260,46 @@ func (m *Manager) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
+// RetryAfterSeconds estimates how long the current backlog needs to
+// drain — the Retry-After hint on load-shed responses. It divides the
+// pending rows by the observed solve throughput, clamped to [1, 60]s
+// (1 when no throughput has been observed yet).
+func (m *Manager) RetryAfterSeconds() int {
+	pending := m.pendingRows.Load()
+	m.rateMu.Lock()
+	rate := m.rowsPerSec
+	m.rateMu.Unlock()
+	if pending <= 0 || rate <= 0 {
+		return 1
+	}
+	s := int(math.Ceil(float64(pending) / rate))
+	if s < 1 {
+		s = 1
+	}
+	if s > 60 {
+		s = 60
+	}
+	return s
+}
+
+// observeRate feeds the admission controller's throughput estimate:
+// an EWMA of rows solved per second over genuinely executed solves —
+// cache hits, warm starts and coalesced copies say nothing about
+// solver speed and are excluded.
+func (m *Manager) observeRate(rows int64, elapsed time.Duration) {
+	if rows <= 0 || elapsed <= 0 {
+		return
+	}
+	r := float64(rows) / elapsed.Seconds()
+	m.rateMu.Lock()
+	if m.rowsPerSec == 0 {
+		m.rowsPerSec = r
+	} else {
+		m.rowsPerSec = 0.8*m.rowsPerSec + 0.2*r
+	}
+	m.rateMu.Unlock()
+}
+
 // Shutdown stops accepting jobs, lets queued work drain, and waits
 // for the workers up to the context deadline.
 func (m *Manager) Shutdown(ctx context.Context) error {
@@ -194,7 +309,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	m.closed = true
-	close(m.queue)
+	m.cond.Broadcast()
 	m.mu.Unlock()
 
 	done := make(chan struct{})
@@ -218,18 +333,71 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 }
 
-// worker drains the queue until it is closed.
+// worker pulls batches off the queue until close-and-drained.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
-		m.metrics.JobsQueued.Add(-1)
-		m.metrics.JobsRunning.Add(1)
-		m.run(j)
-		m.metrics.JobsRunning.Add(-1)
+	for {
+		batch := m.nextBatch()
+		if batch == nil {
+			return
+		}
+		m.metrics.JobsRunning.Add(int64(len(batch)))
+		if len(batch) == 1 {
+			m.run(batch[0])
+		} else {
+			m.runBatch(batch)
+		}
+		m.metrics.JobsRunning.Add(int64(-len(batch)))
 	}
 }
 
-// run executes one job: cache lookup, solve, cache fill, bookkeeping.
+// nextBatch blocks for the queue head, then scoops every queued job
+// sharing the head's instance (same shareKey) into one scan-shared
+// batch, up to batchMax. Jobs that can't share ride alone. Returns
+// nil when the manager is closed and the queue drained.
+func (m *Manager) nextBatch() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 {
+		if m.closed {
+			return nil
+		}
+		m.cond.Wait()
+	}
+	head := m.queue[0]
+	m.queue[0] = nil
+	m.queue = m.queue[1:]
+	batch := []*Job{head}
+	if head.shareKey != "" && m.batchMax > 1 {
+		kept := m.queue[:0]
+		for _, j := range m.queue {
+			if len(batch) < m.batchMax && j.shareKey == head.shareKey {
+				batch = append(batch, j)
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		for i := len(kept); i < len(m.queue); i++ {
+			m.queue[i] = nil // no stale *Job pins in the backing array
+		}
+		m.queue = kept
+	}
+	m.metrics.JobsQueued.Add(int64(-len(batch)))
+	return batch
+}
+
+// outcome is what a solve path hands to finishJob.
+type outcome struct {
+	result    *SolveResult
+	stats     *StatsPayload
+	hit       bool // served from the result cache
+	warm      bool // served by re-verifying a cached basis
+	coalesced bool // copied from an identical in-flight job
+	err       error
+}
+
+// run executes one solo job: cache lookup, in-flight coalescing, warm
+// start, solve, cache fill, bookkeeping.
 func (m *Manager) run(j *Job) {
 	j.mu.Lock()
 	j.state = StateRunning
@@ -246,77 +414,384 @@ func (m *Manager) run(j *Job) {
 		req.trace = tr
 	}
 
-	// solve wraps runSolve in a trace phase; the coordinator's own
-	// begin/round/merge spans nest inside it via req.trace.
-	solve := func() (*SolveResult, *StatsPayload, error) {
-		sp := tr.Start("solve")
-		result, stats, err := runSolve(req)
-		if err != nil {
-			sp.EndErr(err, comm.ErrorClass(err))
-		} else {
-			sp.End()
-		}
-		return result, stats, err
-	}
-
 	start := time.Now()
-	var (
-		result    *SolveResult
-		stats     *StatsPayload
-		hit       bool
-		err       error
-		fleetKind string
-	)
+	var out outcome
+	var fleetKind string
 	if req.Fleet {
 		// Fleet solves: the instance lives on the worker processes, so
 		// there is nothing to materialize and nothing to digest — the
 		// cache is skipped (the service cannot see the rows it would
 		// key on).
 		tr.Annotate("fleet", "true")
-		fleetKind, result, stats, err = m.runFleet(req)
+		fleetKind, out.result, out.stats, out.err = m.runFleet(req)
 	} else {
-		// Generated instances are synthesized here, on the worker, so
-		// the pool bounds the memory and CPU of the ?generate= path.
-		// Digesting the materialized rows keeps one cache key per
-		// instance whether it arrived inline or generated.
-		isp := tr.Start("ingest")
-		err = materialize(req)
+		out = m.runLocal(j, req, tr)
+	}
+	m.finishJob(j, req, tr, fleetKind, time.Since(start), out, true)
+}
+
+// runLocal is the solo non-fleet solve path.
+func (m *Manager) runLocal(j *Job, req *SolveRequest, tr *obs.Trace) outcome {
+	// solve wraps runSolve in a trace phase; the coordinator's own
+	// begin/round/merge spans nest inside it via req.trace.
+	solve := func() (*SolveResult, *StatsPayload, any, error) {
+		sp := tr.Start("solve")
+		result, stats, basis, err := runSolve(req)
 		if err != nil {
-			isp.EndErr(err, "")
+			sp.EndErr(err, comm.ErrorClass(err))
 		} else {
-			isp.End()
+			sp.End()
 		}
-		_, spilled := req.data.(interface{ Cleanup() })
-		switch {
-		case err != nil:
-		case !m.cache.Enabled() || spilled:
-			// Caching off: skip the digest — hashing a multi-million-row
-			// instance for a cache that can never hit is pure waste. A
-			// spilled instance skips it too: digesting would re-stream the
-			// whole on-disk dataset just to key a cache whose hit chance
-			// for a one-shot giant upload is nil.
-			m.metrics.CacheMisses.Add(1)
-			result, stats, err = solve()
-		default:
-			key := req.Digest()
-			result, stats, hit = m.cache.Get(key)
-			if hit {
-				m.metrics.CacheHits.Add(1)
-			} else {
-				m.metrics.CacheMisses.Add(1)
-				result, stats, err = solve()
-				if err == nil {
-					m.cache.Put(key, result, stats)
+		return result, stats, basis, err
+	}
+
+	digests := m.cache.Enabled() || m.basis.Enabled()
+	key := ""
+	if req.Generate != nil && digests {
+		// Generated instances digest by their spec, before synthesis —
+		// a hot ?generate= workload hits the cache (or coalesces onto
+		// the in-flight leader) without paying materialization.
+		key = req.Digest()
+		if out, ok := m.cacheGet(tr, key); ok {
+			return out
+		}
+		if out, joined := m.joinLeader(j, key, tr); joined {
+			return out
+		}
+	}
+
+	// Generated instances are synthesized here, on the worker, so the
+	// pool bounds the memory and CPU of the ?generate= path.
+	isp := tr.Start("ingest")
+	if err := materialize(req); err != nil {
+		isp.EndErr(err, "")
+		tr.Annotate("cache", "miss")
+		return outcome{err: err}
+	}
+	isp.End()
+
+	_, spilled := req.data.(interface{ Cleanup() })
+	if !digests || spilled {
+		// Keying off: hashing a multi-million-row instance for caches
+		// that can never hit is pure waste. A spilled instance skips it
+		// too: digesting would re-stream the whole on-disk dataset just
+		// to key a cache whose hit chance for a one-shot giant upload
+		// is nil.
+		m.metrics.CacheMisses.Add(1)
+		tr.Annotate("cache", "miss")
+		result, stats, _, err := solve()
+		return outcome{result: result, stats: stats, err: err}
+	}
+	if key == "" {
+		key = req.Digest()
+		if out, ok := m.cacheGet(tr, key); ok {
+			return out
+		}
+		if out, joined := m.joinLeader(j, key, tr); joined {
+			return out
+		}
+	}
+	m.metrics.CacheMisses.Add(1)
+	tr.Annotate("cache", "miss")
+	if m.basis.Enabled() {
+		if out, ok := m.tryWarm(req, tr); ok {
+			return out
+		}
+	}
+	result, stats, basis, err := solve()
+	if err == nil {
+		m.cache.Put(key, result, stats)
+		m.putBasis(req, basis)
+	}
+	return outcome{result: result, stats: stats, err: err}
+}
+
+// cacheGet is the counted, annotated result-cache lookup.
+func (m *Manager) cacheGet(tr *obs.Trace, key string) (outcome, bool) {
+	result, stats, ok := m.cache.Get(key)
+	if !ok {
+		return outcome{}, false
+	}
+	m.metrics.CacheHits.Add(1)
+	tr.Annotate("cache", "hit")
+	return outcome{result: result, stats: stats, hit: true}, true
+}
+
+// joinLeader coalesces duplicate in-flight solves: the first job to
+// carry a digest becomes its leader; identical jobs submitted while it
+// runs wait for it and copy its outcome instead of re-solving. This
+// closes the window the result cache can't — between a solve starting
+// and its Put. The copy is bit-identical by construction: equal
+// digests mean equal kind, model, canonical options, geometry and
+// instance, and solves are deterministic in all of those.
+func (m *Manager) joinLeader(j *Job, key string, tr *obs.Trace) (outcome, bool) {
+	m.mu.Lock()
+	leader, ok := m.inflight[key]
+	if !ok {
+		m.inflight[key] = j
+		j.leadKey = key
+		m.mu.Unlock()
+		return outcome{}, false
+	}
+	m.mu.Unlock()
+	m.metrics.SolveCoalesced.Add(1)
+	tr.Annotate("coalesced", leader.ID)
+	<-leader.Done
+	st := leader.Status()
+	out := outcome{result: st.Result, stats: st.Stats, coalesced: true}
+	if st.Error != "" {
+		out.err = errors.New(st.Error)
+	}
+	return out, true
+}
+
+// tryWarm attempts a warm start: a cached basis for this exact
+// instance (and seed) is re-verified in one scan; if no row violates
+// it, the LP-type locality lemma makes its rendering the optimum —
+// bit-identical to the cold solve that stored it. A basis that fails
+// verification counts a warm miss and falls through to the cold path,
+// so warm starts change cost, never answers.
+func (m *Manager) tryWarm(req *SolveRequest, tr *obs.Trace) (outcome, bool) {
+	b, ok := m.basis.Get(req.warmKey())
+	if !ok {
+		return outcome{}, false
+	}
+	mdl, err := req.model()
+	if err != nil {
+		return outcome{}, false
+	}
+	sp := tr.Start("warm-verify")
+	sol, ok, err := mdl.VerifyBasisSource(req.Dim, req.Objective, req.data, b)
+	if err != nil || !ok {
+		if err != nil {
+			sp.EndErr(err, "")
+		} else {
+			sp.End()
+		}
+		m.metrics.WarmMisses.Add(1)
+		tr.Annotate("warm", "miss")
+		return outcome{}, false
+	}
+	sp.End()
+	m.metrics.WarmHits.Add(1)
+	tr.Annotate("warm", "hit")
+	return outcome{result: &sol, warm: true}, true
+}
+
+// putBasis stores a solve's final basis for future warm starts and
+// refreshes the population gauge.
+func (m *Manager) putBasis(req *SolveRequest, basis any) {
+	if basis == nil || !m.basis.Enabled() {
+		return
+	}
+	m.basis.Put(req.warmKey(), basis)
+	m.metrics.BasisEntries.Store(int64(m.basis.Len()))
+}
+
+// batchUnit is one job moving through runBatch.
+type batchUnit struct {
+	j      *Job
+	req    *SolveRequest
+	tr     *obs.Trace
+	key    string // result-cache digest ("" when keying is off)
+	solver engine.StreamSolver
+	span   obs.SpanRef
+	dups   []*batchUnit // identical-digest jobs riding this solver
+	start  time.Time
+}
+
+// runBatch executes a scan-shared batch: jobs over the same instance
+// material (equal shareKey) materialize once and stream together —
+// each solver iteration of every job rides one shared cursor scan
+// (dataset.SharedPass), so k concurrent solves of a hot instance cost
+// one materialization and one scan per pass instead of k. Results are
+// bit-identical to solo runs: each solver owns its RNG and reservoirs
+// and sees the rows in exactly the order a private scan would deliver
+// (pinned by TestBatchSharedScanConformance). Jobs whose full digest
+// also matches collapse further: one solver runs, the duplicates copy
+// its outcome.
+func (m *Manager) runBatch(batch []*Job) {
+	m.metrics.Batches.Add(1)
+	m.metrics.BatchedJobs.Add(int64(len(batch)))
+
+	units := make([]*batchUnit, 0, len(batch))
+	for _, j := range batch {
+		j.mu.Lock()
+		j.state = StateRunning
+		req := j.req
+		j.mu.Unlock()
+		u := &batchUnit{j: j, req: req, start: time.Now()}
+		if req.Trace {
+			u.tr = obs.New(j.Kind + "/" + j.Model)
+			u.tr.Annotate("job", j.ID)
+			u.tr.Annotate("batch", strconv.Itoa(len(batch)))
+			req.trace = u.tr
+		}
+		units = append(units, u)
+	}
+	digests := m.cache.Enabled() || m.basis.Enabled()
+
+	// Generated instances key by spec, pre-materialization — the same
+	// rule the solo path uses, so batch and solo jobs share entries.
+	if digests && units[0].req.Generate != nil {
+		for _, u := range units {
+			u.key = u.req.Digest()
+		}
+	}
+
+	// The batch leader materializes once; everyone else borrows the
+	// columnar store. shareKey equality guarantees the followers'
+	// material (same spec or byte-identical rows) would have
+	// materialized to the same store.
+	lead := units[0]
+	isp := lead.tr.Start("ingest")
+	if err := materialize(lead.req); err != nil {
+		isp.EndErr(err, "")
+		for _, u := range units {
+			m.finishJob(u.j, u.req, u.tr, "", time.Since(u.start), outcome{err: err}, false)
+		}
+		return
+	}
+	isp.End()
+	src := lead.req.data
+	for _, u := range units[1:] {
+		u.tr.Annotate("ingest", "shared")
+		u.req.data = src
+		u.req.rawRows = nil
+		u.req.Rows = nil
+		if u.req.Generate != nil {
+			u.req.Generate = nil
+			u.req.Dim = lead.req.Dim
+			u.req.Objective = lead.req.Objective
+		}
+	}
+	if digests {
+		// One hash of the store covers the whole batch: seed every
+		// follower's instance-digest memo from the leader's.
+		rk := lead.req.instanceDigest()
+		for _, u := range units {
+			u.req.rowsKeyMemo = rk
+			if u.key == "" {
+				u.key = u.req.Digest()
+			}
+		}
+	}
+
+	// Triage: cache hits finish now, duplicate digests attach to the
+	// first job that carries them, the rest get a pass-at-a-time
+	// solver. Warm starts are skipped inside batches — the shared scan
+	// already amortizes the passes a warm start would save.
+	var active []*batchUnit
+	seen := make(map[string]*batchUnit)
+	for _, u := range units {
+		if u.key != "" {
+			if out, ok := m.cacheGet(u.tr, u.key); ok {
+				m.finishJob(u.j, u.req, u.tr, "", time.Since(u.start), out, false)
+				continue
+			}
+			if first, dup := seen[u.key]; dup {
+				m.metrics.SolveCoalesced.Add(1)
+				u.tr.Annotate("coalesced", first.j.ID)
+				first.dups = append(first.dups, u)
+				continue
+			}
+			seen[u.key] = u
+		}
+		m.metrics.CacheMisses.Add(1)
+		u.tr.Annotate("cache", "miss")
+		mdl, err := u.req.model()
+		if err != nil {
+			m.finishJob(u.j, u.req, u.tr, "", time.Since(u.start), outcome{err: err}, false)
+			continue
+		}
+		solver, err := mdl.NewStreamSolver(u.req.Dim, u.req.Objective, src.Rows(), u.req.Options.lib())
+		if err != nil {
+			m.finishJob(u.j, u.req, u.tr, "", time.Since(u.start), outcome{err: err}, false)
+			continue
+		}
+		u.solver = solver
+		u.span = u.tr.Start("batch")
+		active = append(active, u)
+	}
+
+	// The shared scan: every still-running solver arms a pass, one
+	// cursor sweep feeds them all, and solvers retire as they finish.
+	if len(active) > 0 {
+		cur := src.NewCursor()
+		rows := make([]dataset.Row, dataset.DefaultBatchRows)
+		sinks := make([]dataset.RowSink, 0, len(active))
+		running := active
+		var scanErr error
+		for len(running) > 0 && scanErr == nil {
+			sinks = sinks[:0]
+			for _, u := range running {
+				u.solver.BeginPass()
+				sinks = append(sinks, u.solver)
+			}
+			if _, err := dataset.SharedPass(cur, rows, sinks...); err != nil {
+				scanErr = err
+				break
+			}
+			m.metrics.SharedPasses.Add(1)
+			next := running[:0]
+			for _, u := range running {
+				u.solver.EndPass() // terminal errors surface via Result
+				if !u.solver.Done() {
+					next = append(next, u)
+					continue
+				}
+				m.finishBatchUnit(u)
+			}
+			running = next
+		}
+		dataset.CloseCursor(cur)
+		if scanErr != nil {
+			for _, u := range running {
+				u.span.EndErr(scanErr, "")
+				m.finishJob(u.j, u.req, u.tr, "", time.Since(u.start), outcome{err: scanErr}, false)
+				for _, d := range u.dups {
+					m.finishJob(d.j, d.req, d.tr, "", time.Since(d.start), outcome{err: scanErr, coalesced: true}, false)
 				}
 			}
 		}
-		if hit {
-			tr.Annotate("cache", "hit")
-		} else {
-			tr.Annotate("cache", "miss")
+	}
+
+	// The shared store dies with the batch (spilled sources never
+	// batch — uploads are single-use — but stay defensive).
+	if c, ok := src.(interface{ Cleanup() }); ok {
+		c.Cleanup()
+	}
+}
+
+// finishBatchUnit renders one finished batch solver, fills the caches
+// and terminates the job plus any duplicates riding it.
+func (m *Manager) finishBatchUnit(u *batchUnit) {
+	sol, stats, err := u.solver.Result()
+	out := outcome{err: err}
+	if err != nil {
+		u.span.EndErr(err, comm.ErrorClass(err))
+	} else {
+		u.span.End()
+		s := sol
+		st := stats
+		out.result = &s
+		out.stats = &st
+		if u.key != "" {
+			m.cache.Put(u.key, out.result, out.stats)
+			m.putBasis(u.req, u.solver.Basis())
 		}
 	}
-	elapsed := time.Since(start)
+	m.finishJob(u.j, u.req, u.tr, "", time.Since(u.start), out, false)
+	for _, d := range u.dups {
+		dout := outcome{result: out.result, stats: out.stats, err: out.err, coalesced: true}
+		m.finishJob(d.j, d.req, d.tr, "", time.Since(d.start), dout, false)
+	}
+}
+
+// finishJob records a job's terminal state: latency and throughput
+// observation, trace finalization, status fields, instance release
+// and coalescing-leader retirement.
+func (m *Manager) finishJob(j *Job, req *SolveRequest, tr *obs.Trace, fleetKind string, elapsed time.Duration, out outcome, cleanup bool) {
 	kindLabel := j.Kind
 	if fleetKind != "" {
 		// A kind-less fleet request learns its kind from the workers;
@@ -324,6 +799,9 @@ func (m *Manager) run(j *Job) {
 		kindLabel = fleetKind
 	}
 	m.metrics.ObserveSolve(kindLabel, j.Model, elapsed)
+	if out.err == nil && !out.hit && !out.warm && !out.coalesced {
+		m.observeRate(j.cost, elapsed)
+	}
 
 	// Close out the trace: the finalize phase covers post-solve
 	// bookkeeping, then the recorder is frozen into wire form and
@@ -332,8 +810,8 @@ func (m *Manager) run(j *Job) {
 	if tr != nil {
 		fsp := tr.Start("finalize")
 		tr.Annotate("kind", kindLabel)
-		if err != nil {
-			tr.Fail(err, comm.ErrorClass(err))
+		if out.err != nil {
+			tr.Fail(out.err, comm.ErrorClass(out.err))
 		}
 		fsp.End()
 		d := tr.Data()
@@ -345,32 +823,37 @@ func (m *Manager) run(j *Job) {
 	}
 
 	j.mu.Lock()
-	j.cached = hit
+	j.cached = out.hit
+	j.warm = out.warm
+	j.coalesced = out.coalesced
 	j.elapsed = elapsed
-	j.result, j.stats, j.err = result, stats, err
+	j.result, j.stats, j.err = out.result, out.stats, out.err
 	j.trace = tdata
 	if fleetKind != "" {
 		// The fleet's shard headers name the kind; a request that left
 		// it blank learns it here.
 		j.Kind = fleetKind
 	}
-	if err == nil {
+	if out.err == nil {
 		// Report the true instance size: generators may round the
 		// requested n (chebyshev emits constraint pairs), and a fleet
 		// solve only learns its size from the workers.
 		if req.data != nil {
 			j.N = req.data.Rows()
-		} else if stats != nil && stats.Coordinator != nil {
-			j.N = stats.Coordinator.N
+		} else if out.stats != nil && out.stats.Coordinator != nil {
+			j.N = out.stats.Coordinator.N
 		}
 	}
 	// A spilled instance owns on-disk shard files; the job is terminal,
-	// so nothing will read them again.
-	if c, ok := req.data.(interface{ Cleanup() }); ok {
-		c.Cleanup()
+	// so nothing will read them again. Batched jobs share their store —
+	// runBatch cleans it up once, after every rider finished.
+	if cleanup {
+		if c, ok := req.data.(interface{ Cleanup() }); ok {
+			c.Cleanup()
+		}
 	}
 	j.req = nil // release the instance rows
-	if err != nil {
+	if out.err != nil {
 		j.state = StateFailed
 		m.metrics.JobsFailed.Add(1)
 	} else {
@@ -378,6 +861,21 @@ func (m *Manager) run(j *Job) {
 		m.metrics.JobsDone.Add(1)
 	}
 	j.mu.Unlock()
+	m.pendingRows.Add(-j.cost)
+	m.release(j)
+}
+
+// release retires a terminal job: its in-flight leadership (if any)
+// ends before Done closes, so a follower that finds the key vacant
+// will also find the result already cached or the status terminal.
+func (m *Manager) release(j *Job) {
+	if j.leadKey != "" {
+		m.mu.Lock()
+		if m.inflight[j.leadKey] == j {
+			delete(m.inflight, j.leadKey)
+		}
+		m.mu.Unlock()
+	}
 	close(j.Done)
 	m.retire(j.ID)
 }

@@ -33,6 +33,29 @@ type Metrics struct {
 	JobsFailed    atomic.Int64
 	CacheHits     atomic.Int64
 	CacheMisses   atomic.Int64
+	// SolveCoalesced counts jobs that copied an identical in-flight or
+	// in-batch job's result instead of solving — distinct from cache
+	// hits, which are served from already-completed solves.
+	SolveCoalesced atomic.Int64
+	// JobsShed counts submissions refused by admission control (HTTP
+	// 429 + Retry-After) — distinct from queue-full rejections, which
+	// count nothing here (the queue gauge tells that story).
+	JobsShed atomic.Int64
+	// Batches and BatchedJobs count scan-shared batches and the jobs
+	// that rode inside them.
+	Batches     atomic.Int64
+	BatchedJobs atomic.Int64
+	// SharedPasses counts shared cursor scans driven by the batch
+	// scheduler — one per solver iteration, however many jobs shared it.
+	SharedPasses atomic.Int64
+	// WarmHits and WarmMisses count warm-start verification outcomes:
+	// a hit re-verified a cached basis in one scan; a miss is a cached
+	// basis that failed re-verification. A simply-absent basis counts
+	// neither.
+	WarmHits   atomic.Int64
+	WarmMisses atomic.Int64
+	// BasisEntries gauges the warm-start basis cache population.
+	BasisEntries atomic.Int64
 	// InstancesExpired counts chunk uploads reclaimed by the idle
 	// sweeper.
 	InstancesExpired atomic.Int64
@@ -110,6 +133,14 @@ func (m *Metrics) Render(w io.Writer) {
 	c("lpserved_jobs_failed_total", "Jobs that ended in an error.", m.JobsFailed.Load())
 	c("lpserved_cache_hits_total", "Result-cache hits.", m.CacheHits.Load())
 	c("lpserved_cache_misses_total", "Result-cache misses.", m.CacheMisses.Load())
+	c("lpserved_solve_coalesced_total", "Jobs that copied an identical in-flight job's result instead of solving.", m.SolveCoalesced.Load())
+	c("lpserved_jobs_shed_total", "Submissions refused by admission control (429 + Retry-After).", m.JobsShed.Load())
+	c("lpserved_batches_total", "Scan-shared batches executed.", m.Batches.Load())
+	c("lpserved_batched_jobs_total", "Jobs executed inside scan-shared batches.", m.BatchedJobs.Load())
+	c("lpserved_shared_passes_total", "Shared cursor scans driven by the batch scheduler.", m.SharedPasses.Load())
+	c("lpserved_warm_hits_total", "Warm starts that re-verified a cached basis.", m.WarmHits.Load())
+	c("lpserved_warm_misses_total", "Cached bases that failed warm-start re-verification.", m.WarmMisses.Load())
+	g("lpserved_basis_entries", "Bases currently held by the warm-start cache.", m.BasisEntries.Load())
 	c("lpserved_instances_expired_total", "Chunk uploads reclaimed by the idle sweeper.", m.InstancesExpired.Load())
 	c("lpserved_instances_spilled_total", "Chunk uploads spilled to sharded on-disk storage.", m.InstancesSpilled.Load())
 	c("lpserved_binary_appends_total", "Binary (octet-stream) chunk appends.", m.BinaryAppends.Load())

@@ -32,6 +32,20 @@ type Config struct {
 	// CacheSize is the LRU result-cache capacity (0 = 256; < 0
 	// disables caching).
 	CacheSize int
+	// BasisCacheSize is the warm-start basis LRU capacity (0 = 256;
+	// < 0 disables warm starts). Independent of CacheSize: bases are a
+	// few floats each, so warm starts stay cheap even when result
+	// caching is off.
+	BasisCacheSize int
+	// BatchMax caps how many queued jobs over the same instance the
+	// scheduler fuses into one scan-shared batch (0 = 32; 1 — or any
+	// value < 0 — disables scan sharing).
+	BatchMax int
+	// AdmissionRows (> 0) turns on estimated-cost load shedding: a
+	// submission is refused with 429 + Retry-After when the rows
+	// already queued or running would exceed this budget. 0 disables
+	// shedding (queue-full 503s remain the only backpressure).
+	AdmissionRows int64
 	// MaxBodyBytes bounds request bodies (0 = 64 MiB).
 	MaxBodyBytes int64
 	// MaxInstances bounds concurrent chunk uploads (0 = 64).
@@ -67,6 +81,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 256
+	}
+	if c.BasisCacheSize == 0 {
+		c.BasisCacheSize = 256
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 32
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 64 << 20
@@ -106,6 +126,9 @@ func New(cfg Config) *Server {
 		sweepDone: make(chan struct{}),
 	}
 	s.manager.fleet = cfg.FleetWorkers
+	s.manager.batchMax = cfg.BatchMax
+	s.manager.basis = NewBasisCache(cfg.BasisCacheSize)
+	s.manager.admitRows = cfg.AdmissionRows
 	if cfg.TraceBuffer > 0 {
 		s.traces = obs.NewRing(cfg.TraceBuffer)
 		s.manager.traces = s.traces
@@ -263,7 +286,15 @@ func (s *Server) decodeAndSubmit(w http.ResponseWriter, r *http.Request) (*Job, 
 		if taken != "" {
 			s.instances.Restore(taken, req.Kind, req.Dim, req.data)
 		}
-		writeError(w, http.StatusServiceUnavailable, err)
+		// Backpressure carries a drain estimate either way; shedding
+		// (admission control, pre-saturation) is a 429 so clients can
+		// tell it apart from a queue that actually filled (503).
+		w.Header().Set("Retry-After", strconv.Itoa(s.manager.RetryAfterSeconds()))
+		code := http.StatusServiceUnavailable
+		if errors.Is(err, ErrOverloaded) {
+			code = http.StatusTooManyRequests
+		}
+		writeError(w, code, err)
 		return nil, false
 	}
 	return job, true

@@ -77,20 +77,21 @@ func newKindStore(m engine.Model, dim int) *dataset.Store {
 }
 
 // runSolve executes a validated, materialized request through the
-// engine registry's columnar path and returns the rendered solution
-// plus the resource stats of the model that ran. There is deliberately
-// no per-kind code here: the registry entry carries everything, and
-// the solve scans the columnar arena directly.
-func runSolve(r *SolveRequest) (*SolveResult, *StatsPayload, error) {
+// engine registry's columnar path and returns the rendered solution,
+// the resource stats of the model that ran, and the raw final basis
+// (for the warm-start cache; nil on error). There is deliberately no
+// per-kind code here: the registry entry carries everything, and the
+// solve scans the columnar arena directly.
+func runSolve(r *SolveRequest) (*SolveResult, *StatsPayload, any, error) {
 	m, err := r.model()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	opt := r.Options.lib()
 	opt.Trace = r.trace
-	sol, stats, err := m.SolveSource(r.Model, r.Dim, r.Objective, r.data, opt)
+	sol, stats, basis, err := m.SolveSourceBasis(r.Model, r.Dim, r.Objective, r.data, opt)
 	if err != nil {
-		return nil, &stats, err
+		return nil, &stats, nil, err
 	}
-	return &sol, &stats, nil
+	return &sol, &stats, basis, nil
 }

@@ -1,0 +1,474 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"lowdimlp/internal/dataset"
+)
+
+// throughputRequest builds a validated stream-model generate request —
+// the shape the batch scheduler groups on.
+func throughputRequest(t *testing.T, n int, genSeed, optSeed uint64) *SolveRequest {
+	t.Helper()
+	req := &SolveRequest{
+		Kind:  "meb",
+		Model: ModelStream,
+		Generate: &GenerateSpec{
+			Family: "gaussian", N: n, D: 3, Seed: genSeed,
+		},
+		Options: SolveOptions{R: 2, Seed: optSeed},
+	}
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// soloReference solves an identical request alone — the ground truth a
+// scan-shared run must reproduce bit for bit.
+func soloReference(t *testing.T, req *SolveRequest) (*SolveResult, *StatsPayload) {
+	t.Helper()
+	if err := materialize(req); err != nil {
+		t.Fatal(err)
+	}
+	result, stats, _, err := runSolve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return result, stats
+}
+
+// TestBatchSharedScanConformance is the tentpole conformance pin:
+// 16 concurrent solves of the same instance (distinct solver seeds, so
+// nothing coalesces) execute as ONE scan-shared batch — the shared-pass
+// counter equals the pass count of the longest-running member, not the
+// sum over members — and every job's answer is bit-identical to a solo
+// run of the same request, stats included.
+func TestBatchSharedScanConformance(t *testing.T) {
+	const k = 16
+	m := newManagerIdle(64, NewCache(-1), NewMetrics())
+	m.batchMax = 32
+
+	// Stage all 16 while the pool is idle so one worker scoops the
+	// whole queue into a single batch.
+	jobs := make([]*Job, k)
+	for i := 0; i < k; i++ {
+		j, err := m.Submit(throughputRequest(t, 20000, 11, uint64(100+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	m.start(1)
+	for _, j := range jobs {
+		<-j.Done
+	}
+
+	if got := m.metrics.Batches.Load(); got != 1 {
+		t.Errorf("batches = %d, want 1 (all %d jobs share one scan)", got, k)
+	}
+	if got := m.metrics.BatchedJobs.Load(); got != k {
+		t.Errorf("batched jobs = %d, want %d", got, k)
+	}
+
+	maxPasses := 0
+	for i, j := range jobs {
+		st := j.Status()
+		if st.State != StateDone {
+			t.Fatalf("job %d state %s (err %q)", i, st.State, st.Error)
+		}
+		if st.Coalesced || st.Cached || st.Warm {
+			t.Errorf("job %d flags cached=%v warm=%v coalesced=%v, want a genuine solve", i, st.Cached, st.Warm, st.Coalesced)
+		}
+		wantResult, wantStats := soloReference(t, throughputRequest(t, 20000, 11, uint64(100+i)))
+		if !reflect.DeepEqual(st.Result, wantResult) {
+			t.Errorf("job %d result diverged from solo:\n batch: %+v\n solo:  %+v", i, st.Result, wantResult)
+		}
+		if st.Stats == nil || st.Stats.Stream == nil {
+			t.Fatalf("job %d missing stream stats", i)
+		}
+		if *st.Stats.Stream != *wantStats.Stream {
+			t.Errorf("job %d stats diverged from solo:\n batch: %+v\n solo:  %+v", i, *st.Stats.Stream, *wantStats.Stream)
+		}
+		if p := wantStats.Stream.Passes; p > maxPasses {
+			maxPasses = p
+		}
+	}
+	// The scan-sharing pin itself: k solvers cost max(passes) shared
+	// scans, not sum(passes) private ones.
+	if got := m.metrics.SharedPasses.Load(); got != int64(maxPasses) {
+		t.Errorf("shared passes = %d, want %d (the longest member's pass count)", got, maxPasses)
+	}
+}
+
+// TestBatchCoalescesIdenticalJobs pins in-batch deduplication: when a
+// batch carries jobs with EQUAL digests (same instance, same options),
+// one solver runs and the rest copy its outcome, counted as coalesced —
+// not as cache hits.
+func TestBatchCoalescesIdenticalJobs(t *testing.T) {
+	const k = 8
+	m := newManagerIdle(64, NewCache(8), NewMetrics())
+	m.batchMax = 32
+
+	jobs := make([]*Job, k)
+	for i := 0; i < k; i++ {
+		j, err := m.Submit(throughputRequest(t, 3000, 5, 77)) // identical digests
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	m.start(1)
+	for _, j := range jobs {
+		<-j.Done
+	}
+
+	if got := m.metrics.CacheMisses.Load(); got != 1 {
+		t.Errorf("cache misses = %d, want 1 (one real solve)", got)
+	}
+	if got := m.metrics.CacheHits.Load(); got != 0 {
+		t.Errorf("cache hits = %d, want 0 (dedup is coalescing, not caching)", got)
+	}
+	if got := m.metrics.SolveCoalesced.Load(); got != k-1 {
+		t.Errorf("coalesced = %d, want %d", got, k-1)
+	}
+	var leaders int
+	first := jobs[0].Status()
+	for i, j := range jobs {
+		st := j.Status()
+		if st.State != StateDone {
+			t.Fatalf("job %d state %s (err %q)", i, st.State, st.Error)
+		}
+		if !st.Coalesced {
+			leaders++
+		}
+		if !reflect.DeepEqual(st.Result, first.Result) {
+			t.Errorf("job %d result differs from job 0", i)
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("jobs flagged as genuine solves = %d, want exactly 1", leaders)
+	}
+}
+
+// TestSoloInflightCoalescing pins the non-batched coalescing window:
+// two identical requests running concurrently on separate workers
+// resolve to one solve — the follower waits for the in-flight leader
+// and copies its result instead of re-synthesizing and re-solving.
+func TestSoloInflightCoalescing(t *testing.T) {
+	m := newManagerIdle(64, NewCache(8), NewMetrics())
+	// batchMax stays 0: batching off, so coalescing alone must close
+	// the duplicate-work window.
+
+	// Large enough that the leader is still mid-solve when the second
+	// worker dequeues (microseconds later) and checks the in-flight map.
+	j1, err := m.Submit(throughputRequest(t, 200000, 3, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := m.Submit(throughputRequest(t, 200000, 3, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.start(2)
+	<-j1.Done
+	<-j2.Done
+
+	if got := m.metrics.SolveCoalesced.Load(); got != 1 {
+		t.Errorf("coalesced = %d, want 1", got)
+	}
+	st1, st2 := j1.Status(), j2.Status()
+	if st1.State != StateDone || st2.State != StateDone {
+		t.Fatalf("states %s/%s (errs %q/%q)", st1.State, st2.State, st1.Error, st2.Error)
+	}
+	if st1.Coalesced == st2.Coalesced {
+		t.Errorf("exactly one job should be coalesced; got %v/%v", st1.Coalesced, st2.Coalesced)
+	}
+	if !reflect.DeepEqual(st1.Result, st2.Result) {
+		t.Errorf("coalesced result differs from leader:\n %+v\n %+v", st1.Result, st2.Result)
+	}
+}
+
+// TestWarmStartConformance pins warm starts end to end over HTTP: with
+// the result cache off and the basis cache on, a repeated request
+// re-verifies the stored basis in one scan and returns the
+// bit-identical solution, flagged warm.
+func TestWarmStartConformance(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, CacheSize: -1, BasisCacheSize: 64, BatchMax: 1})
+	req := SolveRequest{
+		Kind: "meb", Model: ModelStream,
+		Generate: &GenerateSpec{Family: "gaussian", N: 5000, D: 3, Seed: 3},
+		Options:  SolveOptions{R: 2, Seed: 5},
+	}
+
+	resp, raw := postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold solve: %d %s", resp.StatusCode, raw)
+	}
+	cold := decodeStatus(t, raw)
+	if cold.Warm {
+		t.Fatal("first solve flagged warm")
+	}
+
+	resp, raw = postJSON(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm solve: %d %s", resp.StatusCode, raw)
+	}
+	warm := decodeStatus(t, raw)
+	if !warm.Warm {
+		t.Fatalf("repeat did not warm-start: %s", raw)
+	}
+	if !reflect.DeepEqual(warm.Result, cold.Result) {
+		t.Errorf("warm result diverged from cold:\n warm: %+v\n cold: %+v", warm.Result, cold.Result)
+	}
+
+	pm := scrape(t, ts.URL+"/metrics")
+	if v := pm.Sum("lpserved_warm_hits_total"); v != 1 {
+		t.Errorf("warm_hits_total = %g, want 1", v)
+	}
+	if v := pm.Sum("lpserved_warm_misses_total"); v != 0 {
+		t.Errorf("warm_misses_total = %g, want 0", v)
+	}
+	if v := pm.Sum("lpserved_basis_entries"); v != 1 {
+		t.Errorf("basis_entries = %g, want 1", v)
+	}
+}
+
+// TestWarmStartDeltaOverlay pins the overlay use case the basis-cache
+// key was designed for: the key excludes model and tuning knobs, so an
+// MPC re-solve of the same instance at a different load exponent warm
+// starts from the basis the first solve stored — the optimum depends
+// only on the instance, not on how it was computed.
+func TestWarmStartDeltaOverlay(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, CacheSize: -1, BasisCacheSize: 64, BatchMax: 1})
+	base := SolveRequest{
+		Kind: "meb", Model: ModelMPC,
+		Generate: &GenerateSpec{Family: "gaussian", N: 4000, D: 3, Seed: 7},
+		Options:  SolveOptions{Seed: 2, Delta: 0.5},
+	}
+
+	resp, raw := postJSON(t, ts.URL+"/v1/solve", base)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta=0.5 solve: %d %s", resp.StatusCode, raw)
+	}
+	first := decodeStatus(t, raw)
+
+	overlay := base
+	overlay.Options.Delta = 0.7
+	resp, raw = postJSON(t, ts.URL+"/v1/solve", overlay)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta=0.7 solve: %d %s", resp.StatusCode, raw)
+	}
+	second := decodeStatus(t, raw)
+	if !second.Warm {
+		t.Fatalf("delta overlay did not warm-start: %s", raw)
+	}
+	if !reflect.DeepEqual(second.Result, first.Result) {
+		t.Errorf("overlay result diverged:\n overlay: %+v\n first:   %+v", second.Result, first.Result)
+	}
+}
+
+// TestAdmissionShed pins the shed policy at the manager level, with no
+// workers so the backlog is fully deterministic: an idle system admits
+// any single job however large, a loaded one sheds what would push the
+// pending rows over budget, and the Retry-After estimate is sane.
+func TestAdmissionShed(t *testing.T) {
+	m := newManagerIdle(16, NewCache(-1), NewMetrics())
+	m.admitRows = 1000
+
+	// Idle system: admitted even though 1200 > budget — shedding an
+	// undeliverable request forever would be worse than queueing it.
+	if _, err := m.Submit(throughputRequest(t, 1200, 1, 1)); err != nil {
+		t.Fatalf("idle oversized submit: %v", err)
+	}
+	// Loaded system: 1200 pending + 400 > 1000 → shed.
+	if _, err := m.Submit(throughputRequest(t, 400, 1, 2)); err != ErrOverloaded {
+		t.Fatalf("loaded submit err = %v, want ErrOverloaded", err)
+	}
+	if got := m.metrics.JobsShed.Load(); got != 1 {
+		t.Errorf("jobs_shed = %d, want 1", got)
+	}
+	if s := m.RetryAfterSeconds(); s < 1 || s > 60 {
+		t.Errorf("RetryAfterSeconds = %d, want within [1, 60]", s)
+	}
+	// Shed jobs are not jobs: they never enter the table or the queue.
+	if got := m.metrics.JobsSubmitted.Load(); got != 1 {
+		t.Errorf("jobs_submitted = %d, want 1", got)
+	}
+}
+
+// TestAdmissionShedHTTP pins the wire contract: a shed submission is
+// 429 (not the queue-full 503) and carries a Retry-After hint.
+func TestAdmissionShedHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 16, AdmissionRows: 1000})
+
+	// Fill the budget with one slow async solve...
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", SolveRequest{
+		Kind: "meb", Model: ModelStream,
+		Generate: &GenerateSpec{Family: "gaussian", N: 400000, D: 3, Seed: 1},
+		Options:  SolveOptions{R: 2, Seed: 1},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: %d %s", resp.StatusCode, raw)
+	}
+	asyncID := decodeStatus(t, raw).ID
+	// ...then get shed while it runs.
+	resp, raw = postJSON(t, ts.URL+"/v1/solve", SolveRequest{
+		Kind: "meb", Model: ModelStream,
+		Generate: &GenerateSpec{Family: "gaussian", N: 5000, D: 3, Seed: 2},
+		Options:  SolveOptions{R: 2, Seed: 2},
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed status = %d, want 429: %s", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After header")
+	}
+
+	// The hot instance eventually finishes and the budget frees up.
+	var st JobStatus
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/v1/jobs/"+asyncID, &st)
+		if st.State == StateDone || st.State == StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("async job never finished: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if st.State != StateDone {
+		t.Fatalf("async job failed: %q", st.Error)
+	}
+	resp, raw = postJSON(t, ts.URL+"/v1/solve", SolveRequest{
+		Kind: "meb", Model: ModelStream,
+		Generate: &GenerateSpec{Family: "gaussian", N: 5000, D: 3, Seed: 2},
+		Options:  SolveOptions{R: 2, Seed: 2},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain solve: %d %s", resp.StatusCode, raw)
+	}
+
+	pm := scrape(t, ts.URL+"/metrics")
+	if v := pm.Sum("lpserved_jobs_shed_total"); v != 1 {
+		t.Errorf("jobs_shed_total = %g, want 1", v)
+	}
+}
+
+// TestBatchConformanceHTTP drives scan-sharing through the full HTTP
+// path: a burst of async same-instance jobs against a 1-worker pool
+// lands in one or few batches, every answer matches the solo reference,
+// and the batch counters move.
+func TestBatchConformanceHTTP(t *testing.T) {
+	const k = 8
+	_, ts := newTestServer(t, Config{Workers: 1, CacheSize: -1, QueueDepth: 64, BatchMax: 32})
+
+	// Park the worker on a decoy job so the burst queues up behind it
+	// and gets scooped together.
+	resp, raw := postJSON(t, ts.URL+"/v1/jobs", SolveRequest{
+		Kind: "meb", Model: ModelStream,
+		Generate: &GenerateSpec{Family: "gaussian", N: 300000, D: 3, Seed: 99},
+		Options:  SolveOptions{R: 2, Seed: 99},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("decoy submit: %d %s", resp.StatusCode, raw)
+	}
+
+	ids := make([]string, k)
+	for i := 0; i < k; i++ {
+		resp, raw := postJSON(t, ts.URL+"/v1/jobs", SolveRequest{
+			Kind: "meb", Model: ModelStream,
+			Generate: &GenerateSpec{Family: "gaussian", N: 3000, D: 3, Seed: 12},
+			Options:  SolveOptions{R: 2, Seed: uint64(200 + i)},
+		})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("burst submit %d: %d %s", i, resp.StatusCode, raw)
+		}
+		ids[i] = decodeStatus(t, raw).ID
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	for i, id := range ids {
+		for {
+			var st JobStatus
+			getJSON(t, ts.URL+"/v1/jobs/"+id, &st)
+			if st.State == StateDone {
+				want, _ := soloReference(t, throughputRequest(t, 3000, 12, uint64(200+i)))
+				// Compare wire forms: the HTTP round trip drops the
+				// display-only field labels, not any numbers.
+				got, _ := json.Marshal(st.Result)
+				ref, _ := json.Marshal(want)
+				if string(got) != string(ref) {
+					t.Errorf("job %d result diverged from solo:\n http: %s\n solo: %s", i, got, ref)
+				}
+				break
+			}
+			if st.State == StateFailed {
+				t.Fatalf("job %d failed: %q", i, st.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %d stuck in %s", i, st.State)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	pm := scrape(t, ts.URL+"/metrics")
+	if v := pm.Sum("lpserved_batched_jobs_total"); v != k {
+		t.Errorf("batched_jobs_total = %g, want %d (the whole burst)", v, k)
+	}
+	if v := pm.Sum("lpserved_batches_total"); v < 1 {
+		t.Errorf("batches_total = %g, want ≥ 1", v)
+	}
+	if v := pm.Sum("lpserved_shared_passes_total"); v < 1 {
+		t.Errorf("shared_passes_total = %g, want ≥ 1", v)
+	}
+}
+
+// TestShareKeyScope pins what must never batch: uploads are single-use,
+// fleet instances are remote, and non-stream backends have no
+// pass-at-a-time solver to drive.
+func TestShareKeyScope(t *testing.T) {
+	mk := func(mut func(*SolveRequest)) *SolveRequest {
+		r := &SolveRequest{
+			Kind: "meb", Model: ModelStream,
+			Generate: &GenerateSpec{Family: "gaussian", N: 100, D: 3, Seed: 1},
+			Options:  SolveOptions{R: 2, Seed: 1},
+		}
+		mut(r)
+		return r
+	}
+	stream := mk(func(r *SolveRequest) {})
+	if stream.shareKey() == "" {
+		t.Error("stream generate request should carry a share key")
+	}
+	if got := mk(func(r *SolveRequest) { r.Model = ModelRAM }).shareKey(); got != "" {
+		t.Errorf("ram request shareKey = %q, want empty", got)
+	}
+	if got := mk(func(r *SolveRequest) { r.Fleet = true; r.Generate = nil }).shareKey(); got != "" {
+		t.Errorf("fleet request shareKey = %q, want empty", got)
+	}
+	upload := mk(func(r *SolveRequest) {
+		r.Generate = nil
+		st := dataset.NewStore(3)
+		st.AppendRow([]float64{1, 2, 3})
+		r.data = st
+	})
+	if got := upload.shareKey(); got != "" {
+		t.Errorf("data-backed request shareKey = %q, want empty (uploads are single-use)", got)
+	}
+	// Same spec, different solver options: SAME share key (a batch
+	// shares the scan, not the randomness) — but different digests.
+	other := mk(func(r *SolveRequest) { r.Options.Seed = 2 })
+	if stream.shareKey() != other.shareKey() {
+		t.Error("option changes must not split the batch group")
+	}
+	if stream.Digest() == other.Digest() {
+		t.Error("option changes must change the digest")
+	}
+}

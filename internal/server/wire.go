@@ -29,6 +29,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 
@@ -156,6 +157,12 @@ type SolveRequest struct {
 	// Manager.run before the solve and read back after. Nil when
 	// tracing is off — every instrumentation call no-ops at zero cost.
 	trace *obs.Trace
+	// rowsKeyMemo memoizes instanceDigest: the result-cache key, the
+	// warm key and the batch scheduler all hash the same instance, and
+	// re-hashing a multi-million-row store for each would multiply the
+	// keying cost. The memo also pins generated instances to their
+	// pre-materialization (spec-based) digest — see instanceDigest.
+	rowsKeyMemo string
 }
 
 // UnmarshalJSON decodes the request envelope but leaves the rows array
@@ -234,6 +241,13 @@ type JobStatus struct {
 	Model  string `json:"model"`
 	N      int    `json:"n"`
 	Cached bool   `json:"cached,omitempty"`
+	// Warm marks a warm-started solve: the answer came from
+	// re-verifying a cached basis in one scan rather than re-solving
+	// (bit-identical to the cold solve that produced the basis).
+	Warm bool `json:"warm,omitempty"`
+	// Coalesced marks a job that copied an identical in-flight (or
+	// in-batch) job's result instead of re-running the solve.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// ElapsedMS is wall-clock solve time (done/failed jobs only).
 	ElapsedMS float64       `json:"elapsed_ms,omitempty"`
 	Result    *SolveResult  `json:"result,omitempty"`
@@ -383,20 +397,100 @@ func (r *SolveRequest) validateGenerate(m engine.Model) error {
 
 func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
-// Digest is the cache key: a SHA-256 over a canonical binary encoding
-// of everything that determines the answer — kind, model, the options
-// the model actually reads (engine.Canonical zeroes the rest, so e.g.
-// a ram solve hits the same entry whatever ?k= says), dimension,
-// objective and rows. Requests that would recompute the same solution
-// share a digest.
+// digestWriters returns the little-endian hash helpers shared by the
+// request keys, so every key encodes numbers identically.
+func digestWriters(h io.Writer) (putU func(uint64), putF func(float64)) {
+	buf := make([]byte, 8)
+	putU = func(v uint64) {
+		binary.LittleEndian.PutUint64(buf, v)
+		h.Write(buf)
+	}
+	putF = func(v float64) { putU(math.Float64bits(v)) }
+	return putU, putF
+}
+
+// instanceDigest identifies the instance material alone — no model, no
+// options, no objective. Generated instances hash their spec (family,
+// n, d, seed, margin, noise): the generator is deterministic, so the
+// spec names the rows without paying materialization. Everything else
+// hashes the rows themselves, row-major; a spilled source streams
+// through its order-preserving cursor and hashes identically to the
+// in-memory arena. Memoized: the scheduler, the cache key and the
+// warm key all reuse one hash of the rows.
+func (r *SolveRequest) instanceDigest() string {
+	if r.rowsKeyMemo != "" {
+		return r.rowsKeyMemo
+	}
+	h := sha256.New()
+	putU, putF := digestWriters(h)
+	switch {
+	case r.Generate != nil:
+		g := r.Generate
+		h.Write([]byte("gen\x00"))
+		h.Write([]byte(g.Family))
+		h.Write([]byte{0})
+		putU(uint64(g.N))
+		putU(uint64(g.D))
+		putU(g.Seed)
+		putF(g.Margin)
+		putF(g.Noise)
+	case r.data != nil:
+		putU(uint64(r.data.Rows()))
+		if st, ok := r.data.(*dataset.Store); ok {
+			for _, v := range st.Values() {
+				putF(v)
+			}
+		} else {
+			cur := r.data.NewCursor()
+			batch := make([]dataset.Row, dataset.DefaultBatchRows)
+			for {
+				n, err := cur.Next(batch)
+				if err != nil {
+					// Hash the error sentinel: an unreadable instance
+					// must never collide with a readable one. The
+					// solve that follows reports the real error.
+					dataset.CloseCursor(cur)
+					h.Write([]byte("digest-error:"))
+					h.Write([]byte(err.Error()))
+					r.rowsKeyMemo = hex.EncodeToString(h.Sum(nil))
+					return r.rowsKeyMemo
+				}
+				if n == 0 {
+					break
+				}
+				for _, row := range batch[:n] {
+					for _, v := range row {
+						putF(v)
+					}
+				}
+			}
+			dataset.CloseCursor(cur)
+		}
+	default:
+		putU(uint64(len(r.Rows)))
+		for _, row := range r.Rows {
+			for _, v := range row {
+				putF(v)
+			}
+		}
+	}
+	r.rowsKeyMemo = hex.EncodeToString(h.Sum(nil))
+	return r.rowsKeyMemo
+}
+
+// Digest is the result-cache key: a SHA-256 over a canonical binary
+// encoding of everything that determines the answer — kind, model, the
+// options the model actually reads (engine.Canonical zeroes the rest,
+// so e.g. a ram solve hits the same entry whatever ?k= says),
+// dimension, objective and the instance digest. Requests that would
+// recompute the same solution share a digest. The instance part is
+// memoized — generated instances therefore keep their spec-based
+// digest before AND after materialization, which is what lets a hot
+// ?generate= workload hit the cache without synthesizing the instance
+// first.
 func (r *SolveRequest) Digest() string {
 	h := sha256.New()
-	var buf [8]byte
-	putU := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		h.Write(buf[:])
-	}
-	putF := func(v float64) { putU(math.Float64bits(v)) }
+	putU, putF := digestWriters(h)
 	h.Write([]byte(r.Kind))
 	h.Write([]byte{0})
 	h.Write([]byte(r.Model))
@@ -417,49 +511,77 @@ func (r *SolveRequest) Digest() string {
 	for _, v := range r.Objective {
 		putF(v)
 	}
-	// The columnar source digests to exactly the bytes the historical
-	// [][]float64 loop produced (row count, then values row-major), so
-	// cache entries survive both the storage refactor and a spill to
-	// disk: a sharded source streams through its order-preserving
-	// cursor and hashes identically to the in-memory arena.
-	if r.data != nil {
-		putU(uint64(r.data.Rows()))
-		if st, ok := r.data.(*dataset.Store); ok {
-			for _, v := range st.Values() {
-				putF(v)
-			}
-		} else {
-			cur := r.data.NewCursor()
-			batch := make([]dataset.Row, dataset.DefaultBatchRows)
-			for {
-				n, err := cur.Next(batch)
-				if err != nil {
-					// Hash the error sentinel: an unreadable instance
-					// must never collide with a readable one. The
-					// solve that follows reports the real error.
-					dataset.CloseCursor(cur)
-					h.Write([]byte("digest-error:"))
-					h.Write([]byte(err.Error()))
-					return hex.EncodeToString(h.Sum(nil))
-				}
-				if n == 0 {
-					break
-				}
-				for _, row := range batch[:n] {
-					for _, v := range row {
-						putF(v)
-					}
-				}
-			}
-			dataset.CloseCursor(cur)
-		}
-	} else {
+	h.Write([]byte(r.instanceDigest()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// warmKey keys the warm-start basis cache: instance identity plus the
+// geometry (kind, dim, objective) plus the solver seed — and nothing
+// else. Options that change how a solve runs but not what instance it
+// solves (model, r, delta, k, …) are deliberately excluded, so a
+// ?delta= or ?r= overlay re-solve of the same instance warm-starts
+// from the basis the first solve left behind. Keying by instance
+// digest is also the soundness precondition of VerifyBasisSource: a
+// cached basis is only ever verified against the exact rows it was
+// computed from.
+func (r *SolveRequest) warmKey() string {
+	h := sha256.New()
+	putU, putF := digestWriters(h)
+	h.Write([]byte("warm\x00"))
+	h.Write([]byte(r.Kind))
+	h.Write([]byte{0})
+	putU(uint64(r.Dim))
+	putU(uint64(len(r.Objective)))
+	for _, v := range r.Objective {
+		putF(v)
+	}
+	putU(r.Options.Seed)
+	h.Write([]byte(r.instanceDigest()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// shareKey groups jobs the batch scheduler may scan-share: same
+// instance material, streaming model. Only the instance identity goes
+// in — options, seeds and objectives may differ within a batch,
+// because each solver owns its randomness and the shared scan only has
+// to deliver the same rows in the same order a private cursor would.
+// Fleet jobs (no local rows) and non-stream models (no pass-at-a-time
+// solver) return "", as do chunk-uploaded instances: uploads are
+// single-use, so no second job can ever reference the same rows.
+func (r *SolveRequest) shareKey() string {
+	if r.Fleet || r.Model != ModelStream {
+		return ""
+	}
+	h := sha256.New()
+	putU, putF := digestWriters(h)
+	h.Write([]byte(r.Kind))
+	h.Write([]byte{0})
+	switch {
+	case r.Generate != nil:
+		g := r.Generate
+		h.Write([]byte("gen\x00"))
+		h.Write([]byte(g.Family))
+		h.Write([]byte{0})
+		putU(uint64(g.N))
+		putU(uint64(g.D))
+		putU(g.Seed)
+		putF(g.Margin)
+		putF(g.Noise)
+	case len(r.rawRows) > 0:
+		h.Write([]byte("raw\x00"))
+		putU(uint64(r.Dim))
+		h.Write(r.rawRows)
+	case len(r.Rows) > 0:
+		h.Write([]byte("rows\x00"))
+		putU(uint64(r.Dim))
 		putU(uint64(len(r.Rows)))
 		for _, row := range r.Rows {
 			for _, v := range row {
 				putF(v)
 			}
 		}
+	default:
+		return ""
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

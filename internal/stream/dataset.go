@@ -21,7 +21,34 @@ import (
 // pointer chase, no decode. The RNG consumption matches Solve exactly,
 // making the result bit-identical to the slice path for equal inputs
 // and options (the engine's dataset conformance suite pins this).
+//
+// The fused path is DatasetSolver driven over a private cursor — the
+// same state machine the scan-sharing batch scheduler drives over a
+// shared one — so solo and shared execution are one code path.
 func SolveDataset[C, B any](ra lptype.RowAccess[C, B], src dataset.Source, opt Options) (B, Stats, error) {
+	if opt.Unfused {
+		return solveDatasetUnfusedEntry(ra, src, opt)
+	}
+	s := NewDatasetSolver(ra, src.Rows(), src.Width(), opt)
+	cur := src.NewCursor()
+	defer dataset.CloseCursor(cur)
+	batch := make([]dataset.Row, batchRows(opt))
+	for !s.Done() {
+		s.BeginPass()
+		if _, err := dataset.SharedPass(cur, batch, s); err != nil {
+			var zero B
+			return zero, s.stats, err
+		}
+		if s.EndPass() != nil {
+			break
+		}
+	}
+	return s.Result()
+}
+
+// solveDatasetUnfusedEntry sets up the two-passes-per-iteration
+// ablation (identical prelude to the fused solver's constructor).
+func solveDatasetUnfusedEntry[C, B any](ra lptype.RowAccess[C, B], src dataset.Source, opt Options) (B, Stats, error) {
 	var zero B
 	dom := ra.Domain()
 	stats := Stats{}
@@ -62,123 +89,11 @@ func SolveDataset[C, B any](ra lptype.RowAccess[C, B], src dataset.Source, opt O
 	}
 
 	rng := numeric.NewRand(opt.Core.Seed, 0x57124)
-	var bases []B // bases of successful iterations — the weight oracle
-
 	maxIters := opt.Core.MaxIters
 	if maxIters <= 0 {
 		maxIters = 60*nu*r + 60
 	}
-
-	if opt.Unfused {
-		return solveDatasetUnfused(ra, cur, batch, width, n, m, eps, mult, maxIters, rng, &stats, opt)
-	}
-
-	// Fused mode. Pass 0: uniform-weight sample (no bases stored yet).
-	res := sampling.NewRowReservoir(m, width, rng)
-	if err := cur.Reset(); err != nil {
-		return zero, stats, err
-	}
-	for {
-		nr, err := cur.Next(batch)
-		if err != nil {
-			return zero, stats, err
-		}
-		if nr == 0 {
-			break
-		}
-		for _, row := range batch[:nr] {
-			stats.ItemsScanned++
-			res.Offer(row, 1)
-		}
-	}
-	stats.Passes++
-	netRows, ok := res.Sample()
-	if !ok {
-		return zero, stats, ErrEmptyStream
-	}
-	pending, err := dom.Solve(decodeNet(ra, netRows, width))
-	if err != nil {
-		return zero, stats, err
-	}
-	stats.Iterations++
-
-	for iter := 1; iter <= maxIters; iter++ {
-		// One fused pass: violation test for `pending` + dual reservoirs
-		// for the next net.
-		resFail := sampling.NewRowReservoir(m, width, rng)
-		resSucc := sampling.NewRowReservoir(m, width, rng)
-		wTotal, wViol, violCount, scanned, err := fusedRowPass(ra, cur, batch, bases, pending, mult, resFail, resSucc)
-		stats.ItemsScanned += scanned
-		if err != nil {
-			return zero, stats, err
-		}
-		stats.Passes++
-		stats.trackSpace(opt, 2*m, len(bases))
-		if violCount == 0 {
-			return pending, stats, nil
-		}
-		success := wViol.Sum() <= eps*wTotal.Sum()
-		var nextNet [][]float64
-		if success {
-			stats.Successes++
-			bases = append(bases, pending)
-			stats.StoredBases = len(bases)
-			nextNet, _ = resSucc.Sample()
-		} else {
-			stats.Failures++
-			if opt.Core.MonteCarlo {
-				return zero, stats, core.ErrRoundFailed
-			}
-			nextNet, _ = resFail.Sample()
-		}
-		pending, err = dom.Solve(decodeNet(ra, nextNet, width))
-		if err != nil {
-			return zero, stats, err
-		}
-		stats.Iterations++
-	}
-	return zero, stats, core.ErrIterationBudget
-}
-
-// fusedRowPass scans the source once, simultaneously (a) accumulating
-// the violation weight of `pending` under the on-the-fly weights and
-// (b) feeding the success/failure reservoirs for the next net — the
-// "one pass per iteration" loop of §3.2 over flat rows. This is the
-// hot path of the streaming backend: per row it performs the weight
-// and violation arithmetic plus at most an accepted-slot copy, and
-// allocates nothing (the allocation-regression test pins this).
-func fusedRowPass[C, B any](
-	ra lptype.RowAccess[C, B], cur dataset.Cursor, batch []dataset.Row,
-	bases []B, pending B, mult float64,
-	resFail, resSucc *sampling.RowReservoir,
-) (wTotal, wViol numeric.Kahan, violCount int, scanned int64, err error) {
-	if err = cur.Reset(); err != nil {
-		return
-	}
-	for {
-		var nr int
-		nr, err = cur.Next(batch)
-		if err != nil {
-			return
-		}
-		if nr == 0 {
-			return
-		}
-		for _, row := range batch[:nr] {
-			scanned++
-			w := math.Pow(mult, float64(ra.WeightExp(bases, row)))
-			wTotal.Add(w)
-			if ra.ViolatesRow(pending, row) {
-				wViol.Add(w)
-				violCount++
-				resFail.Offer(row, w)
-				resSucc.Offer(row, w*mult)
-			} else {
-				resFail.Offer(row, w)
-				resSucc.Offer(row, w)
-			}
-		}
-	}
+	return solveDatasetUnfused(ra, cur, batch, width, n, m, eps, mult, maxIters, rng, &stats, opt)
 }
 
 // solveDatasetUnfused is the two-passes-per-iteration ablation over a

@@ -9,7 +9,6 @@ import (
 	"lowdimlp/internal/lptype"
 	"lowdimlp/internal/meb"
 	"lowdimlp/internal/numeric"
-	"lowdimlp/internal/sampling"
 )
 
 func coreOpt(r int, seed uint64) core.Options {
@@ -106,11 +105,12 @@ func TestSolveDatasetUnfusedMatchesSlice(t *testing.T) {
 	}
 }
 
-// TestFusedRowPassAllocations is the allocation-regression guard for
-// the streaming hot path: one fused pass over n constraints in
-// batches must allocate at most once per batch (in practice: zero) —
-// never per constraint.
-func TestFusedRowPassAllocations(t *testing.T) {
+// TestSharedPassAllocations is the allocation-regression guard for
+// the scan-sharing hot path: one shared pass driving several fused
+// solvers over n constraints in batches must allocate nothing — the
+// solo fused pass's 0-allocs/pass guarantee, preserved when the scan
+// is multi-consumer.
+func TestSharedPassAllocations(t *testing.T) {
 	const n, d, batchSize = 4096, 3, 256
 	st := cloud(n, d, 17)
 	ra := mebAccess(d)
@@ -123,23 +123,114 @@ func TestFusedRowPassAllocations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bases := []meb.Basis{pending}
-	rng := numeric.NewRand(5, 0x57124)
-	resFail := sampling.NewRowReservoir(32, d, rng)
-	resSucc := sampling.NewRowReservoir(32, d, rng)
+	// Hand-build solvers mid-fused-phase — the state BeginPass leaves
+	// them in during a real solve, with reservoirs armed.
+	mult := math.Pow(float64(n), 0.5)
+	mkSolver := func(seed uint64) *DatasetSolver[meb.Point, meb.Basis] {
+		s := &DatasetSolver[meb.Point, meb.Basis]{
+			ra: ra, dom: dom, n: n, width: d, m: 32,
+			mult: mult, eps: 1 / (40 * mult),
+			rng:   numeric.NewRand(seed, 0x57124),
+			phase: solverFused,
+			bases: []meb.Basis{pending}, pending: pending,
+		}
+		s.BeginPass()
+		return s
+	}
+	sinks := []dataset.RowSink{mkSolver(5), mkSolver(6), mkSolver(7), mkSolver(8)}
 	cur := st.NewCursor()
 	batch := make([]dataset.Row, batchSize)
-	mult := math.Pow(float64(n), 0.5)
 
 	allocs := testing.AllocsPerRun(10, func() {
-		if _, _, _, _, err := fusedRowPass(ra, cur, batch, bases, pending, mult, resFail, resSucc); err != nil {
+		if _, err := dataset.SharedPass(cur, batch, sinks...); err != nil {
 			t.Fatal(err)
 		}
 	})
-	budget := float64(n / batchSize) // ≤ 1 alloc per batch
-	if allocs > budget {
-		t.Fatalf("fused pass: %.1f allocs for %d rows (budget %.0f — ≤1 per %d-row batch)",
-			allocs, n, budget, batchSize)
+	if allocs > 0 {
+		t.Fatalf("shared pass: %.1f allocs for %d rows × %d solvers (want 0)", allocs, n, len(sinks))
 	}
-	t.Logf("fused pass over %d rows: %.1f allocs (budget %.0f)", n, allocs, budget)
+	t.Logf("shared pass over %d rows × %d solvers: %.1f allocs", n, len(sinks), allocs)
+}
+
+// TestSharedScanMatchesSolo pins the scan-sharing conformance claim at
+// the stream level: k solvers with distinct seeds driven through
+// shared passes over one cursor return bit-identical bases and
+// identical stats to k solo SolveDataset runs.
+func TestSharedScanMatchesSolo(t *testing.T) {
+	const n, d, k = 3000, 3, 6
+	st := cloud(n, d, 42)
+	opts := make([]Options, k)
+	for i := range opts {
+		opts[i] = Options{Core: coreOpt(4, uint64(100+i))} // r=4 → genuinely fused, multi-pass
+	}
+
+	type solo struct {
+		b  meb.Basis
+		st Stats
+	}
+	want := make([]solo, k)
+	for i, opt := range opts {
+		b, stats, err := SolveDataset(mebAccess(d), st, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.DirectSolve {
+			t.Fatalf("solo %d direct-solved (m ≥ n) — workload too small to exercise the fused path", i)
+		}
+		want[i] = solo{b, stats}
+	}
+
+	solvers := make([]*DatasetSolver[meb.Point, meb.Basis], k)
+	for i, opt := range opts {
+		solvers[i] = NewDatasetSolver(mebAccess(d), st.Rows(), st.Width(), opt)
+	}
+	cur := st.NewCursor()
+	defer dataset.CloseCursor(cur)
+	batch := make([]dataset.Row, dataset.DefaultBatchRows)
+	var sharedPasses int
+	for {
+		var sinks []dataset.RowSink
+		for _, s := range solvers {
+			if !s.Done() {
+				s.BeginPass()
+				sinks = append(sinks, s)
+			}
+		}
+		if len(sinks) == 0 {
+			break
+		}
+		if _, err := dataset.SharedPass(cur, batch, sinks...); err != nil {
+			t.Fatal(err)
+		}
+		sharedPasses++
+		for _, s := range sinks {
+			s.(*DatasetSolver[meb.Point, meb.Basis]).EndPass()
+		}
+	}
+
+	maxPasses := 0
+	for i, s := range solvers {
+		b, stats, err := s.Result()
+		if err != nil {
+			t.Fatalf("solver %d: %v", i, err)
+		}
+		if b.B.R2 != want[i].b.B.R2 {
+			t.Fatalf("solver %d radius² %v (shared) vs %v (solo)", i, b.B.R2, want[i].b.B.R2)
+		}
+		for j := range want[i].b.B.Center {
+			if b.B.Center[j] != want[i].b.B.Center[j] {
+				t.Fatalf("solver %d center[%d] %v vs %v", i, j, b.B.Center[j], want[i].b.B.Center[j])
+			}
+		}
+		if stats != want[i].st {
+			t.Fatalf("solver %d stats drift: %+v vs %+v", i, stats, want[i].st)
+		}
+		if stats.Passes > maxPasses {
+			maxPasses = stats.Passes
+		}
+	}
+	// The whole batch cost max(per-solver passes) scans, not their sum.
+	if sharedPasses != maxPasses {
+		t.Fatalf("shared scan used %d passes, want max(per-solver)=%d", sharedPasses, maxPasses)
+	}
 }

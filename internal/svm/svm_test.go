@@ -244,7 +244,9 @@ func TestMarginGeometry(t *testing.T) {
 
 func TestDomainContract(t *testing.T) {
 	dom := NewDomain(3)
-	if dom.CombinatorialDim() != 4 || dom.VCDim() != 4 {
+	// λ = d exactly (fixed-offset halfspaces after the label fold —
+	// see Domain.VCDim), one below the combinatorial dimension ν = d+1.
+	if dom.CombinatorialDim() != 4 || dom.VCDim() != 3 {
 		t.Fatal("dimension bounds")
 	}
 	exs := separableCloud(3, 200, 0.3, 5)
