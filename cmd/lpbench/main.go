@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("experiment", "all", "experiment id (E1..E8, F1, F2, M1..M4) or 'all'")
+		exp   = flag.String("experiment", "all", "experiment id (E1..E8, F1, F2, M1..M5) or 'all'")
 		quick = flag.Bool("quick", false, "shrink parameter sweeps (CI-sized run)")
 		seed  = flag.Uint64("seed", 20190313, "random seed (default: the paper's arXiv date)")
 		jsonP = flag.String("json", "", "write machine-readable results here (experiments that support it, e.g. M2 → BENCH_M2.json)")

@@ -12,7 +12,8 @@
 //	         [-max-body BYTES] [-instance-ttl D]
 //	         [-spill-rows N] [-spill-dir DIR]
 //	         [-workers host1,host2,...]
-//	lpserved -worker shard.lds [-addr :8081] [-session-ttl D]
+//	         [-pprof] [-generic-kernels]
+//	lpserved -worker shard.lds [-addr :8081] [-session-ttl D] [-pprof]
 //
 // Endpoints (see internal/server for the wire format):
 //
@@ -74,6 +75,22 @@
 // The solver pool size flag is -pool (it was -workers before worker
 // fleets existed).
 //
+// # Profiling
+//
+// -pprof (off by default) mounts the standard net/http/pprof
+// endpoints under /debug/pprof/ on the same listener, in both
+// frontend and worker mode. The endpoints expose heap, CPU and
+// goroutine profiles of the live process; leave the flag off on
+// deployments reachable by untrusted clients.
+//
+// -generic-kernels routes d ≤ 4 block violation scans through the
+// width-generic kernel instead of their dimension-specialized
+// unrolled loops (internal/kernel's force-generic knob). Results are
+// bit-identical — the knob exists to A/B the unrolled kernels under a
+// profiler — and `lpstat doctor` flags a frontend left running this
+// way, since it gives up the kernel layer's speedup on exactly the
+// workloads it targets.
+//
 // Example:
 //
 //	curl -s localhost:8080/v1/solve -d '{
@@ -94,12 +111,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"lowdimlp/internal/comm/httptransport"
+	"lowdimlp/internal/kernel"
 	"lowdimlp/internal/server"
 )
 
@@ -121,11 +140,18 @@ func main() {
 		sessTTL    = flag.Duration("session-ttl", server.DefaultSessionTTL, "worker mode: idle protocol-session eviction horizon (negative disables)")
 		fleet      = flag.String("workers", "", "comma-separated worker base URLs serving \"fleet\": true solves (worker i = site i)")
 		traceBuf   = flag.Int("trace-buffer", 0, "solve-trace ring capacity for GET /v1/traces (0 = 128, negative disables)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
+		genericK   = flag.Bool("generic-kernels", false, "bypass the d≤4 unrolled violation kernels (A/B profiling; bit-identical, slower)")
 	)
 	flag.Parse()
 
+	if *genericK {
+		kernel.SetForceGeneric(true)
+		log.Printf("lpserved: -generic-kernels: d≤4 block scans run the width-generic kernel")
+	}
+
 	if *workerData != "" {
-		runWorker(*workerData, *addr, *sessTTL, *grace)
+		runWorker(*workerData, *addr, *sessTTL, *grace, *pprofOn)
 		return
 	}
 
@@ -145,7 +171,7 @@ func main() {
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           withPprof(srv.Handler(), *pprofOn),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -182,9 +208,27 @@ func main() {
 	log.Printf("lpserved: bye")
 }
 
+// withPprof mounts the net/http/pprof endpoints next to h when the
+// -pprof flag is set; otherwise h serves unwrapped. The profiling
+// routes live on the service listener on purpose: a separate debug
+// port would need its own lifecycle, and the flag is opt-in.
+func withPprof(h http.Handler, on bool) http.Handler {
+	if !on {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // runWorker is worker mode: own one dataset shard, answer protocol
 // frames until signalled.
-func runWorker(dataPath, addr string, sessTTL, grace time.Duration) {
+func runWorker(dataPath, addr string, sessTTL, grace time.Duration, pprofOn bool) {
 	w, err := server.NewWorker(server.WorkerConfig{DataPath: dataPath, SessionTTL: sessTTL})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lpserved:", err)
@@ -193,7 +237,7 @@ func runWorker(dataPath, addr string, sessTTL, grace time.Duration) {
 	info := w.Info()
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           w.Handler(),
+		Handler:           withPprof(w.Handler(), pprofOn),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)

@@ -307,6 +307,40 @@ func (r *run) Close() error {
 	return nil
 }
 
+// bufPool recycles the per-exchange scratch buffers — the encoded
+// request frame and the reply body. The coordinator protocol performs
+// thousands of step exchanges per solve and the frames are small, so
+// without pooling the encode and the body read dominate the client's
+// steady-state allocation profile (TestExchangeAllocations pins the
+// pooled cost). Buffers grow to a solve's working frame size once and
+// are reused for its lifetime.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// readAll reads r to EOF into bp's backing array, growing it as needed.
+// The result aliases *bp, which keeps the grown capacity for the next
+// exchange — callers must copy anything they retain past putting the
+// buffer back.
+func readAll(r io.Reader, bp *[]byte) ([]byte, error) {
+	buf := (*bp)[:0]
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 4096)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		*bp = buf
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
 // exchange POSTs one frame to worker i's step endpoint and decodes
 // the reply frame, enforcing the per-exchange timeout and translating
 // every failure into a *comm.TransportError.
@@ -323,18 +357,28 @@ func (f *Fleet) exchangeTimeout(i int, frame comm.Frame, timeout time.Duration) 
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
+	reqBuf := bufPool.Get().(*[]byte)
+	*reqBuf = comm.AppendFrame((*reqBuf)[:0], frame)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		f.urls[i]+StepPath, bytes.NewReader(comm.EncodeFrame(frame)))
+		f.urls[i]+StepPath, bytes.NewReader(*reqBuf))
 	if err != nil {
+		bufPool.Put(reqBuf)
 		return fail(err)
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := f.opt.client().Do(req)
 	if err != nil {
+		// Deliberately NOT pooled: on some Do error paths the transport's
+		// write goroutine can still be draining the request body, so the
+		// buffer is abandoned to the GC rather than risked on reuse.
+		// Errors are rare; the cost is one dropped buffer.
 		return fail(err)
 	}
+	bufPool.Put(reqBuf)
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, comm.MaxFramePayload+64))
+	bodyBuf := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bodyBuf)
+	body, err := readAll(io.LimitReader(resp.Body, comm.MaxFramePayload+64), bodyBuf)
 	if err != nil {
 		return fail(err)
 	}
@@ -353,5 +397,9 @@ func (f *Fleet) exchangeTimeout(i int, frame comm.Frame, timeout time.Duration) 
 	if rep.Type != comm.FrameReply {
 		return fail(fmt.Errorf("%w: reply frame type %d", comm.ErrProtocol, rep.Type))
 	}
+	// The decoded payload aliases the pooled body buffer; detach it with
+	// one exact-size copy — RoundTrip's callers retain the payload well
+	// past this exchange.
+	rep.Payload = append([]byte(nil), rep.Payload...)
 	return rep, nil
 }

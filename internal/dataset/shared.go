@@ -8,14 +8,27 @@ type RowSink interface {
 	Row(row Row)
 }
 
+// BlockSink is the block-kernel extension of RowSink: a sink that can
+// consume a whole cursor batch in one call (and run dimension-
+// specialized kernels over it; DESIGN.md §12). RowBlock(rows) must be
+// observably identical to calling Row on each row in order — same
+// results, same RNG consumption — the rows are borrowed views exactly
+// like Row's, and SharedPass prefers it when a sink provides it.
+type BlockSink interface {
+	RowSink
+	RowBlock(rows []Row)
+}
+
 // SharedPass drives every sink through one pass over the cursor: the
 // multi-consumer scan behind scan-sharing. Each sink sees every row
 // exactly once, in source order — the same sequence a solo scan would
 // deliver — so per-sink computations (reservoir sampling included) are
 // bit-identical to running each consumer over its own private pass;
-// only the number of passes over the storage changes. The caller owns
-// cursor, batch buffer and sink slice, so a pass allocates nothing
-// (the stream package's allocation-regression test pins 0 allocs).
+// only the number of passes over the storage changes. Sinks that
+// implement BlockSink receive each batch as one RowBlock call instead
+// of per-row dispatches. The caller owns cursor, batch buffer and
+// sink slice, so a pass allocates nothing (the stream package's
+// allocation-regression tests pin 0 allocs for both sink shapes).
 func SharedPass(cur Cursor, batch []Row, sinks ...RowSink) (int64, error) {
 	var scanned int64
 	if err := cur.Reset(); err != nil {
@@ -35,8 +48,12 @@ func SharedPass(cur Cursor, batch []Row, sinks ...RowSink) (int64, error) {
 		// per row. Every sink still sees every row once, in source
 		// order, so per-sink results are unchanged.
 		for _, s := range sinks {
-			for _, row := range batch[:nr] {
-				s.Row(row)
+			if bs, ok := s.(BlockSink); ok {
+				bs.RowBlock(batch[:nr])
+			} else {
+				for _, row := range batch[:nr] {
+					s.Row(row)
+				}
 			}
 		}
 		scanned += int64(nr)

@@ -17,7 +17,10 @@ import (
 // and the result is bit-identical to SolveSource on the stream
 // backend for the same rows and options (conformance-pinned).
 type StreamSolver interface {
-	dataset.RowSink
+	// BlockSink: solvers accept whole cursor batches (RowBlock) so
+	// shared scans run the domains' block kernels — and still accept
+	// single rows (Row), with identical results either way.
+	dataset.BlockSink
 	// BeginPass arms the solver for one scan over the source.
 	BeginPass()
 	// EndPass closes the pass; a non-nil error is terminal.
@@ -64,10 +67,11 @@ type specStreamSolver[P, C, B any] struct {
 	ds   *stream.DatasetSolver[C, B]
 }
 
-func (w *specStreamSolver[P, C, B]) Row(row dataset.Row) { w.ds.Row(row) }
-func (w *specStreamSolver[P, C, B]) BeginPass()          { w.ds.BeginPass() }
-func (w *specStreamSolver[P, C, B]) EndPass() error      { return w.ds.EndPass() }
-func (w *specStreamSolver[P, C, B]) Done() bool          { return w.ds.Done() }
+func (w *specStreamSolver[P, C, B]) Row(row dataset.Row)         { w.ds.Row(row) }
+func (w *specStreamSolver[P, C, B]) RowBlock(rows []dataset.Row) { w.ds.RowBlock(rows) }
+func (w *specStreamSolver[P, C, B]) BeginPass()                  { w.ds.BeginPass() }
+func (w *specStreamSolver[P, C, B]) EndPass() error              { return w.ds.EndPass() }
+func (w *specStreamSolver[P, C, B]) Done() bool                  { return w.ds.Done() }
 
 func (w *specStreamSolver[P, C, B]) Result() (Solution, Stats, error) {
 	b, st, err := w.ds.Result()
@@ -167,6 +171,7 @@ func (s *Spec[P, C, B]) VerifyBasisSource(dim int, objective []float64, src data
 		return Solution{}, false, err
 	}
 	batch := make([]dataset.Row, dataset.DefaultBatchRows)
+	idx := make([]int32, 0, dataset.DefaultBatchRows)
 	for {
 		nr, err := cur.Next(batch)
 		if err != nil {
@@ -175,10 +180,11 @@ func (s *Spec[P, C, B]) VerifyBasisSource(dim int, objective []float64, src data
 		if nr == 0 {
 			return s.Render(dim, b), true, nil
 		}
-		for _, row := range batch[:nr] {
-			if ra.ViolatesRow(b, row) {
-				return Solution{}, false, nil
-			}
+		// Whole-block violation test through the domain's kernels: the
+		// outcome (any violator anywhere ⇒ cold path) is identical to
+		// the per-row scan, we just learn it a block later at worst.
+		if idx = ra.ViolatesBlock(b, batch[:nr], idx); len(idx) > 0 {
+			return Solution{}, false, nil
 		}
 	}
 }

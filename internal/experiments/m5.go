@@ -1,0 +1,382 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"lowdimlp/internal/engine"
+	"lowdimlp/internal/kernel"
+	"lowdimlp/internal/lp"
+	"lowdimlp/internal/lptype"
+	"lowdimlp/internal/meb"
+	"lowdimlp/internal/numeric"
+	"lowdimlp/internal/sea"
+	"lowdimlp/internal/svm"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "M5",
+		Title: "Block violation kernels: per-row scan vs dimension-specialized blocks",
+		Claim: "kernel layer (DESIGN.md §12): block kernels beat the per-row scan on d ≤ 4 with bit-identical violator sets and solutions",
+		Run:   runM5,
+	})
+}
+
+// m5Micro is one microbenchmark cell: the hot violation scan isolated
+// from the solver, per-row dispatch vs one kernel call per block.
+type m5Micro struct {
+	Kind     string  `json:"kind"`
+	D        int     `json:"d"`
+	Rows     int     `json:"rows"`
+	NsRow    float64 `json:"ns_per_row_rowscan"`
+	NsBlock  float64 `json:"ns_per_row_block"`
+	Speedup  float64 `json:"speedup"`
+	Violrate float64 `json:"violator_rate"`
+	// Identical means the block kernel's violator index set matched the
+	// per-row scan's exactly.
+	Identical bool `json:"identical"`
+}
+
+// m5Solve is one end-to-end cell: a full solve with kernels enabled vs
+// the same solve with the kernel layer ablated (per-row reference).
+type m5Solve struct {
+	Kind      string  `json:"kind"`
+	Backend   string  `json:"backend"`
+	N         int     `json:"n"`
+	D         int     `json:"d"`
+	MSRow     float64 `json:"ms_rowscan"`
+	MSBlock   float64 `json:"ms_block"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"` // bit-identical rendered solutions
+}
+
+// m5Report is the BENCH_M5.json schema.
+type m5Report struct {
+	Experiment string    `json:"experiment"`
+	Seed       uint64    `json:"seed"`
+	Quick      bool      `json:"quick"`
+	Micro      []m5Micro `json:"micro"`
+	Solves     []m5Solve `json:"solves"`
+}
+
+// m5Scans is one kind's measurable pair: the per-row reference scan
+// and the block-kernel scan over the same rows and basis, both
+// returning the violator count (the timed arms), plus untimed
+// index-list variants for the exactness check.
+type m5Scans struct {
+	rowScan   func(rows [][]float64) int
+	blockScan func(rows [][]float64) int
+	rowIdx    func(rows [][]float64) []int32
+	blockIdx  func(rows [][]float64) []int32
+}
+
+// m5Harness builds a kind's scan pair at dimension d: random rows,
+// basis solved from a prefix, RowAccess built the way every backend
+// builds it (so the per-row arm pays exactly the dispatch a real
+// per-row scan pays).
+type m5Harness struct {
+	kind  string
+	width func(d int) int
+	build func(d int, rows [][]float64, k int) (m5Scans, error)
+}
+
+// m5ScansOf adapts one concrete domain's RowAccess to the measurable
+// pair. The block arm feeds dataset-sized chunks through
+// ViolatesBlock with a reused index buffer — the shape of every block
+// scan path in the repository.
+func m5ScansOf[C, B any](ra lptype.RowAccess[C, B], b B) m5Scans {
+	idx := make([]int32, 0, 256)
+	blockIdx := func(rows [][]float64) []int32 {
+		var all []int32
+		for lo := 0; lo < len(rows); lo += 256 {
+			hi := min(lo+256, len(rows))
+			idx = ra.ViolatesBlock(b, rows[lo:hi], idx)
+			for _, p := range idx {
+				all = append(all, int32(lo)+p)
+			}
+		}
+		return all
+	}
+	return m5Scans{
+		rowScan: func(rows [][]float64) int {
+			n := 0
+			for _, row := range rows {
+				if ra.ViolatesRow(b, row) {
+					n++
+				}
+			}
+			return n
+		},
+		blockScan: func(rows [][]float64) int {
+			n := 0
+			for lo := 0; lo < len(rows); lo += 256 {
+				hi := min(lo+256, len(rows))
+				idx = ra.ViolatesBlock(b, rows[lo:hi], idx)
+				n += len(idx)
+			}
+			return n
+		},
+		rowIdx: func(rows [][]float64) []int32 {
+			var all []int32
+			for i, row := range rows {
+				if ra.ViolatesRow(b, row) {
+					all = append(all, int32(i))
+				}
+			}
+			return all
+		},
+		blockIdx: blockIdx,
+	}
+}
+
+func m5Harnesses() []m5Harness {
+	return []m5Harness{
+		{
+			kind:  "lp",
+			width: func(d int) int { return d + 1 },
+			build: func(d int, rows [][]float64, k int) (m5Scans, error) {
+				obj := make([]float64, d)
+				for i := range obj {
+					obj[i] = 1
+				}
+				dom := lp.NewDomain(lp.NewProblem(obj), 7)
+				// Basis constraints get positive offsets so the prefix
+				// program is feasible (the origin satisfies A·x ≤ B for
+				// every B > 0); the scanned rows keep raw offsets.
+				cons := make([]lp.Halfspace, 0, k)
+				for _, row := range rows[:k] {
+					h := lp.Halfspace{A: row[:d], B: 1 + math.Abs(row[d])}.Clone()
+					cons = append(cons, h)
+				}
+				b, err := dom.Solve(cons)
+				if err != nil {
+					return m5Scans{}, err
+				}
+				ra := lptype.NewRowAccess[lp.Halfspace, lp.Basis](dom,
+					func(row []float64) lp.Halfspace { return lp.Halfspace{A: row[:d], B: row[d]} })
+				return m5ScansOf(ra, b), nil
+			},
+		},
+		{
+			kind:  "svm",
+			width: func(d int) int { return d + 1 },
+			build: func(d int, rows [][]float64, k int) (m5Scans, error) {
+				// The basis prefix must be separable, so plant it: labels
+				// alternate and the first coordinate is pushed to the
+				// label's side of x₀ = 0 with margin ≥ 2. The scanned rows
+				// stay raw — only the violation test is being measured.
+				dom := svm.NewDomain(d)
+				exs := make([]svm.Example, 0, k)
+				for i, row := range rows[:k] {
+					r := append([]float64(nil), row...)
+					y := 1.0
+					if i%2 == 1 {
+						y = -1
+					}
+					r[0] = y * (2 + math.Abs(r[0]))
+					exs = append(exs, svm.Example{X: r[:d], Y: y})
+				}
+				b, err := dom.Solve(exs)
+				if err != nil {
+					return m5Scans{}, err
+				}
+				ra := lptype.NewRowAccess[svm.Example, svm.Basis](dom,
+					func(row []float64) svm.Example { return svm.Example{X: row[:d], Y: row[d]} })
+				return m5ScansOf(ra, b), nil
+			},
+		},
+		{
+			kind:  "meb",
+			width: func(d int) int { return d },
+			build: func(d int, rows [][]float64, k int) (m5Scans, error) {
+				dom := meb.NewDomain(d)
+				pts := make([]meb.Point, 0, k)
+				for _, row := range rows[:k] {
+					pts = append(pts, meb.Point(append([]float64(nil), row...)))
+				}
+				b, err := dom.Solve(pts)
+				if err != nil {
+					return m5Scans{}, err
+				}
+				ra := lptype.NewRowAccess[meb.Point, meb.Basis](dom,
+					func(row []float64) meb.Point { return meb.Point(row) })
+				return m5ScansOf(ra, b), nil
+			},
+		},
+		{
+			kind:  "sea",
+			width: func(d int) int { return d },
+			build: func(d int, rows [][]float64, k int) (m5Scans, error) {
+				dom := sea.NewDomain(d, 3)
+				pts := make([]sea.Point, 0, k)
+				for _, row := range rows[:k] {
+					pts = append(pts, sea.Point(append([]float64(nil), row...)))
+				}
+				b, err := dom.Solve(pts)
+				if err != nil {
+					return m5Scans{}, err
+				}
+				ra := lptype.NewRowAccess[sea.Point, sea.Basis](dom,
+					func(row []float64) sea.Point { return sea.Point(row) })
+				return m5ScansOf(ra, b), nil
+			},
+		},
+	}
+}
+
+// runM5 measures the kernel layer (DESIGN.md §12) twice over.
+//
+// Microbenchmarks isolate the hot loop: the same rows and basis
+// scanned per-row (one interface dispatch per row — the pre-kernel
+// hot path) and per-block (one kernel call per 256 rows, unrolled
+// inner loop for d ≤ 4). The violator index sets must match exactly;
+// the ns/row columns are the dispatch-elimination payoff.
+//
+// The end-to-end sweep then solves full instances on the stream and
+// coordinator backends with kernels enabled vs the layer ablated
+// (kernel.SetEnabled(false), the per-row reference path). Solutions
+// must be bit-identical — the tentpole conformance claim — and the
+// wall-clock delta is what the kernels are worth to a real solve.
+func runM5(w io.Writer, cfg Config) error {
+	microRows, solveN, reps := 1<<16, 200_000, 5
+	if cfg.Quick {
+		microRows, solveN, reps = 1<<13, 20_000, 3
+	}
+	report := m5Report{Experiment: "M5", Seed: cfg.Seed, Quick: cfg.Quick}
+
+	fmt.Fprintf(w, "kernel microbenchmarks (%d rows, best of %d):\n\n", microRows, reps)
+	t := newTable(w, "kind", "d", "ns/row (rowscan)", "ns/row (block)", "speedup", "identical")
+	for _, h := range m5Harnesses() {
+		for d := 2; d <= 4; d++ {
+			rows := genM5Rows(microRows, h.width(d), cfg.Seed+uint64(100*d))
+			scans, err := h.build(d, rows, 12)
+			if err != nil {
+				return fmt.Errorf("M5 %s/d=%d: %w", h.kind, d, err)
+			}
+			// Correctness first: identical violator index sets.
+			wantIdx, gotIdx := scans.rowIdx(rows), scans.blockIdx(rows)
+			identical := len(wantIdx) == len(gotIdx)
+			if identical {
+				for i := range wantIdx {
+					if wantIdx[i] != gotIdx[i] {
+						identical = false
+						break
+					}
+				}
+			}
+			wantN := len(wantIdx)
+			nsRow := bestNsPerRow(reps, len(rows), func() { scans.rowScan(rows) })
+			nsBlock := bestNsPerRow(reps, len(rows), func() { scans.blockScan(rows) })
+			cell := m5Micro{
+				Kind: h.kind, D: d, Rows: len(rows),
+				NsRow: nsRow, NsBlock: nsBlock, Speedup: nsRow / nsBlock,
+				Violrate: float64(wantN) / float64(len(rows)), Identical: identical,
+			}
+			report.Micro = append(report.Micro, cell)
+			t.row(cell.Kind, cell.D, fmt.Sprintf("%.2f", cell.NsRow),
+				fmt.Sprintf("%.2f", cell.NsBlock), fmt.Sprintf("%.2f×", cell.Speedup), pass(cell.Identical))
+		}
+	}
+	t.flush()
+
+	fmt.Fprintf(w, "\nend-to-end solves (n=%d, kernels on vs ablated):\n\n", solveN)
+	t = newTable(w, "kind", "model", "n", "ms (rowscan)", "ms (block)", "speedup", "identical")
+	opt := engine.Options{R: 2, Seed: cfg.Seed, K: 8, Parallel: true}
+	for _, m := range engine.Models() {
+		const d = 3
+		inst, err := m.Generate(m.Families()[0], engine.GenParams{N: solveN, D: d, Seed: cfg.Seed})
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.Kind(), err)
+		}
+		st, err := engine.Columnar(m, inst)
+		if err != nil {
+			return err
+		}
+		for _, backend := range []string{engine.BackendStream, engine.BackendCoordinator} {
+			solveOnce := func() (engine.Solution, float64, error) {
+				start := time.Now()
+				sol, _, err := m.SolveSource(backend, inst.Dim, inst.Objective, st, opt)
+				return sol, float64(time.Since(start)) / float64(time.Millisecond), err
+			}
+			best := func() (engine.Solution, float64, error) {
+				var sol engine.Solution
+				ms := 0.0
+				for i := 0; i < reps; i++ {
+					s, t, err := solveOnce()
+					if err != nil {
+						return sol, ms, err
+					}
+					if i == 0 || t < ms {
+						sol, ms = s, t
+					}
+				}
+				return sol, ms, nil
+			}
+			prev := kernel.SetEnabled(false)
+			rowSol, msRow, err := best()
+			kernel.SetEnabled(prev)
+			if err != nil {
+				return fmt.Errorf("%s/%s rowscan: %w", m.Kind(), backend, err)
+			}
+			blkSol, msBlock, err := best()
+			if err != nil {
+				return fmt.Errorf("%s/%s block: %w", m.Kind(), backend, err)
+			}
+			cell := m5Solve{
+				Kind: m.Kind(), Backend: backend, N: solveN, D: d,
+				MSRow: msRow, MSBlock: msBlock, Speedup: msRow / msBlock,
+				Identical: solutionsIdentical(rowSol, blkSol),
+			}
+			report.Solves = append(report.Solves, cell)
+			t.row(cell.Kind, cell.Backend, cell.N, fmt.Sprintf("%.1f", cell.MSRow),
+				fmt.Sprintf("%.1f", cell.MSBlock), fmt.Sprintf("%.2f×", cell.Speedup), pass(cell.Identical))
+		}
+	}
+	t.flush()
+
+	if cfg.JSONPath != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s (%d micro + %d solve cells)\n", cfg.JSONPath, len(report.Micro), len(report.Solves))
+	}
+	return nil
+}
+
+// genM5Rows builds the microbenchmark row set.
+func genM5Rows(n, w int, seed uint64) [][]float64 {
+	rng := numeric.NewRand(seed, 99)
+	rows := make([][]float64, n)
+	for i := range rows {
+		r := make([]float64, w)
+		for j := range r {
+			r[j] = rng.NormFloat64()
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// bestNsPerRow times f reps times and returns the best ns/row — min,
+// not mean, because scheduling noise only ever adds time.
+func bestNsPerRow(reps, rows int, f func()) float64 {
+	best := 0.0
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		f()
+		ns := float64(time.Since(start).Nanoseconds()) / float64(rows)
+		if i == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}

@@ -1,0 +1,87 @@
+package kernel
+
+import "testing"
+
+func TestClassFor(t *testing.T) {
+	defer SetForceGeneric(SetForceGeneric(false))
+	cases := []struct {
+		d    int
+		want Class
+	}{
+		{1, ClassGeneric}, {2, ClassD2}, {3, ClassD3}, {4, ClassD4},
+		{5, ClassGeneric}, {64, ClassGeneric},
+	}
+	for _, c := range cases {
+		if got := ClassFor(c.d); got != c.want {
+			t.Errorf("ClassFor(%d) = %v, want %v", c.d, got, c.want)
+		}
+	}
+	SetForceGeneric(true)
+	// Forcing generic on a specializable dimension is the observable
+	// the doctor rule keys on: it must land in the dedicated
+	// generic_lowdim class, not plain generic.
+	for _, d := range []int{2, 3, 4} {
+		if got := ClassFor(d); got != ClassGenericLowDim {
+			t.Errorf("forced ClassFor(%d) = %v, want generic_lowdim", d, got)
+		}
+	}
+	// d=1 and d>4 have no specialized kernel to lose, so the force
+	// knob must not mislabel them.
+	for _, d := range []int{1, 5} {
+		if got := ClassFor(d); got != ClassGeneric {
+			t.Errorf("forced ClassFor(%d) = %v, want generic", d, got)
+		}
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	want := map[Class]string{
+		ClassD2: "d2", ClassD3: "d3", ClassD4: "d4",
+		ClassGeneric: "generic", ClassGenericLowDim: "generic_lowdim",
+		ClassRowLoop: "rowloop",
+	}
+	seen := map[string]bool{}
+	for _, c := range Classes() {
+		s := c.String()
+		if s != want[c] {
+			t.Errorf("Class(%d).String() = %q, want %q", c, s, want[c])
+		}
+		if seen[s] {
+			t.Errorf("duplicate class label %q", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != len(want) {
+		t.Errorf("Classes() lists %d classes, want %d", len(seen), len(want))
+	}
+}
+
+func TestCounters(t *testing.T) {
+	b0, r0 := Blocks(ClassD2), Rows()
+	t0 := BlocksTotal()
+	Count(ClassD2, 256)
+	Count(ClassD2, 100)
+	Count(ClassGeneric, 7)
+	if got := Blocks(ClassD2) - b0; got != 2 {
+		t.Errorf("d2 blocks advanced by %d, want 2", got)
+	}
+	if got := Rows() - r0; got != 363 {
+		t.Errorf("rows advanced by %d, want 363", got)
+	}
+	if got := BlocksTotal() - t0; got != 3 {
+		t.Errorf("total blocks advanced by %d, want 3", got)
+	}
+}
+
+func TestKnobsReturnPrevious(t *testing.T) {
+	prev := SetEnabled(false)
+	if Enabled() {
+		t.Error("SetEnabled(false) left kernels enabled")
+	}
+	if got := SetEnabled(prev); got != false {
+		t.Error("SetEnabled did not report the previous value")
+	}
+	if Enabled() != prev {
+		t.Error("SetEnabled failed to restore")
+	}
+}

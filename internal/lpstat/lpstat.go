@@ -100,6 +100,13 @@ type FrontendStatus struct {
 	BasisEntries int64
 	// FleetErrors are failed fleet exchanges by error class.
 	FleetErrors map[string]int64
+	// KernelBlocks are block violation-kernel invocations by kernel
+	// class (only classes with nonzero counts appear); KernelRows is
+	// the total rows evaluated through block scans. A nonzero
+	// "generic_lowdim" class means the frontend is bypassing its d≤4
+	// unrolled kernels (-generic-kernels), which the doctor flags.
+	KernelBlocks map[string]int64
+	KernelRows   int64
 	// InstancesOpen is the open chunk-upload count (/v1/instances).
 	InstancesOpen int
 	HasMetrics    bool
@@ -240,7 +247,7 @@ func probeStep(client *http.Client, url string) (ok bool, class, msg string) {
 }
 
 func collectFrontend(client *http.Client, url string) *FrontendStatus {
-	f := &FrontendStatus{URL: url, FleetErrors: map[string]int64{}}
+	f := &FrontendStatus{URL: url, FleetErrors: map[string]int64{}, KernelBlocks: map[string]int64{}}
 	if _, err := get(client, url+"/healthz"); err != nil {
 		f.Err, f.ErrClass = err.Error(), comm.ErrorClass(err)
 		return f
@@ -275,6 +282,14 @@ func collectFrontend(client *http.Client, url string) *FrontendStatus {
 					}
 				}
 			}
+			if fam, ok := m.Family("lpserved_kernel_blocks_total"); ok {
+				for _, s := range fam.Samples {
+					if s.Value > 0 {
+						f.KernelBlocks[s.Label("kernel")] = int64(s.Value)
+					}
+				}
+			}
+			f.KernelRows = int64(m.Sum("lpserved_kernel_rows_total"))
 		}
 	}
 

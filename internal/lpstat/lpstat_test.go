@@ -367,3 +367,51 @@ lpserved_basis_entries 4
 		t.Errorf("warm counters = %d/%d/%d, want 5/1/4", fe.WarmHits, fe.WarmMisses, fe.BasisEntries)
 	}
 }
+
+// TestFrontendKernelScrape pins collectFrontend's mapping of the
+// block-kernel metric families, the board cell, and the doctor rule
+// that fires when a d≤4 workload runs the width-generic kernel.
+func TestFrontendKernelScrape(t *testing.T) {
+	metrics := `# TYPE lpserved_kernel_blocks_total counter
+lpserved_kernel_blocks_total{kernel="d2"} 0
+lpserved_kernel_blocks_total{kernel="d3"} 120
+lpserved_kernel_blocks_total{kernel="generic"} 4
+lpserved_kernel_blocks_total{kernel="generic_lowdim"} 0
+lpserved_kernel_blocks_total{kernel="rowloop"} 0
+# TYPE lpserved_kernel_rows_total counter
+lpserved_kernel_rows_total 31744
+`
+	fe := Collect(Options{Frontend: fakeFrontend(t, metrics).URL}).Frontend
+	if fe.KernelBlocks["d3"] != 120 || fe.KernelBlocks["generic"] != 4 {
+		t.Errorf("kernel blocks = %v, want d3:120 generic:4", fe.KernelBlocks)
+	}
+	if _, ok := fe.KernelBlocks["d2"]; ok {
+		t.Errorf("zero-valued class surfaced: %v", fe.KernelBlocks)
+	}
+	if fe.KernelRows != 31744 {
+		t.Errorf("KernelRows = %d, want 31744", fe.KernelRows)
+	}
+	var board strings.Builder
+	RenderBoard(&board, &Fleet{Frontend: fe}, false)
+	if !strings.Contains(board.String(), "kernels: 124 blocks (d3 120, generic 4), 31744 rows") {
+		t.Errorf("board kernel line missing:\n%s", board.String())
+	}
+	if fd := findRule(Diagnose(&Fleet{Frontend: fe}), "frontend-generic-kernels"); fd != nil {
+		t.Fatalf("healthy kernel profile produced a generic-kernels finding: %+v", fd)
+	}
+}
+
+func TestDoctorGenericKernels(t *testing.T) {
+	forced := &Fleet{Frontend: &FrontendStatus{
+		URL: "x", Reachable: true, HasMetrics: true,
+		KernelBlocks: map[string]int64{"generic_lowdim": 57},
+		KernelRows:   14592,
+	}}
+	fd := findRule(Diagnose(forced), "frontend-generic-kernels")
+	if fd == nil || fd.Severity != SevWarn {
+		t.Fatalf("no generic-kernels warning: %+v", Diagnose(forced))
+	}
+	if !strings.Contains(fd.Fix, "-generic-kernels") {
+		t.Errorf("fix does not name the flag: %q", fd.Fix)
+	}
+}

@@ -3,6 +3,7 @@ package lpstat
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
@@ -49,6 +50,7 @@ func RenderBoard(w io.Writer, f *Fleet, color bool) {
 				fleetCell += ", " + p.paint(ansiRed, strings.Join(parts, ", "))
 			}
 			fmt.Fprintf(w, "  fleet: %s   traces: %d captured\n", fleetCell, fe.TracesCaptured)
+			fmt.Fprintf(w, "  kernels: %s\n", kernelCell(p, fe))
 		}
 	}
 	if len(f.Workers) == 0 {
@@ -92,6 +94,34 @@ func cacheCell(fe *FrontendStatus) string {
 		return "—"
 	}
 	return fmt.Sprintf("%.0f%% hit", 100*fe.CacheRate())
+}
+
+// kernelCell renders the block-kernel counters: total blocks with the
+// per-class breakdown, then rows. The generic_lowdim class paints
+// yellow — it means the frontend is bypassing its unrolled d≤4
+// kernels (the doctor's frontend-generic-kernels rule).
+func kernelCell(p painter, fe *FrontendStatus) string {
+	var total int64
+	for _, n := range fe.KernelBlocks {
+		total += n
+	}
+	if total == 0 && fe.KernelRows == 0 {
+		return "—"
+	}
+	classes := make([]string, 0, len(fe.KernelBlocks))
+	for c := range fe.KernelBlocks {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		cell := fmt.Sprintf("%s %d", c, fe.KernelBlocks[c])
+		if c == "generic_lowdim" {
+			cell = p.paint(ansiYellow, cell)
+		}
+		parts = append(parts, cell)
+	}
+	return fmt.Sprintf("%d blocks (%s), %d rows", total, strings.Join(parts, ", "), fe.KernelRows)
 }
 
 func dash(s string) string {

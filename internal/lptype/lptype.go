@@ -22,7 +22,10 @@ package lptype
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand/v2"
+
+	"lowdimlp/internal/kernel"
 )
 
 // ErrInfeasible reports that the constraint subset given to Solve has
@@ -80,25 +83,62 @@ type RowViolator[B any] interface {
 	ViolatesRow(b B, row []float64) bool
 }
 
+// BlockViolator is the block-kernel extension of RowViolator: one
+// call evaluates a whole cursor block of rows against a basis,
+// writing violator positions into a reusable index buffer. This is
+// what turns the per-row interface dispatch that every scan bottoms
+// out in into one dispatch per block, and lets the inner loop be
+// specialized (unrolled) by dimension.
+//
+// The contract is exactness, not approximation: the violation
+// decision for rows[i] must be bit-for-bit ViolatesRow(b, rows[i]) —
+// implementations unroll and hoist, but never reorder a row's
+// floating-point operations relative to the per-row reference (see
+// DESIGN.md §12 for why that preserves every conformance pin). All
+// four concrete domains implement it for d = 2, 3, 4 plus a generic
+// width loop.
+type BlockViolator[B any] interface {
+	RowViolator[B]
+	// ViolatesBlock appends to idx the positions i (ascending, one
+	// per violating row) with ViolatesRow(b, rows[i]) true, and
+	// returns the extended buffer. Callers pass idx with len 0 and
+	// reuse the returned capacity across blocks.
+	ViolatesBlock(b B, rows [][]float64, idx []int32) []int32
+	// BlockKernel reports the kernel class ViolatesBlock dispatches
+	// to under the current kernel knobs — the label the runtime
+	// counters (internal/kernel) record block evaluations under.
+	BlockKernel() kernel.Class
+}
+
 // RowAccess couples a Domain with its flat-row encoding — the access
 // abstraction the columnar backends scan through. It prefers the
 // domain's native RowViolator (zero-decode, zero-alloc) and falls back
 // to decode-then-Violates, which is always available and always
-// agrees.
+// agrees; when the domain also provides block kernels (BlockViolator)
+// and the kernel layer is enabled, block scans run through them.
 type RowAccess[C, B any] struct {
 	dom    Domain[C, B]
 	decode func(row []float64) C
 	vrow   func(b B, row []float64) bool
+	vblock func(b B, rows [][]float64, idx []int32) []int32
+	kclass func() kernel.Class
 }
 
 // NewRowAccess builds the access layer for dom, with decode mapping a
-// flat wire row to a constraint (the engine Spec's Item).
+// flat wire row to a constraint (the engine Spec's Item). The
+// kernel.Enabled knob is consulted here, once per access layer: a
+// scan built while kernels are disabled keeps the per-row reference
+// path for its whole life.
 func NewRowAccess[C, B any](dom Domain[C, B], decode func(row []float64) C) RowAccess[C, B] {
 	ra := RowAccess[C, B]{dom: dom, decode: decode}
 	if rv, ok := dom.(RowViolator[B]); ok {
 		ra.vrow = rv.ViolatesRow
 	} else {
 		ra.vrow = func(b B, row []float64) bool { return dom.Violates(b, decode(row)) }
+	}
+	if bv, ok := dom.(BlockViolator[B]); ok && kernel.Enabled() {
+		ra.vblock = bv.ViolatesBlock
+		ra.kclass = bv.BlockKernel
 	}
 	return ra
 }
@@ -114,6 +154,35 @@ func (ra RowAccess[C, B]) Item(row []float64) C { return ra.decode(row) }
 // ViolatesRow is the flat-row violation test (Tv over the arena).
 func (ra RowAccess[C, B]) ViolatesRow(b B, row []float64) bool { return ra.vrow(b, row) }
 
+// HasBlockKernel reports whether block scans run through the domain's
+// block kernels (rather than the per-row fallback loop) — what the
+// block-capable scan paths check before committing to block-shaped
+// bookkeeping.
+func (ra RowAccess[C, B]) HasBlockKernel() bool { return ra.vblock != nil }
+
+// ViolatesBlock evaluates a whole block: it resets idx to length 0,
+// appends the ascending positions of the rows violating b, and
+// returns the (possibly grown) buffer for reuse. Decisions are
+// bit-identical to calling ViolatesRow on each row — through the
+// domain's block kernels when available, otherwise through the
+// per-row reference loop — and every call is recorded in the
+// internal/kernel counters under the class that ran.
+func (ra RowAccess[C, B]) ViolatesBlock(b B, rows [][]float64, idx []int32) []int32 {
+	idx = idx[:0]
+	if ra.vblock != nil {
+		idx = ra.vblock(b, rows, idx)
+		kernel.Count(ra.kclass(), len(rows))
+		return idx
+	}
+	for i, row := range rows {
+		if ra.vrow(b, row) {
+			idx = append(idx, int32(i))
+		}
+	}
+	kernel.Count(kernel.ClassRowLoop, len(rows))
+	return idx
+}
+
 // WeightExp is the on-the-fly weight exponent of §3.2 computed over a
 // flat row: a(row) = #{stored bases the row's constraint violates}.
 func (ra RowAccess[C, B]) WeightExp(bases []B, row []float64) int {
@@ -124,6 +193,41 @@ func (ra RowAccess[C, B]) WeightExp(bases []B, row []float64) int {
 		}
 	}
 	return a
+}
+
+// WeightExpBlock fills exps[i] (i < len(rows), len(exps) must cover
+// the block) with WeightExp(bases, rows[i]) for a whole block — one
+// ViolatesBlock call per stored basis instead of len(rows)·len(bases)
+// per-row dispatches. idx is the reusable violation index buffer,
+// returned (possibly grown) for the next block. Exponents are exactly
+// the per-row path's: each basis contributes +1 to precisely the rows
+// it is violated by.
+func (ra RowAccess[C, B]) WeightExpBlock(bases []B, rows [][]float64, exps, idx []int32) []int32 {
+	for i := range rows {
+		exps[i] = 0
+	}
+	for k := range bases {
+		idx = ra.ViolatesBlock(bases[k], rows, idx)
+		for _, p := range idx {
+			exps[p]++
+		}
+	}
+	return idx
+}
+
+// PowWeight returns mult^e through the documented-exact fast paths
+// math.Pow(x, 0) = 1 and math.Pow(x, 1) = x. Most rows violate zero
+// or one stored bases, and skipping Pow for those exponents is
+// bit-identical by the function's documentation — the fused stream
+// pass has relied on exactly this since scan-sharing landed.
+func PowWeight(mult float64, e int) float64 {
+	switch e {
+	case 0:
+		return 1
+	case 1:
+		return mult
+	}
+	return math.Pow(mult, float64(e))
 }
 
 // Verify checks that b is consistent with being a basis of S: no

@@ -81,25 +81,104 @@ func weightExp[C, B any](dom Domain[C, B], bases []B, c C) int {
 	return a
 }
 
+// blockScratch is the reusable per-store buffer set of the
+// block-kernel scan paths: the row-view window, the per-row weight
+// exponents, and the two violation index buffers (stored bases vs the
+// pending basis). One allocation set per store, 0 allocs/block at
+// steady state.
+type blockScratch struct {
+	exps, idx, pidx []int32
+}
+
+func (b *blockScratch) ensure(n int) {
+	if cap(b.exps) < n {
+		b.exps = make([]int32, n)
+	}
+}
+
+// scanBlock runs the §3.2 weight/violation arithmetic for one block
+// through the kernels. Decisions and exponents come from whole-block
+// kernel calls; the Kahan accumulations then walk the rows in source
+// order with PowWeight's documented-exact fast paths — so the sums,
+// the count and every downstream protocol bit match the per-row
+// reference exactly.
+func scanBlock[C, B any](ra RowAccess[C, B], blk *blockScratch, rows []dataset.Row, bases []B, pending *B, mult float64, wTot, wViol *numeric.Kahan, count *int) {
+	blk.ensure(len(rows))
+	exps := blk.exps[:len(rows)]
+	blk.idx = ra.WeightExpBlock(bases, rows, exps, blk.idx)
+	np := 0
+	if pending != nil {
+		blk.pidx = ra.ViolatesBlock(*pending, rows, blk.pidx)
+		np = len(blk.pidx)
+	}
+	pi := 0
+	for i := range rows {
+		w := PowWeight(mult, int(exps[i]))
+		wTot.Add(w)
+		if pi < np && blk.pidx[pi] == int32(i) {
+			pi++
+			wViol.Add(w)
+			*count++
+		}
+	}
+}
+
+// weightsBlock fills w with the block's current weights mult^a(i)
+// through the kernels — the block form of the Weights contract.
+func weightsBlock[C, B any](ra RowAccess[C, B], blk *blockScratch, rows []dataset.Row, bases []B, mult float64, w []float64) {
+	blk.ensure(len(rows))
+	exps := blk.exps[:len(rows)]
+	blk.idx = ra.WeightExpBlock(bases, rows, exps, blk.idx)
+	for i := range rows {
+		w[i] = PowWeight(mult, int(exps[i]))
+	}
+}
+
 // ViewStore wraps a columnar view shard: scans run over the flat
 // arena through the domain's row primitives — no per-constraint
 // decode, no allocation — and Item decodes lazily (only sampled
-// constraints are ever materialized).
+// constraints are ever materialized). Domains with block kernels are
+// scanned a block at a time (same arithmetic, one dispatch per block
+// per basis instead of per row).
 func ViewStore[C, B any](ra RowAccess[C, B], view dataset.View) Store[C, B] {
-	return viewStore[C, B]{ra: ra, view: view}
+	return &viewStore[C, B]{ra: ra, view: view}
 }
 
 type viewStore[C, B any] struct {
 	ra   RowAccess[C, B]
 	view dataset.View
+	rows []dataset.Row // block window, lazily sized
+	blk  blockScratch
 }
 
-func (s viewStore[C, B]) Size() int { return s.view.Rows() }
+func (s *viewStore[C, B]) Size() int { return s.view.Rows() }
 
-func (s viewStore[C, B]) Scan(bases []B, pending *B, mult float64) (float64, float64, int) {
+// window fills the reusable row-view window with rows [lo, hi) of the
+// view (a view may be strided, so a block is a window of row views,
+// not one contiguous slice).
+func (s *viewStore[C, B]) window(lo, hi int) []dataset.Row {
+	if cap(s.rows) < hi-lo {
+		s.rows = make([]dataset.Row, hi-lo)
+	}
+	rows := s.rows[:hi-lo]
+	for i := range rows {
+		rows[i] = s.view.Row(lo + i)
+	}
+	return rows
+}
+
+func (s *viewStore[C, B]) Scan(bases []B, pending *B, mult float64) (float64, float64, int) {
 	var wTot, wViol numeric.Kahan
 	count := 0
-	for i, n := 0, s.view.Rows(); i < n; i++ {
+	n := s.view.Rows()
+	if s.ra.HasBlockKernel() {
+		for lo := 0; lo < n; lo += dataset.DefaultBatchRows {
+			hi := min(lo+dataset.DefaultBatchRows, n)
+			scanBlock(s.ra, &s.blk, s.window(lo, hi), bases, pending, mult, &wTot, &wViol, &count)
+		}
+		return wTot.Sum(), wViol.Sum(), count
+	}
+	for i := 0; i < n; i++ {
 		row := s.view.Row(i)
 		w := math.Pow(mult, float64(s.ra.WeightExp(bases, row)))
 		wTot.Add(w)
@@ -111,13 +190,21 @@ func (s viewStore[C, B]) Scan(bases []B, pending *B, mult float64) (float64, flo
 	return wTot.Sum(), wViol.Sum(), count
 }
 
-func (s viewStore[C, B]) Weights(bases []B, mult float64, w []float64) {
-	for i, n := 0, s.view.Rows(); i < n; i++ {
+func (s *viewStore[C, B]) Weights(bases []B, mult float64, w []float64) {
+	n := s.view.Rows()
+	if s.ra.HasBlockKernel() {
+		for lo := 0; lo < n; lo += dataset.DefaultBatchRows {
+			hi := min(lo+dataset.DefaultBatchRows, n)
+			weightsBlock(s.ra, &s.blk, s.window(lo, hi), bases, mult, w[lo:hi])
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
 		w[i] = math.Pow(mult, float64(s.ra.WeightExp(bases, s.view.Row(i))))
 	}
 }
 
-func (s viewStore[C, B]) Item(i int) C { return s.ra.Item(s.view.Row(i)) }
+func (s *viewStore[C, B]) Item(i int) C { return s.ra.Item(s.view.Row(i)) }
 
 // SourceStore wraps any columnar source as site/machine-local storage:
 // memory-backed sources become zero-copy ViewStores, and file-backed
@@ -141,6 +228,7 @@ type cursorStore[C, B any] struct {
 	// store belongs to one site, which scans sequentially.
 	cur   dataset.Cursor
 	batch []dataset.Row
+	blk   blockScratch
 }
 
 func (s *cursorStore[C, B]) Size() int { return s.src.Rows() }
@@ -168,6 +256,10 @@ func (s *cursorStore[C, B]) Scan(bases []B, pending *B, mult float64) (float64, 
 		if n == 0 {
 			return wTot.Sum(), wViol.Sum(), count
 		}
+		if s.ra.HasBlockKernel() {
+			scanBlock(s.ra, &s.blk, s.batch[:n], bases, pending, mult, &wTot, &wViol, &count)
+			continue
+		}
 		for _, row := range s.batch[:n] {
 			w := math.Pow(mult, float64(s.ra.WeightExp(bases, row)))
 			wTot.Add(w)
@@ -191,6 +283,11 @@ func (s *cursorStore[C, B]) Weights(bases []B, mult float64, w []float64) {
 		}
 		if n == 0 {
 			return
+		}
+		if s.ra.HasBlockKernel() {
+			weightsBlock(s.ra, &s.blk, s.batch[:n], bases, mult, w[i:i+n])
+			i += n
+			continue
 		}
 		for _, row := range s.batch[:n] {
 			w[i] = math.Pow(mult, float64(s.ra.WeightExp(bases, row)))

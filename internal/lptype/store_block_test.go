@@ -1,0 +1,100 @@
+package lptype_test
+
+import (
+	"math"
+	"testing"
+
+	"lowdimlp/internal/dataset"
+	"lowdimlp/internal/lptype"
+	"lowdimlp/internal/meb"
+	"lowdimlp/internal/numeric"
+)
+
+func mebStoreFixture(t *testing.T, n, d int) (lptype.RowAccess[meb.Point, meb.Basis], *dataset.Store, []meb.Basis, meb.Basis) {
+	t.Helper()
+	dom := meb.NewDomain(d)
+	ra := lptype.NewRowAccess[meb.Point, meb.Basis](dom,
+		func(row []float64) meb.Point { return meb.Point(row) })
+	st := dataset.NewStore(d)
+	st.Grow(n)
+	rng := numeric.NewRand(77, 1)
+	row := make([]float64, d)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		st.AppendRow(row)
+	}
+	solvePrefix := func(lo, hi int) meb.Basis {
+		pts := make([]meb.Point, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			pts = append(pts, meb.Point(st.Row(i)))
+		}
+		b, err := dom.Solve(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	bases := []meb.Basis{solvePrefix(0, 6), solvePrefix(6, 14)}
+	pending := solvePrefix(14, 20)
+	return ra, st, bases, pending
+}
+
+// TestViewStoreBlockScanMatchesSliceStore pins the site-scan layer:
+// the columnar ViewStore running block kernels must reproduce the
+// typed SliceStore reference bit for bit — Kahan-accumulated weight
+// sums, violator weight, count, and every per-row weight.
+func TestViewStoreBlockScanMatchesSliceStore(t *testing.T) {
+	const n, d = 1337, 3 // odd size: final partial block
+	ra, st, bases, pending := mebStoreFixture(t, n, d)
+	dom := ra.Domain()
+	pts := make([]meb.Point, n)
+	for i := range pts {
+		pts[i] = meb.Point(st.Row(i))
+	}
+	ref := lptype.SliceStore(dom, pts)
+	vs := lptype.ViewStore(ra, st.View())
+	if !ra.HasBlockKernel() {
+		t.Fatal("meb access has no block kernel (kernels disabled?)")
+	}
+
+	mult := math.Pow(float64(n), 0.5)
+	wantTot, wantViol, wantCount := ref.Scan(bases, &pending, mult)
+	gotTot, gotViol, gotCount := vs.Scan(bases, &pending, mult)
+	if wantTot != gotTot || wantViol != gotViol || wantCount != gotCount {
+		t.Fatalf("scan drift: slice (%v, %v, %d) vs view (%v, %v, %d)",
+			wantTot, wantViol, wantCount, gotTot, gotViol, gotCount)
+	}
+	if wantCount == 0 || wantCount == n {
+		t.Fatalf("degenerate fixture: %d/%d violators", wantCount, n)
+	}
+
+	wantW := make([]float64, n)
+	gotW := make([]float64, n)
+	ref.Weights(bases, mult, wantW)
+	vs.Weights(bases, mult, gotW)
+	for i := range wantW {
+		if wantW[i] != gotW[i] {
+			t.Fatalf("weight[%d] %v (slice) vs %v (view)", i, wantW[i], gotW[i])
+		}
+	}
+}
+
+// TestViewStoreScanAllocations is the 0-allocs/block pin at the store
+// layer: once the reusable window and scratch buffers are sized (one
+// warm-up scan), site scans allocate nothing.
+func TestViewStoreScanAllocations(t *testing.T) {
+	const n, d = 4096, 3
+	ra, st, bases, pending := mebStoreFixture(t, n, d)
+	vs := lptype.ViewStore(ra, st.View())
+	mult := math.Pow(float64(n), 0.5)
+	w := make([]float64, n)
+	allocs := testing.AllocsPerRun(10, func() {
+		vs.Scan(bases, &pending, mult)
+		vs.Weights(bases, mult, w)
+	})
+	if allocs > 0 {
+		t.Fatalf("view store scan: %.1f allocs over %d rows (want 0)", allocs, n)
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"lowdimlp/internal/comm"
 	"lowdimlp/internal/comm/httptransport"
+	"lowdimlp/internal/kernel"
 )
 
 // solveBuckets are the fixed lpserved_solve_seconds histogram bounds.
@@ -147,6 +148,7 @@ func (m *Metrics) Render(w io.Writer) {
 	c("lpserved_fleet_solves_total", "Solves driven over the worker fleet.", m.FleetSolves.Load())
 	c("lpserved_traces_captured_total", "Solves that recorded an execution trace.", m.TracesCaptured.Load())
 
+	m.renderKernel(w)
 	m.renderFleet(w)
 
 	m.mu.Lock()
@@ -180,6 +182,19 @@ func (m *Metrics) Render(w io.Writer) {
 		kind, model, _ := strings.Cut(k, "/")
 		fmt.Fprintf(w, "lpserved_solve_seconds_max{kind=%q,model=%q} %s\n", kind, model, fmtF(m.solveMax[k]))
 	}
+}
+
+// renderKernel writes the block-kernel layer's process-wide counters
+// (internal/kernel): block evaluations by kernel class, and rows
+// evaluated through block scans. Every class renders from the first
+// scrape, zeros included, so scrapers see stable series and the lpstat
+// doctor can key on generic_lowdim without waiting for traffic.
+func (m *Metrics) renderKernel(w io.Writer) {
+	fmt.Fprintf(w, "# HELP lpserved_kernel_blocks_total Block violation-kernel invocations by kernel class.\n# TYPE lpserved_kernel_blocks_total counter\n")
+	for _, c := range kernel.Classes() {
+		fmt.Fprintf(w, "lpserved_kernel_blocks_total{kernel=%q} %d\n", c, kernel.Blocks(c))
+	}
+	fmt.Fprintf(w, "# HELP lpserved_kernel_rows_total Rows evaluated through block violation scans.\n# TYPE lpserved_kernel_rows_total counter\nlpserved_kernel_rows_total %d\n", kernel.Rows())
 }
 
 // renderFleet writes the worker-fleet transport families. Error

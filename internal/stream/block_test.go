@@ -1,0 +1,187 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"lowdimlp/internal/dataset"
+	"lowdimlp/internal/kernel"
+	"lowdimlp/internal/meb"
+	"lowdimlp/internal/numeric"
+)
+
+// rowOnly hides a solver's RowBlock so SharedPass drives it through
+// the per-row path — the reference drive for the block conformance
+// tests below.
+type rowOnly struct {
+	s *DatasetSolver[meb.Point, meb.Basis]
+}
+
+func (r rowOnly) Row(row dataset.Row) { r.s.Row(row) }
+
+// mkFusedSolver hand-builds a solver mid-fused-phase — the state
+// BeginPass leaves it in during a real solve — shared by the block
+// conformance and allocation tests.
+func mkFusedSolver(st *dataset.Store, pending meb.Basis, seed uint64) *DatasetSolver[meb.Point, meb.Basis] {
+	n, d := st.Rows(), st.Width()
+	mult := math.Pow(float64(n), 0.5)
+	s := &DatasetSolver[meb.Point, meb.Basis]{
+		ra: mebAccess(d), dom: meb.NewDomain(d), n: n, width: d, m: 32,
+		mult: mult, eps: 1 / (40 * mult), maxIters: 100,
+		rng:   numeric.NewRand(seed, 0x57124),
+		phase: solverFused,
+		bases: []meb.Basis{pending}, pending: pending,
+	}
+	s.BeginPass()
+	return s
+}
+
+// TestBlockScanMatchesRowScan is the stream-level conformance pin for
+// the block-kernel path: a fused pass driven a block at a time through
+// RowBlock (arbitrary, irregular block boundaries) must be bit-
+// identical to the same pass driven row by row — same Kahan sums, same
+// RNG consumption, same next basis out of EndPass.
+func TestBlockScanMatchesRowScan(t *testing.T) {
+	const n, d = 4096, 3
+	st := cloud(n, d, 23)
+	dom := meb.NewDomain(d)
+	seedPts := make([]meb.Point, 8)
+	for i := range seedPts {
+		seedPts[i] = meb.Point(st.Row(i))
+	}
+	pending, err := dom.Solve(seedPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rowS := mkFusedSolver(st, pending, 11)
+	blkS := mkFusedSolver(st, pending, 11)
+	if !blkS.ra.HasBlockKernel() {
+		t.Fatal("meb access has no block kernel (kernels disabled?)")
+	}
+
+	for i := 0; i < n; i++ {
+		rowS.Row(st.Row(i))
+	}
+	// Irregular block sizes: boundaries must not matter.
+	sizes := []int{1, 7, 2, 256, 31, 3, 97, 300}
+	rows := make([]dataset.Row, 0, 300)
+	for lo, k := 0, 0; lo < n; k++ {
+		sz := min(sizes[k%len(sizes)], n-lo)
+		rows = rows[:0]
+		for i := lo; i < lo+sz; i++ {
+			rows = append(rows, st.Row(i))
+		}
+		blkS.RowBlock(rows)
+		lo += sz
+	}
+
+	if rowS.wTotal.Sum() != blkS.wTotal.Sum() || rowS.wViol.Sum() != blkS.wViol.Sum() {
+		t.Fatalf("weight sums drift: row (%v, %v) vs block (%v, %v)",
+			rowS.wTotal.Sum(), rowS.wViol.Sum(), blkS.wTotal.Sum(), blkS.wViol.Sum())
+	}
+	if rowS.violCount != blkS.violCount {
+		t.Fatalf("violator count %d (row) vs %d (block)", rowS.violCount, blkS.violCount)
+	}
+	if rowS.stats.ItemsScanned != blkS.stats.ItemsScanned {
+		t.Fatalf("items scanned %d vs %d", rowS.stats.ItemsScanned, blkS.stats.ItemsScanned)
+	}
+	if err := rowS.EndPass(); err != nil {
+		t.Fatal(err)
+	}
+	if err := blkS.EndPass(); err != nil {
+		t.Fatal(err)
+	}
+	// The next pending basis is solved from the reservoir samples, so
+	// equality here certifies identical RNG consumption and identical
+	// accepted slots — the strongest downstream observable of a pass.
+	if rowS.pending.B.R2 != blkS.pending.B.R2 {
+		t.Fatalf("next basis radius² %v (row) vs %v (block)", rowS.pending.B.R2, blkS.pending.B.R2)
+	}
+	for i := range rowS.pending.B.Center {
+		if rowS.pending.B.Center[i] != blkS.pending.B.Center[i] {
+			t.Fatalf("next basis center[%d] %v vs %v", i, rowS.pending.B.Center[i], blkS.pending.B.Center[i])
+		}
+	}
+}
+
+// TestSharedBlockScanMatchesRowOnly re-pins the same equivalence at
+// the SharedPass layer: the scheduler handing a solver whole batches
+// (BlockSink) versus single rows (RowSink) must not change one bit of
+// the pass.
+func TestSharedBlockScanMatchesRowOnly(t *testing.T) {
+	const n, d = 3000, 2
+	st := cloud(n, d, 31)
+	dom := meb.NewDomain(d)
+	seedPts := make([]meb.Point, 5)
+	for i := range seedPts {
+		seedPts[i] = meb.Point(st.Row(i))
+	}
+	pending, err := dom.Solve(seedPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowS := mkFusedSolver(st, pending, 19)
+	blkS := mkFusedSolver(st, pending, 19)
+	cur := st.NewCursor()
+	defer dataset.CloseCursor(cur)
+	batch := make([]dataset.Row, 64)
+	if _, err := dataset.SharedPass(cur, batch, rowOnly{rowS}, blkS); err != nil {
+		t.Fatal(err)
+	}
+	if rowS.wTotal.Sum() != blkS.wTotal.Sum() || rowS.wViol.Sum() != blkS.wViol.Sum() ||
+		rowS.violCount != blkS.violCount {
+		t.Fatalf("row-only vs block sink drift: (%v, %v, %d) vs (%v, %v, %d)",
+			rowS.wTotal.Sum(), rowS.wViol.Sum(), rowS.violCount,
+			blkS.wTotal.Sum(), blkS.wViol.Sum(), blkS.violCount)
+	}
+}
+
+// TestBlockPassAllocations is the allocation-regression guard for the
+// block-kernel hot path: a shared pass driving block-capable fused
+// solvers must allocate nothing per block at steady state (the scratch
+// buffers are sized on first use and reused), and every block must be
+// recorded by the kernel counters under the dimension-specialized
+// class.
+func TestBlockPassAllocations(t *testing.T) {
+	const n, d, batchSize = 4096, 3, 256
+	st := cloud(n, d, 17)
+	dom := meb.NewDomain(d)
+	seedPts := make([]meb.Point, 8)
+	for i := range seedPts {
+		seedPts[i] = meb.Point(st.Row(i))
+	}
+	pending, err := dom.Solve(seedPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sinks := []dataset.RowSink{
+		mkFusedSolver(st, pending, 5), mkFusedSolver(st, pending, 6),
+		mkFusedSolver(st, pending, 7), mkFusedSolver(st, pending, 8),
+	}
+	for _, s := range sinks {
+		if _, ok := s.(dataset.BlockSink); !ok {
+			t.Fatal("fused solver does not implement dataset.BlockSink")
+		}
+	}
+	cur := st.NewCursor()
+	batch := make([]dataset.Row, batchSize)
+
+	blocksBefore := kernel.Blocks(kernel.ClassD3)
+	rowsBefore := kernel.Rows()
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := dataset.SharedPass(cur, batch, sinks...); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("block pass: %.1f allocs for %d rows × %d solvers (want 0)", allocs, n, len(sinks))
+	}
+	if kernel.Blocks(kernel.ClassD3) <= blocksBefore {
+		t.Fatal("d3 kernel block counter did not advance")
+	}
+	if kernel.Rows() <= rowsBefore {
+		t.Fatal("kernel row counter did not advance")
+	}
+	t.Logf("block pass over %d rows × %d solvers: %.1f allocs", n, len(sinks), allocs)
+}

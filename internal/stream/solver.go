@@ -61,6 +61,11 @@ type DatasetSolver[C, B any] struct {
 	resFail, resSucc *sampling.RowReservoir
 	wTotal, wViol    numeric.Kahan
 	violCount        int
+	// Block-kernel scratch, reused across RowBlock calls: weight
+	// exponents per row, and the two violation index buffers (stored
+	// bases vs the pending basis). Sized on first use, 0 allocs/block
+	// at steady state (pinned by TestBlockPassAllocations).
+	kexps, kidx, kpend []int32
 
 	stats  Stats
 	result B
@@ -131,18 +136,10 @@ func (s *DatasetSolver[C, B]) Row(row dataset.Row) {
 	switch s.phase {
 	case solverFused:
 		s.stats.ItemsScanned++
-		// Exponent fast paths: most rows violate no stored basis (e=0)
-		// or one (e=1), and math.Pow documents Pow(x,0)=1 and
-		// Pow(x,1)=x exactly, so skipping it is bit-identical.
-		var w float64
-		switch e := s.ra.WeightExp(s.bases, row); e {
-		case 0:
-			w = 1
-		case 1:
-			w = s.mult
-		default:
-			w = math.Pow(s.mult, float64(e))
-		}
+		// PowWeight's exponent fast paths: most rows violate no stored
+		// basis (e=0) or one (e=1), and math.Pow documents Pow(x,0)=1
+		// and Pow(x,1)=x exactly, so skipping it is bit-identical.
+		w := lptype.PowWeight(s.mult, s.ra.WeightExp(s.bases, row))
 		s.wTotal.Add(w)
 		if s.ra.ViolatesRow(s.pending, row) {
 			s.wViol.Add(w)
@@ -165,6 +162,47 @@ func (s *DatasetSolver[C, B]) Row(row dataset.Row) {
 		lo := len(s.arena)
 		s.arena = append(s.arena, row...)
 		s.items = append(s.items, s.ra.Item(s.arena[lo:lo+w:lo+w]))
+	}
+}
+
+// RowBlock feeds one scanned batch to the armed pass — the
+// block-kernel hot path (dataset.BlockSink). It is observably
+// identical to calling Row on each row in order: the non-fused phases
+// and kernel-less domains do exactly that, and the fused phase runs
+// the violation arithmetic through the domain's block kernels
+// (lptype.BlockViolator) while still performing the Kahan
+// accumulations and reservoir offers row by row in source order with
+// the same weights — so the RNG stream, the basis, the stats and
+// every downstream bit are unchanged (conformance-pinned by
+// TestBlockScanMatchesRowScan).
+func (s *DatasetSolver[C, B]) RowBlock(rows []dataset.Row) {
+	if s.phase != solverFused || !s.ra.HasBlockKernel() {
+		for _, row := range rows {
+			s.Row(row)
+		}
+		return
+	}
+	if cap(s.kexps) < len(rows) {
+		s.kexps = make([]int32, len(rows))
+	}
+	exps := s.kexps[:len(rows)]
+	s.kidx = s.ra.WeightExpBlock(s.bases, rows, exps, s.kidx)
+	s.kpend = s.ra.ViolatesBlock(s.pending, rows, s.kpend)
+	pi := 0
+	for i, row := range rows {
+		s.stats.ItemsScanned++
+		w := lptype.PowWeight(s.mult, int(exps[i]))
+		s.wTotal.Add(w)
+		if pi < len(s.kpend) && s.kpend[pi] == int32(i) {
+			pi++
+			s.wViol.Add(w)
+			s.violCount++
+			s.resFail.Offer(row, w)
+			s.resSucc.Offer(row, w*s.mult)
+		} else {
+			s.resFail.Offer(row, w)
+			s.resSucc.Offer(row, w)
+		}
 	}
 }
 
