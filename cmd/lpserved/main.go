@@ -12,6 +12,7 @@
 //	         [-max-body BYTES] [-instance-ttl D]
 //	         [-spill-rows N] [-spill-dir DIR]
 //	         [-workers host1,host2,...]
+//	         [-tenants FILE] [-cache-tier SPEC]
 //	         [-pprof] [-generic-kernels]
 //	lpserved -worker shard.lds [-addr :8081] [-session-ttl D] [-pprof]
 //
@@ -75,6 +76,33 @@
 // The solver pool size flag is -pool (it was -workers before worker
 // fleets existed).
 //
+// # Multi-tenant gateway
+//
+// -tenants FILE turns on the gateway: every /v1/ request must present
+// `Authorization: Bearer <key>` for a key listed in FILE, a JSON
+// document of per-tenant identities and limits:
+//
+//	{"tenants": [
+//	  {"id": "acme", "key": "acme-secret-1",
+//	   "rate_per_sec": 50, "burst": 100, "max_active": 8}
+//	]}
+//
+// Authenticated tenants live in isolated namespaces — chunk uploads,
+// jobs and traces belonging to one tenant are invisible (404) to every
+// other. rate_per_sec/burst token-bucket mutating requests;
+// max_active caps a tenant's queued+running jobs. Both refusals are
+// 429 + Retry-After, distinct from the global admission shed and from
+// the queue-full 503. /healthz and /metrics stay unauthenticated so
+// probes and scrapes keep working; per-tenant lpserved_tenant_*
+// families appear on /metrics (and the lpstat board). Without
+// -tenants the service is open, exactly as before.
+//
+// -cache-tier SPEC attaches a shared result-cache layer behind the
+// in-process LRU: "memory[:N]" (bounded in-process tier, mostly for
+// testing) or "disk:DIR" (one file per cached result under DIR).
+// Point several frontends' -cache-tier at the same directory on
+// shared storage and they serve each other's solve results.
+//
 // # Profiling
 //
 // -pprof (off by default) mounts the standard net/http/pprof
@@ -114,13 +142,41 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"lowdimlp/internal/comm/httptransport"
+	"lowdimlp/internal/gateway"
 	"lowdimlp/internal/kernel"
 	"lowdimlp/internal/server"
 )
+
+// parseCacheTier builds the shared cache tier named by -cache-tier:
+// "" (none), "memory[:N]" or "disk:DIR".
+func parseCacheTier(spec string) (gateway.CacheTier, error) {
+	switch {
+	case spec == "":
+		return nil, nil
+	case spec == "memory":
+		return gateway.NewMemoryTier(0), nil
+	case strings.HasPrefix(spec, "memory:"):
+		n, err := strconv.Atoi(spec[len("memory:"):])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("lpserved: bad -cache-tier %q (want memory:N with N ≥ 1)", spec)
+		}
+		return gateway.NewMemoryTier(n), nil
+	case strings.HasPrefix(spec, "disk:"):
+		dir := spec[len("disk:"):]
+		if dir == "" {
+			return nil, fmt.Errorf("lpserved: bad -cache-tier %q (want disk:DIR)", spec)
+		}
+		return gateway.NewDiskTier(dir)
+	default:
+		return nil, fmt.Errorf("lpserved: unknown -cache-tier %q (want memory[:N] or disk:DIR)", spec)
+	}
+}
 
 func main() {
 	var (
@@ -140,6 +196,8 @@ func main() {
 		sessTTL    = flag.Duration("session-ttl", server.DefaultSessionTTL, "worker mode: idle protocol-session eviction horizon (negative disables)")
 		fleet      = flag.String("workers", "", "comma-separated worker base URLs serving \"fleet\": true solves (worker i = site i)")
 		traceBuf   = flag.Int("trace-buffer", 0, "solve-trace ring capacity for GET /v1/traces (0 = 128, negative disables)")
+		tenants    = flag.String("tenants", "", "tenants JSON file; enables bearer-key auth, per-tenant limits and namespaces")
+		cacheTier  = flag.String("cache-tier", "", "shared result-cache tier: memory[:N] or disk:DIR (empty disables)")
 		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof endpoints under /debug/pprof/")
 		genericK   = flag.Bool("generic-kernels", false, "bypass the d≤4 unrolled violation kernels (A/B profiling; bit-identical, slower)")
 	)
@@ -155,6 +213,25 @@ func main() {
 		return
 	}
 
+	var gw *gateway.Gateway
+	if *tenants != "" {
+		v, err := gateway.LoadTenantsFile(*tenants)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lpserved:", err)
+			os.Exit(1)
+		}
+		gw = gateway.New(v)
+		log.Printf("lpserved: gateway on: %d tenant(s) from %s", len(v.IDs()), *tenants)
+	}
+	tier, err := parseCacheTier(*cacheTier)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lpserved:", err)
+		os.Exit(1)
+	}
+	if tier != nil {
+		log.Printf("lpserved: shared result-cache tier: %s", tier.Name())
+	}
+
 	srv := server.New(server.Config{
 		Workers:        *pool,
 		QueueDepth:     *queue,
@@ -168,6 +245,8 @@ func main() {
 		SpillDir:       *spillDir,
 		FleetWorkers:   httptransport.SplitList(*fleet),
 		TraceBuffer:    *traceBuf,
+		Gateway:        gw,
+		CacheTier:      tier,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,207 @@
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lowdimlp"
+)
+
+// TestGatewayE2E drives the multi-tenant gateway against a live fleet:
+// it builds lpserved and lpstat, launches 3 worker processes over a
+// sharded lp instance plus a frontend started with -tenants, and
+// checks that (a) unauthenticated requests bounce 401 while a keyed
+// fleet solve succeeds, (b) one tenant's chunk uploads are invisible
+// to another, (c) a rate-limited tenant is throttled 429 with
+// Retry-After, and (d) the lpstat board and doctor name that tenant.
+func TestGatewayE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke: skipped in -short mode")
+	}
+	bin := t.TempDir()
+	for _, cmd := range []string{"lpserved", "lpstat"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "lowdimlp/cmd/"+cmd)
+		build.Dir = ".."
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+	}
+	lpserved := filepath.Join(bin, "lpserved")
+	lpstat := filepath.Join(bin, "lpstat")
+
+	m, _ := lowdimlp.LookupKind("lp")
+	inst, err := m.Generate(m.Families()[0], lowdimlp.GenParams{N: 6000, D: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "ds.ldm")
+	const k = 3
+	if err := lowdimlp.WriteShardedDatasetFile(manifest, "lp", inst, k); err != nil {
+		t.Fatal(err)
+	}
+
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		addrs[i] = grabAddr(t)
+		w := exec.Command(lpserved,
+			"-worker", filepath.Join(dir, fmt.Sprintf("ds-%03d.lds", i)),
+			"-addr", addrs[i])
+		w.Stdout, w.Stderr = os.Stderr, os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			w.Process.Kill()
+			w.Wait()
+		})
+	}
+	for _, a := range addrs {
+		waitHealthy(t, a)
+	}
+
+	// The frontend authenticates three tenants; "slowpoke" gets a
+	// bucket so small (one request per 100 s, burst 1) that its second
+	// mutating request deterministically throttles.
+	tenantsFile := filepath.Join(dir, "tenants.json")
+	tenantsDoc := `{"tenants": [
+  {"id": "acme", "key": "acme-e2e-key-1"},
+  {"id": "globex", "key": "globex-e2e-key-1"},
+  {"id": "slowpoke", "key": "slowpoke-e2e-key", "rate_per_sec": 0.01, "burst": 1}
+]}`
+	if err := os.WriteFile(tenantsFile, []byte(tenantsDoc), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	feAddr := grabAddr(t)
+	fe := exec.Command(lpserved,
+		"-addr", feAddr,
+		"-workers", "http://"+strings.Join(addrs, ",http://"),
+		"-tenants", tenantsFile)
+	fe.Stdout, fe.Stderr = os.Stderr, os.Stderr
+	if err := fe.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		fe.Process.Kill()
+		fe.Wait()
+	})
+	waitHealthy(t, feAddr)
+	base := "http://" + feAddr
+
+	// (a) No key → 401; a keyed fleet solve runs over the live workers.
+	if code, _, _ := call(t, http.MethodPost, base+"/v1/solve", "", `{"fleet": true}`); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated solve: %d, want 401", code)
+	}
+	code, body, _ := call(t, http.MethodPost, base+"/v1/solve", "acme-e2e-key-1",
+		`{"fleet": true, "options": {"seed": 23}}`)
+	if code != http.StatusOK {
+		t.Fatalf("fleet solve: %d %s", code, body)
+	}
+	var st struct {
+		State  string          `json:"state"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil || st.State != "done" || len(st.Result) == 0 {
+		t.Fatalf("fleet solve status: %s (%v)", body, err)
+	}
+
+	// (b) Tenant isolation on a live service: acme's upload is a 404
+	// for globex, and acme still owns it afterwards.
+	code, body, _ = call(t, http.MethodPost, base+"/v1/instances", "acme-e2e-key-1",
+		`{"kind": "meb", "dim": 2}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	var ref struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(body), &ref); err != nil {
+		t.Fatal(err)
+	}
+	if code, body, _ := call(t, http.MethodDelete, base+"/v1/instances/"+ref.ID, "globex-e2e-key-1", ""); code != http.StatusNotFound {
+		t.Fatalf("cross-tenant drop: %d %s", code, body)
+	}
+	code, body, _ = call(t, http.MethodGet, base+"/v1/instances", "globex-e2e-key-1", "")
+	if code != http.StatusOK || strings.Contains(body, ref.ID) {
+		t.Fatalf("cross-tenant list leaks %s: %d %s", ref.ID, code, body)
+	}
+	code, body, _ = call(t, http.MethodGet, base+"/v1/instances", "acme-e2e-key-1", "")
+	if code != http.StatusOK || !strings.Contains(body, ref.ID) {
+		t.Fatalf("owner list lost %s: %d %s", ref.ID, code, body)
+	}
+
+	// (c) slowpoke's burst is one request; the second throttles with a
+	// Retry-After.
+	if code, body, _ := call(t, http.MethodPost, base+"/v1/solve", "slowpoke-e2e-key",
+		`{"fleet": true, "options": {"seed": 29}}`); code != http.StatusOK {
+		t.Fatalf("slowpoke first solve: %d %s", code, body)
+	}
+	code, body, hdr := call(t, http.MethodPost, base+"/v1/solve", "slowpoke-e2e-key",
+		`{"fleet": true, "options": {"seed": 31}}`)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("slowpoke second solve: %d %s, want 429", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("throttled response missing Retry-After")
+	}
+
+	// (d) The board lists the tenants and the doctor names the
+	// throttled one — and only that one.
+	board, bcode := runLpstat(t, lpstat, "-no-color", "-frontend", base)
+	if bcode != 0 {
+		t.Fatalf("lpstat board exited %d:\n%s", bcode, board)
+	}
+	for _, want := range []string{"tenants:", "acme", "globex", "slowpoke", "throttled"} {
+		if !strings.Contains(board, want) {
+			t.Errorf("board missing %q:\n%s", want, board)
+		}
+	}
+	diag, _ := runLpstat(t, lpstat, "doctor", "-no-color", "-frontend", base)
+	if !strings.Contains(diag, "tenant-throttled") || !strings.Contains(diag, "tenant slowpoke") {
+		t.Errorf("doctor does not name the throttled tenant:\n%s", diag)
+	}
+	if strings.Contains(diag, "tenant acme") || strings.Contains(diag, "tenant globex") {
+		t.Errorf("doctor blamed an unthrottled tenant:\n%s", diag)
+	}
+}
+
+// call sends one authenticated request to the live frontend and
+// returns status, body and headers.
+func call(t *testing.T, method, url, key, body string) (int, string, http.Header) {
+	t.Helper()
+	var rdr *bytes.Reader
+	if body != "" {
+		rdr = bytes.NewReader([]byte(body))
+	} else {
+		rdr = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out.String(), resp.Header
+}

@@ -1,0 +1,158 @@
+package gateway
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// CacheTier is a shared result-cache layer behind the server's
+// in-process LRU. The server consults it on an LRU miss and
+// writes through on every store, so a fleet of coordinator frontends
+// pointing at the same tier (e.g. one disk directory on shared
+// storage) serve each other's solve results.
+//
+// Keys are canonical request digests — hex SHA-256, already
+// tenant-qualified by the server where results carry tenant-visible
+// data. Values are opaque bytes (the server's JSON encoding of
+// result + stats). Implementations must be safe for concurrent use.
+type CacheTier interface {
+	// Name identifies the tier in logs and metrics ("memory", "disk").
+	Name() string
+	// Get returns the cached bytes for key, if present.
+	Get(key string) ([]byte, bool)
+	// Put stores val under key. Best-effort: a tier may evict or drop
+	// writes (full disk, capacity) without failing the request.
+	Put(key string, val []byte)
+}
+
+// MemoryTier is a bounded in-process LRU tier — the single-frontend
+// default, and the test double for the disk tier.
+type MemoryTier struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *memEntry
+	entries map[string]*list.Element
+}
+
+type memEntry struct {
+	key string
+	val []byte
+}
+
+// NewMemoryTier returns a tier holding at most cap entries (cap ≤ 0
+// means a modest default).
+func NewMemoryTier(cap int) *MemoryTier {
+	if cap <= 0 {
+		cap = 1024
+	}
+	return &MemoryTier{cap: cap, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+func (t *MemoryTier) Name() string { return "memory" }
+
+func (t *MemoryTier) Get(key string) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.entries[key]
+	if !ok {
+		return nil, false
+	}
+	t.order.MoveToFront(el)
+	return el.Value.(*memEntry).val, true
+}
+
+func (t *MemoryTier) Put(key string, val []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.entries[key]; ok {
+		el.Value.(*memEntry).val = val
+		t.order.MoveToFront(el)
+		return
+	}
+	t.entries[key] = t.order.PushFront(&memEntry{key: key, val: val})
+	for t.order.Len() > t.cap {
+		oldest := t.order.Back()
+		t.order.Remove(oldest)
+		delete(t.entries, oldest.Value.(*memEntry).key)
+	}
+}
+
+// Len reports the current entry count (tests).
+func (t *MemoryTier) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.order.Len()
+}
+
+// DiskTier stores entries as one file per key under a directory. With
+// the directory on shared storage, every frontend in a fleet reads the
+// others' results. Writes are atomic (temp file + rename) so a reader
+// never sees a torn entry; corrupt or missing files are plain misses.
+type DiskTier struct {
+	dir string
+}
+
+// NewDiskTier opens (creating if needed) a disk-backed tier rooted at
+// dir.
+func NewDiskTier(dir string) (*DiskTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("gateway: cache tier dir: %w", err)
+	}
+	return &DiskTier{dir: dir}, nil
+}
+
+func (t *DiskTier) Name() string { return "disk" }
+
+// safeKey confirms key is plain lowercase hex (the digest alphabet) so
+// a key can never traverse out of the tier directory.
+func safeKey(key string) bool {
+	if len(key) == 0 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *DiskTier) Get(key string) ([]byte, bool) {
+	if !safeKey(key) {
+		return nil, false
+	}
+	b, err := os.ReadFile(filepath.Join(t.dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+func (t *DiskTier) Put(key string, val []byte) {
+	if !safeKey(key) {
+		return
+	}
+	// Best-effort and atomic: write a temp file in the same directory,
+	// then rename over the final name. Failures just mean a future miss.
+	tmp, err := os.CreateTemp(t.dir, "put-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, filepath.Join(t.dir, key+".json")); err != nil {
+		os.Remove(name)
+	}
+}

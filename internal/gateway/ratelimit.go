@@ -1,0 +1,39 @@
+package gateway
+
+import "time"
+
+// bucket is a classic token bucket: tokens accrue at rate per second
+// up to burst; each mutating request spends one. Hand-rolled because
+// the module carries no dependencies (golang.org/x/time is not in the
+// tree), and small enough that it shouldn't.
+//
+// Callers hold the gateway mutex; the bucket itself is not locked.
+type bucket struct {
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+// newBucket starts full so a tenant's first burst is admitted.
+func newBucket(rate, burst float64, now time.Time) *bucket {
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// take spends one token if available. When the bucket is empty it
+// reports how long until one token will have accrued.
+func (b *bucket) take(now time.Time) (wait time.Duration, ok bool) {
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	need := (1 - b.tokens) / b.rate
+	return time.Duration(need * float64(time.Second)), false
+}

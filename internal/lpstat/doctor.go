@@ -2,9 +2,21 @@ package lpstat
 
 import (
 	"fmt"
+	"sort"
 
 	"lowdimlp/internal/comm"
 )
+
+// sortedKeys returns the map's keys in sorted order so findings come
+// out deterministically.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Severity orders findings: errors break solves now, warnings will,
 // ok means the fleet is healthy.
@@ -98,6 +110,24 @@ func Diagnose(f *Fleet) []Finding {
 				add(SevWarn, "frontend-generic-kernels", "frontend",
 					fmt.Sprintf("%d block scans on d≤4 workloads ran the width-generic kernel instead of the unrolled d2/d3/d4 loops — the frontend is running with -generic-kernels", n),
 					"restart lpserved without -generic-kernels unless an A/B profile is deliberately in progress; results are identical but low-dimension scans give up the kernel speedup")
+			}
+			// Per-tenant throttling: the gateway returned 429s against a
+			// tenant's own rate/quota limits — distinct from global
+			// admission shedding (frontend-load-shedding above). One
+			// finding per tenant, sorted, so the noisy tenant is named.
+			for _, id := range sortedKeys(fe.TenantThrottled) {
+				n := fe.TenantThrottled[id]
+				if n == 0 {
+					continue
+				}
+				add(SevWarn, "tenant-throttled", "tenant "+id,
+					fmt.Sprintf("tenant %s was throttled %d times (429 + Retry-After) by its own rate limit or max_active quota — other tenants are unaffected", id, n),
+					"if the traffic is legitimate, raise this tenant's rate_per_sec/burst/max_active in the -tenants file; otherwise the client should honor Retry-After and back off")
+			}
+			if fe.HasTenants && fe.Unauthorized > 0 {
+				add(SevWarn, "tenant-unauthorized", "frontend",
+					fmt.Sprintf("%d /v1 requests were rejected with 401 — missing or wrong API keys", fe.Unauthorized),
+					"a client is using a stale or mistyped key; rotate or redistribute the keys in the -tenants file")
 			}
 		}
 	}

@@ -107,6 +107,18 @@ type FrontendStatus struct {
 	// unrolled kernels (-generic-kernels), which the doctor flags.
 	KernelBlocks map[string]int64
 	KernelRows   int64
+	// Multi-tenant gateway counters (DESIGN.md §13). HasTenants is the
+	// lpserved_tenant_requests_total family being present at all — the
+	// gateway zero-fills one sample per configured tenant, so the maps
+	// list every tenant even before it sends traffic.
+	HasTenants      bool
+	TenantRequests  map[string]int64
+	TenantThrottled map[string]int64
+	TenantActive    map[string]int64
+	Unauthorized    int64
+	// Shared result-cache tier counters (0/0 when no tier is attached).
+	TierHits   int64
+	TierMisses int64
 	// InstancesOpen is the open chunk-upload count (/v1/instances).
 	InstancesOpen int
 	HasMetrics    bool
@@ -247,7 +259,10 @@ func probeStep(client *http.Client, url string) (ok bool, class, msg string) {
 }
 
 func collectFrontend(client *http.Client, url string) *FrontendStatus {
-	f := &FrontendStatus{URL: url, FleetErrors: map[string]int64{}, KernelBlocks: map[string]int64{}}
+	f := &FrontendStatus{
+		URL: url, FleetErrors: map[string]int64{}, KernelBlocks: map[string]int64{},
+		TenantRequests: map[string]int64{}, TenantThrottled: map[string]int64{}, TenantActive: map[string]int64{},
+	}
 	if _, err := get(client, url+"/healthz"); err != nil {
 		f.Err, f.ErrClass = err.Error(), comm.ErrorClass(err)
 		return f
@@ -290,15 +305,41 @@ func collectFrontend(client *http.Client, url string) *FrontendStatus {
 				}
 			}
 			f.KernelRows = int64(m.Sum("lpserved_kernel_rows_total"))
+			// Tenant families are zero-filled per configured tenant, so
+			// keep zero-valued samples: the board lists idle tenants too.
+			if fam, ok := m.Family("lpserved_tenant_requests_total"); ok {
+				f.HasTenants = true
+				for _, s := range fam.Samples {
+					f.TenantRequests[s.Label("tenant")] = int64(s.Value)
+				}
+			}
+			if fam, ok := m.Family("lpserved_tenant_throttled_total"); ok {
+				for _, s := range fam.Samples {
+					f.TenantThrottled[s.Label("tenant")] = int64(s.Value)
+				}
+			}
+			if fam, ok := m.Family("lpserved_tenant_active_jobs"); ok {
+				for _, s := range fam.Samples {
+					f.TenantActive[s.Label("tenant")] = int64(s.Value)
+				}
+			}
+			f.Unauthorized = int64(m.Sum("lpserved_tenant_unauthorized_total"))
+			f.TierHits = int64(m.Sum("lpserved_cache_tier_hits_total"))
+			f.TierMisses = int64(m.Sum("lpserved_cache_tier_misses_total"))
 		}
 	}
 
-	if body, err := get(client, url+"/v1/instances"); err == nil {
-		var list struct {
-			Instances []json.RawMessage `json:"instances"`
-		}
-		if json.Unmarshal(body, &list) == nil {
-			f.InstancesOpen = len(list.Instances)
+	// Behind the gateway /v1/instances needs a key lpstat doesn't have:
+	// the probe would 401 — and count on the very unauthorized series
+	// the doctor watches — so skip it and leave InstancesOpen at 0.
+	if !f.HasTenants {
+		if body, err := get(client, url+"/v1/instances"); err == nil {
+			var list struct {
+				Instances []json.RawMessage `json:"instances"`
+			}
+			if json.Unmarshal(body, &list) == nil {
+				f.InstancesOpen = len(list.Instances)
+			}
 		}
 	}
 	return f

@@ -415,3 +415,96 @@ func TestDoctorGenericKernels(t *testing.T) {
 		t.Errorf("fix does not name the flag: %q", fd.Fix)
 	}
 }
+
+// TestFrontendTenantScrape pins collectFrontend's mapping of the
+// multi-tenant gateway families, the board's tenants line, and the
+// doctor rules that name a throttled tenant and flag 401 storms.
+func TestFrontendTenantScrape(t *testing.T) {
+	metrics := `# TYPE lpserved_tenant_requests_total counter
+lpserved_tenant_requests_total{tenant="acme"} 41
+lpserved_tenant_requests_total{tenant="globex"} 0
+# TYPE lpserved_tenant_throttled_total counter
+lpserved_tenant_throttled_total{tenant="acme"} 6
+lpserved_tenant_throttled_total{tenant="globex"} 0
+# TYPE lpserved_tenant_active_jobs gauge
+lpserved_tenant_active_jobs{tenant="acme"} 2
+lpserved_tenant_active_jobs{tenant="globex"} 0
+# TYPE lpserved_tenant_unauthorized_total counter
+lpserved_tenant_unauthorized_total 3
+# TYPE lpserved_cache_tier_hits_total counter
+lpserved_cache_tier_hits_total 9
+# TYPE lpserved_cache_tier_misses_total counter
+lpserved_cache_tier_misses_total 4
+`
+	fe := Collect(Options{Frontend: fakeFrontend(t, metrics).URL}).Frontend
+	if !fe.HasTenants {
+		t.Fatal("HasTenants = false with tenant families present")
+	}
+	// Zero-valued tenant samples stay: idle tenants must still list.
+	if fe.TenantRequests["acme"] != 41 || fe.TenantRequests["globex"] != 0 {
+		t.Errorf("TenantRequests = %v", fe.TenantRequests)
+	}
+	if _, ok := fe.TenantRequests["globex"]; !ok {
+		t.Error("idle tenant dropped from the scrape")
+	}
+	if fe.TenantThrottled["acme"] != 6 || fe.TenantActive["acme"] != 2 || fe.Unauthorized != 3 {
+		t.Errorf("tenant counters = %v/%v/%d", fe.TenantThrottled, fe.TenantActive, fe.Unauthorized)
+	}
+	if fe.TierHits != 9 || fe.TierMisses != 4 {
+		t.Errorf("tier counters = %d/%d, want 9/4", fe.TierHits, fe.TierMisses)
+	}
+
+	var board strings.Builder
+	RenderBoard(&board, &Fleet{Frontend: fe}, false)
+	out := board.String()
+	for _, want := range []string{
+		"tenants: acme 41 req, 2 active, 6 throttled   globex 0 req, 0 active   3 unauthorized",
+		"cache tier: 9 hits, 4 misses",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("board missing %q:\n%s", want, out)
+		}
+	}
+
+	findings := Diagnose(&Fleet{Frontend: fe})
+	fd := findRule(findings, "tenant-throttled")
+	if fd == nil || fd.Severity != SevWarn {
+		t.Fatalf("no tenant-throttled warning: %+v", findings)
+	}
+	if fd.Target != "tenant acme" || !strings.Contains(fd.Diagnosis, "acme") {
+		t.Errorf("throttled tenant not named: target %q diagnosis %q", fd.Target, fd.Diagnosis)
+	}
+	if !strings.Contains(fd.Diagnosis, "Retry-After") {
+		t.Errorf("throttled diagnosis does not mention Retry-After: %q", fd.Diagnosis)
+	}
+	fd = findRule(findings, "tenant-unauthorized")
+	if fd == nil || fd.Severity != SevWarn {
+		t.Fatalf("no tenant-unauthorized warning: %+v", findings)
+	}
+
+	// Only acme throttled — globex must not produce a finding.
+	for _, f := range findings {
+		if f.Rule == "tenant-throttled" && strings.Contains(f.Target, "globex") {
+			t.Errorf("idle tenant got a throttled finding: %+v", f)
+		}
+	}
+}
+
+// TestDoctorNoTenants confirms a single-tenant (gateway-off) frontend
+// raises none of the tenant rules and draws no tenants line.
+func TestDoctorNoTenants(t *testing.T) {
+	metrics := "# TYPE lpserved_jobs_done_total counter\nlpserved_jobs_done_total 4\n"
+	fe := Collect(Options{Frontend: fakeFrontend(t, metrics).URL}).Frontend
+	if fe.HasTenants {
+		t.Fatal("HasTenants = true without tenant families")
+	}
+	findings := Diagnose(&Fleet{Frontend: fe})
+	if findRule(findings, "tenant-throttled") != nil || findRule(findings, "tenant-unauthorized") != nil {
+		t.Fatalf("tenant rules fired with the gateway off: %+v", findings)
+	}
+	var board strings.Builder
+	RenderBoard(&board, &Fleet{Frontend: fe}, false)
+	if strings.Contains(board.String(), "tenants:") {
+		t.Errorf("board drew a tenants line with the gateway off:\n%s", board.String())
+	}
+}

@@ -51,6 +51,12 @@ func RenderBoard(w io.Writer, f *Fleet, color bool) {
 			}
 			fmt.Fprintf(w, "  fleet: %s   traces: %d captured\n", fleetCell, fe.TracesCaptured)
 			fmt.Fprintf(w, "  kernels: %s\n", kernelCell(p, fe))
+			if fe.TierHits+fe.TierMisses > 0 {
+				fmt.Fprintf(w, "  cache tier: %d hits, %d misses\n", fe.TierHits, fe.TierMisses)
+			}
+			if fe.HasTenants {
+				fmt.Fprintf(w, "  tenants: %s\n", tenantCell(p, fe))
+			}
 		}
 	}
 	if len(f.Workers) == 0 {
@@ -122,6 +128,34 @@ func kernelCell(p painter, fe *FrontendStatus) string {
 		parts = append(parts, cell)
 	}
 	return fmt.Sprintf("%d blocks (%s), %d rows", total, strings.Join(parts, ", "), fe.KernelRows)
+}
+
+// tenantCell renders the per-tenant gateway counters, one cell per
+// configured tenant (the gateway zero-fills its series, so idle
+// tenants still appear). A throttled tenant paints yellow — the
+// doctor's tenant-throttled rule; 401s append in red.
+func tenantCell(p painter, fe *FrontendStatus) string {
+	ids := make([]string, 0, len(fe.TenantRequests))
+	for id := range fe.TenantRequests {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		cell := fmt.Sprintf("%s %d req, %d active", id, fe.TenantRequests[id], fe.TenantActive[id])
+		if n := fe.TenantThrottled[id]; n > 0 {
+			cell = p.paint(ansiYellow, fmt.Sprintf("%s, %d throttled", cell, n))
+		}
+		parts = append(parts, cell)
+	}
+	out := strings.Join(parts, "   ")
+	if out == "" {
+		out = "—"
+	}
+	if fe.Unauthorized > 0 {
+		out += "   " + p.paint(ansiRed, fmt.Sprintf("%d unauthorized", fe.Unauthorized))
+	}
+	return out
 }
 
 func dash(s string) string {

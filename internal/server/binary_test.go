@@ -167,7 +167,7 @@ func TestSpillToShardedFiles(t *testing.T) {
 		t.Fatalf("spill counter %d, want 1", got)
 	}
 	// The spilled instance lists with its true row count.
-	if infos := s.instances.List(); len(infos) != 1 || infos[0].Rows != 1000 {
+	if infos := s.instances.List(""); len(infos) != 1 || infos[0].Rows != 1000 {
 		t.Fatalf("instance listing: %+v", infos)
 	}
 	st := solveInstance(t, ts.URL, "meb", "coordinator", id, 2, 99)

@@ -28,9 +28,13 @@ var ErrUnknownInstance = errors.New("unknown instance")
 // shard files, and Take hands the job a ShardedFile source, so a huge
 // upload never holds its rows in memory.
 type instance struct {
-	mu     sync.Mutex
-	kind   string
-	dim    int
+	mu   sync.Mutex
+	kind string
+	dim  int
+	// ns is the owning tenant's namespace ("" = the anonymous
+	// namespace when the gateway is off). Lookups from any other
+	// namespace behave exactly as if the ID never existed.
+	ns     string
 	data   *dataset.Store       // in-memory rows; nil once spilled
 	spill  *dataset.ShardWriter // non-nil while spilling to disk
 	spillP string               // spill manifest path
@@ -102,6 +106,15 @@ const maxTombstones = 4096
 // Server), so abandoned uploads cannot wedge the slot limit; dropped
 // IDs leave a tombstone so a Restore after a queue-full 503 cannot
 // resurrect an instance the client deleted in between.
+//
+// Every entry lives in a tenant namespace (ns; "" when the gateway is
+// off): Meta/Append/Take/Drop from the wrong namespace report
+// ErrUnknownInstance — indistinguishable from an ID that never
+// existed, so one tenant cannot even probe for another's uploads.
+// Tombstones are namespace-scoped too: a DELETE can only tombstone
+// (and a Restore only resurrect) within the deleting tenant's own
+// namespace. Sweep and TTL semantics are namespace-blind — idle is
+// idle whoever owns the upload.
 type InstanceStore struct {
 	mu     sync.Mutex
 	nextID uint64
@@ -158,10 +171,15 @@ func (s *InstanceStore) EnableSpill(dir string, rows int, onSpill func()) {
 	s.spillDir, s.spillRows, s.onSpill = dir, rows, onSpill
 }
 
-// Create opens a new upload for the given kind/dim and returns its ID.
-// The kind must be registered (its row width fixes the columnar
-// layout).
-func (s *InstanceStore) Create(kind string, dim int) (string, error) {
+// tombKey scopes a tombstone to its namespace: a cross-tenant DELETE
+// must never block another tenant's Restore of the same wire ID.
+func tombKey(ns, id string) string { return ns + "\x00" + id }
+
+// Create opens a new upload in namespace ns for the given kind/dim and
+// returns its ID. The kind must be registered (its row width fixes the
+// columnar layout). IDs stay globally sequential across namespaces —
+// the namespace guards access, not the ID format.
+func (s *InstanceStore) Create(ns, kind string, dim int) (string, error) {
 	m, err := lookupModel(kind)
 	if err != nil {
 		return "", err
@@ -174,7 +192,7 @@ func (s *InstanceStore) Create(kind string, dim int) (string, error) {
 	s.nextID++
 	id := fmt.Sprintf("inst-%06d", s.nextID)
 	now := time.Now()
-	ins := &instance{kind: kind, dim: dim, data: dataset.NewStore(m.RowWidth(dim)), created: now}
+	ins := &instance{ns: ns, kind: kind, dim: dim, data: dataset.NewStore(m.RowWidth(dim)), created: now}
 	ins.touch(now)
 	s.byID[id] = ins
 	return id, nil
@@ -183,14 +201,14 @@ func (s *InstanceStore) Create(kind string, dim int) (string, error) {
 // Meta returns the kind and dimension of an open upload — what the
 // append handler needs to validate and decode a chunk before taking
 // the instance lock.
-func (s *InstanceStore) Meta(id string) (kind string, dim int, err error) {
+func (s *InstanceStore) Meta(ns, id string) (kind string, dim int, err error) {
 	s.mu.Lock()
 	ins, ok := s.byID[id]
 	s.mu.Unlock()
-	if !ok {
+	if !ok || ins.ns != ns {
 		return "", 0, fmt.Errorf("%w %q", ErrUnknownInstance, id)
 	}
-	// kind and dim are immutable after Create.
+	// kind, dim and ns are immutable after Create.
 	return ins.kind, ins.dim, nil
 }
 
@@ -199,8 +217,8 @@ func (s *InstanceStore) Meta(id string) (kind string, dim int, err error) {
 // registered kind. (The HTTP handler decodes JSON chunks straight into
 // a columnar store and uses AppendChunk; this [][]float64 entry point
 // serves library callers and tests.)
-func (s *InstanceStore) Append(id string, rows [][]float64) (total int, err error) {
-	kind, dim, err := s.Meta(id)
+func (s *InstanceStore) Append(ns, id string, rows [][]float64) (total int, err error) {
+	kind, dim, err := s.Meta(ns, id)
 	if err != nil {
 		return 0, err
 	}
@@ -216,17 +234,17 @@ func (s *InstanceStore) Append(id string, rows [][]float64) (total int, err erro
 	for _, row := range rows {
 		chunk.AppendRow(row)
 	}
-	return s.AppendChunk(id, chunk)
+	return s.AppendChunk(ns, id, chunk)
 }
 
 // AppendChunk appends an already-validated columnar chunk to an open
 // upload: one arena copy (or, once the upload has spilled, a streamed
 // write to the round-robin shard files), no per-row decode.
-func (s *InstanceStore) AppendChunk(id string, chunk *dataset.Store) (total int, err error) {
+func (s *InstanceStore) AppendChunk(ns, id string, chunk *dataset.Store) (total int, err error) {
 	s.mu.Lock()
 	ins, ok := s.byID[id]
 	s.mu.Unlock()
-	if !ok {
+	if !ok || ins.ns != ns {
 		return 0, fmt.Errorf("%w %q", ErrUnknownInstance, id)
 	}
 	ins.mu.Lock()
@@ -352,17 +370,17 @@ func (s *InstanceStore) startSpill(id string, ins *instance) error {
 // kind and dimension must match the claiming request; on mismatch the
 // upload stays in the store so a corrected resubmission can still find
 // it.
-func (s *InstanceStore) Take(id, kind string, dim int) (dataset.Source, error) {
+func (s *InstanceStore) Take(ns, id, kind string, dim int) (dataset.Source, error) {
 	s.mu.Lock()
 	ins, ok := s.byID[id]
-	if !ok {
+	if !ok || ins.ns != ns {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w %q", ErrUnknownInstance, id)
 	}
-	// kind and dim are immutable after Create, so the mismatch check
-	// needs no per-instance lock and the store lock is released before
-	// waiting on ins.mu — a slow in-flight Append must not stall the
-	// whole instance API.
+	// kind, dim and ns are immutable after Create, so the mismatch
+	// check needs no per-instance lock and the store lock is released
+	// before waiting on ins.mu — a slow in-flight Append must not stall
+	// the whole instance API.
 	if ins.kind != kind || ins.dim != dim {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("instance %q was uploaded as %s/dim=%d, requested as %s/dim=%d",
@@ -406,17 +424,17 @@ func (s *InstanceStore) Take(id, kind string, dim int) (dataset.Source, error) {
 // instance accepts both further solves and further appends: the first
 // append reopens the finalized shard files for writing
 // (dataset.ReopenShardWriter) and the next Take finalizes them again.
-func (s *InstanceStore) Restore(id, kind string, dim int, data dataset.Source) {
+func (s *InstanceStore) Restore(ns, id, kind string, dim int, data dataset.Source) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dropped := s.tombs[id]; dropped {
+	if _, dropped := s.tombs[tombKey(ns, id)]; dropped {
 		if sp, ok := data.(*spilledSource); ok {
 			sp.Cleanup()
 		}
 		return
 	}
 	now := time.Now()
-	ins := &instance{kind: kind, dim: dim, created: now}
+	ins := &instance{ns: ns, kind: kind, dim: dim, created: now}
 	switch d := data.(type) {
 	case *spilledSource:
 		ins.taken = d
@@ -441,12 +459,19 @@ func (s *InstanceStore) Restore(id, kind string, dim int, data dataset.Source) {
 // Sealing closes the window where an in-flight Append to the
 // just-deleted instance would report success for rows that are
 // already gone.
-func (s *InstanceStore) Drop(id string) bool {
+func (s *InstanceStore) Drop(ns, id string) bool {
 	s.mu.Lock()
 	ins, ok := s.byID[id]
+	if ok && ins.ns != ns {
+		// Another tenant's upload: to this namespace the ID does not
+		// exist, and no tombstone is laid — the owner's instance and a
+		// future Restore of it are untouched.
+		s.mu.Unlock()
+		return false
+	}
 	delete(s.byID, id)
 	if s.issuedLocked(id) {
-		s.tombstoneLocked(id)
+		s.tombstoneLocked(tombKey(ns, id))
 	}
 	s.mu.Unlock()
 	if ok {
@@ -491,12 +516,16 @@ func (s *InstanceStore) Len() int {
 	return len(s.byID)
 }
 
-// List snapshots the open uploads, ordered by ID (creation order).
-func (s *InstanceStore) List() []InstanceInfo {
+// List snapshots namespace ns's open uploads, ordered by ID (creation
+// order). A tenant only ever sees its own.
+func (s *InstanceStore) List(ns string) []InstanceInfo {
 	now := time.Now()
 	s.mu.Lock()
 	out := make([]InstanceInfo, 0, len(s.byID))
 	for id, ins := range s.byID {
+		if ins.ns != ns {
+			continue
+		}
 		// A concurrent Append can stamp touched after our now was
 		// taken; clamp so an actively-fed upload reads idle 0, not a
 		// negative number.

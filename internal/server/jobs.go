@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
+	"fmt"
 	"math"
 	"strconv"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"lowdimlp/internal/comm/httptransport"
 	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/engine"
+	"lowdimlp/internal/gateway"
 	"lowdimlp/internal/obs"
 )
 
@@ -31,6 +33,14 @@ var ErrShuttingDown = errors.New("server: shutting down")
 // and the HTTP layer answers 429 with a Retry-After estimate.
 var ErrOverloaded = errors.New("server: overloaded, request shed")
 
+// ErrTenantQuota is returned when a submission would push its tenant
+// past its own max_active queue quota. Like ErrOverloaded it maps to
+// 429 + Retry-After, but it is the tenant hitting its own cap, not the
+// service protecting aggregate load — it counts against the tenant's
+// throttle series, never against lpserved_jobs_shed_total, and other
+// tenants' submissions are unaffected.
+var ErrTenantQuota = errors.New("server: tenant queue quota exceeded")
+
 // Job is one solve request moving through the manager. All mutable
 // fields are guarded by mu; Done is closed exactly once when the job
 // reaches a terminal state, after which Req is released (the rows of
@@ -40,6 +50,10 @@ type Job struct {
 	Kind  string
 	Model string
 	N     int
+	// tenant is the submitting tenant's ID ("" with the gateway off).
+	// Job status lookups from any other tenant 404, and the tenant's
+	// active-jobs gauge moves on submit/retire.
+	tenant string
 
 	// Done is closed when the job reaches done/failed.
 	Done chan struct{}
@@ -116,6 +130,11 @@ type Manager struct {
 	// running beyond which new submissions are shed. Set before the
 	// first job is accepted.
 	admitRows int64
+	// tenants is the gateway's per-tenant metrics set; its active-jobs
+	// gauge doubles as the quota counter (reads and moves are
+	// serialized under mu, so quota enforcement is exact). Nil when
+	// the gateway is off. Set before the first job is accepted.
+	tenants *gateway.Metrics
 
 	// pendingRows tracks the cost of every admitted-but-not-terminal
 	// job — the admission controller's load estimate.
@@ -219,6 +238,17 @@ func (m *Manager) Submit(req *SolveRequest) (*Job, error) {
 	if m.closed {
 		return nil, ErrShuttingDown
 	}
+	if t := req.tenant; t != nil && m.tenants != nil && t.MaxActive > 0 {
+		// Per-tenant queue quota, checked before the global admission
+		// budget: a tenant at its own cap is told so (its quota, its
+		// throttle series) instead of tripping — or hiding behind — a
+		// service-wide shed. Gauge reads and moves both happen under
+		// m.mu, so the check is exact, not best-effort.
+		if m.tenants.ActiveJobs(t.ID) >= int64(t.MaxActive) {
+			m.tenants.Throttled(t.ID)
+			return nil, fmt.Errorf("%w: tenant %s at max_active=%d", ErrTenantQuota, t.ID, t.MaxActive)
+		}
+	}
 	if m.admitRows > 0 {
 		// Estimated-cost load shedding: refuse when the backlog plus
 		// this job would exceed the budget — but never shed into an
@@ -237,11 +267,15 @@ func (m *Manager) Submit(req *SolveRequest) (*Job, error) {
 		Kind:     req.Kind,
 		Model:    req.Model,
 		N:        n,
+		tenant:   req.ns(),
 		req:      req,
 		Done:     make(chan struct{}),
 		state:    StateQueued,
 		shareKey: share,
 		cost:     int64(n),
+	}
+	if j.tenant != "" && m.tenants != nil {
+		m.tenants.JobStarted(j.tenant)
 	}
 	m.queue = append(m.queue, j)
 	m.pendingRows.Add(j.cost)
@@ -411,6 +445,9 @@ func (m *Manager) run(j *Job) {
 	if req.Trace {
 		tr = obs.New(j.Kind + "/" + j.Model)
 		tr.Annotate("job", j.ID)
+		if j.tenant != "" {
+			tr.Annotate("tenant", j.tenant)
+		}
 		req.trace = tr
 	}
 
@@ -624,6 +661,9 @@ func (m *Manager) runBatch(batch []*Job) {
 		if req.Trace {
 			u.tr = obs.New(j.Kind + "/" + j.Model)
 			u.tr.Annotate("job", j.ID)
+			if j.tenant != "" {
+				u.tr.Annotate("tenant", j.tenant)
+			}
 			u.tr.Annotate("batch", strconv.Itoa(len(batch)))
 			req.trace = u.tr
 		}
@@ -877,7 +917,7 @@ func (m *Manager) release(j *Job) {
 		m.mu.Unlock()
 	}
 	close(j.Done)
-	m.retire(j.ID)
+	m.retire(j)
 }
 
 // runFleet solves over the configured worker fleet through the shared
@@ -907,12 +947,16 @@ func (m *Manager) runFleet(req *SolveRequest) (string, *SolveResult, *StatsPaylo
 	return kind, &sol, &stats, nil
 }
 
-// retire records a terminal job and evicts the oldest finished jobs
-// beyond maxFinished so the job table stays bounded.
-func (m *Manager) retire(id string) {
+// retire records a terminal job, returns its quota slot to the tenant
+// and evicts the oldest finished jobs beyond maxFinished so the job
+// table stays bounded.
+func (m *Manager) retire(j *Job) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.finished = append(m.finished, id)
+	if j.tenant != "" && m.tenants != nil {
+		m.tenants.JobFinished(j.tenant)
+	}
+	m.finished = append(m.finished, j.ID)
 	for len(m.finished) > maxFinished {
 		delete(m.jobs, m.finished[0])
 		m.finished = m.finished[1:]

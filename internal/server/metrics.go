@@ -12,6 +12,7 @@ import (
 
 	"lowdimlp/internal/comm"
 	"lowdimlp/internal/comm/httptransport"
+	"lowdimlp/internal/gateway"
 	"lowdimlp/internal/kernel"
 )
 
@@ -34,6 +35,11 @@ type Metrics struct {
 	JobsFailed    atomic.Int64
 	CacheHits     atomic.Int64
 	CacheMisses   atomic.Int64
+	// TierHits and TierMisses count shared cache-tier consultations —
+	// lookups that already fell through the in-process LRU. Zero when
+	// no tier is configured.
+	TierHits   atomic.Int64
+	TierMisses atomic.Int64
 	// SolveCoalesced counts jobs that copied an identical in-flight or
 	// in-batch job's result instead of solving — distinct from cache
 	// hits, which are served from already-completed solves.
@@ -60,6 +66,11 @@ type Metrics struct {
 	// InstancesExpired counts chunk uploads reclaimed by the idle
 	// sweeper.
 	InstancesExpired atomic.Int64
+	// InstancesRejected counts instance-create refusals at the
+	// in-flight upload limit (HTTP 429 + Retry-After) — deliberately
+	// not folded into JobsShed: slot exhaustion is upload-path
+	// backpressure, not solve admission control.
+	InstancesRejected atomic.Int64
 	// InstancesSpilled counts chunk uploads that crossed the spill
 	// threshold and moved to sharded on-disk storage.
 	InstancesSpilled atomic.Int64
@@ -74,6 +85,12 @@ type Metrics struct {
 	// worker-fleet transport (runFleet passes it in the transport
 	// options); its families render alongside the service's own.
 	Fleet *httptransport.Metrics
+
+	// Tenants is the gateway's per-tenant counter set; nil when the
+	// gateway is off (the lpserved_tenant_* families are then absent
+	// from the exposition entirely, which is how lpstat knows
+	// multi-tenancy is not configured).
+	Tenants *gateway.Metrics
 
 	mu           sync.Mutex
 	solveCount   map[string]int64   // kind/model → solves
@@ -134,6 +151,8 @@ func (m *Metrics) Render(w io.Writer) {
 	c("lpserved_jobs_failed_total", "Jobs that ended in an error.", m.JobsFailed.Load())
 	c("lpserved_cache_hits_total", "Result-cache hits.", m.CacheHits.Load())
 	c("lpserved_cache_misses_total", "Result-cache misses.", m.CacheMisses.Load())
+	c("lpserved_cache_tier_hits_total", "Shared cache-tier hits (after an LRU miss).", m.TierHits.Load())
+	c("lpserved_cache_tier_misses_total", "Shared cache-tier misses.", m.TierMisses.Load())
 	c("lpserved_solve_coalesced_total", "Jobs that copied an identical in-flight job's result instead of solving.", m.SolveCoalesced.Load())
 	c("lpserved_jobs_shed_total", "Submissions refused by admission control (429 + Retry-After).", m.JobsShed.Load())
 	c("lpserved_batches_total", "Scan-shared batches executed.", m.Batches.Load())
@@ -143,6 +162,7 @@ func (m *Metrics) Render(w io.Writer) {
 	c("lpserved_warm_misses_total", "Cached bases that failed warm-start re-verification.", m.WarmMisses.Load())
 	g("lpserved_basis_entries", "Bases currently held by the warm-start cache.", m.BasisEntries.Load())
 	c("lpserved_instances_expired_total", "Chunk uploads reclaimed by the idle sweeper.", m.InstancesExpired.Load())
+	c("lpserved_instances_rejected_total", "Instance creations refused at the in-flight upload limit (429 + Retry-After).", m.InstancesRejected.Load())
 	c("lpserved_instances_spilled_total", "Chunk uploads spilled to sharded on-disk storage.", m.InstancesSpilled.Load())
 	c("lpserved_binary_appends_total", "Binary (octet-stream) chunk appends.", m.BinaryAppends.Load())
 	c("lpserved_fleet_solves_total", "Solves driven over the worker fleet.", m.FleetSolves.Load())
@@ -150,6 +170,9 @@ func (m *Metrics) Render(w io.Writer) {
 
 	m.renderKernel(w)
 	m.renderFleet(w)
+	if m.Tenants != nil {
+		m.Tenants.Render(w)
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -27,17 +27,17 @@ func TestRestoredSpillAcceptsAppends(t *testing.T) {
 		for i := lo; i < hi; i++ {
 			chunk.AppendRow(row(i))
 		}
-		if _, err := s.AppendChunk(id, chunk); err != nil {
+		if _, err := s.AppendChunk("", id, chunk); err != nil {
 			t.Fatalf("append [%d,%d): %v", lo, hi, err)
 		}
 	}
 
-	id, err := s.Create("meb", width)
+	id, err := s.Create("", "meb", width)
 	if err != nil {
 		t.Fatal(err)
 	}
 	appendRows(id, 0, 150) // crosses the spill threshold
-	src, err := s.Take(id, "meb", width)
+	src, err := s.Take("", id, "meb", width)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,20 +45,20 @@ func TestRestoredSpillAcceptsAppends(t *testing.T) {
 		t.Fatalf("took a %T, want a spilled source", src)
 	}
 	// The submit "failed"; the instance comes back.
-	s.Restore(id, "meb", width, src)
+	s.Restore("", id, "meb", width, src)
 
 	// The heart of the regression: appends after a restore used to be
 	// rejected ("shard files are final").
 	appendRows(id, 150, 260)
 	// A second failed-submit cycle must work too.
-	src, err = s.Take(id, "meb", width)
+	src, err = s.Take("", id, "meb", width)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Restore(id, "meb", width, src)
+	s.Restore("", id, "meb", width, src)
 	appendRows(id, 260, 300)
 
-	src, err = s.Take(id, "meb", width)
+	src, err = s.Take("", id, "meb", width)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestRestoredSpillReopenFailureRetires(t *testing.T) {
 	spillBase := t.TempDir()
 	s := NewInstanceStore(4, -1)
 	s.EnableSpill(spillBase, 50, nil)
-	id, err := s.Create("meb", 2)
+	id, err := s.Create("", "meb", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,15 +118,15 @@ func TestRestoredSpillReopenFailureRetires(t *testing.T) {
 	for i := 0; i < 80; i++ {
 		chunk.AppendRow([]float64{float64(i), 1})
 	}
-	if _, err := s.AppendChunk(id, chunk); err != nil {
+	if _, err := s.AppendChunk("", id, chunk); err != nil {
 		t.Fatal(err)
 	}
-	src, err := s.Take(id, "meb", 2)
+	src, err := s.Take("", id, "meb", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sp := src.(*spilledSource)
-	s.Restore(id, "meb", 2, src)
+	s.Restore("", id, "meb", 2, src)
 
 	// Sabotage the finalized layout behind the store's back.
 	shard0 := sp.Paths()[1]
@@ -140,15 +140,15 @@ func TestRestoredSpillReopenFailureRetires(t *testing.T) {
 
 	more := dataset.NewStore(2)
 	more.AppendRow([]float64{1, 2})
-	if _, err := s.AppendChunk(id, more); err == nil {
+	if _, err := s.AppendChunk("", id, more); err == nil {
 		t.Fatal("append over a corrupt restored spill reported success")
 	}
 	// The instance is gone, not wedged: further appends and takes see
 	// a clean unknown-instance error instead of a panic.
-	if _, err := s.AppendChunk(id, more); !errors.Is(err, ErrUnknownInstance) {
+	if _, err := s.AppendChunk("", id, more); !errors.Is(err, ErrUnknownInstance) {
 		t.Fatalf("append after retirement: %v, want ErrUnknownInstance", err)
 	}
-	if _, err := s.Take(id, "meb", 2); !errors.Is(err, ErrUnknownInstance) {
+	if _, err := s.Take("", id, "meb", 2); !errors.Is(err, ErrUnknownInstance) {
 		t.Fatalf("take after retirement: %v, want ErrUnknownInstance", err)
 	}
 	if n := s.Len(); n != 0 {
@@ -162,7 +162,7 @@ func TestRestoredSpillDropReleasesFiles(t *testing.T) {
 	spillBase := t.TempDir()
 	s := NewInstanceStore(4, -1)
 	s.EnableSpill(spillBase, 50, nil)
-	id, err := s.Create("meb", 2)
+	id, err := s.Create("", "meb", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,15 +170,15 @@ func TestRestoredSpillDropReleasesFiles(t *testing.T) {
 	for i := 0; i < 80; i++ {
 		chunk.AppendRow([]float64{float64(i), 1})
 	}
-	if _, err := s.AppendChunk(id, chunk); err != nil {
+	if _, err := s.AppendChunk("", id, chunk); err != nil {
 		t.Fatal(err)
 	}
-	src, err := s.Take(id, "meb", 2)
+	src, err := s.Take("", id, "meb", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Restore(id, "meb", 2, src)
-	if !s.Drop(id) {
+	s.Restore("", id, "meb", 2, src)
+	if !s.Drop("", id) {
 		t.Fatal("drop failed")
 	}
 	if left, _ := os.ReadDir(spillBase); len(left) != 0 {

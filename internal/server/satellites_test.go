@@ -159,19 +159,19 @@ func TestDigestCanonicalization(t *testing.T) {
 // sweep, freeing their slots.
 func TestInstanceTTLEviction(t *testing.T) {
 	store := NewInstanceStore(2, 30*time.Millisecond)
-	if _, err := store.Create("meb", 2); err != nil {
+	if _, err := store.Create("", "meb", 2); err != nil {
 		t.Fatal(err)
 	}
-	id, err := store.Create("meb", 2)
+	id, err := store.Create("", "meb", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.Create("meb", 2); err == nil {
+	if _, err := store.Create("", "meb", 2); err == nil {
 		t.Fatal("slot limit not enforced")
 	}
 	time.Sleep(40 * time.Millisecond)
 	// A late append keeps one instance alive through the sweep.
-	if _, err := store.Append(id, [][]float64{{1, 2}}); err != nil {
+	if _, err := store.Append("", id, [][]float64{{1, 2}}); err != nil {
 		t.Fatal(err)
 	}
 	if n := store.Sweep(); n != 1 {
@@ -180,11 +180,11 @@ func TestInstanceTTLEviction(t *testing.T) {
 	if store.Len() != 1 {
 		t.Fatalf("%d instances left, want the touched one", store.Len())
 	}
-	if _, err := store.Append(id, [][]float64{{3, 4}}); err != nil {
+	if _, err := store.Append("", id, [][]float64{{3, 4}}); err != nil {
 		t.Fatalf("touched instance unusable after sweep: %v", err)
 	}
 	// The freed slot is reusable.
-	if _, err := store.Create("lp", 2); err != nil {
+	if _, err := store.Create("", "lp", 2); err != nil {
 		t.Fatalf("slot not freed by sweep: %v", err)
 	}
 }
@@ -197,7 +197,7 @@ func TestInstanceListEndpoint(t *testing.T) {
 	if err := json.Unmarshal(raw, &ref); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.instances.Append(ref.ID, [][]float64{{1, 2, 1}, {3, 4, -1}}); err != nil {
+	if _, err := s.instances.Append("", ref.ID, [][]float64{{1, 2, 1}, {3, 4, -1}}); err != nil {
 		t.Fatal(err)
 	}
 	var body struct {
@@ -224,36 +224,36 @@ func TestInstanceListEndpoint(t *testing.T) {
 // and Restore (queue-full retry) must win — the restore is dropped.
 func TestTombstoneBlocksResurrection(t *testing.T) {
 	store := NewInstanceStore(4, time.Minute)
-	id, err := store.Create("meb", 2)
+	id, err := store.Create("", "meb", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.Append(id, [][]float64{{0, 0}, {1, 1}}); err != nil {
+	if _, err := store.Append("", id, [][]float64{{0, 0}, {1, 1}}); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := store.Take(id, "meb", 2)
+	rows, err := store.Take("", id, "meb", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Client deletes while the job submission is in flight. The ID is
 	// already consumed, so Drop reports false — but must tombstone.
-	if store.Drop(id) {
+	if store.Drop("", id) {
 		t.Fatal("drop of a consumed id reported success")
 	}
 	// Queue-full path tries to hand the rows back.
-	store.Restore(id, "meb", 2, rows)
+	store.Restore("", id, "meb", 2, rows)
 	if store.Len() != 0 {
 		t.Fatal("deleted instance was resurrected by Restore")
 	}
-	if _, err := store.Append(id, [][]float64{{2, 2}}); err == nil {
+	if _, err := store.Append("", id, [][]float64{{2, 2}}); err == nil {
 		t.Fatal("appending to a deleted instance succeeded")
 	}
 	// A fresh instance under a different ID is unaffected.
-	id2, err := store.Create("meb", 2)
+	id2, err := store.Create("", "meb", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	store.Restore(id2, "meb", 2, rows) // not tombstoned: overwrite allowed
+	store.Restore("", id2, "meb", 2, rows) // not tombstoned: overwrite allowed
 	if store.Len() != 1 {
 		t.Fatal("untombstoned restore failed")
 	}
@@ -307,14 +307,14 @@ func TestShutdownConcurrent(t *testing.T) {
 func TestSweepKeepsRacingAppend(t *testing.T) {
 	store := NewInstanceStore(8, time.Millisecond)
 	for trial := 0; trial < 50; trial++ {
-		id, err := store.Create("meb", 2)
+		id, err := store.Create("", "meb", 2)
 		if err != nil {
 			t.Fatal(err)
 		}
 		time.Sleep(2 * time.Millisecond) // go idle past the TTL
 		done := make(chan int, 1)
 		go func() {
-			n, err := store.Append(id, [][]float64{{1, 2}})
+			n, err := store.Append("", id, [][]float64{{1, 2}})
 			if err != nil {
 				n = -1
 			}
@@ -323,7 +323,7 @@ func TestSweepKeepsRacingAppend(t *testing.T) {
 		store.Sweep()
 		if n := <-done; n > 0 {
 			// Append reported success → the rows must be reachable.
-			data, err := store.Take(id, "meb", 2)
+			data, err := store.Take("", id, "meb", 2)
 			if err != nil || data.Rows() != n {
 				t.Fatalf("trial %d: successful append lost (%v, %d rows)", trial, err, data.Rows())
 			}

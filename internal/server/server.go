@@ -16,6 +16,7 @@ import (
 
 	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/engine"
+	"lowdimlp/internal/gateway"
 	// The kind catalog: importing it registers every problem kind the
 	// service can solve. The handlers themselves are kind-agnostic.
 	_ "lowdimlp/internal/models"
@@ -70,6 +71,15 @@ type Config struct {
 	// GET /v1/traces (0 = 128; < 0 disables retention — traces still
 	// come back inline on the jobs that asked for them).
 	TraceBuffer int
+	// Gateway, when set, puts the multi-tenant front door ahead of the
+	// API: bearer-key auth on every /v1/ request, per-tenant rate
+	// limits and queue quotas, and tenant-scoped instance/job/trace
+	// namespaces. Nil serves unauthenticated exactly as before.
+	Gateway *gateway.Gateway
+	// CacheTier, when set, is the shared result-cache layer behind the
+	// in-process LRU (memory or disk; see gateway.CacheTier) so a
+	// fleet of frontends shares solve results. Nil = LRU only.
+	CacheTier gateway.CacheTier
 }
 
 func (c Config) withDefaults() Config {
@@ -116,14 +126,24 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	metrics := NewMetrics()
+	cache := NewCache(cfg.CacheSize)
+	if cfg.CacheTier != nil {
+		cache.EnableTier(cfg.CacheTier,
+			func() { metrics.TierHits.Add(1) },
+			func() { metrics.TierMisses.Add(1) })
+	}
 	s := &Server{
 		cfg:       cfg,
 		metrics:   metrics,
-		manager:   NewManager(cfg.Workers, cfg.QueueDepth, NewCache(cfg.CacheSize), metrics),
+		manager:   NewManager(cfg.Workers, cfg.QueueDepth, cache, metrics),
 		instances: NewInstanceStore(cfg.MaxInstances, cfg.InstanceTTL),
 		mux:       http.NewServeMux(),
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
+	}
+	if cfg.Gateway != nil {
+		metrics.Tenants = cfg.Gateway.Metrics()
+		s.manager.tenants = metrics.Tenants
 	}
 	s.manager.fleet = cfg.FleetWorkers
 	s.manager.batchMax = cfg.BatchMax
@@ -177,8 +197,14 @@ func (s *Server) sweepLoop() {
 	}
 }
 
-// Handler returns the root handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler — the API wrapped by the gateway
+// when multi-tenancy is configured.
+func (s *Server) Handler() http.Handler {
+	if s.cfg.Gateway != nil {
+		return s.cfg.Gateway.Wrap(s.mux)
+	}
+	return s.mux
+}
 
 // Shutdown stops the instance sweeper and drains the worker pool. It
 // is safe to call repeatedly, including concurrently.
@@ -233,6 +259,7 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*SolveRe
 			return nil, "", fmt.Errorf("bad JSON: %w", err)
 		}
 	}
+	req.tenant = gateway.FromContext(r.Context())
 	if err := overlayQuery(req, r); err != nil {
 		return nil, "", err
 	}
@@ -241,7 +268,7 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*SolveRe
 	}
 	taken := ""
 	if req.InstanceID != "" {
-		data, err := s.instances.Take(req.InstanceID, req.Kind, req.Dim)
+		data, err := s.instances.Take(req.ns(), req.InstanceID, req.Kind, req.Dim)
 		if err != nil {
 			return nil, "", err
 		}
@@ -258,7 +285,7 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*SolveRe
 		m, merr := req.model()
 		if merr == nil && !m.AllowsEmpty() {
 			if taken != "" {
-				s.instances.Restore(taken, req.Kind, req.Dim, req.data)
+				s.instances.Restore(req.ns(), taken, req.Kind, req.Dim, req.data)
 			}
 			return nil, "", fmt.Errorf("empty instance")
 		}
@@ -284,14 +311,15 @@ func (s *Server) decodeAndSubmit(w http.ResponseWriter, r *http.Request) (*Job, 
 	job, err := s.manager.Submit(req)
 	if err != nil {
 		if taken != "" {
-			s.instances.Restore(taken, req.Kind, req.Dim, req.data)
+			s.instances.Restore(req.ns(), taken, req.Kind, req.Dim, req.data)
 		}
 		// Backpressure carries a drain estimate either way; shedding
-		// (admission control, pre-saturation) is a 429 so clients can
-		// tell it apart from a queue that actually filled (503).
+		// (admission control, pre-saturation) and per-tenant quota
+		// breaches are 429s so clients can tell them apart from a
+		// queue that actually filled (503).
 		w.Header().Set("Retry-After", strconv.Itoa(s.manager.RetryAfterSeconds()))
 		code := http.StatusServiceUnavailable
-		if errors.Is(err, ErrOverloaded) {
+		if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrTenantQuota) {
 			code = http.StatusTooManyRequests
 		}
 		writeError(w, code, err)
@@ -407,7 +435,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.manager.Get(r.PathValue("id"))
-	if !ok {
+	if !ok || job.tenant != gateway.TenantID(r.Context()) {
+		// A job owned by another tenant answers exactly like a job
+		// that never existed — IDs are not probeable across tenants.
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
@@ -457,7 +487,10 @@ type instanceRef struct {
 func (s *Server) handleInstanceCreate(w http.ResponseWriter, r *http.Request) {
 	var body instanceCreateBody
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		// Through the shared status mapper: an oversized body is 413
+		// like every other upload path, not a generic 400.
+		err = fmt.Errorf("bad JSON: %w", err)
+		writeError(w, decodeErrorStatus(err), err)
 		return
 	}
 	probe := SolveRequest{Kind: strings.ToLower(strings.TrimSpace(body.Kind)), Dim: body.Dim}
@@ -468,18 +501,25 @@ func (s *Server) handleInstanceCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	id, err := s.instances.Create(probe.Kind, body.Dim)
+	id, err := s.instances.Create(gateway.TenantID(r.Context()), probe.Kind, body.Dim)
 	if err != nil {
+		// Slot exhaustion is backpressure: like every other 429 the
+		// service sends, it tells the client when to retry — slots free
+		// as solves consume uploads, on the same drain the estimate
+		// tracks. Counted apart from admission-control sheds.
+		s.metrics.InstancesRejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.manager.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, instanceRef{ID: id})
 }
 
-// handleInstanceList is the operator view of the open chunk uploads.
-func (s *Server) handleInstanceList(w http.ResponseWriter, _ *http.Request) {
+// handleInstanceList is the operator view of the open chunk uploads —
+// scoped to the caller's namespace, so a tenant lists only its own.
+func (s *Server) handleInstanceList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"instances": s.instances.List(),
+		"instances": s.instances.List(gateway.TenantID(r.Context())),
 		"limit":     s.instances.max,
 		"ttl_ms":    float64(s.instances.TTL()) / float64(time.Millisecond),
 	})
@@ -500,7 +540,8 @@ type instanceAppendWire struct {
 
 func (s *Server) handleInstanceAppend(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	kind, dim, err := s.instances.Meta(id)
+	ns := gateway.TenantID(r.Context())
+	kind, dim, err := s.instances.Meta(ns, id)
 	if err != nil {
 		writeError(w, decodeErrorStatus(err), err)
 		return
@@ -536,7 +577,7 @@ func (s *Server) handleInstanceAppend(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	total, err := s.instances.AppendChunk(id, chunk)
+	total, err := s.instances.AppendChunk(ns, id, chunk)
 	if err != nil {
 		writeError(w, decodeErrorStatus(err), err)
 		return
@@ -545,7 +586,7 @@ func (s *Server) handleInstanceAppend(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleInstanceDrop(w http.ResponseWriter, r *http.Request) {
-	if !s.instances.Drop(r.PathValue("id")) {
+	if !s.instances.Drop(gateway.TenantID(r.Context()), r.PathValue("id")) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown instance %q", r.PathValue("id")))
 		return
 	}
@@ -553,17 +594,33 @@ func (s *Server) handleInstanceDrop(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTraces serves the captured-trace ring, newest first — the
-// triage view of recent solves that asked for tracing.
-func (s *Server) handleTraces(w http.ResponseWriter, _ *http.Request) {
+// triage view of recent solves that asked for tracing. Under the
+// gateway the view is tenant-scoped: each trace is stamped with the
+// tenant that ran it (see Manager.run), only the caller's own traces
+// come back, and the captured count covers only those — the global
+// count would itself leak other tenants' activity.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if s.traces == nil {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"traces": []obs.TraceData{}, "captured": 0, "limit": 0,
 		})
 		return
 	}
+	traces := s.traces.Snapshot()
+	captured := s.traces.Added()
+	if ns := gateway.TenantID(r.Context()); ns != "" {
+		kept := make([]obs.TraceData, 0, len(traces))
+		for _, td := range traces {
+			if td.Attrs["tenant"] == ns {
+				kept = append(kept, td)
+			}
+		}
+		traces = kept
+		captured = int64(len(kept))
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"traces":   s.traces.Snapshot(),
-		"captured": s.traces.Added(),
+		"traces":   traces,
+		"captured": captured,
 		"limit":    s.cfg.TraceBuffer,
 	})
 }

@@ -411,7 +411,7 @@ func TestQueueFullRestoresInstance(t *testing.T) {
 	if err := json.Unmarshal(raw, &ref); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.instances.Append(ref.ID, [][]float64{{0, 0}, {2, 0}}); err != nil {
+	if _, err := s.instances.Append("", ref.ID, [][]float64{{0, 0}, {2, 0}}); err != nil {
 		t.Fatal(err)
 	}
 	// Saturate the single worker + single queue slot, then submit the
@@ -437,7 +437,7 @@ func TestQueueFullRestoresInstance(t *testing.T) {
 		if s.instances.Len() != 1 {
 			t.Fatalf("instance not restored after queue-full 503")
 		}
-		if _, err := s.instances.Append(ref.ID, [][]float64{{1, 1}}); err != nil {
+		if _, err := s.instances.Append("", ref.ID, [][]float64{{1, 1}}); err != nil {
 			t.Fatalf("restored instance unusable: %v", err)
 		}
 	}

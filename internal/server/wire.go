@@ -35,6 +35,7 @@ import (
 
 	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/engine"
+	"lowdimlp/internal/gateway"
 	"lowdimlp/internal/obs"
 )
 
@@ -163,6 +164,18 @@ type SolveRequest struct {
 	// keying cost. The memo also pins generated instances to their
 	// pre-materialization (spec-based) digest — see instanceDigest.
 	rowsKeyMemo string
+	// tenant is the authenticated tenant this request arrived under,
+	// attached at decode time from the gateway's context value. Nil
+	// when the gateway is off — the anonymous namespace.
+	tenant *gateway.Tenant
+}
+
+// ns is the request's tenant namespace ("" when the gateway is off).
+func (r *SolveRequest) ns() string {
+	if r.tenant != nil {
+		return r.tenant.ID
+	}
+	return ""
 }
 
 // UnmarshalJSON decodes the request envelope but leaves the rows array
