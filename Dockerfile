@@ -1,0 +1,20 @@
+# Multi-stage build for the lowdimlp service binaries. The image runs
+# lpserved by default (frontend or -worker mode via the command); the
+# build also bakes a 3-shard demo dataset under /data so the
+# docker-compose elastic-fleet topology works out of the box — mount a
+# volume over /data to serve real shards instead.
+FROM golang:1.23-alpine AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+RUN CGO_ENABLED=0 go build -o /out/lpserved ./cmd/lpserved \
+ && CGO_ENABLED=0 go build -o /out/lpsolve ./cmd/lpsolve \
+ && CGO_ENABLED=0 go build -o /out/lpstat ./cmd/lpstat \
+ && mkdir -p /data \
+ && CGO_ENABLED=0 go run ./deploy/genshards -kind svm -n 8000 -dim 3 -seed 17 -shards 3 -out /data/ds.ldm
+
+FROM alpine:3.20
+COPY --from=build /out/ /usr/local/bin/
+COPY --from=build /data/ /data/
+EXPOSE 8080
+ENTRYPOINT ["lpserved"]

@@ -11,10 +11,11 @@
 //	         [-batch-max N] [-basis-cache N] [-admission-rows N]
 //	         [-max-body BYTES] [-instance-ttl D]
 //	         [-spill-rows N] [-spill-dir DIR]
-//	         [-workers host1,host2,...]
+//	         [-workers host1,host2,...] [-fleet-ttl D]
 //	         [-tenants FILE] [-cache-tier SPEC]
 //	         [-pprof] [-generic-kernels]
-//	lpserved -worker shard.lds [-addr :8081] [-session-ttl D] [-pprof]
+//	lpserved -worker shard.lds [-addr :8081] [-session-ttl D]
+//	         [-register FRONTEND] [-advertise URL] [-pprof]
 //
 // Endpoints (see internal/server for the wire format):
 //
@@ -26,6 +27,10 @@
 //	GET  /v1/instances            list open uploads (operator view)
 //	DELETE /v1/instances/{id}     drop an upload
 //	GET  /v1/traces               recent solve traces (ring, newest first)
+//	POST /v1/fleet/register       worker registration + heartbeat
+//	POST /v1/fleet/deregister     clean worker departure
+//	POST /v1/fleet/drain          exclude a worker from new solves
+//	GET  /v1/fleet                fleet membership, epoch, change count
 //	GET  /healthz                 liveness
 //	GET  /metrics                 Prometheus-style metrics
 //
@@ -75,6 +80,25 @@
 //
 // The solver pool size flag is -pool (it was -workers before worker
 // fleets existed).
+//
+// # Elastic fleet
+//
+// The frontend's -workers list is just the static seed of a worker
+// registry. Workers started with -register FRONTEND announce
+// themselves dynamically (re-registering every third of the
+// registry's -fleet-ttl as a heartbeat; -advertise overrides the
+// dialable URL they announce, which defaults to the host's name plus
+// the -addr port). A fleet solve runs on the live membership at the
+// moment it begins; a worker that dies mid-solve is marked down and
+// the solve retries from the start of the round on the survivors —
+// bit-identical to a clean run on that membership, with the burned
+// rounds, bits and messages folded into the final stats and counted
+// by the "retries" stat. SIGTERM on a worker drains: it refuses new
+// protocol sessions, deregisters, finishes in-flight rounds within
+// -grace, and only then closes its listener. GET /v1/fleet (and the
+// lpserved_fleet_* metric families) expose membership, epoch and
+// retry counts; `lpstat doctor` names workers that went down or are
+// draining. See DESIGN.md §14.
 //
 // # Multi-tenant gateway
 //
@@ -148,6 +172,7 @@ import (
 	"time"
 
 	"lowdimlp/internal/comm/httptransport"
+	"lowdimlp/internal/comm/registry"
 	"lowdimlp/internal/gateway"
 	"lowdimlp/internal/kernel"
 	"lowdimlp/internal/server"
@@ -194,7 +219,10 @@ func main() {
 		grace      = flag.Duration("grace", 30*time.Second, "shutdown drain timeout")
 		workerData = flag.String("worker", "", "run in worker mode, owning this LDSET1 dataset shard")
 		sessTTL    = flag.Duration("session-ttl", server.DefaultSessionTTL, "worker mode: idle protocol-session eviction horizon (negative disables)")
+		register   = flag.String("register", "", "worker mode: frontend base URL to register with and heartbeat (elastic fleet)")
+		advertise  = flag.String("advertise", "", "worker mode: base URL the frontend should dial for this worker (default http://<hostname><-addr port>)")
 		fleet      = flag.String("workers", "", "comma-separated worker base URLs serving \"fleet\": true solves (worker i = site i)")
+		fleetTTL   = flag.Duration("fleet-ttl", 0, "fleet registry heartbeat horizon: registered workers silent this long are marked down (0 = 15s, negative disables)")
 		traceBuf   = flag.Int("trace-buffer", 0, "solve-trace ring capacity for GET /v1/traces (0 = 128, negative disables)")
 		tenants    = flag.String("tenants", "", "tenants JSON file; enables bearer-key auth, per-tenant limits and namespaces")
 		cacheTier  = flag.String("cache-tier", "", "shared result-cache tier: memory[:N] or disk:DIR (empty disables)")
@@ -209,7 +237,7 @@ func main() {
 	}
 
 	if *workerData != "" {
-		runWorker(*workerData, *addr, *sessTTL, *grace, *pprofOn)
+		runWorker(*workerData, *addr, *register, *advertise, *sessTTL, *grace, *pprofOn)
 		return
 	}
 
@@ -244,6 +272,7 @@ func main() {
 		SpillRows:      *spillRows,
 		SpillDir:       *spillDir,
 		FleetWorkers:   httptransport.SplitList(*fleet),
+		FleetTTL:       *fleetTTL,
 		TraceBuffer:    *traceBuf,
 		Gateway:        gw,
 		CacheTier:      tier,
@@ -305,9 +334,32 @@ func withPprof(h http.Handler, on bool) http.Handler {
 	return mux
 }
 
+// advertiseURL picks the base URL the frontend should dial for this
+// worker: the -advertise flag verbatim, or http://<hostname>:<port>
+// derived from -addr (the container hostname is what a compose fleet's
+// frontend can reach; localhost would point the frontend at itself).
+func advertiseURL(advertise, addr string) string {
+	if advertise != "" {
+		return advertise
+	}
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "localhost"
+	}
+	if i := strings.LastIndex(addr, ":"); i >= 0 {
+		return "http://" + host + addr[i:]
+	}
+	return "http://" + host
+}
+
 // runWorker is worker mode: own one dataset shard, answer protocol
-// frames until signalled.
-func runWorker(dataPath, addr string, sessTTL, grace time.Duration, pprofOn bool) {
+// frames until signalled. With -register the worker announces itself
+// to the frontend's fleet registry and heartbeats until shutdown;
+// shutdown then drains in order — refuse new protocol sessions, leave
+// the registry, finish in-flight rounds — before the listener closes,
+// so a coordinator mid-solve sees either a completed exchange or a
+// typed refusal, never a vanished peer.
+func runWorker(dataPath, addr, register, advertise string, sessTTL, grace time.Duration, pprofOn bool) {
 	w, err := server.NewWorker(server.WorkerConfig{DataPath: dataPath, SessionTTL: sessTTL})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lpserved:", err)
@@ -325,17 +377,47 @@ func runWorker(dataPath, addr string, sessTTL, grace time.Duration, pprofOn bool
 			dataPath, info.Kind, info.Dim, info.Rows, addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
+
+	var reg *registry.Client
+	hbCtx, hbCancel := context.WithCancel(context.Background())
+	defer hbCancel()
+	if register != "" {
+		reg = &registry.Client{
+			Frontend: register,
+			Self:     advertiseURL(advertise, addr),
+			Kind:     info.Kind, Dim: info.Dim, Rows: info.Rows,
+		}
+		go reg.Heartbeat(hbCtx, log.Printf)
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("lpserved: worker: %v, shutting down (grace %v)", sig, grace)
+		log.Printf("lpserved: worker: %v, draining (grace %v)", sig, grace)
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "lpserved:", err)
 		os.Exit(1)
 	}
+
+	// Shutdown order matters: drain-refusal first (new Begins get the
+	// typed 503), then leave the registry (so the frontend stops
+	// handing this worker to fresh solves), then wait for in-flight
+	// sessions, and only then close the listener.
+	w.StartDrain()
+	hbCancel()
+	if reg != nil {
+		dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := reg.Deregister(dctx); err != nil {
+			log.Printf("lpserved: worker deregister: %v", err)
+		}
+		dcancel()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
+	if left := w.DrainAndWait(ctx); left > 0 {
+		log.Printf("lpserved: worker: drain timed out with %d session(s) still open", left)
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("lpserved: worker http shutdown: %v", err)
 	}

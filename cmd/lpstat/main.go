@@ -21,7 +21,13 @@
 //
 // The board marks each worker UP (probed end-to-end through a real
 // protocol frame), BROKEN (answers HTTP but not the worker protocol),
-// or DOWN, alongside its shard, session and traffic counters. The
+// DRAINING (finishing in-flight sessions, refusing new ones), or
+// DOWN, alongside its shard, session and traffic counters. Frontends
+// running an elastic fleet (workers registered via -register) also get
+// a membership line — live/draining/down counts, epoch, and the
+// solve-retry counter — sourced from GET /v1/fleet; the doctor's
+// fleet-membership-changed, fleet-solve-retried and worker-draining
+// rules name exactly which worker was lost or is leaving and why. The
 // doctor exits 1 when any error-severity finding exists, so it can
 // gate deploy scripts:
 //

@@ -1,0 +1,77 @@
+#!/bin/sh
+# Containerized elastic-fleet e2e (CI acceptance for the worker
+# registry): bring up the docker-compose topology (frontend + 3
+# self-registering workers), run a clean fleet solve, SIGKILL one
+# worker mid-deployment, and assert that
+#   - the next solve succeeds with Retries >= 1 (retry-from-round-start),
+#   - lpserved_fleet_solve_retries_total increments on /metrics,
+#   - `lpstat doctor` names the membership change and the retry.
+# Exits non-zero on any failed assertion; always tears the stack down.
+set -eu
+
+cd "$(dirname "$0")/.."
+FRONTEND=http://localhost:8080
+
+compose() { docker compose "$@"; }
+cleanup() {
+    status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "--- e2e FAILED (exit $status): container logs ---"
+        compose logs --no-color --tail 50 || true
+    fi
+    compose down -v --timeout 5 >/dev/null 2>&1 || true
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+solve() { # solve SEED -> JSON reply on stdout
+    curl -sf -X POST "$FRONTEND/v1/solve" \
+        -H 'Content-Type: application/json' \
+        -d "{\"fleet\": true, \"options\": {\"seed\": $1, \"r\": 2}}"
+}
+
+retries_of() { # extract coordinator Retries from a solve reply
+    printf '%s' "$1" | sed -n 's/.*"Retries":\([0-9][0-9]*\).*/\1/p'
+}
+
+echo "==> building images and starting the fleet"
+compose up -d --build --quiet-pull
+
+echo "==> waiting for 3 live workers to register"
+i=0
+while :; do
+    live=$(curl -sf "$FRONTEND/v1/fleet" 2>/dev/null | grep -o '"state":"live"' | wc -l) || live=0
+    [ "$live" -eq 3 ] && break
+    i=$((i + 1))
+    [ "$i" -gt 120 ] && fail "fleet never reached 3 live workers (have $live)"
+    sleep 1
+done
+echo "    3 workers live"
+
+echo "==> clean fleet solve"
+clean=$(solve 23) || fail "clean solve request failed"
+[ "$(retries_of "$clean")" = "0" ] || fail "clean solve metered retries: $clean"
+
+echo "==> killing worker2 mid-deployment"
+compose kill worker2
+
+echo "==> solve across the dead worker must retry on survivors"
+retried=$(solve 31) || fail "solve across the killed worker failed"
+r=$(retries_of "$retried")
+[ -n "$r" ] && [ "$r" -ge 1 ] || fail "expected Retries >= 1, got '$r': $retried"
+echo "    retried from round start ($r retry)"
+
+echo "==> retry counter is on /metrics"
+curl -sf "$FRONTEND/metrics" | grep '^lpserved_fleet_solve_retries_total [1-9]' \
+    || fail "lpserved_fleet_solve_retries_total did not increment"
+
+echo "==> doctor names the casualty"
+doctor=$(compose exec -T frontend lpstat doctor -frontend http://localhost:8080 -no-color) || true
+echo "$doctor"
+echo "$doctor" | grep -q 'fleet-solve-retried' || fail "doctor missing fleet-solve-retried"
+echo "$doctor" | grep -q 'fleet-membership-changed' || fail "doctor missing fleet-membership-changed"
+echo "$doctor" | grep -q 'worker2' || fail "doctor did not name worker2"
+
+echo "==> PASS: elastic fleet survived a mid-deployment worker loss"

@@ -1,0 +1,50 @@
+// Command genshards writes a sharded demo dataset — one generated
+// instance of the given kind, split into k shard files next to the
+// manifest. The containerized elastic-fleet e2e uses it at image
+// build time so every worker container has its shard at /data; it is
+// also handy for standing up a local fleet without converting a real
+// dataset first.
+//
+// Usage:
+//
+//	genshards [-kind svm] [-n 8000] [-dim 3] [-seed 17] [-shards 3] -out ds.ldm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lowdimlp"
+)
+
+func main() {
+	var (
+		kind   = flag.String("kind", "svm", "problem kind (see lpsolve -kinds)")
+		n      = flag.Int("n", 8000, "instance rows")
+		dim    = flag.Int("dim", 3, "dimension")
+		seed   = flag.Uint64("seed", 17, "generator seed")
+		shards = flag.Int("shards", 3, "shard count (≥ 2 writes a manifest + shard files)")
+		out    = flag.String("out", "", "output manifest path (*.ldm)")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "genshards: -out is required")
+		os.Exit(2)
+	}
+	m, ok := lowdimlp.LookupKind(*kind)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "genshards: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	inst, err := m.Generate(m.Families()[0], lowdimlp.GenParams{N: *n, D: *dim, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "genshards:", err)
+		os.Exit(1)
+	}
+	if err := lowdimlp.WriteShardedDatasetFile(*out, *kind, inst, *shards); err != nil {
+		fmt.Fprintln(os.Stderr, "genshards:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("genshards: wrote %s (%s, n=%d, d=%d, %d shards)\n", *out, *kind, *n, *dim, *shards)
+}

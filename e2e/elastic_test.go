@@ -1,0 +1,249 @@
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"lowdimlp"
+)
+
+// solveReply is the slice of the job status the elastic e2e asserts
+// on. Result stays raw: solutions marshal as one flat object, so the
+// bytes themselves are the bit-identity comparison.
+type solveReply struct {
+	Kind   string          `json:"kind"`
+	Error  string          `json:"error"`
+	Result json.RawMessage `json:"result"`
+	Stats  struct {
+		Coordinator struct {
+			Rounds  int
+			Retries int
+		} `json:"coordinator"`
+	} `json:"stats"`
+}
+
+func fleetSolve(t *testing.T, frontend string, seed int) (int, solveReply) {
+	t.Helper()
+	body := fmt.Sprintf(`{"fleet": true, "options": {"seed": %d, "r": 2}}`, seed)
+	resp, err := http.Post(frontend+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	var rep solveReply
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("decoding %s: %v", buf.String(), err)
+	}
+	return resp.StatusCode, rep
+}
+
+func fleetMembers(t *testing.T, frontend string) map[string]string {
+	t.Helper()
+	resp, err := http.Get(frontend + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view struct {
+		Workers []struct {
+			URL   string `json:"url"`
+			State string `json:"state"`
+		} `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string)
+	for _, w := range view.Workers {
+		out[w.URL] = w.State
+	}
+	return out
+}
+
+// TestElasticFleetE2E wires the whole elastic story through real
+// processes: a frontend with NO static worker list, three `lpserved
+// -worker -register` processes that announce themselves, a clean
+// solve on the dynamic membership, a SIGKILLed worker whose death
+// mid-deployment costs exactly a retried solve (bit-identical to a
+// clean run on the survivors), the doctor naming the casualty, and a
+// SIGTERM drain that deregisters cleanly.
+func TestElasticFleetE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e: skipped in -short mode")
+	}
+	bin := t.TempDir()
+	for _, cmd := range []string{"lpserved", "lpstat"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "lowdimlp/cmd/"+cmd)
+		build.Dir = ".."
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", cmd, err, out)
+		}
+	}
+	lpserved := filepath.Join(bin, "lpserved")
+	lpstatBin := filepath.Join(bin, "lpstat")
+
+	// One 3-shard svm instance.
+	m, _ := lowdimlp.LookupKind("svm")
+	inst, err := m.Generate(m.Families()[0], lowdimlp.GenParams{N: 8000, D: 3, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "ds.ldm")
+	const k = 3
+	if err := lowdimlp.WriteShardedDatasetFile(manifest, "svm", inst, k); err != nil {
+		t.Fatal(err)
+	}
+
+	// Frontend first — no -workers: the membership is purely dynamic.
+	// The result cache is off so repeated seeds really re-solve (the
+	// bit-identity assertions below compare fresh runs, not cache hits).
+	feAddr := grabAddr(t)
+	frontend := "http://" + feAddr
+	fe := exec.Command(lpserved, "-addr", feAddr, "-cache=-1")
+	fe.Stdout, fe.Stderr = os.Stderr, os.Stderr
+	if err := fe.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fe.Process.Kill(); fe.Wait() })
+	waitHealthy(t, feAddr)
+
+	// Three self-registering workers.
+	workers := make([]*exec.Cmd, k)
+	urls := make([]string, k)
+	for i := 0; i < k; i++ {
+		addr := grabAddr(t)
+		urls[i] = "http://" + addr
+		shard := strings.TrimSuffix(filepath.Base(manifest), ".ldm")
+		w := exec.Command(lpserved,
+			"-worker", filepath.Join(dir, fmt.Sprintf("%s-%03d.lds", shard, i)),
+			"-addr", addr,
+			"-register", frontend,
+			"-advertise", urls[i],
+			"-grace", "5s")
+		w.Stdout, w.Stderr = os.Stderr, os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		t.Cleanup(func() { w.Process.Kill(); w.Wait() })
+	}
+
+	// All three must register (heartbeat loop retries every 2s).
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		members := fleetMembers(t, frontend)
+		live := 0
+		for _, state := range members {
+			if state == "live" {
+				live++
+			}
+		}
+		if live == k {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never reached %d live members: %v", k, members)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Clean solve on the dynamic membership.
+	code, clean := fleetSolve(t, frontend, 23)
+	if code != http.StatusOK || clean.Kind != "svm" {
+		t.Fatalf("clean solve: HTTP %d %+v", code, clean)
+	}
+	if clean.Stats.Coordinator.Retries != 0 {
+		t.Fatalf("clean solve metered %d retries", clean.Stats.Coordinator.Retries)
+	}
+
+	// Kill worker 1 outright — no drain, no deregistration. The
+	// frontend still believes it is live (the heartbeat TTL has not
+	// lapsed), so the next solve loses it mid-protocol and must retry
+	// on the survivors.
+	workers[1].Process.Kill()
+	workers[1].Wait()
+	code, retried := fleetSolve(t, frontend, 31)
+	if code != http.StatusOK {
+		t.Fatalf("solve across the killed worker: HTTP %d %+v", code, retried)
+	}
+	if retried.Stats.Coordinator.Retries < 1 {
+		t.Fatalf("solve across the killed worker metered %d retries, want ≥ 1", retried.Stats.Coordinator.Retries)
+	}
+	if state := fleetMembers(t, frontend)[urls[1]]; state != "down" {
+		t.Fatalf("killed worker state %q, want down", state)
+	}
+
+	// Bit-identity: the same request again now runs cleanly on the
+	// survivors — the retried result must match it exactly.
+	code, cleanSurvivors := fleetSolve(t, frontend, 31)
+	if code != http.StatusOK || cleanSurvivors.Stats.Coordinator.Retries != 0 {
+		t.Fatalf("clean survivors solve: HTTP %d %+v", code, cleanSurvivors)
+	}
+	if !bytes.Equal(retried.Result, cleanSurvivors.Result) {
+		t.Fatalf("retried solve drifted from the clean survivors run:\n retried: %s\n   clean: %s",
+			retried.Result, cleanSurvivors.Result)
+	}
+
+	// The retry counter is on /metrics and the doctor names both the
+	// retry and the lost worker.
+	metrics := runCmd(t, lpstatBin, "doctor", "-frontend", frontend, "-no-color")
+	for _, want := range []string{"fleet-solve-retried", "fleet-membership-changed", urls[1]} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("doctor output missing %q:\n%s", want, metrics)
+		}
+	}
+	resp, err := http.Get(frontend + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), "lpserved_fleet_solve_retries_total 1") {
+		t.Errorf("metrics do not show the solve retry:\n%s", grepLines(buf.String(), "lpserved_fleet"))
+	}
+
+	// SIGTERM drains worker 2: it must deregister (clean departure,
+	// not "down") and exit within its grace window.
+	workers[2].Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- workers[2].Wait() }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("SIGTERMed worker did not exit within 15s")
+	}
+	if _, present := fleetMembers(t, frontend)[urls[2]]; present {
+		t.Fatalf("drained worker still in the registry: %v", fleetMembers(t, frontend))
+	}
+
+	// One worker left — solves still run (k=1 membership).
+	code, last := fleetSolve(t, frontend, 7)
+	if code != http.StatusOK || last.Stats.Coordinator.Retries != 0 {
+		t.Fatalf("solve on the last worker: HTTP %d %+v", code, last)
+	}
+}
+
+// grepLines returns the lines of s containing sub (test diagnostics).
+func grepLines(s, sub string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, sub) {
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

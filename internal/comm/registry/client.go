@@ -1,0 +1,141 @@
+package registry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is the worker-side half of the registry protocol: it
+// announces one worker to a frontend's fleet control plane
+// (POST /v1/fleet/register), keeps the membership alive by
+// re-registering on a heartbeat interval, and deregisters on clean
+// shutdown. lpserved -worker runs one when started with -register.
+type Client struct {
+	// Frontend is the coordinator frontend's base URL.
+	Frontend string
+	// Self is this worker's advertised base URL — what the frontend
+	// will dial, so it must be reachable from the frontend (a
+	// container hostname, not localhost, in containerized fleets).
+	Self string
+	// Kind/Dim/Rows describe the owned shard.
+	Kind string
+	Dim  int
+	Rows int
+	// HTTP is the client used for control-plane calls (nil = a
+	// 5-second-timeout default).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+// Register announces the worker once and returns the frontend's
+// heartbeat TTL. A 409 (shard mismatch with the live fleet) is a
+// permanent error; anything else is worth retrying.
+func (c *Client) Register(ctx context.Context) (time.Duration, error) {
+	body, _ := json.Marshal(map[string]any{
+		"url": c.Self, "kind": c.Kind, "dim": c.Dim, "rows": c.Rows,
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		Normalize(c.Frontend)+"/v1/fleet/register", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("registry: register: %s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	var rep struct {
+		TTLMS int64 `json:"ttl_ms"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return 0, fmt.Errorf("registry: register reply: %w", err)
+	}
+	return time.Duration(rep.TTLMS) * time.Millisecond, nil
+}
+
+// Deregister removes the worker from the frontend's registry — the
+// clean-departure call on worker shutdown.
+func (c *Client) Deregister(ctx context.Context) error {
+	body, _ := json.Marshal(map[string]string{"url": c.Self})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		Normalize(c.Frontend)+"/v1/fleet/deregister", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("registry: deregister: %s", resp.Status)
+	}
+	return nil
+}
+
+// Heartbeat registers, then re-registers every ttl/3 until ctx ends,
+// logging through logf (nil = silent). A frontend that is not up yet
+// (compose races, rolling restarts) is retried on a short backoff; a
+// frontend that answers 409 stops the loop — the shard genuinely does
+// not belong in that fleet, and hammering it would never converge.
+func (c *Client) Heartbeat(ctx context.Context, logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	const retry = 2 * time.Second
+	registered := false
+	for {
+		ttl, err := c.Register(ctx)
+		wait := retry
+		switch {
+		case ctx.Err() != nil:
+			return
+		case err == nil:
+			if !registered {
+				logf("registered with %s as %s (heartbeat ttl %v)", c.Frontend, c.Self, ttl)
+			}
+			registered = true
+			if ttl > 0 {
+				wait = ttl / 3
+				if wait < time.Second {
+					wait = time.Second
+				}
+			}
+		case isConflict(err):
+			logf("fleet registration refused permanently: %v", err)
+			return
+		default:
+			logf("fleet registration failed (will retry in %v): %v", wait, err)
+			registered = false
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(wait):
+		}
+	}
+}
+
+// isConflict reports whether a Register error was the frontend's 409
+// shard-mismatch refusal.
+func isConflict(err error) bool {
+	return err != nil && bytes.Contains([]byte(err.Error()), []byte("409"))
+}

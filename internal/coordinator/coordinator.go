@@ -75,6 +75,11 @@ type Stats struct {
 	Successes   int
 	Failures    int
 	DirectSolve bool // ship-all path for tiny inputs (m ≥ n)
+	// Retries counts full protocol restarts after a mid-solve site
+	// failure (the elastic-fleet driver). Rounds/TotalBits/Messages
+	// include the failed attempts' traffic — retries are metered
+	// honestly, never hidden. Always 0 for single-attempt drivers.
+	Retries int
 }
 
 func (s Stats) String() string {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"lowdimlp/internal/comm"
@@ -96,4 +97,88 @@ func SolveFleetTransport(workers []string, opt Options, topt httptransport.Optio
 	defer tr.Close()
 	sol, stats, err := m.SolveTransport(info.Dim, info.Objective, tr, opt)
 	return info.Kind, sol, stats, err
+}
+
+// Membership is the elastic driver's view of a worker registry: the
+// live fleet to dial, and a sink for the failure reports that shrink
+// it. registry.Registry implements it; tests use fakes.
+type Membership interface {
+	// LiveWorkers returns the current live worker URLs in site order.
+	LiveWorkers() []string
+	// ReportFailure marks one worker down after a failed exchange.
+	ReportFailure(url string, err error)
+}
+
+// maxFleetAttempts bounds the retry loop: 1 clean attempt plus up to
+// 4 retries. Each retry removes at least one worker from the
+// membership, so in a k-worker fleet the loop is doubly bounded; the
+// cap exists for pathological memberships that keep replacing dead
+// workers with equally dead ones.
+const maxFleetAttempts = 5
+
+// SolveFleetElastic is the retry-from-round-start driver: it runs
+// SolveFleetTransport against the registry's live membership and, when
+// an attempt dies with a worker-attributed transport error, reports
+// that worker down and re-runs the whole protocol — same seed, same
+// options — on the survivors.
+//
+// Retrying from round start (in fact from Begin) is the right
+// granularity here, not an optimization shortcut: a dead worker takes
+// its site's RNG stream and pending-basis state with it, and the
+// ε-net sampling of Lemma 3.7 draws from the *current* membership's
+// row partition, so any splice of old-round state onto a new
+// membership would compute a sample no clean run could produce. A
+// full restart instead guarantees the result is bit-identical to a
+// clean run on the final membership — the property the conformance
+// suites pin for every transport. The two-round protocol makes the
+// discarded work at most one round-trip per site.
+//
+// Metering is honest: the returned Stats fold every failed attempt's
+// Rounds/TotalBits/Messages into the totals and report the restart
+// count in Stats.Retries, rather than pretending the first attempts
+// never happened.
+func SolveFleetElastic(ms Membership, opt Options, topt httptransport.Options, expectKind string) (string, Solution, Stats, error) {
+	var burned coordinator.Stats // failed attempts' metered traffic
+	retries := 0
+	// fold merges the failed attempts' accounting into a final
+	// attempt's stats (success or terminal failure). When nothing was
+	// retried it is a no-op, so single-attempt solves keep bit-equal
+	// stats with the plain driver.
+	fold := func(stats *Stats) {
+		if retries == 0 || stats.Coordinator == nil {
+			return
+		}
+		stats.Coordinator.Retries = retries
+		stats.Coordinator.Rounds += burned.Rounds
+		stats.Coordinator.TotalBits += burned.TotalBits
+		stats.Coordinator.Messages += burned.Messages
+	}
+	for attempt := 1; ; attempt++ {
+		workers := ms.LiveWorkers()
+		if len(workers) == 0 {
+			return "", Solution{}, Stats{}, fmt.Errorf("fleet solve: no live workers in the registry (after %d retries)", retries)
+		}
+		kind, sol, stats, err := SolveFleetTransport(workers, opt, topt, expectKind)
+		if err == nil {
+			fold(&stats)
+			return kind, sol, stats, nil
+		}
+		var terr *comm.TransportError
+		retryable := errors.As(err, &terr) && terr.Site >= 0 && terr.Site < len(workers)
+		if !retryable || attempt >= maxFleetAttempts {
+			fold(&stats)
+			if !retryable {
+				return kind, sol, stats, err
+			}
+			ms.ReportFailure(workers[terr.Site], err)
+			return kind, sol, stats, fmt.Errorf("fleet solve: giving up after %d attempts: %w", attempt, err)
+		}
+		ms.ReportFailure(workers[terr.Site], err)
+		retries++
+		if stats.Coordinator != nil {
+			burned.Rounds += stats.Coordinator.Rounds
+			burned.TotalBits += stats.Coordinator.TotalBits
+			burned.Messages += stats.Coordinator.Messages
+		}
+	}
 }

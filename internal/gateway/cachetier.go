@@ -28,6 +28,16 @@ type CacheTier interface {
 	Put(key string, val []byte)
 }
 
+// Dropper is the optional eviction side of a CacheTier. The server
+// calls Drop when a tier returned bytes that fail to decode: a torn
+// or foreign-format entry served as a miss must not stay in the tier,
+// where it would cost a read-and-fail on every future lookup and — on
+// disk — hold garbage forever. Drop is best-effort; the next
+// write-through re-creates the entry either way.
+type Dropper interface {
+	Drop(key string)
+}
+
 // MemoryTier is a bounded in-process LRU tier — the single-frontend
 // default, and the test double for the disk tier.
 type MemoryTier struct {
@@ -77,6 +87,16 @@ func (t *MemoryTier) Put(key string, val []byte) {
 		oldest := t.order.Back()
 		t.order.Remove(oldest)
 		delete(t.entries, oldest.Value.(*memEntry).key)
+	}
+}
+
+// Drop removes one entry (corrupt-read eviction).
+func (t *MemoryTier) Drop(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.entries[key]; ok {
+		t.order.Remove(el)
+		delete(t.entries, key)
 	}
 }
 
@@ -130,6 +150,16 @@ func (t *DiskTier) Get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	return b, true
+}
+
+// Drop deletes the entry's file — called when a read decoded as
+// garbage, so the bad file stops costing a read-and-fail on every
+// lookup and the next write-through heals the entry cleanly.
+func (t *DiskTier) Drop(key string) {
+	if !safeKey(key) {
+		return
+	}
+	os.Remove(filepath.Join(t.dir, key+".json"))
 }
 
 func (t *DiskTier) Put(key string, val []byte) {

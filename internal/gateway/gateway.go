@@ -82,6 +82,14 @@ func (g *Gateway) Wrap(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
+		// The fleet control plane is operator-side like /metrics and
+		// /healthz, not tenant API surface: workers registering and
+		// heartbeating hold no tenant keys, and membership is not
+		// tenant-scoped data.
+		if r.URL.Path == "/v1/fleet" || strings.HasPrefix(r.URL.Path, "/v1/fleet/") {
+			next.ServeHTTP(w, r)
+			return
+		}
 		key, ok := bearerKey(r)
 		if !ok {
 			g.metrics.Unauthorized.Add(1)
@@ -128,15 +136,32 @@ func (g *Gateway) take(t *Tenant) (wait time.Duration, ok bool) {
 	return b.take(g.now())
 }
 
-// retryAfterSeconds rounds wait up to whole seconds, clamped to
-// [1, 60] — the same client contract Manager.RetryAfterSeconds keeps.
+// retryAfterSeconds rounds wait up to whole seconds through the
+// shared RetryAfterSeconds clamp.
 func retryAfterSeconds(wait time.Duration) int {
-	s := int(math.Ceil(wait.Seconds()))
+	return RetryAfterSeconds(wait.Seconds())
+}
+
+// RetryAfterSeconds is the single Retry-After producer for every 429
+// path in the serving stack — the gateway's tenant throttle, the
+// frontend's admission shed and its instance-slot exhaustion. It
+// rounds an estimated wait (in seconds) up to a whole second and
+// clamps to [1, 60]: RFC 9110 gives `Retry-After: 0` no useful
+// meaning (and a negative value is malformed), so zero, negative and
+// NaN estimates all become 1, and an unbounded backlog estimate never
+// tells a client to go away for more than a minute.
+func RetryAfterSeconds(wait float64) int {
+	if math.IsNaN(wait) {
+		return 1
+	}
+	// Clamp before the float→int conversion: converting +Inf (or any
+	// out-of-range float) to int is implementation-dependent in Go.
+	if wait >= 60 {
+		return 60
+	}
+	s := int(math.Ceil(wait))
 	if s < 1 {
 		s = 1
-	}
-	if s > 60 {
-		s = 60
 	}
 	return s
 }

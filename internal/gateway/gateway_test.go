@@ -52,23 +52,6 @@ func TestBucketBurstAndRefill(t *testing.T) {
 	}
 }
 
-func TestRetryAfterSecondsClamp(t *testing.T) {
-	cases := []struct {
-		wait time.Duration
-		want int
-	}{
-		{0, 1},
-		{10 * time.Millisecond, 1},
-		{1500 * time.Millisecond, 2},
-		{2 * time.Minute, 60},
-	}
-	for _, c := range cases {
-		if got := retryAfterSeconds(c.wait); got != c.want {
-			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.wait, got, c.want)
-		}
-	}
-}
-
 func TestStaticValidator(t *testing.T) {
 	v, err := NewStaticValidator([]Tenant{
 		{ID: "acme", Key: "acme-secret-1"},

@@ -1,0 +1,44 @@
+package gateway
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// RetryAfterSeconds is the one producer behind every 429 in the stack
+// (tenant throttle, admission shed, instance-slot exhaustion). The
+// clamp contract: whole seconds, never below 1 — RFC 9110 gives
+// `Retry-After: 0` no useful meaning and negatives are malformed —
+// and never above 60.
+func TestRetryAfterSecondsClamp(t *testing.T) {
+	cases := []struct {
+		wait float64
+		want int
+	}{
+		{-5, 1},           // negative estimate must not escape
+		{0, 1},            // zero is not a valid client hint
+		{0.001, 1},        // sub-second rounds up, not down to 0
+		{1, 1},            //
+		{1.2, 2},          // ceil, not truncate
+		{59.9, 60},        //
+		{60, 60},          //
+		{61, 60},          // capped
+		{1e12, 60},        // absurd backlog estimate stays sane
+		{math.Inf(1), 60}, //
+		{math.Inf(-1), 1}, //
+		{math.NaN(), 1},   // NaN (0/0 throughput) degrades safely
+	}
+	for _, c := range cases {
+		if got := RetryAfterSeconds(c.wait); got != c.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", c.wait, got, c.want)
+		}
+	}
+	// The duration adapter the throttle path uses shares the clamp.
+	if got := retryAfterSeconds(-time.Second); got != 1 {
+		t.Errorf("retryAfterSeconds(-1s) = %d, want 1", got)
+	}
+	if got := retryAfterSeconds(90 * time.Second); got != 60 {
+		t.Errorf("retryAfterSeconds(90s) = %d, want 60", got)
+	}
+}

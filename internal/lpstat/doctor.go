@@ -129,6 +129,34 @@ func Diagnose(f *Fleet) []Finding {
 					fmt.Sprintf("%d /v1 requests were rejected with 401 — missing or wrong API keys", fe.Unauthorized),
 					"a client is using a stale or mistyped key; rotate or redistribute the keys in the -tenants file")
 			}
+			// Elastic-fleet rules. A solve retry means a worker was lost
+			// mid-protocol and the run restarted from round start on the
+			// survivors — the answer is still bit-identical to a clean run
+			// on the final membership, but the burned round-trips are real.
+			if fe.FleetRetries > 0 {
+				add(SevWarn, "fleet-solve-retried", "frontend",
+					fmt.Sprintf("%d fleet solves restarted from round start after losing a worker mid-protocol — results are bit-identical to a clean run on the surviving membership, but each retry burned up to one round-trip per site", fe.FleetRetries),
+					"GET /v1/fleet (or the findings below) names the lost workers; restart or deregister them")
+			}
+			// Membership changes are only worth a finding when they name a
+			// casualty: dynamic joins bump the change counter by design, so
+			// the rule keys on members that are down — not on changes > 0.
+			for _, m := range fe.FleetMembers {
+				switch m.State {
+				case "down":
+					reason := m.LastErr
+					if reason == "" {
+						reason = "no recorded reason"
+					}
+					add(SevWarn, "fleet-membership-changed", "fleet worker "+m.URL,
+						fmt.Sprintf("the fleet a solve runs on is not the fleet that was deployed: %s is down (%s) after %d membership changes", m.URL, reason, fe.FleetChanges),
+						"restart the worker (it revives on its next registration) or deregister it (POST /v1/fleet/deregister) to silence this")
+				case "draining":
+					add(SevWarn, "worker-draining", "fleet worker "+m.URL,
+						fmt.Sprintf("%s is draining — it finishes in-flight sessions but joins no new solves", m.URL),
+						"expected during a rolling restart or scale-down; it deregisters when done, so this should clear on its own")
+				}
+			}
 		}
 	}
 
@@ -189,6 +217,14 @@ func Diagnose(f *Fleet) []Finding {
 			add(SevWarn, "worker-sessions-saturated", target,
 				fmt.Sprintf("%d protocol sessions are open — at the default limit new solves are refused", w.SessionsOpen),
 				"coordinators are leaking sessions (crashing before FrameEnd?) or the fleet is genuinely oversubscribed")
+		}
+		// A directly-probed worker can also announce its own drain (the
+		// lpserved_worker_draining gauge) — same rule name as the
+		// registry-side view so operators grep one string.
+		if w.Draining {
+			add(SevWarn, "worker-draining", target,
+				fmt.Sprintf("site %d is draining (%d sessions still open) — it refuses new protocol sessions", w.Site, w.SessionsOpen),
+				"expected during a rolling restart or scale-down; fleet solves retry on the remaining workers")
 		}
 	}
 

@@ -1,0 +1,129 @@
+package lpstat
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeElasticFrontend serves a frontend surface with elastic-fleet
+// metrics and a /v1/fleet membership snapshot.
+func fakeElasticFrontend(t *testing.T, metrics, fleetJSON string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte(`{"ok":true}`)) })
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte(metrics)) })
+	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte(fleetJSON)) })
+	mux.HandleFunc("GET /v1/instances", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte(`{"instances":[],"limit":64}`))
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+const elasticMetrics = `# TYPE lpserved_fleet_solve_retries_total counter
+lpserved_fleet_solve_retries_total 2
+# TYPE lpserved_fleet_members gauge
+lpserved_fleet_members{state="live"} 2
+lpserved_fleet_members{state="draining"} 1
+lpserved_fleet_members{state="down"} 1
+# TYPE lpserved_fleet_epoch gauge
+lpserved_fleet_epoch 5
+# TYPE lpserved_fleet_membership_changes_total counter
+lpserved_fleet_membership_changes_total 5
+`
+
+const elasticFleetJSON = `{"epoch":5,"changes":5,"workers":[
+  {"url":"http://w1:8081","kind":"lp","state":"live","last_seen":"2026-08-08T00:00:00Z"},
+  {"url":"http://w2:8081","kind":"lp","state":"live","last_seen":"2026-08-08T00:00:00Z"},
+  {"url":"http://w3:8081","kind":"lp","state":"draining","last_seen":"2026-08-08T00:00:00Z"},
+  {"url":"http://w4:8081","kind":"lp","state":"down","last_seen":"2026-08-08T00:00:00Z",
+   "last_err":"heartbeat lapsed (last seen 21s ago)"}
+]}`
+
+// TestDoctorElasticFleet: the three elastic-fleet rules — solves that
+// retried, a down member named with its reason, and a draining member
+// — all fire from one snapshot, and the board renders the membership.
+func TestDoctorElasticFleet(t *testing.T) {
+	fe := fakeElasticFrontend(t, elasticMetrics, elasticFleetJSON)
+	fleet := Collect(Options{Frontend: fe.URL})
+	f := fleet.Frontend
+	if !f.HasFleet || f.FleetRetries != 2 || f.FleetLive != 2 || f.FleetDraining != 1 || f.FleetDown != 1 {
+		t.Fatalf("fleet snapshot: %+v", f)
+	}
+
+	findings := Diagnose(fleet)
+	fd := findRule(findings, "fleet-solve-retried")
+	if fd == nil || fd.Severity != SevWarn || !strings.Contains(fd.Diagnosis, "2 fleet solves restarted") {
+		t.Fatalf("fleet-solve-retried finding: %+v", fd)
+	}
+	fd = findRule(findings, "fleet-membership-changed")
+	if fd == nil || !strings.Contains(fd.Target, "http://w4:8081") ||
+		!strings.Contains(fd.Diagnosis, "heartbeat lapsed") {
+		t.Fatalf("fleet-membership-changed must name the down worker and reason: %+v", fd)
+	}
+	fd = findRule(findings, "worker-draining")
+	if fd == nil || !strings.Contains(fd.Target, "http://w3:8081") {
+		t.Fatalf("worker-draining must name the draining member: %+v", fd)
+	}
+
+	var sb strings.Builder
+	RenderBoard(&sb, fleet, false)
+	out := sb.String()
+	for _, want := range []string{"membership:", "2 live", "1 draining", "1 down", "2 solve retries"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("board missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDoctorHealthyElasticFleet: dynamic joins alone (changes > 0, no
+// casualties) must NOT warn — otherwise every elastic fleet is
+// permanently "sick" just for scaling up.
+func TestDoctorHealthyElasticFleet(t *testing.T) {
+	metrics := `# TYPE lpserved_fleet_solve_retries_total counter
+lpserved_fleet_solve_retries_total 0
+# TYPE lpserved_fleet_members gauge
+lpserved_fleet_members{state="live"} 3
+lpserved_fleet_members{state="draining"} 0
+lpserved_fleet_members{state="down"} 0
+# TYPE lpserved_fleet_epoch gauge
+lpserved_fleet_epoch 3
+# TYPE lpserved_fleet_membership_changes_total counter
+lpserved_fleet_membership_changes_total 3
+`
+	fleetJSON := `{"epoch":3,"changes":3,"workers":[
+  {"url":"http://w1:8081","kind":"lp","state":"live","last_seen":"2026-08-08T00:00:00Z"},
+  {"url":"http://w2:8081","kind":"lp","state":"live","last_seen":"2026-08-08T00:00:00Z"},
+  {"url":"http://w3:8081","kind":"lp","state":"live","last_seen":"2026-08-08T00:00:00Z"}
+]}`
+	fe := fakeElasticFrontend(t, metrics, fleetJSON)
+	findings := Diagnose(Collect(Options{Frontend: fe.URL}))
+	if len(findings) != 1 || findings[0].Rule != "healthy" {
+		t.Fatalf("three dynamic joins produced findings: %+v", findings)
+	}
+}
+
+// TestDoctorDrainingProbedWorker: the worker-side drain gauge fires
+// the same rule when lpstat probes the worker directly.
+func TestDoctorDrainingProbedWorker(t *testing.T) {
+	metrics := fakeWorkerMetrics(0, 0, 0, 1) + `# TYPE lpserved_worker_draining gauge
+lpserved_worker_draining 1
+`
+	w := fakeWorker(t, metrics, false)
+	fleet := Collect(Options{Workers: []string{w.URL}})
+	if !fleet.Workers[0].Draining {
+		t.Fatalf("worker snapshot not draining: %+v", fleet.Workers[0])
+	}
+	fd := findRule(Diagnose(fleet), "worker-draining")
+	if fd == nil || fd.Severity != SevWarn {
+		t.Fatalf("no worker-draining finding: %+v", fd)
+	}
+	var sb strings.Builder
+	RenderBoard(&sb, fleet, false)
+	if !strings.Contains(sb.String(), "DRAINING") {
+		t.Errorf("board does not show the DRAINING state:\n%s", sb.String())
+	}
+}

@@ -59,6 +59,9 @@ type WorkerStatus struct {
 	ProbeOK    bool
 	ProbeClass string
 	ProbeErr   string
+	// Draining is the lpserved_worker_draining gauge: the worker is
+	// finishing in-flight sessions and refusing new Begins.
+	Draining bool
 	// Counters from /metrics (zero when the scrape failed).
 	SessionsOpen      int64
 	SessionsOpened    int64
@@ -119,9 +122,29 @@ type FrontendStatus struct {
 	// Shared result-cache tier counters (0/0 when no tier is attached).
 	TierHits   int64
 	TierMisses int64
+	// Elastic-fleet membership (lpserved_fleet_* families plus the
+	// GET /v1/fleet snapshot). HasFleet is the endpoint answering at
+	// all — pre-registry frontends don't serve it.
+	HasFleet      bool
+	FleetRetries  int64
+	FleetEpoch    int64
+	FleetChanges  int64
+	FleetLive     int64
+	FleetDraining int64
+	FleetDown     int64
+	FleetMembers  []FleetMember
 	// InstancesOpen is the open chunk-upload count (/v1/instances).
 	InstancesOpen int
 	HasMetrics    bool
+}
+
+// FleetMember is one registry member from GET /v1/fleet.
+type FleetMember struct {
+	URL     string `json:"url"`
+	Kind    string `json:"kind"`
+	Static  bool   `json:"static"`
+	State   string `json:"state"`
+	LastErr string `json:"last_err"`
 }
 
 // CacheRate returns the hit fraction in [0,1] (0 when no lookups).
@@ -220,6 +243,7 @@ func collectWorker(client *http.Client, site int, url string) WorkerStatus {
 			w.FrameDecodeErrors = int64(m.Sum("lpserved_worker_frame_decode_errors_total"))
 			w.BytesIn = int64(m.Sum("lpserved_worker_bytes_in_total"))
 			w.BytesOut = int64(m.Sum("lpserved_worker_bytes_out_total"))
+			w.Draining = m.Sum("lpserved_worker_draining") > 0
 		}
 	}
 
@@ -326,6 +350,34 @@ func collectFrontend(client *http.Client, url string) *FrontendStatus {
 			f.Unauthorized = int64(m.Sum("lpserved_tenant_unauthorized_total"))
 			f.TierHits = int64(m.Sum("lpserved_cache_tier_hits_total"))
 			f.TierMisses = int64(m.Sum("lpserved_cache_tier_misses_total"))
+			f.FleetRetries = int64(m.Sum("lpserved_fleet_solve_retries_total"))
+			f.FleetEpoch = int64(m.Sum("lpserved_fleet_epoch"))
+			f.FleetChanges = int64(m.Sum("lpserved_fleet_membership_changes_total"))
+			if fam, ok := m.Family("lpserved_fleet_members"); ok {
+				for _, s := range fam.Samples {
+					switch s.Label("state") {
+					case "live":
+						f.FleetLive = int64(s.Value)
+					case "draining":
+						f.FleetDraining = int64(s.Value)
+					case "down":
+						f.FleetDown = int64(s.Value)
+					}
+				}
+			}
+		}
+	}
+
+	// The membership snapshot names who is down/draining and why —
+	// the metrics only count them. The endpoint is operator-side
+	// (gateway-exempt), so this works on tenanted frontends too.
+	if body, err := get(client, url+"/v1/fleet"); err == nil {
+		var view struct {
+			Workers []FleetMember `json:"workers"`
+		}
+		if json.Unmarshal(body, &view) == nil {
+			f.HasFleet = true
+			f.FleetMembers = view.Workers
 		}
 	}
 

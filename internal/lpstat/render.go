@@ -50,6 +50,9 @@ func RenderBoard(w io.Writer, f *Fleet, color bool) {
 				fleetCell += ", " + p.paint(ansiRed, strings.Join(parts, ", "))
 			}
 			fmt.Fprintf(w, "  fleet: %s   traces: %d captured\n", fleetCell, fe.TracesCaptured)
+			if cell := membershipCell(p, fe); cell != "" {
+				fmt.Fprintf(w, "  membership: %s\n", cell)
+			}
 			fmt.Fprintf(w, "  kernels: %s\n", kernelCell(p, fe))
 			if fe.TierHits+fe.TierMisses > 0 {
 				fmt.Fprintf(w, "  cache tier: %d hits, %d misses\n", fe.TierHits, fe.TierMisses)
@@ -73,6 +76,28 @@ func RenderBoard(w io.Writer, f *Fleet, color bool) {
 	}
 }
 
+// membershipCell renders the elastic-fleet registry line: member
+// counts by state, epoch/changes, and the solve-retry counter. Empty
+// when the frontend has no registry members and nothing ever changed
+// (a purely local deployment keeps its old board).
+func membershipCell(p painter, fe *FrontendStatus) string {
+	if !fe.HasFleet || (fe.FleetLive+fe.FleetDraining+fe.FleetDown == 0 && fe.FleetChanges == 0) {
+		return ""
+	}
+	cell := fmt.Sprintf("%d live", fe.FleetLive)
+	if fe.FleetDraining > 0 {
+		cell += ", " + p.paint(ansiYellow, fmt.Sprintf("%d draining", fe.FleetDraining))
+	}
+	if fe.FleetDown > 0 {
+		cell += ", " + p.paint(ansiRed, fmt.Sprintf("%d down", fe.FleetDown))
+	}
+	cell += fmt.Sprintf("   epoch %d (%d changes)", fe.FleetEpoch, fe.FleetChanges)
+	if fe.FleetRetries > 0 {
+		cell += "   " + p.paint(ansiYellow, fmt.Sprintf("%d solve retries", fe.FleetRetries))
+	}
+	return cell
+}
+
 // workerState renders one worker's status cell.
 func workerState(p painter, w WorkerStatus) string {
 	switch {
@@ -80,6 +105,8 @@ func workerState(p painter, w WorkerStatus) string {
 		return p.paint(ansiRed, "DOWN ("+w.ErrClass+")")
 	case !w.ProbeOK:
 		return p.paint(ansiRed, "BROKEN ("+w.ProbeClass+")")
+	case w.Draining:
+		return p.paint(ansiYellow, "DRAINING")
 	case w.SessionsExpired > 0 || w.FrameDecodeErrors > 0 || w.StepErrors > 0:
 		return p.paint(ansiYellow, "UP (warnings)")
 	default:

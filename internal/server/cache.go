@@ -88,7 +88,12 @@ func (c *Cache) Get(key string) (*SolveResult, *StatsPayload, bool) {
 	var e tierEntry
 	if err := json.Unmarshal(raw, &e); err != nil || e.Result == nil {
 		// A torn or foreign-format entry is a plain miss — never an
-		// error on the solve path.
+		// error on the solve path. Evict it so the tier stops serving
+		// the same garbage on every lookup; the next write-through
+		// recreates the entry from a fresh solve.
+		if d, ok := c.tier.(gateway.Dropper); ok {
+			d.Drop(key)
+		}
 		if c.onTierMiss != nil {
 			c.onTierMiss()
 		}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lowdimlp/internal/engine"
+	"lowdimlp/internal/gateway"
+)
+
+// A corrupt disk-tier entry must not just read as a miss — it must be
+// evicted on that read, so the bad file stops costing a decode-and-fail
+// on every lookup, and the next write-through heals the entry.
+func TestCorruptTierEntryHealsOnWriteThrough(t *testing.T) {
+	dir := t.TempDir()
+	tier, err := gateway.NewDiskTier(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LRU disabled: every Get consults the tier, like a fresh frontend.
+	c := NewCache(0)
+	misses := 0
+	c.EnableTier(tier, nil, func() { misses++ })
+
+	sum := sha256.Sum256([]byte("cacheheal"))
+	key := hex.EncodeToString(sum[:])
+	path := filepath.Join(dir, key+".json")
+	res := &SolveResult{Fields: []engine.Field{{Key: "value", Num: 42}}}
+
+	c.Put(key, res, nil)
+	if _, _, ok := c.Get(key); !ok {
+		t.Fatal("clean entry missed")
+	}
+
+	// Truncate the file mid-JSON — a torn write from a crashed peer.
+	if err := os.WriteFile(path, []byte(`{"result":{"va`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if misses != 1 {
+		t.Fatalf("tier misses = %d, want 1", misses)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still on disk after the miss (err=%v)", err)
+	}
+
+	// The next write-through recreates it; the following read hits.
+	c.Put(key, res, nil)
+	got, _, ok := c.Get(key)
+	if !ok {
+		t.Fatal("healed entry missed")
+	}
+	if v, _ := got.Scalar("value"); v != 42 {
+		t.Fatalf("healed entry value = %v, want 42", v)
+	}
+
+	// Same contract for a memory tier (the Dropper is an interface,
+	// both implementations honor it).
+	mem := gateway.NewMemoryTier(8)
+	cm := NewCache(0)
+	cm.EnableTier(mem, nil, nil)
+	mem.Put(key, []byte("not json"))
+	if _, _, ok := cm.Get(key); ok {
+		t.Fatal("memory tier served garbage as a hit")
+	}
+	if mem.Len() != 0 {
+		t.Fatalf("memory tier still holds %d corrupt entries", mem.Len())
+	}
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lowdimlp/internal/comm"
+	"lowdimlp/internal/comm/httptransport"
+)
+
+// A draining worker refuses new Begins with a typed 503 but keeps
+// stepping (and Ending) the sessions it already holds — the contract
+// that lets a coordinator mid-round finish while scale-down proceeds.
+func TestWorkerDrainRefusesNewBeginsServesOldSessions(t *testing.T) {
+	w := newTestWorker(t, WorkerConfig{})
+	code, rep := openTestSession(t, w)
+	if code != 200 {
+		t.Fatalf("begin before drain: HTTP %d", code)
+	}
+	session := rep.Session
+
+	// Drain via the operator endpoint.
+	req := httptest.NewRequest("POST", "/v1/worker/drain", nil)
+	rec := httptest.NewRecorder()
+	w.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("drain: HTTP %d", rec.Code)
+	}
+	var dr struct {
+		Draining bool `json:"draining"`
+		Sessions int  `json:"sessions"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &dr); err != nil || !dr.Draining || dr.Sessions != 1 {
+		t.Fatalf("drain reply %s (err %v), want draining with 1 session", rec.Body.Bytes(), err)
+	}
+
+	// New Begin → typed 503 naming the drain, not a reset or a limit.
+	code, _ = openTestSession(t, w)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("begin while draining: HTTP %d, want 503", code)
+	}
+
+	// The live session still steps: ship-all on this tiny shard.
+	step := comm.EncodeFrame(comm.Frame{Type: comm.FrameShipAll, Session: session, Seq: 2})
+	rec = httptest.NewRecorder()
+	w.Handler().ServeHTTP(rec, httptest.NewRequest("POST", httptransport.StepPath, bytes.NewReader(step)))
+	if rec.Code != 200 {
+		t.Fatalf("step on live session while draining: HTTP %d: %s", rec.Code, rec.Body.Bytes())
+	}
+
+	// Metrics expose the drain gauge.
+	rec = httptest.NewRecorder()
+	w.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "lpserved_worker_draining 1") {
+		t.Fatal("metrics do not report lpserved_worker_draining 1")
+	}
+
+	// Ending the session unblocks DrainAndWait.
+	done := make(chan int, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- w.DrainAndWait(ctx)
+	}()
+	end := comm.EncodeFrame(comm.Frame{Type: comm.FrameEnd, Session: session, Seq: 3})
+	rec = httptest.NewRecorder()
+	w.Handler().ServeHTTP(rec, httptest.NewRequest("POST", httptransport.StepPath, bytes.NewReader(end)))
+	if rec.Code != 200 {
+		t.Fatalf("end: HTTP %d", rec.Code)
+	}
+	if left := <-done; left != 0 {
+		t.Fatalf("DrainAndWait left %d sessions open", left)
+	}
+}
+
+// DrainAndWait must give up at the context deadline when a session
+// never ends, reporting what is still open.
+func TestDrainAndWaitDeadline(t *testing.T) {
+	w := newTestWorker(t, WorkerConfig{})
+	if code, _ := openTestSession(t, w); code != 200 {
+		t.Fatalf("begin: HTTP %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if left := w.DrainAndWait(ctx); left != 1 {
+		t.Fatalf("DrainAndWait = %d sessions left, want 1", left)
+	}
+}

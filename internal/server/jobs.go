@@ -6,7 +6,6 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"math"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -14,6 +13,7 @@ import (
 
 	"lowdimlp/internal/comm"
 	"lowdimlp/internal/comm/httptransport"
+	"lowdimlp/internal/comm/registry"
 	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/engine"
 	"lowdimlp/internal/gateway"
@@ -114,10 +114,12 @@ type Manager struct {
 	// Set before the first job is accepted.
 	basis   *BasisCache
 	metrics *Metrics
-	// fleet is the worker-process fleet (lpserved -workers) that
-	// serves Fleet requests; empty means fleet solves are refused.
-	// Set before the first job is accepted.
-	fleet []string
+	// fleet is the worker registry serving Fleet requests: the static
+	// -workers list seeds it, dynamically registering workers join it,
+	// and the elastic solve driver reads live membership from (and
+	// reports failures into) it. Nil or empty means fleet solves are
+	// refused. Set before the first job is accepted.
+	fleet *registry.Registry
 	// traces is the bounded ring of captured execution traces (GET
 	// /v1/traces); nil disables retention (inline traces still work).
 	// Set before the first job is accepted.
@@ -296,8 +298,10 @@ func (m *Manager) Get(id string) (*Job, bool) {
 
 // RetryAfterSeconds estimates how long the current backlog needs to
 // drain — the Retry-After hint on load-shed responses. It divides the
-// pending rows by the observed solve throughput, clamped to [1, 60]s
-// (1 when no throughput has been observed yet).
+// pending rows by the observed solve throughput and runs it through
+// the shared gateway.RetryAfterSeconds clamp ([1, 60]s; 1 when no
+// throughput has been observed yet), so this path can never emit a
+// zero or negative Retry-After no matter what the counters say.
 func (m *Manager) RetryAfterSeconds() int {
 	pending := m.pendingRows.Load()
 	m.rateMu.Lock()
@@ -306,14 +310,7 @@ func (m *Manager) RetryAfterSeconds() int {
 	if pending <= 0 || rate <= 0 {
 		return 1
 	}
-	s := int(math.Ceil(float64(pending) / rate))
-	if s < 1 {
-		s = 1
-	}
-	if s > 60 {
-		s = 60
-	}
-	return s
+	return gateway.RetryAfterSeconds(float64(pending) / rate)
 }
 
 // observeRate feeds the admission controller's throughput estimate:
@@ -920,22 +917,29 @@ func (m *Manager) release(j *Job) {
 	m.retire(j)
 }
 
-// runFleet solves over the configured worker fleet through the shared
-// engine driver, passing along the request's kind expectation. The
-// returned kind is what the fleet actually holds.
+// runFleet solves over the registered worker fleet through the
+// elastic engine driver, passing along the request's kind
+// expectation. The returned kind is what the fleet actually holds.
+// A worker that dies mid-solve is reported down in the registry and
+// the protocol retries from the start against the survivors (see
+// engine.SolveFleetElastic); retries land on the
+// lpserved_fleet_solve_retries_total counter.
 func (m *Manager) runFleet(req *SolveRequest) (string, *SolveResult, *StatsPayload, error) {
-	if len(m.fleet) == 0 {
-		return "", nil, nil, errors.New("no worker fleet configured (start lpserved with -workers)")
+	if m.fleet == nil || len(m.fleet.LiveWorkers()) == 0 {
+		return "", nil, nil, errors.New("no live workers in the fleet registry (start lpserved with -workers, or start workers with -register)")
 	}
 	m.metrics.FleetSolves.Add(1)
 	opt := req.Options.lib()
 	opt.Trace = req.trace
-	// Dial per solve, deliberately: the k FrameInfo exchanges are
-	// cheap next to the protocol rounds, and re-dialing revalidates
-	// fleet coherence every time — a worker restarted with a
-	// different shard fails the solve at dial, not mid-protocol.
-	kind, sol, stats, err := engine.SolveFleetTransport(m.fleet, opt,
+	// Each attempt dials afresh, deliberately: the k FrameInfo
+	// exchanges are cheap next to the protocol rounds, and re-dialing
+	// revalidates fleet coherence every time — a worker restarted with
+	// a different shard fails the solve at dial, not mid-protocol.
+	kind, sol, stats, err := engine.SolveFleetElastic(m.fleet, opt,
 		httptransport.Options{Metrics: m.metrics.Fleet}, req.Kind)
+	if stats.Coordinator != nil && stats.Coordinator.Retries > 0 {
+		m.metrics.FleetRetries.Add(int64(stats.Coordinator.Retries))
+	}
 	if err != nil {
 		if stats.Coordinator == nil {
 			// Dial or expectation failure: no protocol ran, report no

@@ -12,6 +12,7 @@ import (
 
 	"lowdimlp/internal/comm"
 	"lowdimlp/internal/comm/httptransport"
+	"lowdimlp/internal/comm/registry"
 	"lowdimlp/internal/gateway"
 	"lowdimlp/internal/kernel"
 )
@@ -78,6 +79,10 @@ type Metrics struct {
 	BinaryAppends atomic.Int64
 	// FleetSolves counts solves driven over the worker fleet.
 	FleetSolves atomic.Int64
+	// FleetRetries counts full protocol restarts after a worker died
+	// mid-solve (the elastic failover path). One failed-and-recovered
+	// solve adds at least 1; a solve that succeeded first try adds 0.
+	FleetRetries atomic.Int64
 	// TracesCaptured counts solves that recorded an execution trace.
 	TracesCaptured atomic.Int64
 
@@ -91,6 +96,12 @@ type Metrics struct {
 	// from the exposition entirely, which is how lpstat knows
 	// multi-tenancy is not configured).
 	Tenants *gateway.Metrics
+
+	// FleetRegistry, when set, renders live fleet-membership gauges
+	// (members by state, epoch, membership changes) into the
+	// exposition. Nil (a metrics set with no registry) renders the
+	// families with zeros so the series stay stable.
+	FleetRegistry *registry.Registry
 
 	mu           sync.Mutex
 	solveCount   map[string]int64   // kind/model → solves
@@ -234,4 +245,18 @@ func (m *Metrics) renderFleet(w io.Writer) {
 	fmt.Fprintf(w, "lpserved_fleet_exchange_seconds_sum %s\n", fmtF(snap.Seconds))
 	fmt.Fprintf(w, "lpserved_fleet_exchange_seconds_count %d\n", snap.Exchanges)
 	fmt.Fprintf(w, "# HELP lpserved_fleet_exchange_seconds_max Slowest single fleet exchange.\n# TYPE lpserved_fleet_exchange_seconds_max gauge\nlpserved_fleet_exchange_seconds_max %s\n", fmtF(snap.MaxSeconds))
+
+	fmt.Fprintf(w, "# HELP lpserved_fleet_solve_retries_total Full protocol restarts after a worker died mid-solve.\n# TYPE lpserved_fleet_solve_retries_total counter\nlpserved_fleet_solve_retries_total %d\n", m.FleetRetries.Load())
+	var live, draining, down int
+	var epoch, changes uint64
+	if m.FleetRegistry != nil {
+		live, draining, down = m.FleetRegistry.Counts()
+		epoch, changes = m.FleetRegistry.Epoch(), m.FleetRegistry.Changes()
+	}
+	fmt.Fprintf(w, "# HELP lpserved_fleet_members Registered fleet members by state.\n# TYPE lpserved_fleet_members gauge\n")
+	fmt.Fprintf(w, "lpserved_fleet_members{state=\"live\"} %d\n", live)
+	fmt.Fprintf(w, "lpserved_fleet_members{state=\"draining\"} %d\n", draining)
+	fmt.Fprintf(w, "lpserved_fleet_members{state=\"down\"} %d\n", down)
+	fmt.Fprintf(w, "# HELP lpserved_fleet_epoch Fleet membership epoch (bumps on every membership change).\n# TYPE lpserved_fleet_epoch gauge\nlpserved_fleet_epoch %d\n", epoch)
+	fmt.Fprintf(w, "# HELP lpserved_fleet_membership_changes_total Fleet membership changes (joins, failures, drains, departures).\n# TYPE lpserved_fleet_membership_changes_total counter\nlpserved_fleet_membership_changes_total %d\n", changes)
 }

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"lowdimlp/internal/comm/registry"
 	"lowdimlp/internal/dataset"
 	"lowdimlp/internal/engine"
 	"lowdimlp/internal/gateway"
@@ -65,8 +66,15 @@ type Config struct {
 	SpillDir string
 	// FleetWorkers is the lpserved worker-process fleet (base URLs,
 	// one per shard; worker i = coordinator site i) that serves
-	// requests with "fleet": true. Empty refuses fleet solves.
+	// requests with "fleet": true. The list seeds the worker registry
+	// as static members (never expired by heartbeat); workers may also
+	// register dynamically at POST /v1/fleet/register. With neither,
+	// fleet solves are refused.
 	FleetWorkers []string
+	// FleetTTL is the registry's heartbeat horizon: a dynamically
+	// registered worker silent past it is marked down
+	// (0 = registry.DefaultTTL; < 0 disables expiry).
+	FleetTTL time.Duration
 	// TraceBuffer is the capacity of the captured-trace ring served at
 	// GET /v1/traces (0 = 128; < 0 disables retention — traces still
 	// come back inline on the jobs that asked for them).
@@ -114,11 +122,15 @@ type Server struct {
 	manager   *Manager
 	instances *InstanceStore
 	metrics   *Metrics
+	fleet     *registry.Registry
 	traces    *obs.Ring // nil when trace retention is disabled
 	mux       *http.ServeMux
 	sweepOnce sync.Once
 	sweepStop chan struct{}
 	sweepDone chan struct{}
+	// fleetSweepDone closes when the registry sweeper exits (it shares
+	// sweepStop with the instance sweeper).
+	fleetSweepDone chan struct{}
 }
 
 // New assembles a Server (and starts its worker pool and the instance
@@ -137,15 +149,20 @@ func New(cfg Config) *Server {
 		metrics:   metrics,
 		manager:   NewManager(cfg.Workers, cfg.QueueDepth, cache, metrics),
 		instances: NewInstanceStore(cfg.MaxInstances, cfg.InstanceTTL),
+		fleet:     registry.New(cfg.FleetTTL),
 		mux:       http.NewServeMux(),
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
+
+		fleetSweepDone: make(chan struct{}),
 	}
 	if cfg.Gateway != nil {
 		metrics.Tenants = cfg.Gateway.Metrics()
 		s.manager.tenants = metrics.Tenants
 	}
-	s.manager.fleet = cfg.FleetWorkers
+	s.fleet.SeedStatic(cfg.FleetWorkers)
+	s.manager.fleet = s.fleet
+	metrics.FleetRegistry = s.fleet
 	s.manager.batchMax = cfg.BatchMax
 	s.manager.basis = NewBasisCache(cfg.BasisCacheSize)
 	s.manager.admitRows = cfg.AdmissionRows
@@ -163,9 +180,14 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/instances/{id}/rows", s.handleInstanceAppend)
 	s.mux.HandleFunc("DELETE /v1/instances/{id}", s.handleInstanceDrop)
 	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("POST /v1/fleet/register", s.handleFleetRegister)
+	s.mux.HandleFunc("POST /v1/fleet/deregister", s.handleFleetDeregister)
+	s.mux.HandleFunc("POST /v1/fleet/drain", s.handleFleetDrain)
+	s.mux.HandleFunc("GET /v1/fleet", s.handleFleetList)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	go s.sweepLoop()
+	go s.fleetSweepLoop()
 	return s
 }
 
@@ -211,6 +233,7 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.sweepOnce.Do(func() { close(s.sweepStop) })
 	<-s.sweepDone
+	<-s.fleetSweepDone
 	return s.manager.Shutdown(ctx)
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
@@ -47,6 +48,7 @@ type Worker struct {
 
 	mu       sync.Mutex
 	sessions map[uint64]*workerSession
+	draining bool // refuse new Begins; existing sessions still step
 
 	sweepOnce sync.Once
 	sweepStop chan struct{}
@@ -142,6 +144,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		sweepDone: make(chan struct{}),
 	}
 	w.mux.HandleFunc("POST "+httptransport.StepPath, w.handleStep)
+	w.mux.HandleFunc("POST /v1/worker/drain", w.handleDrain)
 	w.mux.HandleFunc("GET /v1/worker/info", w.handleInfo)
 	w.mux.HandleFunc("GET /metrics", w.handleMetrics)
 	w.mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
@@ -176,6 +179,61 @@ func (w *Worker) Close() error {
 	return nil
 }
 
+// StartDrain puts the worker into draining: new protocol sessions are
+// refused with a typed 503 while in-flight sessions keep stepping to
+// completion — a coordinator mid-round finishes its solve, the next
+// solve's Begin lands elsewhere. Draining is one-way; only a process
+// restart undrains.
+func (w *Worker) StartDrain() {
+	w.mu.Lock()
+	w.draining = true
+	w.mu.Unlock()
+}
+
+// Draining reports whether StartDrain was called.
+func (w *Worker) Draining() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.draining
+}
+
+// OpenSessions returns the number of open protocol sessions.
+func (w *Worker) OpenSessions() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.sessions)
+}
+
+// DrainAndWait starts draining and blocks until every in-flight
+// session has ended (FrameEnd or TTL sweep) or the context expires —
+// the graceful-shutdown barrier between "stop taking work" and
+// "close the listener". Returns the number of sessions still open
+// (0 on a clean drain).
+func (w *Worker) DrainAndWait(ctx context.Context) int {
+	w.StartDrain()
+	t := time.NewTicker(20 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if n := w.OpenSessions(); n == 0 {
+			return 0
+		}
+		select {
+		case <-ctx.Done():
+			return w.OpenSessions()
+		case <-t.C:
+		}
+	}
+}
+
+// handleDrain is the operator endpoint behind StartDrain.
+func (w *Worker) handleDrain(rw http.ResponseWriter, _ *http.Request) {
+	w.StartDrain()
+	writeJSON(rw, http.StatusOK, map[string]any{
+		"draining": true,
+		"sessions": w.OpenSessions(),
+	})
+}
+
 // sweepLoop reclaims idle sessions until Close.
 func (w *Worker) sweepLoop() {
 	defer close(w.sweepDone)
@@ -183,11 +241,7 @@ func (w *Worker) sweepLoop() {
 	if ttl < 0 {
 		return
 	}
-	interval := ttl / 4
-	if interval < time.Second {
-		interval = time.Second
-	}
-	t := time.NewTicker(interval)
+	t := time.NewTicker(sweepInterval(ttl))
 	defer t.Stop()
 	for {
 		select {
@@ -273,9 +327,29 @@ func (w *Worker) handleStep(rw http.ResponseWriter, r *http.Request) {
 			writeError(rw, http.StatusBadRequest, err)
 			return
 		}
+		w.mu.Lock()
+		if w.draining {
+			w.mu.Unlock()
+			w.metrics.StepErrors.Add(1)
+			writeError(rw, http.StatusServiceUnavailable,
+				fmt.Errorf("worker draining: not accepting new protocol sessions"))
+			return
+		}
+		w.mu.Unlock()
 		s := &workerSession{id: newSessionID(), site: w.host.NewSession(seed, site, mult)}
 		s.touched.Store(time.Now().UnixNano())
 		w.mu.Lock()
+		// Re-check draining under the same lock that registers the
+		// session: a StartDrain between the first check and here must
+		// not slip a fresh session past the drain barrier.
+		if w.draining {
+			w.mu.Unlock()
+			s.site.Close()
+			w.metrics.StepErrors.Add(1)
+			writeError(rw, http.StatusServiceUnavailable,
+				fmt.Errorf("worker draining: not accepting new protocol sessions"))
+			return
+		}
 		if len(w.sessions) >= w.cfg.MaxSessions {
 			w.mu.Unlock()
 			s.site.Close()
@@ -335,7 +409,7 @@ func (w *Worker) handleStep(rw http.ResponseWriter, r *http.Request) {
 // handleInfo is the operator view of the shard.
 func (w *Worker) handleInfo(rw http.ResponseWriter, _ *http.Request) {
 	w.mu.Lock()
-	open := len(w.sessions)
+	open, draining := len(w.sessions), w.draining
 	w.mu.Unlock()
 	writeJSON(rw, http.StatusOK, map[string]any{
 		"kind":      w.info.Kind,
@@ -345,6 +419,7 @@ func (w *Worker) handleInfo(rw http.ResponseWriter, _ *http.Request) {
 		"objective": w.info.Objective,
 		"sessions":  open,
 		"steps":     w.metrics.Steps.Load(),
+		"draining":  draining,
 	})
 }
 
@@ -352,8 +427,8 @@ func (w *Worker) handleInfo(rw http.ResponseWriter, _ *http.Request) {
 // counterpart of the frontend's /metrics, scraped by lpstat.
 func (w *Worker) handleMetrics(rw http.ResponseWriter, _ *http.Request) {
 	w.mu.Lock()
-	open := len(w.sessions)
+	open, draining := len(w.sessions), w.draining
 	w.mu.Unlock()
 	rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	w.metrics.Render(rw, open, w.info.Kind, w.info.Dim, w.info.Rows)
+	w.metrics.Render(rw, open, draining, w.info.Kind, w.info.Dim, w.info.Rows)
 }

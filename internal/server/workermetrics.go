@@ -37,7 +37,7 @@ type WorkerMetrics struct {
 // Render writes the worker families in Prometheus text exposition
 // format. The caller supplies the live gauges (open sessions, shard
 // shape) that are not counters.
-func (m *WorkerMetrics) Render(w io.Writer, sessionsOpen int, kind string, dim, rows int) {
+func (m *WorkerMetrics) Render(w io.Writer, sessionsOpen int, draining bool, kind string, dim, rows int) {
 	g := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
@@ -45,6 +45,11 @@ func (m *WorkerMetrics) Render(w io.Writer, sessionsOpen int, kind string, dim, 
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	g("lpserved_worker_sessions_open", "Protocol sessions currently open.", int64(sessionsOpen))
+	var d int64
+	if draining {
+		d = 1
+	}
+	g("lpserved_worker_draining", "1 while the worker refuses new protocol sessions (drain before shutdown).", d)
 	c("lpserved_worker_sessions_opened_total", "Protocol sessions accepted.", m.SessionsOpened.Load())
 	c("lpserved_worker_sessions_expired_total", "Sessions reclaimed by the idle TTL sweeper.", m.SessionsExpired.Load())
 	c("lpserved_worker_steps_total", "Protocol frames served.", m.Steps.Load())
